@@ -1,0 +1,118 @@
+// Figure 4 reproduction (paper Section 5.1).
+//
+// Five three-tier structures (tier sizes permutations of {1,2,4}), lambda = 10, mu = 5,
+// 1000 tasks each; all arrivals (and exits) of a task-level random sample observed; StEM +
+// Gibbs recover per-queue mean service and waiting times. For each observation fraction the
+// harness prints the distribution of absolute errors across (structure x repetition x
+// queue) — the quantities Figure 4 plots as boxplots — plus the in-text medians the paper
+// reports at 5% (service 0.033, waiting 1.35).
+//
+// Usage: fig4_synthetic [--tasks 1000] [--reps 5] [--iters 300] [--burn 150]
+//                       [--fractions 0.01,0.05,0.1,0.25] [--seed 1] [--no-exits]
+//
+// --no-exits switches to strict arrival-only observation (no task exit times even for
+// sampled tasks). Route-final queues are then unidentifiable and waiting errors grow —
+// see DESIGN.md decision 4 and bench/ablation_moves.
+
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "qnet/infer/stem.h"
+#include "qnet/model/builders.h"
+#include "qnet/obs/observation.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/flags.h"
+#include "qnet/support/math.h"
+#include "qnet/support/stopwatch.h"
+#include "qnet/trace/csv.h"
+#include "qnet/trace/table.h"
+
+namespace {
+
+std::vector<double> ParseFractions(const std::string& text) {
+  std::vector<double> fractions;
+  std::istringstream is(text);
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    fractions.push_back(std::stod(token));
+  }
+  return fractions;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const qnet::Flags flags(argc, argv);
+  const auto tasks = static_cast<std::size_t>(flags.GetInt("tasks", 1000));
+  const int reps = static_cast<int>(flags.GetInt("reps", 5));
+  const auto iters = static_cast<std::size_t>(flags.GetInt("iters", 300));
+  const auto burn = static_cast<std::size_t>(flags.GetInt("burn", 150));
+  const std::vector<double> fractions =
+      ParseFractions(flags.GetString("fractions", "0.01,0.05,0.1,0.25"));
+  qnet::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 1)));
+
+  std::cout << "== Figure 4: StEM/Gibbs accuracy on synthetic three-tier networks ==\n"
+            << "structures: 5 permutations of tier sizes {1,2,4}; lambda=10, mu=5; "
+            << tasks << " tasks; " << reps << " repetitions per structure\n\n";
+
+  const auto structures = qnet::SyntheticStructures();
+  qnet::TablePrinter table({"% observed", "svc err p25", "svc err median", "svc err p75",
+                            "wait err p25", "wait err median", "wait err p75", "runs"});
+  std::vector<std::vector<double>> csv_rows;  // fraction, svc_err, wait_err per queue-run
+  qnet::Stopwatch watch;
+  for (double fraction : fractions) {
+    std::vector<double> service_errors;
+    std::vector<double> wait_errors;
+    for (std::size_t s = 0; s < structures.size(); ++s) {
+      const qnet::QueueingNetwork net = qnet::MakeThreeTierNetwork(structures[s]);
+      const auto num_queues = static_cast<std::size_t>(net.NumQueues());
+      for (int rep = 0; rep < reps; ++rep) {
+        qnet::Rng run_rng = rng.Fork();
+        const qnet::EventLog truth = qnet::SimulateWorkload(
+            net, qnet::PoissonArrivals(structures[s].arrival_rate, tasks), run_rng);
+        qnet::TaskSamplingScheme scheme;
+        scheme.fraction = fraction;
+        scheme.observe_final_departure = !flags.GetBool("no-exits", false);
+        const qnet::Observation obs = scheme.Apply(truth, run_rng);
+
+        qnet::StemOptions options;
+        options.iterations = iters;
+        options.burn_in = burn;
+        options.wait_sweeps = 50;
+        const qnet::StemResult result =
+            qnet::StemEstimator(options).Run(truth, obs, {}, run_rng);
+
+        const auto realized_service = truth.PerQueueMeanService();
+        const auto realized_wait = truth.PerQueueMeanWait();
+        for (std::size_t q = 1; q < num_queues; ++q) {
+          service_errors.push_back(std::abs(result.mean_service[q] - realized_service[q]));
+          wait_errors.push_back(std::abs(result.mean_wait[q] - realized_wait[q]));
+          csv_rows.push_back({fraction, static_cast<double>(s), static_cast<double>(rep),
+                              static_cast<double>(q), service_errors.back(),
+                              wait_errors.back()});
+        }
+      }
+    }
+    table.AddRow({qnet::FormatDouble(fraction, 2),
+                  qnet::FormatDouble(qnet::Quantile(service_errors, 0.25), 4),
+                  qnet::FormatDouble(qnet::Median(service_errors), 4),
+                  qnet::FormatDouble(qnet::Quantile(service_errors, 0.75), 4),
+                  qnet::FormatDouble(qnet::Quantile(wait_errors, 0.25), 3),
+                  qnet::FormatDouble(qnet::Median(wait_errors), 3),
+                  qnet::FormatDouble(qnet::Quantile(wait_errors, 0.75), 3),
+                  std::to_string(service_errors.size())});
+  }
+  table.Print(std::cout);
+  std::cout << "\npaper reference (Fig. 4 / in-text): at 5% observed, median abs error ~0.033"
+            << " (service), ~1.35 (waiting);\nerrors shrink as the observed fraction grows;"
+            << " waiting errors are an order of magnitude larger than service errors\n"
+            << "elapsed: " << qnet::FormatDouble(watch.ElapsedSeconds(), 1) << " s\n";
+  if (flags.Has("csv")) {
+    qnet::WriteSeriesFile(flags.GetString("csv", "fig4.csv"),
+                          {"fraction", "structure", "rep", "queue", "svc_abs_err",
+                           "wait_abs_err"},
+                          csv_rows);
+  }
+  return 0;
+}

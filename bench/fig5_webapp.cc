@@ -1,0 +1,136 @@
+// Figure 5 reproduction (paper Section 5.2): per-queue estimated mean service (left panel)
+// and waiting (right panel) times on the movie-voting web application as a function of the
+// percentage of observed request traces.
+//
+// The thick lines of the paper's figure are the network queue (black) and database (gray);
+// the thin lines are the 10 web servers, one of which was starved by the load balancer
+// (~19 requests) and therefore estimates poorly at every fraction.
+//
+// Usage: fig5_webapp [--fractions 0.01,0.02,0.05,0.1,0.2,0.3,0.5] [--iters 300]
+//                    [--burn 120] [--seed 3] [--csv fig5.csv]
+
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "qnet/infer/estimators.h"
+#include "qnet/infer/stem.h"
+#include "qnet/obs/observation.h"
+#include "qnet/support/flags.h"
+#include "qnet/support/stopwatch.h"
+#include "qnet/trace/csv.h"
+#include "qnet/trace/table.h"
+#include "qnet/webapp/movievote.h"
+
+namespace {
+
+std::vector<double> ParseFractions(const std::string& text) {
+  std::vector<double> fractions;
+  std::istringstream is(text);
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    fractions.push_back(std::stod(token));
+  }
+  return fractions;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const qnet::Flags flags(argc, argv);
+  const std::vector<double> fractions =
+      ParseFractions(flags.GetString("fractions", "0.01,0.02,0.05,0.1,0.2,0.3,0.5"));
+  const auto iters = static_cast<std::size_t>(flags.GetInt("iters", 300));
+  const auto burn = static_cast<std::size_t>(flags.GetInt("burn", 120));
+  qnet::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 3)));
+
+  const qnet::webapp::MovieVoteConfig config;
+  const qnet::webapp::MovieVoteTestbed testbed = qnet::webapp::MakeTestbed(config);
+  const qnet::QueueingNetwork& net = testbed.network;
+  const qnet::EventLog trace = qnet::webapp::GenerateTrace(testbed, config, rng);
+  const auto counts = trace.PerQueueCount();
+  const auto realized_service = trace.PerQueueMeanService();
+  const auto realized_wait = trace.PerQueueMeanWait();
+
+  std::cout << "== Figure 5: movie-voting web application (simulated testbed) ==\n"
+            << trace.NumTasks() << " requests, "
+            << trace.NumEvents() - static_cast<std::size_t>(trace.NumTasks())
+            << " arrival events, 30-min linear ramp; starved web server saw "
+            << counts[static_cast<std::size_t>(testbed.web_queues.front())] / 2
+            << " requests\n\n";
+
+  qnet::Stopwatch watch;
+  std::vector<std::vector<double>> csv_rows;
+  qnet::TablePrinter service_table({"% observed", "network", "database", "web (min..max)",
+                                    "starved web"});
+  qnet::TablePrinter wait_table({"% observed", "network", "database", "web (min..max)",
+                                 "starved web"});
+  for (double fraction : fractions) {
+    qnet::Rng run_rng = rng.Fork();
+    qnet::TaskSamplingScheme scheme;
+    scheme.fraction = fraction;
+    const qnet::Observation obs = scheme.Apply(trace, run_rng);
+    qnet::StemOptions options;
+    options.iterations = iters;
+    options.burn_in = burn;
+    options.wait_sweeps = 30;
+    const qnet::StemResult result = qnet::StemEstimator(options).Run(
+        trace, obs, qnet::WarmStartRates(trace, obs), run_rng);
+
+    const auto starved = static_cast<std::size_t>(testbed.web_queues.front());
+    double web_min_svc = 1e9;
+    double web_max_svc = -1e9;
+    double web_min_wait = 1e9;
+    double web_max_wait = -1e9;
+    for (std::size_t i = 1; i < testbed.web_queues.size(); ++i) {
+      const auto q = static_cast<std::size_t>(testbed.web_queues[i]);
+      web_min_svc = std::min(web_min_svc, result.mean_service[q]);
+      web_max_svc = std::max(web_max_svc, result.mean_service[q]);
+      web_min_wait = std::min(web_min_wait, result.mean_wait[q]);
+      web_max_wait = std::max(web_max_wait, result.mean_wait[q]);
+    }
+    const auto net_q = static_cast<std::size_t>(testbed.network_queue);
+    const auto db_q = static_cast<std::size_t>(testbed.db_queue);
+    service_table.AddRow(
+        {qnet::FormatDouble(fraction, 2), qnet::FormatDouble(result.mean_service[net_q], 3),
+         qnet::FormatDouble(result.mean_service[db_q], 3),
+         qnet::FormatDouble(web_min_svc, 3) + ".." + qnet::FormatDouble(web_max_svc, 3),
+         qnet::FormatDouble(result.mean_service[starved], 3)});
+    wait_table.AddRow(
+        {qnet::FormatDouble(fraction, 2), qnet::FormatDouble(result.mean_wait[net_q], 3),
+         qnet::FormatDouble(result.mean_wait[db_q], 3),
+         qnet::FormatDouble(web_min_wait, 3) + ".." + qnet::FormatDouble(web_max_wait, 3),
+         qnet::FormatDouble(result.mean_wait[starved], 3)});
+    for (int q = 1; q < net.NumQueues(); ++q) {
+      const auto qi = static_cast<std::size_t>(q);
+      csv_rows.push_back({fraction, static_cast<double>(q), result.mean_service[qi],
+                          result.mean_wait[qi], realized_service[qi], realized_wait[qi]});
+    }
+  }
+
+  std::cout << "-- left panel: estimated mean service time --\n";
+  service_table.Print(std::cout);
+  const auto net_q = static_cast<std::size_t>(testbed.network_queue);
+  const auto db_q = static_cast<std::size_t>(testbed.db_queue);
+  std::cout << "ground truth: network " << qnet::FormatDouble(realized_service[net_q], 3)
+            << ", database " << qnet::FormatDouble(realized_service[db_q], 3)
+            << ", web mean "
+            << qnet::FormatDouble(
+                   realized_service[static_cast<std::size_t>(testbed.web_queues[1])], 3)
+            << "\n\n-- right panel: estimated mean waiting time --\n";
+  wait_table.Print(std::cout);
+  std::cout << "ground truth: network " << qnet::FormatDouble(realized_wait[net_q], 3)
+            << ", database " << qnet::FormatDouble(realized_wait[db_q], 3) << "\n";
+
+  std::cout << "\npaper reference: estimates essentially unchanged from 50% down to ~10%,"
+            << "\nunstable below; the starved server is the visible outlier at every"
+            << " fraction\nelapsed: " << qnet::FormatDouble(watch.ElapsedSeconds(), 1)
+            << " s\n";
+  if (flags.Has("csv")) {
+    qnet::WriteSeriesFile(flags.GetString("csv", "fig5.csv"),
+                          {"fraction", "queue", "est_service", "est_wait", "true_service",
+                           "true_wait"},
+                          csv_rows);
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Microbenchmarks: Gibbs sweep and StEM iteration throughput (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "qnet/infer/gibbs.h"
+#include "qnet/infer/initializer.h"
+#include "qnet/infer/route_mh.h"
+#include "qnet/model/builders.h"
+#include "qnet/obs/observation.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/rng.h"
+
+namespace {
+
+struct Fixture {
+  qnet::EventLog truth;
+  qnet::Observation obs;
+  std::vector<double> rates;
+  qnet::EventLog init;
+};
+
+Fixture MakeFixture(std::size_t tasks, double fraction) {
+  qnet::ThreeTierConfig config;
+  config.tier_sizes = {1, 2, 4};
+  const qnet::QueueingNetwork net = qnet::MakeThreeTierNetwork(config);
+  qnet::Rng rng(12345);
+  qnet::EventLog truth =
+      qnet::SimulateWorkload(net, qnet::PoissonArrivals(10.0, tasks), rng);
+  qnet::TaskSamplingScheme scheme;
+  scheme.fraction = fraction;
+  qnet::Observation obs = scheme.Apply(truth, rng);
+  std::vector<double> rates = net.ExponentialRates();
+  qnet::EventLog init = qnet::InitializeFeasible(truth, obs, rates, rng);
+  return Fixture{std::move(truth), std::move(obs), std::move(rates), std::move(init)};
+}
+
+void BM_GibbsSweep(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  const Fixture fixture = MakeFixture(tasks, 0.1);
+  qnet::GibbsSampler sampler(fixture.init, fixture.obs, fixture.rates);
+  qnet::Rng rng(7);
+  for (auto _ : state) {
+    sampler.Sweep(rng);
+    benchmark::DoNotOptimize(sampler.State().Arrival(1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sampler.NumLatentArrivals()));
+  state.counters["latent_arrivals"] =
+      static_cast<double>(sampler.NumLatentArrivals());
+}
+BENCHMARK(BM_GibbsSweep)->Arg(100)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_SingleArrivalMove(benchmark::State& state) {
+  const Fixture fixture = MakeFixture(500, 0.1);
+  qnet::Rng rng(11);
+  // Pick a representative mid-log latent event.
+  qnet::EventId target = qnet::kNoEvent;
+  for (qnet::EventId e = static_cast<qnet::EventId>(fixture.truth.NumEvents() / 2);
+       static_cast<std::size_t>(e) < fixture.truth.NumEvents(); ++e) {
+    if (!fixture.truth.At(e).initial) {
+      target = e;
+      break;
+    }
+  }
+  qnet::EventLog log = fixture.init;
+  for (auto _ : state) {
+    const qnet::ArrivalMove move = qnet::GatherArrivalMove(log, target, fixture.rates);
+    benchmark::DoNotOptimize(qnet::SampleArrival(move, rng));
+  }
+}
+BENCHMARK(BM_SingleArrivalMove);
+
+void BM_RouteMhSweep(benchmark::State& state) {
+  const Fixture fixture = MakeFixture(500, 0.1);
+  qnet::Rng rng(15);
+  // Route-resample every event of every task (worst case).
+  std::vector<int> all_tasks;
+  for (int k = 0; k < fixture.truth.NumTasks(); ++k) {
+    all_tasks.push_back(k);
+  }
+  qnet::EventLog log = fixture.init;
+  const std::vector<qnet::EventId> latents = qnet::RouteLatentEvents(log, all_tasks);
+  qnet::ThreeTierConfig config;
+  config.tier_sizes = {1, 2, 4};
+  const qnet::QueueingNetwork net = qnet::MakeThreeTierNetwork(config);
+  std::size_t accepted = 0;
+  for (auto _ : state) {
+    accepted +=
+        qnet::RouteMhSweep(log, latents, net.GetFsm(), fixture.rates, rng).accepted;
+  }
+  benchmark::DoNotOptimize(accepted);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(latents.size()));
+}
+BENCHMARK(BM_RouteMhSweep)->Unit(benchmark::kMillisecond);
+
+void BM_Initializer(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  const Fixture fixture = MakeFixture(tasks, 0.1);
+  qnet::Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        qnet::InitializeFeasible(fixture.truth, fixture.obs, fixture.rates, rng));
+  }
+}
+BENCHMARK(BM_Initializer)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace

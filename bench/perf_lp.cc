@@ -1,0 +1,64 @@
+// Microbenchmarks: simplex solve time on initializer-shaped LPs of growing size.
+
+#include <benchmark/benchmark.h>
+
+#include "qnet/infer/initializer.h"
+#include "qnet/lp/problem.h"
+#include "qnet/lp/simplex.h"
+#include "qnet/model/builders.h"
+#include "qnet/obs/observation.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/rng.h"
+
+namespace {
+
+void BM_SimplexRandomDifferenceSystem(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  qnet::Rng rng(37);
+  qnet::LpProblem lp;
+  std::vector<int> vars;
+  for (int i = 0; i < n; ++i) {
+    vars.push_back(lp.AddVariable("v" + std::to_string(i)));
+    lp.SetObjective(vars.back(), 1.0);
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    lp.AddConstraint({{vars[static_cast<std::size_t>(i)], 1.0},
+                      {vars[static_cast<std::size_t>(i + 1)], -1.0}},
+                     qnet::LpRelation::kLessEqual, -rng.Uniform());
+  }
+  for (int k = 0; k < 2 * n; ++k) {
+    const int a = static_cast<int>(rng.UniformInt(static_cast<std::uint64_t>(n - 1)));
+    const int b =
+        a + 1 + static_cast<int>(rng.UniformInt(static_cast<std::uint64_t>(n - a - 1)));
+    lp.AddConstraint({{vars[static_cast<std::size_t>(a)], 1.0},
+                      {vars[static_cast<std::size_t>(b)], -1.0}},
+                     qnet::LpRelation::kLessEqual, -rng.Uniform());
+  }
+  const qnet::SimplexSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve(lp).status);
+  }
+}
+BENCHMARK(BM_SimplexRandomDifferenceSystem)->Arg(25)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LpInitializerEndToEnd(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  const qnet::QueueingNetwork net = qnet::MakeTandemNetwork(2.0, {5.0, 4.0});
+  qnet::Rng rng(41);
+  const qnet::EventLog truth =
+      qnet::SimulateWorkload(net, qnet::PoissonArrivals(2.0, tasks), rng);
+  qnet::TaskSamplingScheme scheme;
+  scheme.fraction = 0.2;
+  const qnet::Observation obs = scheme.Apply(truth, rng);
+  const auto rates = net.ExponentialRates();
+  qnet::InitializerOptions options;
+  options.method = qnet::InitMethod::kLp;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        qnet::InitializeFeasible(truth, obs, rates, rng, options).NumEvents());
+  }
+}
+BENCHMARK(BM_LpInitializerEndToEnd)->Arg(15)->Arg(40)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,60 @@
+// In-text Section 5.2 scaling claim:
+//   "the sampler scales primarily in the number of unobserved arrival events, not in the
+//    number of servers."
+//
+// Two sweeps: (a) fixed event count, growing server count — sweep time should stay flat;
+// (b) fixed server count, growing event count — sweep time should grow ~linearly.
+
+#include <benchmark/benchmark.h>
+
+#include "qnet/infer/gibbs.h"
+#include "qnet/infer/initializer.h"
+#include "qnet/model/builders.h"
+#include "qnet/obs/observation.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/rng.h"
+
+namespace {
+
+qnet::GibbsSampler MakeSampler(int servers_per_tier, std::size_t tasks, qnet::Rng& rng) {
+  qnet::ThreeTierConfig config;
+  config.tier_sizes = {servers_per_tier, servers_per_tier, servers_per_tier};
+  // Scale service rate so per-server load is constant as servers grow.
+  config.arrival_rate = 10.0;
+  config.service_rate = 5.0 * 2.0 / servers_per_tier;
+  const qnet::QueueingNetwork net = qnet::MakeThreeTierNetwork(config);
+  const qnet::EventLog truth =
+      qnet::SimulateWorkload(net, qnet::PoissonArrivals(10.0, tasks), rng);
+  qnet::TaskSamplingScheme scheme;
+  scheme.fraction = 0.1;
+  const qnet::Observation obs = scheme.Apply(truth, rng);
+  const auto rates = net.ExponentialRates();
+  return qnet::GibbsSampler(qnet::InitializeFeasible(truth, obs, rates, rng), obs, rates);
+}
+
+// (a) Fixed ~6000 latent events; server count grows 3 -> 48.
+void BM_SweepVsServers(benchmark::State& state) {
+  qnet::Rng rng(17);
+  qnet::GibbsSampler sampler =
+      MakeSampler(static_cast<int>(state.range(0)), 2000, rng);
+  for (auto _ : state) {
+    sampler.Sweep(rng);
+  }
+  state.counters["servers"] = static_cast<double>(3 * state.range(0));
+  state.counters["latent"] = static_cast<double>(sampler.NumLatentArrivals());
+}
+BENCHMARK(BM_SweepVsServers)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+// (b) Fixed 3 servers; task count grows.
+void BM_SweepVsEvents(benchmark::State& state) {
+  qnet::Rng rng(19);
+  qnet::GibbsSampler sampler =
+      MakeSampler(1, static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    sampler.Sweep(rng);
+  }
+  state.counters["latent"] = static_cast<double>(sampler.NumLatentArrivals());
+}
+BENCHMARK(BM_SweepVsEvents)->Arg(250)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+}  // namespace

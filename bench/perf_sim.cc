@@ -1,0 +1,59 @@
+// Microbenchmarks: discrete-event simulator and workload-generation throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "qnet/model/builders.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/rng.h"
+#include "qnet/webapp/movievote.h"
+
+namespace {
+
+void BM_SimulateThreeTier(benchmark::State& state) {
+  qnet::ThreeTierConfig config;
+  config.tier_sizes = {1, 2, 4};
+  const qnet::QueueingNetwork net = qnet::MakeThreeTierNetwork(config);
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  qnet::Rng rng(21);
+  for (auto _ : state) {
+    const qnet::EventLog log =
+        qnet::SimulateWorkload(net, qnet::PoissonArrivals(10.0, tasks), rng);
+    benchmark::DoNotOptimize(log.NumEvents());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tasks * 4));
+}
+BENCHMARK(BM_SimulateThreeTier)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateMovieVote(benchmark::State& state) {
+  const qnet::webapp::MovieVoteConfig config;
+  const qnet::webapp::MovieVoteTestbed testbed = qnet::webapp::MakeTestbed(config);
+  qnet::Rng rng(23);
+  for (auto _ : state) {
+    const qnet::EventLog log = qnet::webapp::GenerateTrace(testbed, config, rng);
+    benchmark::DoNotOptimize(log.NumEvents());
+  }
+}
+BENCHMARK(BM_SimulateMovieVote)->Unit(benchmark::kMillisecond);
+
+void BM_NhppRampGeneration(benchmark::State& state) {
+  const qnet::LinearRampArrivals workload(1.0, 5.4, 1800.0);
+  qnet::Rng rng(29);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload.Generate(rng).size());
+  }
+}
+BENCHMARK(BM_NhppRampGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_FeasibilityCheck(benchmark::State& state) {
+  const qnet::QueueingNetwork net = qnet::MakeTandemNetwork(2.0, {5.0, 4.0});
+  qnet::Rng rng(31);
+  const qnet::EventLog log =
+      qnet::SimulateWorkload(net, qnet::PoissonArrivals(2.0, 5000), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.IsFeasible());
+  }
+}
+BENCHMARK(BM_FeasibilityCheck)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,91 @@
+// "Table 1" — the paper's in-text Section 5.1 estimator comparison:
+//
+//   "As a baseline, we use the sample mean of the service time for the tasks that are
+//    observed. This comparison is unfair to StEM, because the baseline uses the true
+//    service times from the observed tasks, information that is not available to StEM.
+//    Comparing these estimators, although the mean error is almost identical, StEM has only
+//    two-thirds of the variance (StEM variance: 9.09e-4, Mean-observed-service variance:
+//    1.37e-3)."
+//
+// This harness repeats the synthetic experiment many times at a fixed observation fraction
+// and reports mean absolute error and across-run variance for both estimators.
+//
+// Usage: table1_variance [--tasks 1000] [--reps 20] [--fraction 0.05] [--iters 300]
+//                        [--burn 150] [--seed 2]
+
+#include <cmath>
+#include <iostream>
+
+#include "qnet/infer/estimators.h"
+#include "qnet/infer/stem.h"
+#include "qnet/model/builders.h"
+#include "qnet/obs/observation.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/flags.h"
+#include "qnet/support/math.h"
+#include "qnet/trace/table.h"
+
+int main(int argc, char** argv) {
+  const qnet::Flags flags(argc, argv);
+  const auto tasks = static_cast<std::size_t>(flags.GetInt("tasks", 1000));
+  const int reps = static_cast<int>(flags.GetInt("reps", 20));
+  const double fraction = flags.GetDouble("fraction", 0.05);
+  const auto iters = static_cast<std::size_t>(flags.GetInt("iters", 300));
+  const auto burn = static_cast<std::size_t>(flags.GetInt("burn", 150));
+  qnet::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 2)));
+
+  std::cout << "== Table 1 (in-text 5.1): StEM vs observed-mean baseline at "
+            << 100.0 * fraction << "% observed ==\n\n";
+
+  // Per-queue estimates pooled across runs and structures; we track per-queue deviations
+  // from the parameter truth 1/mu = 0.2 and the across-run estimator variance.
+  qnet::RunningStat stem_error;
+  qnet::RunningStat baseline_error;
+  std::vector<double> stem_estimates;
+  std::vector<double> baseline_estimates;
+
+  const auto structures = qnet::SyntheticStructures();
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto& structure = structures[static_cast<std::size_t>(rep) % structures.size()];
+    const qnet::QueueingNetwork net = qnet::MakeThreeTierNetwork(structure);
+    const auto num_queues = static_cast<std::size_t>(net.NumQueues());
+    qnet::Rng run_rng = rng.Fork();
+    const qnet::EventLog truth = qnet::SimulateWorkload(
+        net, qnet::PoissonArrivals(structure.arrival_rate, tasks), run_rng);
+    qnet::TaskSamplingScheme scheme;
+    scheme.fraction = fraction;
+    const qnet::Observation obs = scheme.Apply(truth, run_rng);
+
+    qnet::StemOptions options;
+    options.iterations = iters;
+    options.burn_in = burn;
+    options.wait_sweeps = 0;
+    const qnet::StemResult stem = qnet::StemEstimator(options).Run(truth, obs, {}, run_rng);
+    const qnet::BaselineEstimate baseline =
+        qnet::ObservedMeanService(truth, obs.observed_tasks);
+
+    for (std::size_t q = 1; q < num_queues; ++q) {
+      stem_estimates.push_back(stem.mean_service[q]);
+      stem_error.Add(std::abs(stem.mean_service[q] - 0.2));
+      if (!std::isnan(baseline.mean_service[q])) {
+        baseline_estimates.push_back(baseline.mean_service[q]);
+        baseline_error.Add(std::abs(baseline.mean_service[q] - 0.2));
+      }
+    }
+  }
+
+  qnet::TablePrinter table({"estimator", "mean abs error", "estimator variance", "samples"});
+  table.AddRow({"StEM (incomplete data)", qnet::FormatDouble(stem_error.Mean(), 4),
+                qnet::FormatDouble(qnet::Variance(stem_estimates), 6),
+                std::to_string(stem_estimates.size())});
+  table.AddRow({"Mean observed service (oracle)", qnet::FormatDouble(baseline_error.Mean(), 4),
+                qnet::FormatDouble(qnet::Variance(baseline_estimates), 6),
+                std::to_string(baseline_estimates.size())});
+  table.Print(std::cout);
+  std::cout << "\npaper reference: mean error almost identical; StEM variance 9.09e-4 vs"
+            << " baseline 1.37e-3 (~2/3)\nvariance ratio here: "
+            << qnet::FormatDouble(
+                   qnet::Variance(stem_estimates) / qnet::Variance(baseline_estimates), 3)
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Capacity planning — the classical "what if?" question the paper contrasts with its
+// "what happened?" questions, answered here with the same estimated model:
+//
+//   1. Estimate per-queue service rates from a sparse (10%) trace with StEM.
+//   2. Extrapolate: what happens to end-to-end latency if load doubles? Triples?
+//      Answered two ways — analytically (M/M/1 steady state per queue) and by re-simulating
+//      the *estimated* network under the hypothetical load.
+//   3. Report the load at which each queue saturates (the capacity ceiling).
+//
+// Usage: capacity_planning [--fraction 0.1] [--seed 5]
+
+#include <iostream>
+#include <memory>
+
+#include "qnet/dist/exponential.h"
+#include "qnet/infer/mm1.h"
+#include "qnet/infer/stem.h"
+#include "qnet/model/builders.h"
+#include "qnet/model/traffic.h"
+#include "qnet/obs/observation.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/flags.h"
+#include "qnet/support/math.h"
+#include "qnet/trace/table.h"
+
+int main(int argc, char** argv) {
+  const qnet::Flags flags(argc, argv);
+  const double fraction = flags.GetDouble("fraction", 0.1);
+  qnet::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 5)));
+
+  // The production system we pretend not to know: a 3-queue tandem pipeline.
+  const double true_lambda = 1.5;
+  const qnet::QueueingNetwork truth_net =
+      qnet::MakeTandemNetwork(true_lambda, {6.0, 4.0, 9.0});
+  const qnet::EventLog trace =
+      qnet::SimulateWorkload(truth_net, qnet::PoissonArrivals(true_lambda, 1200), rng);
+
+  // Sparse observation + StEM estimation.
+  qnet::TaskSamplingScheme scheme;
+  scheme.fraction = fraction;
+  const qnet::Observation obs = scheme.Apply(trace, rng);
+  qnet::StemOptions options;
+  options.iterations = 150;
+  options.burn_in = 50;
+  options.wait_sweeps = 0;
+  const qnet::StemResult estimate =
+      qnet::StemEstimator(options).Run(trace, obs, {}, rng);
+
+  std::cout << "Estimated service rates from a " << 100.0 * fraction << "% trace:\n";
+  qnet::TablePrinter rates_table({"queue", "true mu", "estimated mu"});
+  const auto true_rates = truth_net.ExponentialRates();
+  for (int q = 1; q < truth_net.NumQueues(); ++q) {
+    const auto qi = static_cast<std::size_t>(q);
+    rates_table.AddRow({truth_net.QueueName(q), qnet::FormatDouble(true_rates[qi], 2),
+                        qnet::FormatDouble(estimate.rates[qi], 2)});
+  }
+  rates_table.Print(std::cout);
+
+  // What-if sweep: scale the arrival rate, predict mean end-to-end response time.
+  std::cout << "\nWhat-if: mean end-to-end response time under scaled load\n";
+  qnet::TablePrinter whatif(
+      {"load multiplier", "lambda", "analytic (M/M/1 sum)", "simulated (est. model)",
+       "actual (true model)"});
+  for (double mult : {1.0, 1.5, 2.0, 2.5}) {
+    const double lambda = true_lambda * mult;
+    // Analytic prediction: sum of per-queue M/M/1 response times at the estimated rates.
+    double analytic = 0.0;
+    bool saturated = false;
+    for (int q = 1; q < truth_net.NumQueues(); ++q) {
+      const qnet::Mm1Metrics metrics =
+          qnet::AnalyzeMm1(lambda, estimate.rates[static_cast<std::size_t>(q)]);
+      if (!metrics.stable) {
+        saturated = true;
+        break;
+      }
+      analytic += metrics.mean_response;
+    }
+    // Simulation predictions under the estimated and under the true model.
+    const auto simulate_response = [&](const std::vector<double>& rates) {
+      qnet::QueueingNetwork net = qnet::MakeTandemNetwork(
+          lambda, {rates[1], rates[2], rates[3]});
+      qnet::Rng sim_rng(999);
+      const qnet::EventLog log =
+          qnet::SimulateWorkload(net, qnet::PoissonArrivals(lambda, 4000), sim_rng);
+      qnet::RunningStat response;
+      for (int k = log.NumTasks() / 5; k < log.NumTasks(); ++k) {
+        response.Add(log.TaskExitTime(k) - log.TaskEntryTime(k));
+      }
+      return response.Mean();
+    };
+    whatif.AddRow({qnet::FormatDouble(mult, 1), qnet::FormatDouble(lambda, 2),
+                   saturated ? "SATURATED" : qnet::FormatDouble(analytic, 3),
+                   qnet::FormatDouble(simulate_response(estimate.rates), 3),
+                   qnet::FormatDouble(simulate_response(true_rates), 3)});
+  }
+  whatif.Print(std::cout);
+
+  // Capacity ceiling per queue: lambda at which utilization hits 1, from the traffic
+  // equations on the *estimated* model.
+  std::cout << "\nCapacity ceilings (arrival rate at which each queue saturates):\n";
+  qnet::QueueingNetwork estimated_net = qnet::MakeTandemNetwork(
+      estimate.rates[0], {estimate.rates[1], estimate.rates[2], estimate.rates[3]});
+  const qnet::TrafficAnalysis traffic = qnet::AnalyzeTraffic(estimated_net);
+  qnet::TablePrinter ceiling(
+      {"queue", "visits/task", "estimated ceiling", "true ceiling", "utilization now"});
+  for (int q = 1; q < truth_net.NumQueues(); ++q) {
+    const auto qi = static_cast<std::size_t>(q);
+    ceiling.AddRow({truth_net.QueueName(q), qnet::FormatDouble(traffic.queue_visits[qi], 2),
+                    qnet::FormatDouble(estimate.rates[qi] / traffic.queue_visits[qi], 2),
+                    qnet::FormatDouble(true_rates[qi], 2),
+                    qnet::FormatDouble(traffic.utilization[qi], 2)});
+  }
+  ceiling.Print(std::cout);
+  std::cout << "\nPredicted bottleneck: \""
+            << truth_net.QueueName(traffic.bottleneck_queue)
+            << "\" — the smallest ceiling; plan upgrades there first.\n";
+  return 0;
+}

@@ -1,0 +1,260 @@
+#include "qnet/infer/conditional.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "qnet/support/check.h"
+#include "qnet/support/logspace.h"
+
+namespace qnet {
+namespace {
+
+constexpr double kDegenerateWindow = 1e-12;
+
+}  // namespace
+
+double ArrivalMove::LogG(double a) const {
+  // Service of e: d_e - max(a, t1); with rho missing or rho == pi the max resolves to a.
+  double log_g;
+  if (has_t1) {
+    log_g = -mu_e * (d_e - std::max(a, t1));
+  } else {
+    log_g = -mu_e * (d_e - a);
+  }
+  // Service of pi.
+  log_g += -mu_pi * (a - c_pi);
+  // Service of nu(pi), when it exists and is not e itself.
+  if (has_nu_pi) {
+    log_g += -mu_pi * (d_nu_pi - std::max(a, t2));
+  }
+  return log_g;
+}
+
+ArrivalMove GatherArrivalMove(const EventLog& log, EventId e, std::span<const double> rates) {
+  const Event& ev = log.At(e);
+  QNET_CHECK(!ev.initial, "cannot resample the arrival of an initial event");
+  QNET_CHECK(static_cast<std::size_t>(log.NumQueues()) == rates.size(), "rate vector size");
+
+  ArrivalMove move;
+  move.event = e;
+  move.d_e = ev.departure;
+  move.mu_e = rates[static_cast<std::size_t>(ev.queue)];
+
+  const Event& pi = log.At(ev.pi);
+  move.mu_pi = rates[static_cast<std::size_t>(pi.queue)];
+  move.c_pi = log.BeginService(ev.pi);
+
+  move.rho_is_pi = (ev.rho == ev.pi);
+  if (ev.rho != kNoEvent && !move.rho_is_pi) {
+    move.has_t1 = true;
+    move.t1 = log.At(ev.rho).departure;
+  }
+
+  // nu(pi): the next arrival at pi's queue. When it is e itself (consecutive same-queue
+  // visits) its service time is s_e, already accounted for by the first term.
+  if (pi.nu != kNoEvent && pi.nu != e) {
+    move.has_nu_pi = true;
+    move.t2 = log.At(pi.nu).arrival;
+    move.d_nu_pi = log.At(pi.nu).departure;
+  }
+
+  // Bounds: L = max{c_pi, a_rho(e)}; U = min{d_e, a_nu(e), d_nu(pi)}.
+  double lower = move.c_pi;
+  if (ev.rho != kNoEvent) {
+    lower = std::max(lower, log.At(ev.rho).arrival);
+  }
+  double upper = move.d_e;
+  if (ev.nu != kNoEvent) {
+    upper = std::min(upper, log.At(ev.nu).arrival);
+  }
+  if (move.has_nu_pi) {
+    upper = std::min(upper, move.d_nu_pi);
+  }
+  move.lower = lower;
+  move.upper = upper;
+  return move;
+}
+
+ArrivalMove GatherArrivalGeometry(const EventLog& log, EventId e) {
+  const std::vector<double> ones(static_cast<std::size_t>(log.NumQueues()), 1.0);
+  return GatherArrivalMove(log, e, ones);
+}
+
+PiecewiseExpDensity BuildArrivalDensity(const ArrivalMove& move) {
+  QNET_CHECK(move.lower < move.upper, "empty conditional window: L=", move.lower,
+             " U=", move.upper);
+  // Breakpoints inside (L, U) where a max() changes branch.
+  std::vector<double> cuts;
+  cuts.push_back(move.lower);
+  if (move.has_t1 && move.t1 > move.lower && move.t1 < move.upper) {
+    cuts.push_back(move.t1);
+  }
+  if (move.has_nu_pi && move.t2 > move.lower && move.t2 < move.upper) {
+    cuts.push_back(move.t2);
+  }
+  cuts.push_back(move.upper);
+  std::sort(cuts.begin(), cuts.end());
+
+  PiecewiseExpDensity density;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const double lo = cuts[i];
+    const double hi = cuts[i + 1];
+    if (!(lo < hi)) {
+      continue;
+    }
+    const double mid = 0.5 * (lo + hi);
+    // Slope of log g on this segment, from the indicator structure:
+    //   +mu_e   once a > t1 (or always, when the first max resolves to a),
+    //   -mu_pi  from s_pi,
+    //   +mu_pi  once a > t2 (when nu(pi) exists).
+    double beta = -move.mu_pi;
+    if (!move.has_t1 || mid > move.t1) {
+      beta += move.mu_e;
+    }
+    if (move.has_nu_pi && mid > move.t2) {
+      beta += move.mu_pi;
+    }
+    const double alpha = move.LogG(mid) - beta * mid;
+    density.AddSegment(lo, hi, alpha, beta);
+  }
+  density.Finalize();
+  return density;
+}
+
+double SampleArrival(const ArrivalMove& move, Rng& rng) {
+  if (!(move.upper - move.lower > kDegenerateWindow)) {
+    return 0.5 * (move.lower + move.upper);
+  }
+  return BuildArrivalDensity(move).Sample(rng);
+}
+
+double SampleArrivalClosedForm(const ArrivalMove& move, Rng& rng) {
+  QNET_CHECK(move.has_t1 && move.has_nu_pi && !move.rho_is_pi,
+             "closed form requires the full Figure-3 neighborhood");
+  const double L = move.lower;
+  const double U = move.upper;
+  QNET_CHECK(L < U, "empty conditional window");
+  const double mu_e = move.mu_e;
+  const double mu_pi = move.mu_pi;
+  // Paper notation: A/B bracket the middle piece; delta_mu = mu_pi - mu_e gives the middle
+  // slope -(delta_mu) when d_rho(e) < a_nu(pi).
+  const double a_break = std::clamp(std::min(move.t1, move.t2), L, U);
+  const double b_break = std::clamp(std::max(move.t1, move.t2), L, U);
+  const double delta_mu = mu_pi - mu_e;
+
+  // Piece masses, in log space (the published formulas exponentiate mu*t directly; we keep
+  // their structure but normalize stably).
+  const double log_z1 =
+      LogIntegralExpLinear(move.LogG(0.5 * (L + a_break)) + mu_pi * 0.5 * (L + a_break),
+                           -mu_pi, L, a_break);
+  const double middle_beta = (move.t1 < move.t2) ? (mu_e - mu_pi) : 0.0;
+  const double log_z2 =
+      (a_break < b_break)
+          ? LogIntegralExpLinear(
+                move.LogG(0.5 * (a_break + b_break)) - middle_beta * 0.5 * (a_break + b_break),
+                middle_beta, a_break, b_break)
+          : kNegInf;
+  const double log_z3 =
+      LogIntegralExpLinear(move.LogG(0.5 * (b_break + U)) - mu_e * 0.5 * (b_break + U), mu_e,
+                           b_break, U);
+  const double log_z = LogSumExp(std::vector<double>{log_z1, log_z2, log_z3});
+
+  const double u_case = rng.Uniform();
+  const double v = rng.Uniform();
+  const double p1 = std::exp(log_z1 - log_z);
+  const double p2 = std::exp(log_z2 - log_z);
+
+  if (u_case < p1) {
+    // Case 1 of eq. (3): inverse CDF of exp(-mu_pi * a) on (L, A).
+    const double lo_term = std::exp(-mu_pi * (L - L));  // = 1; anchor at L for stability
+    const double hi_term = std::exp(-mu_pi * (a_break - L));
+    return L - std::log(lo_term + v * (hi_term - lo_term)) / mu_pi;
+  }
+  if (u_case < p1 + p2) {
+    // Case 2, eq. (4).
+    if (move.t1 >= move.t2 || delta_mu == 0.0) {
+      return a_break + v * (b_break - a_break);
+    }
+    const double width = b_break - a_break;
+    if (delta_mu > 0.0) {
+      // Density decreasing from A: A + TrExp(|delta_mu|; B - A).
+      return a_break + SampleExpLinear(-delta_mu, 0.0, width, v);
+    }
+    // Density increasing toward B: B - TrExp(|delta_mu|; B - A).
+    return b_break - SampleExpLinear(delta_mu, 0.0, width, v);
+  }
+  // Case 3 of eq. (3): inverse CDF of exp(+mu_e * a) on (B, U), anchored at U.
+  const double lo_term = std::exp(mu_e * (b_break - U));
+  const double hi_term = 1.0;
+  return U + std::log(lo_term + v * (hi_term - lo_term)) / mu_e;
+}
+
+double FinalDepartureMove::LogG(double d) const {
+  double log_g = -mu_e * (d - c_e);
+  if (has_nu) {
+    log_g += -mu_e * (d_nu - std::max(t_nu, d));
+  }
+  return log_g;
+}
+
+FinalDepartureMove GatherFinalDepartureMove(const EventLog& log, EventId e,
+                                            std::span<const double> rates) {
+  const Event& ev = log.At(e);
+  QNET_CHECK(ev.tau == kNoEvent,
+             "event has a within-task successor; use the arrival move on tau instead");
+  FinalDepartureMove move;
+  move.event = e;
+  move.mu_e = rates[static_cast<std::size_t>(ev.queue)];
+  move.c_e = log.BeginService(e);
+  if (ev.nu != kNoEvent) {
+    move.has_nu = true;
+    move.t_nu = log.At(ev.nu).arrival;
+    move.d_nu = log.At(ev.nu).departure;
+    move.upper = move.d_nu;
+  } else {
+    move.upper = kPosInf;
+  }
+  move.lower = move.c_e;
+  return move;
+}
+
+FinalDepartureMove GatherFinalDepartureGeometry(const EventLog& log, EventId e) {
+  const std::vector<double> ones(static_cast<std::size_t>(log.NumQueues()), 1.0);
+  return GatherFinalDepartureMove(log, e, ones);
+}
+
+PiecewiseExpDensity BuildFinalDepartureDensity(const FinalDepartureMove& move) {
+  QNET_CHECK(move.lower < move.upper, "empty conditional window");
+  PiecewiseExpDensity density;
+  // Below t_nu the second service still starts at t_nu: slope -mu_e. Above, the two terms
+  // cancel: slope 0 (the nu(e) service shrinks exactly as s_e grows).
+  if (move.has_nu && move.t_nu > move.lower && move.t_nu < move.upper) {
+    const double mid1 = 0.5 * (move.lower + move.t_nu);
+    density.AddSegment(move.lower, move.t_nu, move.LogG(mid1) + move.mu_e * mid1, -move.mu_e);
+    const double mid2 = 0.5 * (move.t_nu + move.upper);
+    density.AddSegment(move.t_nu, move.upper, move.LogG(mid2), 0.0);
+  } else {
+    const double probe = std::isfinite(move.upper)
+                             ? 0.5 * (move.lower + move.upper)
+                             : move.lower + 1.0;
+    double beta = -move.mu_e;
+    if (move.has_nu && move.t_nu <= move.lower) {
+      beta = 0.0;  // Entire window is above the breakpoint: flat.
+    }
+    QNET_CHECK(std::isfinite(move.upper) || beta < 0.0,
+               "unbounded final-departure window needs decreasing density");
+    density.AddSegment(move.lower, move.upper, move.LogG(probe) - beta * probe, beta);
+  }
+  density.Finalize();
+  return density;
+}
+
+double SampleFinalDeparture(const FinalDepartureMove& move, Rng& rng) {
+  if (std::isfinite(move.upper) && !(move.upper - move.lower > kDegenerateWindow)) {
+    return 0.5 * (move.lower + move.upper);
+  }
+  return BuildFinalDepartureDensity(move).Sample(rng);
+}
+
+}  // namespace qnet

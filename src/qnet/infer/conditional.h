@@ -1,0 +1,118 @@
+// Event-local Gibbs conditionals (paper Section 3, Figures 2 and 3).
+//
+// Arrival move. Resampling the arrival time a_e of a non-initial event e is equivalent to
+// resampling the departure d_pi(e) of its within-task predecessor, because a_e = d_pi(e).
+// Holding every other time and the per-queue arrival order fixed, changing a := a_e changes
+// exactly three derived service times (Figure 2):
+//     s_e        = d_e - max(a, d_rho(e))                     [rate mu_e]
+//     s_pi       = a - max(a_pi, d_rho(pi))  =: a - c_pi      [rate mu_pi]
+//     s_nu(pi)   = d_nu(pi) - max(a_nu(pi), a)                [rate mu_pi]
+// where nu(pi) is the next arrival at pi's queue. The conditional density is
+//     g(a) = exp{-mu_e s_e(a) - mu_pi s_pi(a) - mu_pi s_nu(pi)(a)}   on (L, U),
+//     L = max{c_pi, a_rho(e)},      U = min{d_e, a_nu(e), d_nu(pi)},
+// a piecewise-exponential density whose breakpoints are t1 = d_rho(e) and t2 = a_nu(pi)
+// (the paper's A = min(t1, t2), B = max(t1, t2)).
+//
+// Special cases handled here that the paper's Figure 3 formulas assume away:
+//  * missing neighbors (first/last event in a queue, last arrival at pi's queue),
+//  * rho(e) == pi(e): the task re-enters the queue it just left, so s_e = d_e - a and the
+//    "third" service time *is* s_e (the terms merge; the conditional is flat in between),
+//  * pi(e) is the task's initial event, in which case mu_pi is the arrival rate lambda and
+//    c_pi is the previous task's entry time (this is how entry times get resampled).
+//
+// Final-departure move. The departure of a task's last event is nobody's arrival, so the
+// arrival move never updates it. Holding everything else fixed, changing d := d_e changes
+//     s_e     = d - max(a_e, d_rho(e))  =: d - c_e            [rate mu_e]
+//     s_nu(e) = d_nu(e) - max(a_nu(e), d)                     [rate mu_e]
+// giving a two-piece conditional on (c_e, d_nu(e)) with breakpoint a_nu(e) (unbounded above
+// when e is the last arrival at its queue).
+
+#ifndef QNET_INFER_CONDITIONAL_H_
+#define QNET_INFER_CONDITIONAL_H_
+
+#include <span>
+
+#include "qnet/infer/piecewise_exp.h"
+#include "qnet/model/event.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+
+struct ArrivalMove {
+  EventId event = kNoEvent;
+
+  double d_e = 0.0;    // departure of e (fixed)
+  double mu_e = 0.0;   // service rate at e's queue
+  double mu_pi = 0.0;  // service rate at pi's queue (lambda when pi is initial)
+  double c_pi = 0.0;   // service start of pi: max(a_pi, d_rho(pi))
+
+  bool has_t1 = false;  // rho(e) exists and differs from pi(e)
+  double t1 = 0.0;      // d_rho(e)
+
+  bool has_nu_pi = false;  // nu(pi) exists and differs from e
+  double t2 = 0.0;         // a_nu(pi)
+  double d_nu_pi = 0.0;    // d_nu(pi)
+
+  bool rho_is_pi = false;  // consecutive same-queue visits: rho(e) == pi(e)
+
+  double lower = 0.0;  // L
+  double upper = 0.0;  // U
+
+  // Exact unnormalized log conditional at a (the sum of the three service-time terms).
+  double LogG(double a) const;
+};
+
+// Gathers the fixed neighborhood values for resampling a_e. `rates` holds mu_q for every
+// queue (index 0 = lambda). CHECK-fails if e is an initial event.
+ArrivalMove GatherArrivalMove(const EventLog& log, EventId e, std::span<const double> rates);
+
+// Geometry-only variant with all rates set to 1 (LogG is then not meaningful); used by the
+// general-service sampler, which evaluates its own densities on the same geometry.
+ArrivalMove GatherArrivalGeometry(const EventLog& log, EventId e);
+
+// Builds the normalized piecewise-exponential conditional. Requires lower < upper.
+PiecewiseExpDensity BuildArrivalDensity(const ArrivalMove& move);
+
+// Samples a_e | everything else. Degenerate windows (upper - lower below tolerance) return
+// the midpoint. This is the production path.
+double SampleArrival(const ArrivalMove& move, Rng& rng);
+
+// Literal transcription of the paper's Figure 3 closed form (cases Z1/Z2/Z3 with the
+// inverse-CDF expressions (3) and the A2 cases (4)). Requires the fully-populated
+// neighborhood the paper assumes (has_t1 && has_nu_pi && !rho_is_pi). Used by property
+// tests to pin the generic sampler to the published algorithm; note the published formulas
+// exponentiate mu*t directly and therefore overflow for large times — production code uses
+// SampleArrival.
+double SampleArrivalClosedForm(const ArrivalMove& move, Rng& rng);
+
+struct FinalDepartureMove {
+  EventId event = kNoEvent;
+  double mu_e = 0.0;
+  double c_e = 0.0;  // service start of e: max(a_e, d_rho(e))
+
+  bool has_nu = false;  // nu(e) exists
+  double t_nu = 0.0;    // a_nu(e)
+  double d_nu = 0.0;    // d_nu(e)
+
+  double lower = 0.0;  // c_e
+  double upper = 0.0;  // d_nu(e) or +infinity
+
+  double LogG(double d) const;
+};
+
+// Gathers the neighborhood for resampling the final departure of a task's last event.
+// CHECK-fails if e has a within-task successor (its departure is then an arrival and must be
+// resampled with the arrival move).
+FinalDepartureMove GatherFinalDepartureMove(const EventLog& log, EventId e,
+                                            std::span<const double> rates);
+
+// Geometry-only variant (rates set to 1), mirroring GatherArrivalGeometry.
+FinalDepartureMove GatherFinalDepartureGeometry(const EventLog& log, EventId e);
+
+PiecewiseExpDensity BuildFinalDepartureDensity(const FinalDepartureMove& move);
+
+double SampleFinalDeparture(const FinalDepartureMove& move, Rng& rng);
+
+}  // namespace qnet
+
+#endif  // QNET_INFER_CONDITIONAL_H_

@@ -1,0 +1,76 @@
+#include "qnet/infer/diagnostics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qnet/support/check.h"
+#include "qnet/support/math.h"
+
+namespace qnet {
+
+double Autocorrelation(std::span<const double> series, std::size_t lag) {
+  QNET_CHECK(series.size() > lag, "series shorter than lag");
+  const double mean = Mean(series);
+  double c0 = 0.0;
+  for (double x : series) {
+    c0 += (x - mean) * (x - mean);
+  }
+  if (c0 == 0.0) {
+    return lag == 0 ? 1.0 : 0.0;
+  }
+  double ck = 0.0;
+  for (std::size_t i = 0; i + lag < series.size(); ++i) {
+    ck += (series[i] - mean) * (series[i + lag] - mean);
+  }
+  return ck / c0;
+}
+
+double IntegratedAutocorrTime(std::span<const double> series) {
+  QNET_CHECK(series.size() >= 4, "series too short");
+  // Geyer: sum consecutive-pair autocorrelations while the pair sums stay positive.
+  double tau = 1.0;
+  const std::size_t max_lag = series.size() / 2;
+  for (std::size_t lag = 1; lag + 1 <= max_lag; lag += 2) {
+    const double pair = Autocorrelation(series, lag) + Autocorrelation(series, lag + 1);
+    if (pair <= 0.0) {
+      break;
+    }
+    tau += 2.0 * pair;
+  }
+  return tau;
+}
+
+double EffectiveSampleSize(std::span<const double> series) {
+  return static_cast<double>(series.size()) / IntegratedAutocorrTime(series);
+}
+
+double GelmanRubin(const std::vector<std::vector<double>>& chains) {
+  QNET_CHECK(chains.size() >= 2, "need at least two chains");
+  const std::size_t n = chains.front().size();
+  QNET_CHECK(n >= 2, "chains too short");
+  for (const auto& chain : chains) {
+    QNET_CHECK(chain.size() == n, "chains must have equal length");
+  }
+  const double m = static_cast<double>(chains.size());
+  const double dn = static_cast<double>(n);
+  std::vector<double> chain_means;
+  double within = 0.0;
+  for (const auto& chain : chains) {
+    chain_means.push_back(Mean(chain));
+    within += Variance(chain);
+  }
+  within /= m;
+  const double grand = Mean(chain_means);
+  double between = 0.0;
+  for (double cm : chain_means) {
+    between += (cm - grand) * (cm - grand);
+  }
+  between *= dn / (m - 1.0);
+  if (within == 0.0) {
+    return 1.0;
+  }
+  const double var_plus = (dn - 1.0) / dn * within + between / dn;
+  return std::sqrt(var_plus / within);
+}
+
+}  // namespace qnet

@@ -1,0 +1,28 @@
+// MCMC diagnostics: autocorrelation, effective sample size (Geyer initial positive
+// sequence), and the Gelman-Rubin potential scale reduction factor across chains.
+
+#ifndef QNET_INFER_DIAGNOSTICS_H_
+#define QNET_INFER_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace qnet {
+
+// Lag-k sample autocorrelation of a series (biased, normalized by lag-0).
+double Autocorrelation(std::span<const double> series, std::size_t lag);
+
+// Effective sample size via Geyer's initial-positive-sequence truncation of the
+// autocorrelation sum. Returns the series length for white noise.
+double EffectiveSampleSize(std::span<const double> series);
+
+// Integrated autocorrelation time tau (ESS = n / tau).
+double IntegratedAutocorrTime(std::span<const double> series);
+
+// Gelman-Rubin R-hat over >= 2 equal-length chains; values near 1 indicate convergence.
+double GelmanRubin(const std::vector<std::vector<double>>& chains);
+
+}  // namespace qnet
+
+#endif  // QNET_INFER_DIAGNOSTICS_H_

@@ -1,0 +1,109 @@
+#include "qnet/infer/estimators.h"
+
+#include <cmath>
+#include <limits>
+
+#include "qnet/support/check.h"
+
+namespace qnet {
+
+BaselineEstimate ObservedMeanService(const EventLog& truth,
+                                     const std::vector<int>& observed_tasks) {
+  const auto num_queues = static_cast<std::size_t>(truth.NumQueues());
+  BaselineEstimate est;
+  est.mean_service.assign(num_queues, std::numeric_limits<double>::quiet_NaN());
+  est.counts.assign(num_queues, 0);
+  std::vector<double> sums(num_queues, 0.0);
+  for (int task : observed_tasks) {
+    for (EventId e : truth.TaskEvents(task)) {
+      const auto q = static_cast<std::size_t>(truth.At(e).queue);
+      sums[q] += truth.ServiceTime(e);
+      ++est.counts[q];
+    }
+  }
+  for (std::size_t q = 0; q < num_queues; ++q) {
+    if (est.counts[q] > 0) {
+      est.mean_service[q] = sums[q] / static_cast<double>(est.counts[q]);
+    }
+  }
+  return est;
+}
+
+std::vector<double> CompleteDataRatesMle(const EventLog& log) {
+  const std::vector<double> sums = log.PerQueueServiceSum();
+  const std::vector<std::size_t> counts = log.PerQueueCount();
+  std::vector<double> rates(sums.size(), 0.0);
+  for (std::size_t q = 0; q < sums.size(); ++q) {
+    QNET_CHECK(counts[q] > 0 && sums[q] > 0.0, "queue ", q, " lacks data for the MLE");
+    rates[q] = static_cast<double>(counts[q]) / sums[q];
+  }
+  return rates;
+}
+
+std::vector<double> WarmStartRates(const EventLog& log, const Observation& obs,
+                                   double fallback_rate) {
+  QNET_CHECK(fallback_rate > 0.0, "fallback rate must be positive");
+  const auto num_queues = static_cast<std::size_t>(log.NumQueues());
+  std::vector<double> response_sum(num_queues, 0.0);
+  std::vector<std::size_t> response_count(num_queues, 0);
+  const std::vector<std::size_t> event_count = log.PerQueueCount();
+  double max_entry = 0.0;
+  double horizon = 0.0;
+  for (EventId e = 0; static_cast<std::size_t>(e) < log.NumEvents(); ++e) {
+    const Event& ev = log.At(e);
+    if (ev.initial) {
+      // Entry times of observed-departure initial events anchor the arrival rate.
+      if (obs.DepartureObserved(e)) {
+        max_entry = std::max(max_entry, ev.departure);
+        horizon = std::max(horizon, ev.departure);
+      }
+      continue;
+    }
+    if (obs.ArrivalObserved(e)) {
+      horizon = std::max(horizon, ev.arrival);
+    }
+    if (obs.ArrivalObserved(e) && obs.DepartureObserved(e)) {
+      response_sum[static_cast<std::size_t>(ev.queue)] += ev.departure - ev.arrival;
+      ++response_count[static_cast<std::size_t>(ev.queue)];
+      horizon = std::max(horizon, ev.departure);
+    }
+  }
+  std::vector<double> rates(num_queues, fallback_rate);
+  for (std::size_t q = 1; q < num_queues; ++q) {
+    double rate = 0.0;
+    // Bound 1: response >= service, so mu >= 1 / mean-observed-response. Tight for lightly
+    // loaded queues, loose (by orders of magnitude) for saturated ones.
+    if (response_count[q] > 0 && response_sum[q] > 0.0) {
+      rate = static_cast<double>(response_count[q]) / response_sum[q];
+    }
+    // Bound 2: a single server that processed n_q jobs within the horizon has mu >= n_q /
+    // horizon (exact for saturated queues, which is precisely where bound 1 collapses).
+    // Event counts per queue are known for all events (the paper's counter assumption).
+    if (horizon > 0.0) {
+      rate = std::max(rate, static_cast<double>(event_count[q]) / horizon);
+    }
+    if (rate > 0.0) {
+      rates[q] = rate;
+    }
+  }
+  // Arrival rate: the total task count is known and the latest observed entry approximates
+  // the arrival horizon.
+  if (max_entry > 0.0) {
+    rates[0] = static_cast<double>(log.NumTasks()) / max_entry;
+  }
+  return rates;
+}
+
+std::vector<double> PerQueueAbsoluteError(const std::vector<double>& estimate,
+                                          const std::vector<double>& reference,
+                                          bool skip_arrival) {
+  QNET_CHECK(estimate.size() == reference.size(), "size mismatch");
+  std::vector<double> errors;
+  errors.reserve(estimate.size());
+  for (std::size_t q = skip_arrival ? 1 : 0; q < estimate.size(); ++q) {
+    errors.push_back(std::abs(estimate[q] - reference[q]));
+  }
+  return errors;
+}
+
+}  // namespace qnet

@@ -1,0 +1,51 @@
+// Reference estimators.
+//
+// * ObservedMeanService — the paper's Section 5.1 baseline: the sample mean of the *true*
+//   service times of the observed tasks. As the paper notes, this comparison is unfair to
+//   StEM because the baseline reads service times that are not actually measurable from an
+//   incomplete trace; it exists to quantify the variance-reduction claim.
+// * CompleteDataRatesMle — exponential-rate MLE when everything is observed (the M-step on
+//   the full log); the oracle both methods approach as the observed fraction grows.
+
+#ifndef QNET_INFER_ESTIMATORS_H_
+#define QNET_INFER_ESTIMATORS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "qnet/model/event.h"
+#include "qnet/obs/observation.h"
+
+namespace qnet {
+
+struct BaselineEstimate {
+  // Per-queue mean of true service times over events of observed tasks; NaN for queues with
+  // no observed events.
+  std::vector<double> mean_service;
+  std::vector<std::size_t> counts;
+};
+
+BaselineEstimate ObservedMeanService(const EventLog& truth,
+                                     const std::vector<int>& observed_tasks);
+
+// mu-hat_q = n_q / sum s_e on the complete log (index 0 = lambda-hat).
+std::vector<double> CompleteDataRatesMle(const EventLog& log);
+
+// Method-of-moments warm start for StEM: per-queue rate = 1 / (mean *response* time over
+// events whose arrival and departure are both observed). Response >= service, so these
+// rates underestimate mu under load, but they are scale-correct — which is what matters
+// for Gibbs/StEM convergence speed (the EM fixed point contracts at ~(1 - observed
+// fraction) per iteration from a cold start). Uses only measurable quantities. Queues with
+// no fully-observed events fall back to `fallback_rate`. Index 0 is the arrival rate,
+// estimated from observed entry-time gaps spread over the trace horizon.
+std::vector<double> WarmStartRates(const EventLog& log, const Observation& obs,
+                                   double fallback_rate = 1.0);
+
+// Absolute errors |estimate - reference| per queue, skipping index 0 when skip_arrival.
+std::vector<double> PerQueueAbsoluteError(const std::vector<double>& estimate,
+                                          const std::vector<double>& reference,
+                                          bool skip_arrival = true);
+
+}  // namespace qnet
+
+#endif  // QNET_INFER_ESTIMATORS_H_

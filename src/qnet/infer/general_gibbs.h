@@ -1,0 +1,63 @@
+// Gibbs sampling with general (non-exponential) service distributions — the direction the
+// paper flags in Section 2 ("this viewpoint is just as useful for more general service
+// distributions, and we are currently generalizing the sampler to that case").
+//
+// The move geometry (which service times a move touches, and the feasible window) is
+// identical to the M/M/1 case; only the density changes:
+//     g(a) = f_qe(s_e(a)) * f_qpi(s_pi(a)) * f_qpi(s_nu(pi)(a)),
+// which for arbitrary log-concave-or-not f has no closed-form inverse CDF, so each latent
+// coordinate is updated with a slice sampler restricted to (L, U).
+
+#ifndef QNET_INFER_GENERAL_GIBBS_H_
+#define QNET_INFER_GENERAL_GIBBS_H_
+
+#include <vector>
+
+#include "qnet/infer/conditional.h"
+#include "qnet/infer/slice.h"
+#include "qnet/model/event.h"
+#include "qnet/model/network.h"
+#include "qnet/obs/observation.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+
+struct GeneralGibbsOptions {
+  bool resample_final_departures = true;
+  SliceOptions slice;
+};
+
+class GeneralGibbsSampler {
+ public:
+  // Deep-copies the network (service distributions included) so the caller may mutate or
+  // drop theirs; `state` must be feasible and consistent with `obs`.
+  GeneralGibbsSampler(EventLog state, const Observation& obs, const QueueingNetwork& net,
+                      GeneralGibbsOptions options = {});
+
+  const EventLog& State() const { return state_; }
+  const QueueingNetwork& Network() const { return net_; }
+
+  // Replaces the service distribution of one queue (general-StEM M-step hook).
+  void SetService(int queue, std::unique_ptr<ServiceDistribution> service);
+
+  void Sweep(Rng& rng);
+
+  std::size_t NumLatentArrivals() const { return latent_arrivals_.size(); }
+
+  // Current log joint density of all service times (continuous part of eq. (1)).
+  double LogJoint() const { return state_.LogJointTimes(net_); }
+
+ private:
+  void ResampleArrival(EventId e, Rng& rng);
+  void ResampleFinalDeparture(EventId e, Rng& rng);
+
+  EventLog state_;
+  QueueingNetwork net_;
+  GeneralGibbsOptions options_;
+  std::vector<EventId> latent_arrivals_;
+  std::vector<EventId> latent_final_departures_;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_INFER_GENERAL_GIBBS_H_

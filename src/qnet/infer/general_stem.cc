@@ -1,0 +1,119 @@
+#include "qnet/infer/general_stem.h"
+
+#include <algorithm>
+
+#include "qnet/dist/exponential.h"
+#include "qnet/support/check.h"
+
+namespace qnet {
+namespace {
+
+constexpr double kServiceFloor = 1e-9;
+
+// Imputed service times of every event at `queue` in the current state.
+std::vector<double> GatherServices(const EventLog& state, int queue) {
+  std::vector<double> services;
+  for (EventId e = 0; static_cast<std::size_t>(e) < state.NumEvents(); ++e) {
+    if (state.At(e).queue == queue) {
+      services.push_back(std::max(state.ServiceTime(e), kServiceFloor));
+    }
+  }
+  return services;
+}
+
+}  // namespace
+
+GeneralStemResult GeneralStemEstimator::Run(const EventLog& truth, const Observation& obs,
+                                            const QueueingNetwork& initial_net,
+                                            Rng& rng) const {
+  QNET_CHECK(options_.iterations > options_.burn_in, "iterations must exceed burn-in");
+  const int num_queues = initial_net.NumQueues();
+  QNET_CHECK(options_.families.empty() ||
+                 options_.families.size() == static_cast<std::size_t>(num_queues),
+             "families vector must be empty or one entry per queue");
+
+  const auto family_of = [&](int queue) {
+    if (options_.families.empty()) {
+      return options_.default_family;
+    }
+    return options_.families[static_cast<std::size_t>(queue)];
+  };
+
+  // Feasible init uses 1/mean as per-queue rate scales.
+  std::vector<double> init_rates(static_cast<std::size_t>(num_queues), 1.0);
+  for (int q = 0; q < num_queues; ++q) {
+    init_rates[static_cast<std::size_t>(q)] = 1.0 / initial_net.Service(q).Mean();
+  }
+  EventLog state = InitializeFeasible(truth, obs, init_rates, rng, options_.init);
+  GeneralGibbsSampler sampler(std::move(state), obs, initial_net, options_.gibbs);
+
+  // StEM loop: sweep, then refit each queue's family on the imputed services. Post burn-in
+  // fits are averaged in mean-parameter space by collecting the services of every kept
+  // iteration and fitting once at the end (equivalent to Rao-Blackwellized averaging of the
+  // sufficient statistics for these families).
+  std::vector<std::vector<double>> kept_services(static_cast<std::size_t>(num_queues));
+  for (std::size_t iter = 0; iter < options_.iterations; ++iter) {
+    sampler.Sweep(rng);
+    for (int q = 1; q < num_queues; ++q) {
+      const std::vector<double> services = GatherServices(sampler.State(), q);
+      if (services.size() >= 2) {
+        sampler.SetService(q, FitMle(family_of(q), services));
+      }
+      if (iter >= options_.burn_in) {
+        auto& bucket = kept_services[static_cast<std::size_t>(q)];
+        bucket.insert(bucket.end(), services.begin(), services.end());
+      }
+    }
+    // Arrival process stays exponential; refit lambda from imputed entry gaps.
+    const std::vector<double> entry_services = GatherServices(sampler.State(), 0);
+    double total = 0.0;
+    for (double s : entry_services) {
+      total += s;
+    }
+    if (total > 0.0) {
+      sampler.SetService(0, std::make_unique<Exponential>(
+                                static_cast<double>(entry_services.size()) / total));
+    }
+  }
+
+  GeneralStemResult result(sampler.Network().Clone());
+  result.chosen_family.assign(static_cast<std::size_t>(num_queues),
+                              ServiceFamily::kExponential);
+  for (int q = 1; q < num_queues; ++q) {
+    const auto& bucket = kept_services[static_cast<std::size_t>(q)];
+    QNET_CHECK(bucket.size() >= 2, "queue ", q, " accumulated no service samples");
+    ServiceFamily family = family_of(q);
+    if (options_.select_family_by_bic) {
+      family = SelectServiceFamily(bucket);
+    }
+    result.chosen_family[static_cast<std::size_t>(q)] = family;
+    result.network.SetService(q, FitMle(family, bucket));
+  }
+
+  result.mean_service.assign(static_cast<std::size_t>(num_queues), 0.0);
+  result.fitted_description.assign(static_cast<std::size_t>(num_queues), "");
+  for (int q = 0; q < num_queues; ++q) {
+    result.mean_service[static_cast<std::size_t>(q)] = result.network.Service(q).Mean();
+    result.fitted_description[static_cast<std::size_t>(q)] =
+        result.network.Service(q).Describe();
+  }
+
+  if (options_.wait_sweeps > 0) {
+    // Waiting phase at the final fitted distributions.
+    for (int q = 0; q < num_queues; ++q) {
+      sampler.SetService(q, result.network.Service(q).Clone());
+    }
+    std::vector<double> wait_accum(static_cast<std::size_t>(num_queues), 0.0);
+    for (std::size_t s = 0; s < options_.wait_sweeps; ++s) {
+      sampler.Sweep(rng);
+      const auto waits = sampler.State().PerQueueMeanWait();
+      for (std::size_t q = 0; q < wait_accum.size(); ++q) {
+        wait_accum[q] += waits[q] / static_cast<double>(options_.wait_sweeps);
+      }
+    }
+    result.mean_wait = std::move(wait_accum);
+  }
+  return result;
+}
+
+}  // namespace qnet

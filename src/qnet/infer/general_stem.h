@@ -1,0 +1,64 @@
+// Stochastic EM with general (non-exponential) service families — the estimator companion
+// to GeneralGibbsSampler, completing the paper's "more general service distributions"
+// extension. The E-step slice-samples the latent times; the M-step refits each queue's
+// distribution by maximum likelihood within its assigned family (exponential, gamma, or
+// log-normal), optionally choosing the family per queue by BIC at the end.
+
+#ifndef QNET_INFER_GENERAL_STEM_H_
+#define QNET_INFER_GENERAL_STEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qnet/infer/general_gibbs.h"
+#include "qnet/infer/initializer.h"
+#include "qnet/infer/model_select.h"
+#include "qnet/model/network.h"
+#include "qnet/obs/observation.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+
+struct GeneralStemOptions {
+  std::size_t iterations = 120;
+  std::size_t burn_in = 40;
+  // Family fitted per real queue (queue 0 is always exponential — Poisson arrivals). If
+  // empty, every queue uses `default_family`.
+  std::vector<ServiceFamily> families;
+  ServiceFamily default_family = ServiceFamily::kGamma;
+  // Re-select each queue's family by BIC on the final imputed services.
+  bool select_family_by_bic = false;
+  std::size_t wait_sweeps = 30;
+  GeneralGibbsOptions gibbs;
+  InitializerOptions init;
+};
+
+struct GeneralStemResult {
+  // Fitted network (deep copy with estimated service distributions).
+  QueueingNetwork network;
+  std::vector<double> mean_service;  // per queue, from the fitted distributions
+  std::vector<double> mean_wait;     // posterior average (empty if wait_sweeps == 0)
+  std::vector<std::string> fitted_description;  // Describe() per queue
+  std::vector<ServiceFamily> chosen_family;     // per queue (index 0 unused)
+
+  explicit GeneralStemResult(QueueingNetwork net) : network(std::move(net)) {}
+};
+
+class GeneralStemEstimator {
+ public:
+  explicit GeneralStemEstimator(GeneralStemOptions options = {})
+      : options_(std::move(options)) {}
+
+  // `initial_net` provides the topology and the starting service distributions (its rates
+  // are also used by the feasible initializer via 1/mean).
+  GeneralStemResult Run(const EventLog& truth, const Observation& obs,
+                        const QueueingNetwork& initial_net, Rng& rng) const;
+
+ private:
+  GeneralStemOptions options_;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_INFER_GENERAL_STEM_H_

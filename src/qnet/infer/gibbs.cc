@@ -1,0 +1,77 @@
+#include "qnet/infer/gibbs.h"
+
+#include <cmath>
+
+#include "qnet/support/check.h"
+#include "qnet/support/logspace.h"
+
+namespace qnet {
+
+GibbsSampler::GibbsSampler(EventLog state, const Observation& obs, std::vector<double> rates,
+                           GibbsOptions options)
+    : state_(std::move(state)), rates_(std::move(rates)), options_(options) {
+  obs.Validate(state_);
+  QNET_CHECK(rates_.size() == static_cast<std::size_t>(state_.NumQueues()),
+             "rates size mismatch");
+  std::string why;
+  QNET_CHECK(state_.IsFeasible(1e-6, &why), "initial Gibbs state infeasible: ", why);
+  for (EventId e = 0; static_cast<std::size_t>(e) < state_.NumEvents(); ++e) {
+    const Event& ev = state_.At(e);
+    if (!ev.initial && !obs.ArrivalObserved(e)) {
+      latent_arrivals_.push_back(e);
+    }
+    if (ev.tau == kNoEvent && !obs.DepartureObserved(e)) {
+      latent_final_departures_.push_back(e);
+    }
+  }
+}
+
+void GibbsSampler::SetRates(std::vector<double> rates) {
+  QNET_CHECK(rates.size() == rates_.size(), "rates size mismatch");
+  for (double r : rates) {
+    QNET_CHECK(r > 0.0, "rates must be positive");
+  }
+  rates_ = std::move(rates);
+}
+
+void GibbsSampler::Sweep(Rng& rng) {
+  scan_buffer_ = latent_arrivals_;
+  if (options_.shuffle_scan) {
+    rng.Shuffle(scan_buffer_);
+  }
+  for (EventId e : scan_buffer_) {
+    ResampleArrival(e, rng);
+  }
+  if (options_.resample_final_departures) {
+    scan_buffer_ = latent_final_departures_;
+    if (options_.shuffle_scan) {
+      rng.Shuffle(scan_buffer_);
+    }
+    for (EventId e : scan_buffer_) {
+      ResampleFinalDeparture(e, rng);
+    }
+  }
+}
+
+void GibbsSampler::ResampleArrival(EventId e, Rng& rng) {
+  const ArrivalMove move = GatherArrivalMove(state_, e, rates_);
+  const double a = SampleArrival(move, rng);
+  state_.SetArrival(e, a);
+  state_.SetDeparture(state_.At(e).pi, a);
+}
+
+void GibbsSampler::ResampleFinalDeparture(EventId e, Rng& rng) {
+  const FinalDepartureMove move = GatherFinalDepartureMove(state_, e, rates_);
+  state_.SetDeparture(e, SampleFinalDeparture(move, rng));
+}
+
+double GibbsSampler::LogJointExponential() const {
+  double total = 0.0;
+  for (EventId e = 0; static_cast<std::size_t>(e) < state_.NumEvents(); ++e) {
+    const double mu = rates_[static_cast<std::size_t>(state_.At(e).queue)];
+    total += std::log(mu) - mu * std::max(state_.ServiceTime(e), 0.0);
+  }
+  return total;
+}
+
+}  // namespace qnet

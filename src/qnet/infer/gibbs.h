@@ -1,0 +1,72 @@
+// Gibbs sampler over the unobserved arrival/departure times of an event log
+// (paper Section 3).
+//
+// Two move types compose a sweep:
+//  * arrival moves — resample a_e (jointly with d_pi(e)) for every non-initial event whose
+//    arrival is unobserved, using the exact three-piece conditional of Figure 3;
+//  * final-departure moves — resample the system exit time of every task whose last
+//    departure is unobserved (the arrival move never touches these because nothing arrives
+//    when a task leaves the system).
+//
+// The per-queue arrival order and the FSM routes are held fixed throughout (the paper's
+// standing assumptions); every accepted move preserves feasibility by construction because
+// the conditional's support is exactly the feasible window.
+
+#ifndef QNET_INFER_GIBBS_H_
+#define QNET_INFER_GIBBS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "qnet/infer/conditional.h"
+#include "qnet/model/event.h"
+#include "qnet/obs/observation.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+
+struct GibbsOptions {
+  // Also resample unobserved task exit times. Disable only for the ablation bench.
+  bool resample_final_departures = true;
+  // Visit latent events in random order each sweep instead of id order.
+  bool shuffle_scan = false;
+};
+
+class GibbsSampler {
+ public:
+  // `state` must be feasible and observationally consistent (observed times already equal
+  // the measurements). `rates` holds mu_q for every queue, index 0 = lambda.
+  GibbsSampler(EventLog state, const Observation& obs, std::vector<double> rates,
+               GibbsOptions options = {});
+
+  const EventLog& State() const { return state_; }
+  EventLog& MutableState() { return state_; }
+
+  const std::vector<double>& Rates() const { return rates_; }
+  void SetRates(std::vector<double> rates);
+
+  // One systematic scan over all latent variables.
+  void Sweep(Rng& rng);
+
+  std::size_t NumLatentArrivals() const { return latent_arrivals_.size(); }
+  std::size_t NumLatentFinalDepartures() const { return latent_final_departures_.size(); }
+
+  // Unnormalized log joint of the current service times under exponential rates (density
+  // part of eq. (1)); useful as a mixing diagnostic.
+  double LogJointExponential() const;
+
+ private:
+  void ResampleArrival(EventId e, Rng& rng);
+  void ResampleFinalDeparture(EventId e, Rng& rng);
+
+  EventLog state_;
+  std::vector<double> rates_;
+  GibbsOptions options_;
+  std::vector<EventId> latent_arrivals_;
+  std::vector<EventId> latent_final_departures_;
+  std::vector<EventId> scan_buffer_;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_INFER_GIBBS_H_

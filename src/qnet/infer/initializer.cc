@@ -1,0 +1,308 @@
+#include "qnet/infer/initializer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "qnet/lp/problem.h"
+#include "qnet/lp/simplex.h"
+#include "qnet/support/check.h"
+#include "qnet/support/logspace.h"
+
+namespace qnet {
+namespace {
+
+// Successor adjacency of the constraint graph on departure variables. Edge u -> v encodes
+// x_u <= x_v.
+std::vector<std::vector<EventId>> BuildConstraintEdges(const EventLog& log) {
+  const std::size_t n = log.NumEvents();
+  std::vector<std::vector<EventId>> succ(n);
+  for (EventId e = 0; static_cast<std::size_t>(e) < n; ++e) {
+    const Event& ev = log.At(e);
+    if (!ev.initial) {
+      succ[static_cast<std::size_t>(ev.pi)].push_back(e);  // x_pi <= x_e
+    }
+    if (ev.rho != kNoEvent) {
+      succ[static_cast<std::size_t>(ev.rho)].push_back(e);  // x_rho <= x_e
+      const Event& rho = log.At(ev.rho);
+      if (!ev.initial && !rho.initial) {
+        // Arrival order: x_pi(rho(e)) <= x_pi(e).
+        succ[static_cast<std::size_t>(rho.pi)].push_back(ev.pi);
+      }
+    }
+  }
+  return succ;
+}
+
+}  // namespace
+
+std::vector<EventId> ConstraintTopologicalOrder(const EventLog& log) {
+  const std::size_t n = log.NumEvents();
+  const auto succ = BuildConstraintEdges(log);
+  std::vector<int> indegree(n, 0);
+  for (const auto& out : succ) {
+    for (EventId v : out) {
+      ++indegree[static_cast<std::size_t>(v)];
+    }
+  }
+  std::deque<EventId> frontier;
+  for (EventId e = 0; static_cast<std::size_t>(e) < n; ++e) {
+    if (indegree[static_cast<std::size_t>(e)] == 0) {
+      frontier.push_back(e);
+    }
+  }
+  std::vector<EventId> order;
+  order.reserve(n);
+  while (!frontier.empty()) {
+    const EventId u = frontier.front();
+    frontier.pop_front();
+    order.push_back(u);
+    for (EventId v : succ[static_cast<std::size_t>(u)]) {
+      if (--indegree[static_cast<std::size_t>(v)] == 0) {
+        frontier.push_back(v);
+      }
+    }
+  }
+  QNET_CHECK(order.size() == n, "constraint graph has a cycle; corrupt event log?");
+  return order;
+}
+
+namespace {
+
+struct Windows {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  std::vector<char> pinned;
+  std::vector<double> pin_value;
+};
+
+Windows ComputeWindows(const EventLog& log, const Observation& obs,
+                       const std::vector<EventId>& topo,
+                       const std::vector<std::vector<EventId>>& succ) {
+  const std::size_t n = log.NumEvents();
+  Windows w;
+  w.lower.assign(n, 0.0);
+  w.upper.assign(n, kPosInf);
+  w.pinned.assign(n, 0);
+  w.pin_value.assign(n, 0.0);
+  for (EventId e = 0; static_cast<std::size_t>(e) < n; ++e) {
+    if (obs.DepartureObserved(e)) {
+      w.pinned[static_cast<std::size_t>(e)] = 1;
+      w.pin_value[static_cast<std::size_t>(e)] = log.Departure(e);
+    }
+  }
+  // Forward pass: lower bounds.
+  for (EventId u : topo) {
+    auto& lb = w.lower[static_cast<std::size_t>(u)];
+    if (w.pinned[static_cast<std::size_t>(u)] != 0) {
+      QNET_CHECK(w.pin_value[static_cast<std::size_t>(u)] >= lb - 1e-6,
+                 "observed departure violates lower bound at event ", u);
+      lb = w.pin_value[static_cast<std::size_t>(u)];
+    }
+    for (EventId v : succ[static_cast<std::size_t>(u)]) {
+      auto& lb_v = w.lower[static_cast<std::size_t>(v)];
+      lb_v = std::max(lb_v, lb);
+    }
+  }
+  // Backward pass: upper bounds.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const EventId u = *it;
+    auto& ub = w.upper[static_cast<std::size_t>(u)];
+    for (EventId v : succ[static_cast<std::size_t>(u)]) {
+      ub = std::min(ub, w.upper[static_cast<std::size_t>(v)]);
+    }
+    if (w.pinned[static_cast<std::size_t>(u)] != 0) {
+      QNET_CHECK(w.pin_value[static_cast<std::size_t>(u)] <= ub + 1e-6,
+                 "observed departure violates upper bound at event ", u);
+      ub = w.pin_value[static_cast<std::size_t>(u)];
+    }
+    QNET_CHECK(w.lower[static_cast<std::size_t>(u)] <= ub + 1e-6,
+               "infeasible window at event ", u);
+  }
+  return w;
+}
+
+std::vector<double> AssignGreedy(const EventLog& log, const Windows& windows,
+                                 const std::vector<EventId>& topo,
+                                 const std::vector<std::vector<EventId>>& succ,
+                                 std::span<const double> rates, Rng& rng) {
+  const std::size_t n = log.NumEvents();
+  // Incoming max of assigned predecessor values, maintained while walking the topo order.
+  std::vector<double> pred_max(n, 0.0);
+  std::vector<double> x(n, 0.0);
+  for (EventId u : topo) {
+    const std::size_t ui = static_cast<std::size_t>(u);
+    double value;
+    if (windows.pinned[ui] != 0) {
+      value = windows.pin_value[ui];
+      QNET_CHECK(value >= pred_max[ui] - 1e-6,
+                 "observed time below assigned predecessors at event ", u);
+    } else {
+      const double base = std::max(pred_max[ui], windows.lower[ui]);
+      const double rate = rates[static_cast<std::size_t>(log.At(u).queue)];
+      double value_try = base + rng.Exponential(rate);
+      const double ub = windows.upper[ui];
+      if (value_try > ub) {
+        // Clip into the window, placing the point strictly inside when possible.
+        value_try = (std::isfinite(ub) && ub > base) ? base + 0.95 * (ub - base) : ub;
+      }
+      value = std::min(std::max(value_try, base), ub);
+    }
+    x[ui] = value;
+    for (EventId v : succ[ui]) {
+      auto& pm = pred_max[static_cast<std::size_t>(v)];
+      pm = std::max(pm, value);
+    }
+  }
+  return x;
+}
+
+std::vector<double> AssignLp(const EventLog& log, const Windows& windows,
+                             std::span<const double> rates, double epsilon) {
+  const std::size_t n = log.NumEvents();
+  LpProblem lp;
+  // One departure variable per free event; pinned events are constants.
+  std::vector<int> x_var(n, -1);
+  for (EventId e = 0; static_cast<std::size_t>(e) < n; ++e) {
+    const std::size_t ei = static_cast<std::size_t>(e);
+    if (windows.pinned[ei] == 0) {
+      x_var[ei] = lp.AddVariable("x" + std::to_string(e), 0.0);
+    }
+  }
+  const auto x_term = [&](EventId e) -> std::pair<bool, double> {
+    // Returns (is_variable, constant). Pinned events contribute a constant.
+    const std::size_t ei = static_cast<std::size_t>(e);
+    if (windows.pinned[ei] != 0) {
+      return {false, windows.pin_value[ei]};
+    }
+    return {true, 0.0};
+  };
+  // Difference-constraint helper: x_u - x_v <= 0, with pinned sides folded into the rhs.
+  const auto add_le2 = [&](EventId u, EventId v) {
+    const auto [u_isvar, u_const] = x_term(u);
+    const auto [v_isvar, v_const] = x_term(v);
+    std::vector<std::pair<int, double>> terms;
+    double rhs = 0.0;
+    if (u_isvar) {
+      terms.emplace_back(x_var[static_cast<std::size_t>(u)], 1.0);
+    } else {
+      rhs -= u_const;  // move constant to the rhs
+    }
+    if (v_isvar) {
+      terms.emplace_back(x_var[static_cast<std::size_t>(v)], -1.0);
+    } else {
+      rhs += v_const;
+    }
+    if (terms.empty()) {
+      QNET_CHECK(u_const <= v_const + 1e-6, "pinned times violate ordering");
+      return;
+    }
+    lp.AddConstraint(std::move(terms), LpRelation::kLessEqual, rhs);
+  };
+
+  // Begin-service and epigraph variables, per event: b_e >= a_e, b_e >= x_rho(e),
+  // s_e = x_e - b_e >= 0, u_e >= s_e - m_q, u_e >= m_q - s_e.
+  for (EventId e = 0; static_cast<std::size_t>(e) < n; ++e) {
+    const Event& ev = log.At(e);
+    const int b = lp.AddVariable("b" + std::to_string(e), 0.0);
+    const int u = lp.AddVariable("u" + std::to_string(e), 0.0);
+    const double target = 1.0 / rates[static_cast<std::size_t>(ev.queue)];
+    lp.SetObjective(u, 1.0);
+    lp.SetObjective(b, epsilon);
+
+    // b >= arrival (x_pi for non-initial; 0 for initial events, already implied by b >= 0).
+    if (!ev.initial) {
+      const auto [pvar, pconst] = x_term(ev.pi);
+      if (pvar) {
+        lp.AddConstraint({{b, 1.0}, {x_var[static_cast<std::size_t>(ev.pi)], -1.0}},
+                         LpRelation::kGreaterEqual, 0.0);
+      } else {
+        lp.AddConstraint({{b, 1.0}}, LpRelation::kGreaterEqual, pconst);
+      }
+    }
+    if (ev.rho != kNoEvent) {
+      const auto [rvar, rconst] = x_term(ev.rho);
+      if (rvar) {
+        lp.AddConstraint({{b, 1.0}, {x_var[static_cast<std::size_t>(ev.rho)], -1.0}},
+                         LpRelation::kGreaterEqual, 0.0);
+      } else {
+        lp.AddConstraint({{b, 1.0}}, LpRelation::kGreaterEqual, rconst);
+      }
+    }
+    // s_e = x_e - b >= 0 and the |s - m| epigraph.
+    const auto [evar, econst] = x_term(e);
+    if (evar) {
+      const int xe = x_var[static_cast<std::size_t>(e)];
+      lp.AddConstraint({{xe, 1.0}, {b, -1.0}}, LpRelation::kGreaterEqual, 0.0);
+      lp.AddConstraint({{u, 1.0}, {xe, -1.0}, {b, 1.0}}, LpRelation::kGreaterEqual, -target);
+      lp.AddConstraint({{u, 1.0}, {xe, 1.0}, {b, -1.0}}, LpRelation::kGreaterEqual, target);
+    } else {
+      lp.AddConstraint({{b, 1.0}}, LpRelation::kLessEqual, econst);
+      lp.AddConstraint({{u, 1.0}, {b, 1.0}}, LpRelation::kGreaterEqual, econst - target);
+      lp.AddConstraint({{u, 1.0}, {b, -1.0}}, LpRelation::kGreaterEqual, target - econst);
+    }
+  }
+
+  // Ordering constraints (the DAG edges).
+  for (EventId e = 0; static_cast<std::size_t>(e) < n; ++e) {
+    const Event& ev = log.At(e);
+    if (!ev.initial) {
+      add_le2(ev.pi, e);
+    }
+    if (ev.rho != kNoEvent) {
+      add_le2(ev.rho, e);
+      const Event& rho = log.At(ev.rho);
+      if (!ev.initial && !rho.initial) {
+        add_le2(rho.pi, ev.pi);
+      }
+    }
+  }
+
+  SimplexSolver solver;
+  const LpSolution solution = solver.Solve(lp);
+  QNET_CHECK(solution.status == LpStatus::kOptimal, "initializer LP did not solve: status=",
+             static_cast<int>(solution.status));
+
+  std::vector<double> x(n, 0.0);
+  for (EventId e = 0; static_cast<std::size_t>(e) < n; ++e) {
+    const std::size_t ei = static_cast<std::size_t>(e);
+    x[ei] = windows.pinned[ei] != 0 ? windows.pin_value[ei]
+                                    : solution.values[static_cast<std::size_t>(x_var[ei])];
+  }
+  return x;
+}
+
+}  // namespace
+
+EventLog InitializeFeasible(const EventLog& truth, const Observation& obs,
+                            std::span<const double> rates, Rng& rng,
+                            const InitializerOptions& options) {
+  obs.Validate(truth);
+  QNET_CHECK(static_cast<std::size_t>(truth.NumQueues()) == rates.size(),
+             "rates size mismatch");
+  const auto topo = ConstraintTopologicalOrder(truth);
+  const auto succ = BuildConstraintEdges(truth);
+  const Windows windows = ComputeWindows(truth, obs, topo, succ);
+
+  const std::vector<double> x = options.method == InitMethod::kGreedy
+                                    ? AssignGreedy(truth, windows, topo, succ, rates, rng)
+                                    : AssignLp(truth, windows, rates, options.lp_epsilon);
+
+  EventLog state = truth;  // copies structure; all times overwritten below
+  for (EventId e = 0; static_cast<std::size_t>(e) < truth.NumEvents(); ++e) {
+    const Event& ev = truth.At(e);
+    state.SetDeparture(e, x[static_cast<std::size_t>(e)]);
+    if (ev.initial) {
+      state.SetArrival(e, 0.0);
+    } else {
+      state.SetArrival(e, x[static_cast<std::size_t>(ev.pi)]);
+    }
+  }
+  std::string why;
+  QNET_CHECK(state.IsFeasible(options.tol, &why), "initializer produced infeasible state: ",
+             why);
+  return state;
+}
+
+}  // namespace qnet

@@ -1,0 +1,51 @@
+#include "qnet/infer/mg1.h"
+
+#include <cmath>
+
+#include "qnet/support/check.h"
+
+namespace qnet {
+
+Mg1Metrics AnalyzeMg1(double lambda, const ServiceDistribution& service) {
+  QNET_CHECK(lambda > 0.0, "arrival rate must be positive");
+  const double mean_service = service.Mean();
+  QNET_CHECK(mean_service > 0.0, "service mean must be positive");
+  Mg1Metrics metrics;
+  metrics.utilization = lambda * mean_service;
+  if (metrics.utilization >= 1.0) {
+    return metrics;
+  }
+  metrics.stable = true;
+  // E[S^2] = Var + mean^2.
+  const double second_moment = service.Variance() + mean_service * mean_service;
+  metrics.mean_wait = lambda * second_moment / (2.0 * (1.0 - metrics.utilization));
+  metrics.mean_response = metrics.mean_wait + mean_service;
+  metrics.mean_in_queue = lambda * metrics.mean_wait;
+  return metrics;
+}
+
+MmcMetrics AnalyzeMmc(double lambda, double mu, int servers) {
+  QNET_CHECK(lambda > 0.0 && mu > 0.0, "rates must be positive");
+  QNET_CHECK(servers >= 1, "need at least one server");
+  MmcMetrics metrics;
+  const double c = static_cast<double>(servers);
+  const double offered = lambda / mu;  // offered load a = lambda/mu (in Erlangs)
+  metrics.utilization = offered / c;
+  if (metrics.utilization >= 1.0) {
+    return metrics;
+  }
+  metrics.stable = true;
+  // Erlang-C via the stable iterative form of the Erlang-B recursion:
+  //   B(0) = 1; B(k) = a B(k-1) / (k + a B(k-1)); C = B(c) / (1 - rho (1 - B(c))).
+  double erlang_b = 1.0;
+  for (int k = 1; k <= servers; ++k) {
+    erlang_b = offered * erlang_b / (static_cast<double>(k) + offered * erlang_b);
+  }
+  metrics.prob_wait = erlang_b / (1.0 - metrics.utilization * (1.0 - erlang_b));
+  metrics.mean_wait = metrics.prob_wait / (c * mu - lambda);
+  metrics.mean_response = metrics.mean_wait + 1.0 / mu;
+  metrics.mean_in_queue = lambda * metrics.mean_wait;
+  return metrics;
+}
+
+}  // namespace qnet

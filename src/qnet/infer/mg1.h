@@ -1,0 +1,39 @@
+// Classical steady-state analyses beyond M/M/1: the M/G/1 Pollaczek-Khinchine formula and
+// the M/M/c Erlang-C system. These are the "analytic approximations" the paper's
+// introduction contrasts with posterior inference; the library ships them both as
+// validation oracles for the simulator and as comparison baselines in the examples.
+
+#ifndef QNET_INFER_MG1_H_
+#define QNET_INFER_MG1_H_
+
+#include "qnet/dist/distribution.h"
+
+namespace qnet {
+
+struct Mg1Metrics {
+  bool stable = false;
+  double utilization = 0.0;
+  double mean_wait = 0.0;      // Pollaczek-Khinchine: lambda E[S^2] / (2 (1 - rho))
+  double mean_response = 0.0;  // W_q + E[S]
+  double mean_in_queue = 0.0;  // lambda * W_q (Little)
+};
+
+// Steady-state M/G/1 metrics for Poisson(lambda) arrivals and the given service
+// distribution (any finite-variance ServiceDistribution).
+Mg1Metrics AnalyzeMg1(double lambda, const ServiceDistribution& service);
+
+struct MmcMetrics {
+  bool stable = false;
+  double utilization = 0.0;         // rho = lambda / (c * mu)
+  double prob_wait = 0.0;           // Erlang-C probability an arrival waits
+  double mean_wait = 0.0;           // C(c, a) / (c mu - lambda)
+  double mean_response = 0.0;
+  double mean_in_queue = 0.0;
+};
+
+// Steady-state M/M/c metrics (c identical exponential servers, shared FIFO queue).
+MmcMetrics AnalyzeMmc(double lambda, double mu, int servers);
+
+}  // namespace qnet
+
+#endif  // QNET_INFER_MG1_H_

@@ -1,0 +1,22 @@
+#include "qnet/infer/mm1.h"
+
+#include "qnet/support/check.h"
+
+namespace qnet {
+
+Mm1Metrics AnalyzeMm1(double lambda, double mu) {
+  QNET_CHECK(lambda > 0.0 && mu > 0.0, "M/M/1 rates must be positive");
+  Mm1Metrics metrics;
+  metrics.utilization = lambda / mu;
+  if (metrics.utilization >= 1.0) {
+    return metrics;  // Unstable: waiting time diverges; stable stays false.
+  }
+  metrics.stable = true;
+  metrics.mean_wait = metrics.utilization / (mu - lambda);
+  metrics.mean_response = 1.0 / (mu - lambda);
+  metrics.mean_in_system = lambda * metrics.mean_response;
+  metrics.mean_in_queue = lambda * metrics.mean_wait;
+  return metrics;
+}
+
+}  // namespace qnet

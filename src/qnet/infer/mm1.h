@@ -1,0 +1,25 @@
+// Classical M/M/1 steady-state formulas. The paper's Section 1 contrasts these with the
+// posterior-inference approach; the library uses them for simulator validation and for the
+// capacity-planning example's "what-if" extrapolation.
+
+#ifndef QNET_INFER_MM1_H_
+#define QNET_INFER_MM1_H_
+
+namespace qnet {
+
+struct Mm1Metrics {
+  bool stable = false;          // lambda < mu
+  double utilization = 0.0;     // rho = lambda / mu
+  double mean_wait = 0.0;       // W_q = rho / (mu - lambda), time in queue
+  double mean_response = 0.0;   // W   = 1 / (mu - lambda), queue + service
+  double mean_in_system = 0.0;  // L   = lambda * W (Little's law)
+  double mean_in_queue = 0.0;   // L_q = lambda * W_q
+};
+
+// Metrics are only populated when stable; an overloaded queue (rho >= 1) reports
+// stable == false with utilization set.
+Mm1Metrics AnalyzeMm1(double lambda, double mu);
+
+}  // namespace qnet
+
+#endif  // QNET_INFER_MM1_H_

@@ -1,0 +1,123 @@
+#include "qnet/infer/model_select.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qnet/dist/exponential.h"
+#include "qnet/dist/gamma.h"
+#include "qnet/dist/lognormal.h"
+#include "qnet/support/check.h"
+#include "qnet/support/math.h"
+
+namespace qnet {
+namespace {
+
+constexpr double kPositiveFloor = 1e-12;
+
+int FamilyParamCount(ServiceFamily family) {
+  return family == ServiceFamily::kExponential ? 1 : 2;
+}
+
+double GammaShapeMle(double log_mean_minus_mean_log) {
+  const double s = log_mean_minus_mean_log;
+  QNET_CHECK(s > 0.0, "degenerate sample for gamma fit");
+  // Minka's initializer, then Newton on log(k) - digamma(k) = s.
+  double k = (3.0 - s + std::sqrt((s - 3.0) * (s - 3.0) + 24.0 * s)) / (12.0 * s);
+  for (int i = 0; i < 100; ++i) {
+    const double f = std::log(k) - Digamma(k) - s;
+    const double fprime = 1.0 / k - Trigamma(k);
+    const double step = f / fprime;
+    double next = k - step;
+    if (next <= 0.0) {
+      next = k / 2.0;
+    }
+    if (std::abs(next - k) < 1e-12 * k) {
+      k = next;
+      break;
+    }
+    k = next;
+  }
+  return k;
+}
+
+}  // namespace
+
+std::string FamilyName(ServiceFamily family) {
+  switch (family) {
+    case ServiceFamily::kExponential:
+      return "exponential";
+    case ServiceFamily::kGamma:
+      return "gamma";
+    case ServiceFamily::kLogNormal:
+      return "lognormal";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<ServiceDistribution> FitMle(ServiceFamily family,
+                                            std::span<const double> samples) {
+  QNET_CHECK(samples.size() >= 2, "need at least two samples to fit");
+  double sum = 0.0;
+  double sum_log = 0.0;
+  for (double s : samples) {
+    const double clipped = std::max(s, kPositiveFloor);
+    sum += clipped;
+    sum_log += std::log(clipped);
+  }
+  const double n = static_cast<double>(samples.size());
+  const double mean = sum / n;
+  const double mean_log = sum_log / n;
+
+  switch (family) {
+    case ServiceFamily::kExponential:
+      return std::make_unique<Exponential>(1.0 / mean);
+    case ServiceFamily::kGamma: {
+      const double s = std::log(mean) - mean_log;
+      if (s <= 1e-12) {
+        // Near-deterministic sample; fall back to a high-shape gamma around the mean.
+        return std::make_unique<GammaDist>(1e6, 1e6 / mean);
+      }
+      const double shape = GammaShapeMle(s);
+      return std::make_unique<GammaDist>(shape, shape / mean);
+    }
+    case ServiceFamily::kLogNormal: {
+      double var_log = 0.0;
+      for (double x : samples) {
+        const double diff = std::log(std::max(x, kPositiveFloor)) - mean_log;
+        var_log += diff * diff;
+      }
+      var_log /= n;  // MLE uses the 1/n variance.
+      return std::make_unique<LogNormal>(mean_log, std::sqrt(std::max(var_log, 1e-12)));
+    }
+  }
+  QNET_CHECK(false, "unreachable");
+  return nullptr;
+}
+
+std::vector<ModelScore> ScoreFamilies(std::span<const double> samples,
+                                      const std::vector<ServiceFamily>& families) {
+  QNET_CHECK(!families.empty(), "no candidate families");
+  const double n = static_cast<double>(samples.size());
+  std::vector<ModelScore> scores;
+  for (ServiceFamily family : families) {
+    ModelScore score;
+    score.family = family;
+    score.fitted = FitMle(family, samples);
+    double log_lik = 0.0;
+    for (double s : samples) {
+      log_lik += score.fitted->LogPdf(std::max(s, kPositiveFloor));
+    }
+    score.log_likelihood = log_lik;
+    score.bic = -2.0 * log_lik + FamilyParamCount(family) * std::log(n);
+    scores.push_back(std::move(score));
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const ModelScore& a, const ModelScore& b) { return a.bic < b.bic; });
+  return scores;
+}
+
+ServiceFamily SelectServiceFamily(std::span<const double> samples) {
+  return ScoreFamilies(samples).front().family;
+}
+
+}  // namespace qnet

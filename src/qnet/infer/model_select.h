@@ -1,0 +1,45 @@
+// Service-distribution model selection (paper Section 6 future work).
+//
+// Given (imputed or observed) service-time samples for a queue, fits each candidate family
+// by maximum likelihood and scores it by BIC. Families: exponential, gamma, log-normal.
+
+#ifndef QNET_INFER_MODEL_SELECT_H_
+#define QNET_INFER_MODEL_SELECT_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qnet/dist/distribution.h"
+
+namespace qnet {
+
+enum class ServiceFamily { kExponential, kGamma, kLogNormal };
+
+std::string FamilyName(ServiceFamily family);
+
+// Maximum-likelihood fit of `family` to positive samples. Gamma uses Newton iteration on the
+// digamma equation; log-normal uses the log-moment closed form.
+std::unique_ptr<ServiceDistribution> FitMle(ServiceFamily family,
+                                            std::span<const double> samples);
+
+struct ModelScore {
+  ServiceFamily family = ServiceFamily::kExponential;
+  double log_likelihood = 0.0;
+  double bic = 0.0;  // -2 log L + k log n (lower is better)
+  std::unique_ptr<ServiceDistribution> fitted;
+};
+
+// Scores each family on the samples, sorted by ascending BIC (best first).
+std::vector<ModelScore> ScoreFamilies(std::span<const double> samples,
+                                      const std::vector<ServiceFamily>& families = {
+                                          ServiceFamily::kExponential, ServiceFamily::kGamma,
+                                          ServiceFamily::kLogNormal});
+
+// Convenience: the family with the lowest BIC.
+ServiceFamily SelectServiceFamily(std::span<const double> samples);
+
+}  // namespace qnet
+
+#endif  // QNET_INFER_MODEL_SELECT_H_

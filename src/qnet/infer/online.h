@@ -1,0 +1,50 @@
+// Online (sliding-window) StEM — the paper's Section 6 "online, distributed inference"
+// future-work direction, in its simplest useful form.
+//
+// The task stream is partitioned into consecutive time windows by entry time; each window is
+// estimated with a short StEM run warm-started from the previous window's rates. This yields
+// a rate trajectory over time, which is what the paper's "what happened five minutes ago"
+// diagnosis questions consume. Tasks are assigned to the window containing their entry time;
+// cross-window queueing interactions are approximated away (documented limitation).
+
+#ifndef QNET_INFER_ONLINE_H_
+#define QNET_INFER_ONLINE_H_
+
+#include <vector>
+
+#include "qnet/infer/stem.h"
+#include "qnet/model/event.h"
+#include "qnet/obs/observation.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+
+struct WindowEstimate {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  std::size_t tasks = 0;
+  std::vector<double> rates;      // index 0 = lambda
+  std::vector<double> mean_wait;  // posterior mean per queue (may be empty)
+};
+
+struct OnlineStemOptions {
+  double window_duration = 60.0;
+  // Windows with fewer tasks than this are merged into the next window.
+  std::size_t min_tasks_per_window = 8;
+  StemOptions stem;
+};
+
+// Extracts the sub-log of `truth` containing exactly `tasks` (renumbered contiguously),
+// together with the restriction of `obs`. Exposed for tests.
+std::pair<EventLog, Observation> ExtractTaskWindow(const EventLog& truth,
+                                                   const Observation& obs,
+                                                   const std::vector<int>& tasks);
+
+// Runs StEM per window over the whole log. init_rates seeds the first window.
+std::vector<WindowEstimate> RunOnlineStem(const EventLog& truth, const Observation& obs,
+                                          std::vector<double> init_rates, Rng& rng,
+                                          const OnlineStemOptions& options = {});
+
+}  // namespace qnet
+
+#endif  // QNET_INFER_ONLINE_H_

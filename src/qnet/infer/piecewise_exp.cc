@@ -1,0 +1,128 @@
+#include "qnet/infer/piecewise_exp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qnet/support/check.h"
+#include "qnet/support/logspace.h"
+
+namespace qnet {
+
+void PiecewiseExpDensity::AddSegment(double lo, double hi, double alpha, double beta) {
+  QNET_CHECK(!finalized_, "AddSegment after Finalize");
+  QNET_CHECK(lo <= hi, "segment bounds reversed: lo=", lo, " hi=", hi);
+  if (!(lo < hi)) {
+    return;  // Zero width carries zero mass.
+  }
+  if (hi == kPosInf) {
+    QNET_CHECK(beta < 0.0, "unbounded segment requires beta < 0");
+  }
+  if (!segments_.empty()) {
+    QNET_CHECK(segments_.back().hi <= lo + 1e-12, "segments must be ordered and disjoint");
+  }
+  segments_.push_back(ExpSegment{lo, hi, alpha, beta, kNegInf});
+}
+
+void PiecewiseExpDensity::Finalize() {
+  QNET_CHECK(!finalized_, "Finalize called twice");
+  QNET_CHECK(!segments_.empty(), "density has no support");
+  std::vector<double> masses;
+  masses.reserve(segments_.size());
+  for (ExpSegment& seg : segments_) {
+    seg.log_mass = LogIntegralExpLinear(seg.alpha, seg.beta, seg.lo, seg.hi);
+    masses.push_back(seg.log_mass);
+  }
+  log_normalizer_ = LogSumExp(masses);
+  QNET_CHECK(log_normalizer_ > kNegInf, "density has zero total mass");
+  QNET_CHECK(std::isfinite(log_normalizer_), "density mass is not finite");
+  finalized_ = true;
+}
+
+double PiecewiseExpDensity::LogNormalizer() const {
+  QNET_CHECK(finalized_, "Finalize first");
+  return log_normalizer_;
+}
+
+double PiecewiseExpDensity::Sample(Rng& rng) const {
+  QNET_CHECK(finalized_, "Finalize first");
+  // Pick a segment proportionally to its mass, then inverse-CDF within the segment.
+  double u = rng.Uniform();
+  std::size_t pick = segments_.size() - 1;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    u -= std::exp(segments_[i].log_mass - log_normalizer_);
+    if (u < 0.0) {
+      pick = i;
+      break;
+    }
+  }
+  const ExpSegment& seg = segments_[pick];
+  return SampleExpLinear(seg.beta, seg.lo, seg.hi, rng.Uniform());
+}
+
+double PiecewiseExpDensity::LogPdf(double x) const {
+  QNET_CHECK(finalized_, "Finalize first");
+  for (const ExpSegment& seg : segments_) {
+    if (x >= seg.lo && x <= seg.hi) {
+      return seg.alpha + seg.beta * x - log_normalizer_;
+    }
+  }
+  return kNegInf;
+}
+
+double PiecewiseExpDensity::Cdf(double x) const {
+  QNET_CHECK(finalized_, "Finalize first");
+  if (x <= SupportLo()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const ExpSegment& seg : segments_) {
+    if (x >= seg.hi) {
+      total += std::exp(seg.log_mass - log_normalizer_);
+    } else if (x > seg.lo) {
+      total += std::exp(LogIntegralExpLinear(seg.alpha, seg.beta, seg.lo, x) - log_normalizer_);
+      break;
+    } else {
+      break;
+    }
+  }
+  return std::min(total, 1.0);
+}
+
+double PiecewiseExpDensity::Mean() const {
+  QNET_CHECK(finalized_, "Finalize first");
+  double mean = 0.0;
+  for (const ExpSegment& seg : segments_) {
+    const double weight = std::exp(seg.log_mass - log_normalizer_);
+    if (weight <= 0.0) {
+      continue;
+    }
+    double segment_mean = 0.0;
+    if (seg.hi == kPosInf) {
+      segment_mean = seg.lo + 1.0 / (-seg.beta);
+    } else if (std::abs(seg.beta * (seg.hi - seg.lo)) < 1e-12) {
+      segment_mean = 0.5 * (seg.lo + seg.hi);
+    } else {
+      // Conditional mean of density ∝ exp(beta x) on [lo, hi]; this is the truncated
+      // exponential with rate -beta:  E[X] = lo + 1/beta * (u e^u / (e^u - 1) - 1) with
+      // u = beta * width, written via expm1 for stability.
+      const double width = seg.hi - seg.lo;
+      const double u = seg.beta * width;
+      const double em = std::expm1(u);
+      segment_mean = seg.lo + (width * (em + 1.0) / em - 1.0 / seg.beta);
+    }
+    mean += weight * segment_mean;
+  }
+  return mean;
+}
+
+double PiecewiseExpDensity::SupportLo() const {
+  QNET_CHECK(!segments_.empty(), "density has no support");
+  return segments_.front().lo;
+}
+
+double PiecewiseExpDensity::SupportHi() const {
+  QNET_CHECK(!segments_.empty(), "density has no support");
+  return segments_.back().hi;
+}
+
+}  // namespace qnet

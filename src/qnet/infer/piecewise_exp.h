@@ -1,0 +1,58 @@
+// Exact sampler/integrator for piecewise log-linear (piecewise-exponential) densities.
+//
+// The Gibbs conditionals of the paper (Figure 3) are densities of the form
+//     p(x) ∝ exp(alpha_i + beta_i * x)   on segment [lo_i, hi_i),
+// with up to three segments for the arrival move and two for the final-departure move.
+// This class normalizes such densities in log space (immune to exp overflow even when
+// |alpha| is in the tens of thousands), samples by inverse CDF, and exposes LogPdf/Cdf/Mean
+// so tests can verify the sampler against numeric integration.
+
+#ifndef QNET_INFER_PIECEWISE_EXP_H_
+#define QNET_INFER_PIECEWISE_EXP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "qnet/support/rng.h"
+
+namespace qnet {
+
+struct ExpSegment {
+  double lo = 0.0;
+  double hi = 0.0;
+  double alpha = 0.0;  // log-density intercept
+  double beta = 0.0;   // log-density slope
+  double log_mass = 0.0;
+};
+
+class PiecewiseExpDensity {
+ public:
+  // Appends a segment; segments must be added left to right and non-overlapping. hi may be
+  // +infinity only when beta < 0. Zero-width segments are ignored.
+  void AddSegment(double lo, double hi, double alpha, double beta);
+
+  // Computes segment masses and the normalizer. CHECK-fails when the total mass is zero.
+  void Finalize();
+  bool Finalized() const { return finalized_; }
+
+  double LogNormalizer() const;
+  double Sample(Rng& rng) const;
+  // Normalized log density (-inf outside the support).
+  double LogPdf(double x) const;
+  double Cdf(double x) const;
+  double Mean() const;
+
+  std::size_t NumSegments() const { return segments_.size(); }
+  const ExpSegment& Segment(std::size_t i) const { return segments_[i]; }
+  double SupportLo() const;
+  double SupportHi() const;
+
+ private:
+  std::vector<ExpSegment> segments_;
+  double log_normalizer_ = 0.0;
+  bool finalized_ = false;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_INFER_PIECEWISE_EXP_H_

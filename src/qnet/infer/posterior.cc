@@ -1,0 +1,123 @@
+#include "qnet/infer/posterior.h"
+
+#include "qnet/infer/diagnostics.h"
+#include "qnet/infer/initializer.h"
+#include "qnet/support/check.h"
+#include "qnet/support/math.h"
+
+namespace qnet {
+
+PosteriorSummary::PosteriorSummary(int num_queues, double tail_quantile)
+    : tail_quantile_(tail_quantile) {
+  QNET_CHECK(num_queues >= 2, "bad queue count");
+  QNET_CHECK(tail_quantile > 0.0 && tail_quantile < 1.0, "bad tail quantile");
+  service_series_.resize(static_cast<std::size_t>(num_queues));
+  wait_series_.resize(static_cast<std::size_t>(num_queues));
+  tail_series_.resize(static_cast<std::size_t>(num_queues));
+}
+
+void PosteriorSummary::Accumulate(const EventLog& state) {
+  QNET_CHECK(static_cast<std::size_t>(state.NumQueues()) == service_series_.size(),
+             "queue count mismatch");
+  const auto services = state.PerQueueMeanService();
+  const auto waits = state.PerQueueMeanWait();
+  const auto tails = state.PerQueueResponseQuantile(tail_quantile_);
+  for (std::size_t q = 0; q < service_series_.size(); ++q) {
+    service_series_[q].push_back(services[q]);
+    wait_series_[q].push_back(waits[q]);
+    tail_series_[q].push_back(tails[q]);
+  }
+  ++num_samples_;
+}
+
+std::vector<double> PosteriorSummary::MeanService() const {
+  std::vector<double> means(service_series_.size(), 0.0);
+  for (std::size_t q = 0; q < service_series_.size(); ++q) {
+    means[q] = Mean(service_series_[q]);
+  }
+  return means;
+}
+
+std::vector<double> PosteriorSummary::MeanWait() const {
+  std::vector<double> means(wait_series_.size(), 0.0);
+  for (std::size_t q = 0; q < wait_series_.size(); ++q) {
+    means[q] = Mean(wait_series_[q]);
+  }
+  return means;
+}
+
+std::vector<double> PosteriorSummary::MeanTailResponse() const {
+  std::vector<double> means(tail_series_.size(), 0.0);
+  for (std::size_t q = 0; q < tail_series_.size(); ++q) {
+    means[q] = Mean(tail_series_[q]);
+  }
+  return means;
+}
+
+std::vector<double> PosteriorSummary::ServiceQuantile(double q) const {
+  std::vector<double> out(service_series_.size(), 0.0);
+  for (std::size_t i = 0; i < service_series_.size(); ++i) {
+    out[i] = Quantile(service_series_[i], q);
+  }
+  return out;
+}
+
+std::vector<double> PosteriorSummary::WaitQuantile(double q) const {
+  std::vector<double> out(wait_series_.size(), 0.0);
+  for (std::size_t i = 0; i < wait_series_.size(); ++i) {
+    out[i] = Quantile(wait_series_[i], q);
+  }
+  return out;
+}
+
+const std::vector<double>& PosteriorSummary::ServiceSeries(int queue) const {
+  QNET_CHECK(queue >= 0 && static_cast<std::size_t>(queue) < service_series_.size(),
+             "bad queue id");
+  return service_series_[static_cast<std::size_t>(queue)];
+}
+
+const std::vector<double>& PosteriorSummary::WaitSeries(int queue) const {
+  QNET_CHECK(queue >= 0 && static_cast<std::size_t>(queue) < wait_series_.size(),
+             "bad queue id");
+  return wait_series_[static_cast<std::size_t>(queue)];
+}
+
+MultiChainResult RunMultiChainGibbs(const EventLog& truth, const Observation& obs,
+                                    const std::vector<double>& rates, Rng& rng,
+                                    const MultiChainOptions& options) {
+  QNET_CHECK(options.chains >= 2, "need at least two chains for R-hat");
+  QNET_CHECK(options.sweeps > options.burn_in, "sweeps must exceed burn-in");
+  const int num_queues = truth.NumQueues();
+  MultiChainResult result(num_queues);
+
+  std::vector<PosteriorSummary> chains;
+  for (std::size_t c = 0; c < options.chains; ++c) {
+    Rng chain_rng = rng.Fork();
+    // Independent random initializations diversify the chain starts.
+    GibbsSampler sampler(InitializeFeasible(truth, obs, rates, chain_rng), obs, rates,
+                         options.gibbs);
+    PosteriorSummary summary(num_queues);
+    for (std::size_t sweep = 0; sweep < options.sweeps; ++sweep) {
+      sampler.Sweep(chain_rng);
+      if (sweep >= options.burn_in) {
+        summary.Accumulate(sampler.State());
+        result.pooled.Accumulate(sampler.State());
+      }
+    }
+    chains.push_back(std::move(summary));
+  }
+
+  result.r_hat_service.assign(static_cast<std::size_t>(num_queues), 1.0);
+  for (int q = 1; q < num_queues; ++q) {
+    std::vector<std::vector<double>> series;
+    for (const auto& chain : chains) {
+      series.push_back(chain.ServiceSeries(q));
+    }
+    const double r_hat = GelmanRubin(series);
+    result.r_hat_service[static_cast<std::size_t>(q)] = r_hat;
+    result.max_r_hat = std::max(result.max_r_hat, r_hat);
+  }
+  return result;
+}
+
+}  // namespace qnet

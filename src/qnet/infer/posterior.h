@@ -1,0 +1,75 @@
+// Posterior summaries over Gibbs samples: per-queue mean/quantile estimates of service and
+// waiting times with credible intervals, plus a multi-chain runner that assesses
+// convergence with the Gelman-Rubin statistic. This turns the point estimates of the paper
+// into calibrated interval estimates — a capability the graphical-models viewpoint gives
+// for free and the classical analyses cannot provide.
+
+#ifndef QNET_INFER_POSTERIOR_H_
+#define QNET_INFER_POSTERIOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "qnet/infer/gibbs.h"
+#include "qnet/model/event.h"
+#include "qnet/obs/observation.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+
+// Accumulates per-sweep per-queue mean service/wait series plus a per-queue tail-latency
+// (response-quantile) series — the posterior estimate of e.g. p95 latency from a sparse
+// trace.
+class PosteriorSummary {
+ public:
+  explicit PosteriorSummary(int num_queues, double tail_quantile = 0.95);
+
+  void Accumulate(const EventLog& state);
+
+  std::size_t NumSamples() const { return num_samples_; }
+  // Posterior means.
+  std::vector<double> MeanService() const;
+  std::vector<double> MeanWait() const;
+  // Posterior quantiles (per queue), e.g. 0.05/0.95 for a 90% credible interval.
+  std::vector<double> ServiceQuantile(double q) const;
+  std::vector<double> WaitQuantile(double q) const;
+  // Posterior mean of the per-queue tail (response quantile chosen at construction).
+  std::vector<double> MeanTailResponse() const;
+  // Raw per-queue series (one value per accumulated sweep) for diagnostics.
+  const std::vector<double>& ServiceSeries(int queue) const;
+  const std::vector<double>& WaitSeries(int queue) const;
+
+ private:
+  std::size_t num_samples_ = 0;
+  double tail_quantile_;
+  std::vector<std::vector<double>> service_series_;  // [queue][sweep]
+  std::vector<std::vector<double>> wait_series_;
+  std::vector<std::vector<double>> tail_series_;
+};
+
+struct MultiChainOptions {
+  std::size_t chains = 4;
+  std::size_t sweeps = 200;
+  std::size_t burn_in = 50;
+  GibbsOptions gibbs;
+};
+
+struct MultiChainResult {
+  // Pooled posterior summary across chains (post burn-in).
+  PosteriorSummary pooled;
+  // Per-queue Gelman-Rubin statistics on the mean-service series.
+  std::vector<double> r_hat_service;
+  // Largest R-hat across queues (values near 1 indicate convergence).
+  double max_r_hat = 0.0;
+
+  explicit MultiChainResult(int num_queues) : pooled(num_queues) {}
+};
+
+// Runs several independently-initialized Gibbs chains at fixed rates and summarizes them.
+MultiChainResult RunMultiChainGibbs(const EventLog& truth, const Observation& obs,
+                                    const std::vector<double>& rates, Rng& rng,
+                                    const MultiChainOptions& options = {});
+
+}  // namespace qnet
+
+#endif  // QNET_INFER_POSTERIOR_H_

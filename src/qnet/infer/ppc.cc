@@ -1,0 +1,101 @@
+#include "qnet/infer/ppc.h"
+
+#include <cmath>
+#include <limits>
+
+#include "qnet/obs/observation.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/check.h"
+#include "qnet/support/math.h"
+
+namespace qnet {
+
+bool PpcResult::ConsistentAt(double alpha) const {
+  QNET_CHECK(alpha > 0.0 && alpha < 0.5, "alpha must be in (0, 0.5)");
+  for (const auto& values : {p_value_mean, p_value_tail}) {
+    for (double p : values) {
+      if (!std::isnan(p) && (p < alpha || p > 1.0 - alpha)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void ObservedResponseStats(const EventLog& log, const Observation& obs, double tail_quantile,
+                           std::vector<double>* mean_out, std::vector<double>* tail_out) {
+  const auto num_queues = static_cast<std::size_t>(log.NumQueues());
+  std::vector<std::vector<double>> responses(num_queues);
+  for (EventId e = 0; static_cast<std::size_t>(e) < log.NumEvents(); ++e) {
+    const Event& ev = log.At(e);
+    if (!ev.initial && obs.ArrivalObserved(e) && obs.DepartureObserved(e)) {
+      responses[static_cast<std::size_t>(ev.queue)].push_back(ev.departure - ev.arrival);
+    }
+  }
+  mean_out->assign(num_queues, std::numeric_limits<double>::quiet_NaN());
+  tail_out->assign(num_queues, std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t q = 1; q < num_queues; ++q) {
+    if (responses[q].size() >= 3) {
+      (*mean_out)[q] = Mean(responses[q]);
+      (*tail_out)[q] = Quantile(responses[q], tail_quantile);
+    }
+  }
+}
+
+PpcResult PosteriorPredictiveCheck(const EventLog& observed_log, const Observation& obs,
+                                   const QueueingNetwork& fitted_net, Rng& rng,
+                                   const PpcOptions& options) {
+  QNET_CHECK(options.replicates >= 10, "need at least 10 replicates");
+  QNET_CHECK(fitted_net.NumQueues() == observed_log.NumQueues(), "queue count mismatch");
+  const auto num_queues = static_cast<std::size_t>(observed_log.NumQueues());
+
+  PpcResult result;
+  ObservedResponseStats(observed_log, obs, options.tail_quantile,
+                        &result.observed_mean_response, &result.observed_tail_response);
+
+  const double fraction =
+      static_cast<double>(obs.observed_tasks.size()) /
+      std::max(1.0, static_cast<double>(observed_log.NumTasks()));
+  const double lambda = fitted_net.ArrivalRate();
+  const auto num_tasks = static_cast<std::size_t>(observed_log.NumTasks());
+
+  std::vector<std::size_t> mean_exceed(num_queues, 0);
+  std::vector<std::size_t> tail_exceed(num_queues, 0);
+  std::vector<std::size_t> defined(num_queues, 0);
+  for (std::size_t rep = 0; rep < options.replicates; ++rep) {
+    Rng rep_rng = rng.Fork();
+    const EventLog replicate =
+        SimulateWorkload(fitted_net, PoissonArrivals(lambda, num_tasks), rep_rng);
+    TaskSamplingScheme scheme;
+    scheme.fraction = fraction;
+    const Observation rep_obs = scheme.Apply(replicate, rep_rng);
+    std::vector<double> rep_mean;
+    std::vector<double> rep_tail;
+    ObservedResponseStats(replicate, rep_obs, options.tail_quantile, &rep_mean, &rep_tail);
+    for (std::size_t q = 1; q < num_queues; ++q) {
+      if (std::isnan(result.observed_mean_response[q]) || std::isnan(rep_mean[q])) {
+        continue;
+      }
+      ++defined[q];
+      if (rep_mean[q] >= result.observed_mean_response[q]) {
+        ++mean_exceed[q];
+      }
+      if (rep_tail[q] >= result.observed_tail_response[q]) {
+        ++tail_exceed[q];
+      }
+    }
+  }
+  result.p_value_mean.assign(num_queues, std::numeric_limits<double>::quiet_NaN());
+  result.p_value_tail.assign(num_queues, std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t q = 1; q < num_queues; ++q) {
+    if (defined[q] >= options.replicates / 2) {
+      result.p_value_mean[q] =
+          static_cast<double>(mean_exceed[q]) / static_cast<double>(defined[q]);
+      result.p_value_tail[q] =
+          static_cast<double>(tail_exceed[q]) / static_cast<double>(defined[q]);
+    }
+  }
+  return result;
+}
+
+}  // namespace qnet

@@ -1,0 +1,58 @@
+// Posterior-predictive checks — model criticism for the fitted queueing model.
+//
+// After StEM produces rate estimates, a natural question the paper's Section 6 gestures at
+// (model selection / "flexibility for future modeling work") is whether the M/M/1 network
+// is consistent with what was actually observed. The classical Bayesian answer: simulate
+// replicate traces from the fitted model and compare a discrepancy statistic T computed on
+// the *observed* portion of the real trace against its replicate distribution. Tail
+// probabilities near 0 or 1 flag misfit (e.g. deterministic or heavy-tailed service inside
+// an exponential model).
+//
+// Statistics checked per queue: mean observed response time and the p95 observed response.
+
+#ifndef QNET_INFER_PPC_H_
+#define QNET_INFER_PPC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "qnet/model/event.h"
+#include "qnet/model/network.h"
+#include "qnet/obs/observation.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+
+struct PpcOptions {
+  std::size_t replicates = 100;
+  double tail_quantile = 0.95;
+};
+
+struct PpcResult {
+  // Per-queue observed statistics (NaN when a queue has no fully-observed events).
+  std::vector<double> observed_mean_response;
+  std::vector<double> observed_tail_response;
+  // Per-queue posterior-predictive p-values: P(T_rep >= T_obs). Values near 0.5 indicate
+  // good fit; near 0 or 1 indicate misfit. NaN mirrors the observed stats.
+  std::vector<double> p_value_mean;
+  std::vector<double> p_value_tail;
+
+  // True when every defined p-value lies inside [alpha, 1 - alpha].
+  bool ConsistentAt(double alpha) const;
+};
+
+// Computes per-queue mean/p95 response over events whose arrival AND departure are
+// observed. Exposed for tests.
+void ObservedResponseStats(const EventLog& log, const Observation& obs, double tail_quantile,
+                           std::vector<double>* mean_out, std::vector<double>* tail_out);
+
+// Runs the check: `fitted_net` supplies the estimated rates and the routing FSM; each
+// replicate simulates the same number of tasks and applies a fresh task sample of the same
+// fraction as `obs` before computing the statistics.
+PpcResult PosteriorPredictiveCheck(const EventLog& observed_log, const Observation& obs,
+                                   const QueueingNetwork& fitted_net, Rng& rng,
+                                   const PpcOptions& options = {});
+
+}  // namespace qnet
+
+#endif  // QNET_INFER_PPC_H_

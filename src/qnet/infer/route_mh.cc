@@ -1,0 +1,132 @@
+#include "qnet/infer/route_mh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qnet/support/check.h"
+#include "qnet/support/logspace.h"
+
+namespace qnet {
+namespace {
+
+// log density of an exponential service of duration s at rate mu.
+double ServiceLogPdf(double mu, double s) {
+  if (s < 0.0) {
+    return kNegInf;
+  }
+  return std::log(mu) - mu * s;
+}
+
+// Derived service time of `e` if its within-queue predecessor departed at `rho_departure`
+// (-inf when there is none).
+double ServiceGiven(const EventLog& state, EventId e, double rho_departure) {
+  const Event& ev = state.At(e);
+  return ev.departure - std::max(ev.arrival, rho_departure);
+}
+
+}  // namespace
+
+bool ProposeQueueReassignment(EventLog& state, EventId e, const Fsm& fsm,
+                              std::span<const double> rates, Rng& rng) {
+  const Event& ev = state.At(e);
+  QNET_CHECK(!ev.initial, "initial events have no route choice");
+  QNET_CHECK(ev.state >= 0, "event has no FSM state");
+
+  // Alternative queues: the emission support of sigma_e, minus the current queue. The
+  // uniform proposal over this set is symmetric (same support size from every member).
+  std::vector<int> alternatives;
+  for (int q = 1; q < state.NumQueues(); ++q) {
+    if (q != ev.queue && fsm.Emission(ev.state, q) > 0.0) {
+      alternatives.push_back(q);
+    }
+  }
+  if (alternatives.empty()) {
+    return false;
+  }
+  const int new_queue =
+      alternatives[static_cast<std::size_t>(rng.UniformInt(alternatives.size()))];
+
+  // Locate the insertion neighbors in the target queue without mutating.
+  const auto& new_order = state.QueueOrder(new_queue);
+  EventId new_rho = kNoEvent;
+  EventId new_nu = kNoEvent;
+  {
+    const auto pos = std::upper_bound(
+        new_order.begin(), new_order.end(), e, [&state](EventId a, EventId b) {
+          const Event& ea = state.At(a);
+          const Event& eb = state.At(b);
+          if (ea.arrival != eb.arrival) {
+            return ea.arrival < eb.arrival;
+          }
+          return a < b;
+        });
+    new_nu = (pos == new_order.end()) ? kNoEvent : *pos;
+    new_rho = (pos == new_order.begin()) ? kNoEvent : *(pos - 1);
+  }
+
+  // FIFO feasibility at the new position, with all times held fixed.
+  const double new_rho_dep = new_rho == kNoEvent ? kNegInf : state.At(new_rho).departure;
+  if (new_rho != kNoEvent && state.At(new_rho).departure > ev.departure) {
+    return false;
+  }
+  if (new_nu != kNoEvent && state.At(new_nu).departure < ev.departure) {
+    return false;
+  }
+  const double s_e_new = ServiceGiven(state, e, new_rho_dep);
+  if (s_e_new < 0.0) {
+    return false;  // would start service after departing
+  }
+
+  const double mu_old = rates[static_cast<std::size_t>(ev.queue)];
+  const double mu_new = rates[static_cast<std::size_t>(new_queue)];
+  const double old_rho_dep = ev.rho == kNoEvent ? kNegInf : state.At(ev.rho).departure;
+
+  // Log-density of the three affected service times, before and after.
+  double log_before = ServiceLogPdf(mu_old, ServiceGiven(state, e, old_rho_dep));
+  double log_after = ServiceLogPdf(mu_new, s_e_new);
+  if (ev.nu != kNoEvent) {
+    // Old successor: its predecessor becomes ev.rho.
+    log_before += ServiceLogPdf(mu_old, ServiceGiven(state, ev.nu, ev.departure));
+    log_after += ServiceLogPdf(mu_old, ServiceGiven(state, ev.nu, old_rho_dep));
+  }
+  if (new_nu != kNoEvent) {
+    // New successor: its predecessor becomes e.
+    log_before += ServiceLogPdf(mu_new, ServiceGiven(state, new_nu, new_rho_dep));
+    log_after += ServiceLogPdf(mu_new, ServiceGiven(state, new_nu, ev.departure));
+  }
+  // Emission-probability ratio.
+  log_after += std::log(fsm.Emission(ev.state, new_queue));
+  log_before += std::log(fsm.Emission(ev.state, ev.queue));
+
+  const double log_accept = log_after - log_before;
+  if (log_accept < 0.0 && std::log(std::max(rng.Uniform(), 1e-300)) >= log_accept) {
+    return false;
+  }
+  state.MoveEventToQueue(e, new_queue);
+  return true;
+}
+
+RouteMhStats RouteMhSweep(EventLog& state, std::span<const EventId> events, const Fsm& fsm,
+                          std::span<const double> rates, Rng& rng) {
+  RouteMhStats stats;
+  for (EventId e : events) {
+    ++stats.proposed;
+    if (ProposeQueueReassignment(state, e, fsm, rates, rng)) {
+      ++stats.accepted;
+    }
+  }
+  return stats;
+}
+
+std::vector<EventId> RouteLatentEvents(const EventLog& log, const std::vector<int>& tasks) {
+  std::vector<EventId> events;
+  for (int task : tasks) {
+    const auto& chain = log.TaskEvents(task);
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      events.push_back(chain[i]);
+    }
+  }
+  return events;
+}
+
+}  // namespace qnet

@@ -1,0 +1,54 @@
+// Metropolis-Hastings route resampling (paper Section 3):
+//
+//   "we assume the FSM paths (sigma_e, q_e) for all events are known. If these paths are
+//    unknown for some events, they can be resampled by an outer Metropolis-Hastings step."
+//
+// The move implemented here covers the common replicated-server case: an event's FSM state
+// sigma_e is known but *which* emission-compatible queue served it is not (e.g., which of a
+// tier's replicas a load balancer picked for an untraced request). A proposal reassigns one
+// event to a uniformly-chosen alternative queue in the emission support of its state,
+// holding all times fixed. With times fixed, reassignment changes exactly three derived
+// service times — the event's own (new within-queue predecessor), its old successor's (it
+// loses a predecessor), and its new successor's (it gains one) — so the acceptance ratio is
+// a local product of exponential service densities times the emission-probability ratio.
+// Proposals that violate FIFO feasibility at the new position are rejected outright.
+//
+// Compose with the time moves by interleaving: GibbsSampler::Sweep for times, then
+// RouteMhSweep for routes.
+
+#ifndef QNET_INFER_ROUTE_MH_H_
+#define QNET_INFER_ROUTE_MH_H_
+
+#include <span>
+#include <vector>
+
+#include "qnet/model/event.h"
+#include "qnet/model/fsm.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+
+struct RouteMhStats {
+  std::size_t proposed = 0;
+  std::size_t accepted = 0;
+
+  double AcceptanceRate() const {
+    return proposed == 0 ? 0.0 : static_cast<double>(accepted) / static_cast<double>(proposed);
+  }
+};
+
+// Attempts one reassignment proposal for event e; returns true when accepted (the state is
+// then already updated). Events whose FSM state emits a single queue are skipped.
+bool ProposeQueueReassignment(EventLog& state, EventId e, const Fsm& fsm,
+                              std::span<const double> rates, Rng& rng);
+
+// One MH pass over `events` (typically the queue-latent events of untraced tasks).
+RouteMhStats RouteMhSweep(EventLog& state, std::span<const EventId> events, const Fsm& fsm,
+                          std::span<const double> rates, Rng& rng);
+
+// Convenience: the non-initial events of every task in `tasks` (e.g. unobserved tasks).
+std::vector<EventId> RouteLatentEvents(const EventLog& log, const std::vector<int>& tasks);
+
+}  // namespace qnet
+
+#endif  // QNET_INFER_ROUTE_MH_H_

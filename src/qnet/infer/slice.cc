@@ -1,0 +1,52 @@
+#include "qnet/infer/slice.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qnet/support/check.h"
+#include "qnet/support/logspace.h"
+
+namespace qnet {
+
+double SliceSample(const std::function<double(double)>& log_density, double x0, double lo,
+                   double hi, Rng& rng, const SliceOptions& options) {
+  QNET_CHECK(x0 >= lo && x0 <= hi, "slice start outside bounds");
+  const double log_f0 = log_density(x0);
+  QNET_CHECK(log_f0 > kNegInf, "slice start has zero density");
+  // Vertical level: log u = log f(x0) - Exp(1).
+  const double log_level = log_f0 - rng.Exponential(1.0);
+
+  // Stepping out, clipped to the hard bounds.
+  double left = x0 - options.width * rng.Uniform();
+  double right = left + options.width;
+  left = std::max(left, lo);
+  right = std::min(right, hi);
+  for (std::size_t i = 0; i < options.max_step_out && left > lo; ++i) {
+    if (log_density(left) <= log_level) {
+      break;
+    }
+    left = std::max(left - options.width, lo);
+  }
+  for (std::size_t i = 0; i < options.max_step_out && right < hi; ++i) {
+    if (log_density(right) <= log_level) {
+      break;
+    }
+    right = std::min(right + options.width, hi);
+  }
+
+  // Shrinkage.
+  for (std::size_t i = 0; i < options.max_shrink; ++i) {
+    const double x = left + (right - left) * rng.Uniform();
+    if (log_density(x) > log_level) {
+      return x;
+    }
+    if (x < x0) {
+      left = x;
+    } else {
+      right = x;
+    }
+  }
+  return x0;  // Extremely peaked conditional: keep the current value.
+}
+
+}  // namespace qnet

@@ -1,0 +1,30 @@
+// Univariate slice sampler (Neal 2003): stepping-out + shrinkage, with optional hard
+// support bounds. Powers the general-service-distribution Gibbs sampler, where the
+// conditional is no longer piecewise exponential and has no closed-form inverse CDF.
+
+#ifndef QNET_INFER_SLICE_H_
+#define QNET_INFER_SLICE_H_
+
+#include <functional>
+
+#include "qnet/support/rng.h"
+
+namespace qnet {
+
+struct SliceOptions {
+  // Initial bracket width for stepping out.
+  double width = 1.0;
+  // Maximum stepping-out expansions per side.
+  std::size_t max_step_out = 64;
+  // Maximum shrinkage steps before giving up and returning x0.
+  std::size_t max_shrink = 256;
+};
+
+// Draws one sample from the (unnormalized) log density restricted to (lo, hi); x0 must lie
+// inside the support with log_density(x0) > -inf. lo may be -inf and hi +inf.
+double SliceSample(const std::function<double(double)>& log_density, double x0, double lo,
+                   double hi, Rng& rng, const SliceOptions& options = {});
+
+}  // namespace qnet
+
+#endif  // QNET_INFER_SLICE_H_

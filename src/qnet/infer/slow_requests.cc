@@ -1,0 +1,110 @@
+#include "qnet/infer/slow_requests.h"
+
+#include <algorithm>
+
+#include "qnet/support/check.h"
+#include "qnet/support/math.h"
+
+namespace qnet {
+
+int SlowRequestReport::SlowBottleneckQueue() const {
+  int best = -1;
+  double best_wait = -1.0;
+  for (std::size_t q = 1; q < slow_wait.size(); ++q) {
+    if (slow_wait[q] > best_wait) {
+      best_wait = slow_wait[q];
+      best = static_cast<int>(q);
+    }
+  }
+  return best;
+}
+
+int SlowRequestReport::MostDisproportionateQueue() const {
+  int best = -1;
+  double best_ratio = -1.0;
+  for (std::size_t q = 1; q < slow_wait.size(); ++q) {
+    const double base = all_wait[q] + 1e-9;
+    const double ratio = slow_wait[q] / base;
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best = static_cast<int>(q);
+    }
+  }
+  return best;
+}
+
+SlowRequestReport AnalyzeSlowRequests(const EventLog& log, double percentile) {
+  QNET_CHECK(percentile > 0.0 && percentile < 1.0, "percentile must be in (0,1)");
+  QNET_CHECK(log.NumTasks() > 0, "empty log");
+  const auto num_queues = static_cast<std::size_t>(log.NumQueues());
+  const auto num_tasks = static_cast<std::size_t>(log.NumTasks());
+
+  std::vector<double> responses(num_tasks);
+  for (int k = 0; k < log.NumTasks(); ++k) {
+    responses[static_cast<std::size_t>(k)] = log.TaskExitTime(k) - log.TaskEntryTime(k);
+  }
+  const double threshold = Quantile(responses, percentile);
+
+  SlowRequestReport report;
+  report.threshold = threshold;
+  report.num_tasks = num_tasks;
+  report.slow_wait.assign(num_queues, 0.0);
+  report.slow_service.assign(num_queues, 0.0);
+  report.all_wait.assign(num_queues, 0.0);
+  report.all_service.assign(num_queues, 0.0);
+
+  for (int k = 0; k < log.NumTasks(); ++k) {
+    const bool slow = responses[static_cast<std::size_t>(k)] >= threshold;
+    if (slow) {
+      ++report.num_slow;
+    }
+    const auto& chain = log.TaskEvents(k);
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      const auto q = static_cast<std::size_t>(log.At(chain[i]).queue);
+      const double wait = log.WaitTime(chain[i]);
+      const double service = log.ServiceTime(chain[i]);
+      report.all_wait[q] += wait;
+      report.all_service[q] += service;
+      if (slow) {
+        report.slow_wait[q] += wait;
+        report.slow_service[q] += service;
+      }
+    }
+  }
+  for (std::size_t q = 0; q < num_queues; ++q) {
+    report.all_wait[q] /= static_cast<double>(num_tasks);
+    report.all_service[q] /= static_cast<double>(num_tasks);
+    if (report.num_slow > 0) {
+      report.slow_wait[q] /= static_cast<double>(report.num_slow);
+      report.slow_service[q] /= static_cast<double>(report.num_slow);
+    }
+  }
+  return report;
+}
+
+SlowRequestReport AnalyzeSlowRequestsPosterior(GibbsSampler& sampler, Rng& rng,
+                                               std::size_t sweeps, double percentile) {
+  QNET_CHECK(sweeps > 0, "need at least one sweep");
+  SlowRequestReport total;
+  const auto num_queues = static_cast<std::size_t>(sampler.State().NumQueues());
+  total.slow_wait.assign(num_queues, 0.0);
+  total.slow_service.assign(num_queues, 0.0);
+  total.all_wait.assign(num_queues, 0.0);
+  total.all_service.assign(num_queues, 0.0);
+  for (std::size_t s = 0; s < sweeps; ++s) {
+    sampler.Sweep(rng);
+    const SlowRequestReport sample = AnalyzeSlowRequests(sampler.State(), percentile);
+    total.threshold += sample.threshold / static_cast<double>(sweeps);
+    total.num_slow = sample.num_slow;
+    total.num_tasks = sample.num_tasks;
+    for (std::size_t q = 0; q < num_queues; ++q) {
+      total.slow_wait[q] += sample.slow_wait[q] / static_cast<double>(sweeps);
+      total.slow_service[q] += sample.slow_service[q] / static_cast<double>(sweeps);
+      total.all_wait[q] += sample.all_wait[q] / static_cast<double>(sweeps);
+      total.all_service[q] += sample.all_service[q] / static_cast<double>(sweeps);
+    }
+  }
+  return total;
+}
+
+}  // namespace qnet

@@ -1,0 +1,55 @@
+// Slow-request diagnosis — the paper's second motivating question (Section 1):
+//
+//   "During the execution of the 1% of requests that perform poorly, which system
+//    components receive the most load? The bottleneck for slow requests could be very
+//    different than the bottleneck for average requests."
+//
+// Given a (complete or posterior-imputed) event log, selects the slowest `1 - percentile`
+// fraction of tasks by end-to-end response time and attributes where their time went —
+// per-queue waiting vs service — next to the same attribution for all tasks. The posterior
+// variant averages the attribution over Gibbs samples, which is how the question is
+// answered when only a sparse trace was observed.
+
+#ifndef QNET_INFER_SLOW_REQUESTS_H_
+#define QNET_INFER_SLOW_REQUESTS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "qnet/infer/gibbs.h"
+#include "qnet/model/event.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+
+struct SlowRequestReport {
+  // Tasks with response time above this were classified slow.
+  double threshold = 0.0;
+  std::size_t num_slow = 0;
+  std::size_t num_tasks = 0;
+  // Per-queue mean time a *slow* task spent waiting / in service at that queue.
+  std::vector<double> slow_wait;
+  std::vector<double> slow_service;
+  // Same attribution over *all* tasks, for contrast.
+  std::vector<double> all_wait;
+  std::vector<double> all_service;
+
+  // Queue with the largest slow-task waiting time (the "slow-request bottleneck").
+  int SlowBottleneckQueue() const;
+  // Queue whose slow-vs-all waiting ratio is largest (where slow requests differ most).
+  int MostDisproportionateQueue() const;
+};
+
+// Attribution on a single event log (percentile in (0, 1), e.g. 0.99 selects the slowest
+// 1% of tasks; logs with fewer than ~1/(1-percentile) tasks keep at least one slow task).
+SlowRequestReport AnalyzeSlowRequests(const EventLog& log, double percentile = 0.99);
+
+// Posterior-averaged attribution: runs `sweeps` Gibbs sweeps and averages the per-queue
+// attributions across the imputed logs.
+SlowRequestReport AnalyzeSlowRequestsPosterior(GibbsSampler& sampler, Rng& rng,
+                                               std::size_t sweeps = 50,
+                                               double percentile = 0.99);
+
+}  // namespace qnet
+
+#endif  // QNET_INFER_SLOW_REQUESTS_H_

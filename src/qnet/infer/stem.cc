@@ -1,0 +1,95 @@
+#include "qnet/infer/stem.h"
+
+#include <algorithm>
+
+#include "qnet/infer/estimators.h"
+#include "qnet/support/check.h"
+
+namespace qnet {
+
+std::vector<double> StemEstimator::MStep(const EventLog& log, double service_sum_floor) {
+  const std::vector<double> sums = log.PerQueueServiceSum();
+  const std::vector<std::size_t> counts = log.PerQueueCount();
+  std::vector<double> rates(sums.size(), 0.0);
+  for (std::size_t q = 0; q < sums.size(); ++q) {
+    QNET_CHECK(counts[q] > 0, "queue ", q, " has no events; cannot estimate its rate");
+    rates[q] = static_cast<double>(counts[q]) / std::max(sums[q], service_sum_floor);
+  }
+  return rates;
+}
+
+StemResult StemEstimator::Run(const EventLog& truth, const Observation& obs,
+                              std::vector<double> init_rates, Rng& rng) const {
+  if (init_rates.empty()) {
+    init_rates = WarmStartRates(truth, obs);
+  }
+  QNET_CHECK(init_rates.size() == static_cast<std::size_t>(truth.NumQueues()),
+             "init_rates size mismatch");
+  QNET_CHECK(options_.iterations > options_.burn_in,
+             "need iterations > burn_in; iterations=", options_.iterations,
+             " burn_in=", options_.burn_in);
+
+  EventLog state = InitializeFeasible(truth, obs, init_rates, rng, options_.init);
+  GibbsSampler gibbs(std::move(state), obs, init_rates, options_.gibbs);
+
+  const std::size_t num_queues = init_rates.size();
+  std::vector<double> rates = std::move(init_rates);
+  std::vector<double> rate_accum(num_queues, 0.0);
+  std::size_t accum_count = 0;
+
+  StemResult result;
+  result.latent_arrivals = gibbs.NumLatentArrivals();
+  result.rate_trace.reserve(options_.iterations);
+
+  for (std::size_t iter = 0; iter < options_.iterations; ++iter) {
+    // E-step: one (or a few) Gibbs sweeps at the current rates.
+    gibbs.SetRates(rates);
+    for (std::size_t s = 0; s < options_.sweeps_per_iteration; ++s) {
+      gibbs.Sweep(rng);
+    }
+    // M-step: complete-data MLE on the imputed log.
+    std::vector<double> new_rates = MStep(gibbs.State(), options_.service_sum_floor);
+    if (!options_.estimate_arrival_rate) {
+      new_rates[0] = rates[0];
+    }
+    rates = std::move(new_rates);
+    result.rate_trace.push_back(rates);
+    if (iter >= options_.burn_in) {
+      for (std::size_t q = 0; q < num_queues; ++q) {
+        rate_accum[q] += rates[q];
+      }
+      ++accum_count;
+    }
+  }
+
+  result.rates.resize(num_queues);
+  for (std::size_t q = 0; q < num_queues; ++q) {
+    result.rates[q] = rate_accum[q] / static_cast<double>(accum_count);
+  }
+  result.mean_service.resize(num_queues);
+  for (std::size_t q = 0; q < num_queues; ++q) {
+    result.mean_service[q] = 1.0 / result.rates[q];
+  }
+
+  // Waiting-time phase: freeze the averaged rates and average per-queue waits over sweeps.
+  if (options_.wait_sweeps > 0) {
+    gibbs.SetRates(result.rates);
+    std::vector<double> wait_accum(num_queues, 0.0);
+    for (std::size_t s = 0; s < options_.wait_sweeps; ++s) {
+      gibbs.Sweep(rng);
+      const std::vector<double> waits = gibbs.State().PerQueueMeanWait();
+      for (std::size_t q = 0; q < num_queues; ++q) {
+        wait_accum[q] += waits[q];
+      }
+    }
+    result.mean_wait.resize(num_queues);
+    for (std::size_t q = 0; q < num_queues; ++q) {
+      result.mean_wait[q] = wait_accum[q] / static_cast<double>(options_.wait_sweeps);
+    }
+  }
+
+  result.final_state = gibbs.State();
+  return result;
+}
+
+}  // namespace qnet

@@ -1,0 +1,78 @@
+// Stochastic EM (paper Section 4).
+//
+// StEM alternates (i) an E-step that replaces the unobserved times with ONE Gibbs sweep from
+// p(E_latent | E_observed, theta) and (ii) an M-step that sets theta = (lambda, {mu_q}) to
+// the complete-data maximum-likelihood estimate mu_q = n_q / sum_{e at q} s_e. The returned
+// point estimate averages the post-burn-in iterates (the standard StEM estimator); the
+// per-queue waiting times are then estimated by running the Gibbs sampler with the final
+// rates held fixed, as the paper prescribes.
+
+#ifndef QNET_INFER_STEM_H_
+#define QNET_INFER_STEM_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "qnet/infer/gibbs.h"
+#include "qnet/infer/initializer.h"
+#include "qnet/model/event.h"
+#include "qnet/obs/observation.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+
+struct StemOptions {
+  std::size_t iterations = 200;
+  std::size_t burn_in = 50;
+  // Gibbs sweeps per E-step (the paper uses exactly 1).
+  std::size_t sweeps_per_iteration = 1;
+  // Extra fixed-rate Gibbs sweeps used to estimate waiting times after the rate estimate is
+  // frozen; 0 disables the waiting-time phase.
+  std::size_t wait_sweeps = 50;
+  // Keep lambda fixed at its initial value instead of re-estimating it.
+  bool estimate_arrival_rate = true;
+  // Floor applied to per-queue service-time sums in the M-step (guards divide-by-zero when
+  // a queue's imputed services collapse to ~0 early on).
+  double service_sum_floor = 1e-9;
+  GibbsOptions gibbs;
+  InitializerOptions init;
+};
+
+struct StemResult {
+  // Post-burn-in averaged rate estimates; index 0 is lambda-hat.
+  std::vector<double> rates;
+  // Convenience: 1 / rates (estimated mean service times; index 0 = mean interarrival).
+  std::vector<double> mean_service;
+  // Posterior-mean per-queue waiting time under the final rates (empty if wait_sweeps == 0).
+  std::vector<double> mean_wait;
+  // Rate trajectory, one vector per StEM iteration (for diagnostics).
+  std::vector<std::vector<double>> rate_trace;
+  // Final latent state (the last Gibbs sample).
+  std::optional<EventLog> final_state;
+
+  std::size_t latent_arrivals = 0;
+};
+
+class StemEstimator {
+ public:
+  explicit StemEstimator(StemOptions options = {}) : options_(options) {}
+
+  // `truth` provides structure + observed times (unobserved times are never read); `obs`
+  // marks what is observed; `init_rates` seeds theta (index 0 = lambda). Passing an empty
+  // vector uses WarmStartRates(truth, obs) — recommended: from a cold start the EM fixed
+  // point contracts at roughly (1 - observed fraction) per iteration, so sparse traces
+  // converge very slowly without a scale-correct start.
+  StemResult Run(const EventLog& truth, const Observation& obs,
+                 std::vector<double> init_rates, Rng& rng) const;
+
+  // Complete-data MLE of all rates from an event log: mu_q = n_q / sum s_e.
+  static std::vector<double> MStep(const EventLog& log, double service_sum_floor = 1e-9);
+
+ private:
+  StemOptions options_;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_INFER_STEM_H_

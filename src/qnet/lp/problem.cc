@@ -1,0 +1,42 @@
+#include "qnet/lp/problem.h"
+
+#include <limits>
+
+#include "qnet/support/check.h"
+
+namespace qnet {
+
+int LpProblem::AddVariable(std::string name, double lower, double upper) {
+  QNET_CHECK(lower <= upper, "variable ", name, " has empty bound interval");
+  names_.push_back(std::move(name));
+  lower_.push_back(lower);
+  upper_.push_back(upper);
+  objective_.push_back(0.0);
+  return NumVariables() - 1;
+}
+
+void LpProblem::SetObjective(int var, double coeff) {
+  QNET_CHECK(var >= 0 && var < NumVariables(), "bad variable id ", var);
+  objective_[static_cast<std::size_t>(var)] = coeff;
+}
+
+void LpProblem::AddConstraint(std::vector<std::pair<int, double>> terms, LpRelation relation,
+                              double rhs) {
+  for (const auto& [var, coeff] : terms) {
+    QNET_CHECK(var >= 0 && var < NumVariables(), "bad variable id ", var);
+    (void)coeff;
+  }
+  constraints_.push_back(LpConstraint{std::move(terms), relation, rhs});
+}
+
+const std::string& LpProblem::VariableName(int var) const {
+  QNET_CHECK(var >= 0 && var < NumVariables(), "bad variable id ", var);
+  return names_[static_cast<std::size_t>(var)];
+}
+
+const LpConstraint& LpProblem::Constraint(int i) const {
+  QNET_CHECK(i >= 0 && i < NumConstraints(), "bad constraint id ", i);
+  return constraints_[static_cast<std::size_t>(i)];
+}
+
+}  // namespace qnet

@@ -1,0 +1,51 @@
+// Linear program description: minimize c'x subject to linear constraints and variable
+// bounds. Used by the paper-faithful Gibbs initializer (Section 3: "minimize
+// sum_e |s_e - mu_qe| subject to the deterministic constraints").
+
+#ifndef QNET_LP_PROBLEM_H_
+#define QNET_LP_PROBLEM_H_
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qnet {
+
+enum class LpRelation { kLessEqual, kGreaterEqual, kEqual };
+
+struct LpConstraint {
+  std::vector<std::pair<int, double>> terms;  // (variable, coefficient)
+  LpRelation relation = LpRelation::kLessEqual;
+  double rhs = 0.0;
+};
+
+class LpProblem {
+ public:
+  // Adds a variable with bounds [lower, upper]; lower may be -inf and upper +inf.
+  int AddVariable(std::string name, double lower = 0.0,
+                  double upper = std::numeric_limits<double>::infinity());
+  // Sets the objective coefficient of a variable (minimization).
+  void SetObjective(int var, double coeff);
+  void AddConstraint(std::vector<std::pair<int, double>> terms, LpRelation relation,
+                     double rhs);
+
+  int NumVariables() const { return static_cast<int>(names_.size()); }
+  int NumConstraints() const { return static_cast<int>(constraints_.size()); }
+  const std::string& VariableName(int var) const;
+  double Lower(int var) const { return lower_[static_cast<std::size_t>(var)]; }
+  double Upper(int var) const { return upper_[static_cast<std::size_t>(var)]; }
+  double Objective(int var) const { return objective_[static_cast<std::size_t>(var)]; }
+  const LpConstraint& Constraint(int i) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<double> objective_;
+  std::vector<LpConstraint> constraints_;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_LP_PROBLEM_H_

@@ -1,0 +1,372 @@
+#include "qnet/lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "qnet/support/check.h"
+
+namespace qnet {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Standard-form working problem: minimize c'y s.t. Ay = b, y >= 0, b >= 0.
+struct StandardForm {
+  std::size_t num_structural = 0;  // columns that correspond to (shifted) decision variables
+  std::size_t num_columns = 0;     // total working columns (structural + slack + artificial)
+  std::vector<std::vector<double>> rows;  // each of size num_columns
+  std::vector<double> rhs;
+  std::vector<double> cost;
+  // Mapping back: original variable i = offset_i + sum_j sign_j * y_{col_j}.
+  struct BackMap {
+    double offset = 0.0;
+    int plus_col = -1;   // y added
+    int minus_col = -1;  // y subtracted (free variables)
+  };
+  std::vector<BackMap> back;
+  double objective_offset = 0.0;
+  std::size_t first_artificial = 0;  // columns >= this are artificial
+};
+
+class Tableau {
+ public:
+  Tableau(StandardForm sf, const SimplexOptions& options)
+      : sf_(std::move(sf)), options_(options) {}
+
+  LpStatus Run() {
+    const std::size_t m = sf_.rows.size();
+    const std::size_t n = sf_.num_columns;
+    basis_.assign(m, 0);
+    // Initial basis: the artificial/slack identity columns recorded during construction.
+    // We find them: the last m columns added form an identity (construction guarantees it).
+    for (std::size_t r = 0; r < m; ++r) {
+      basis_[r] = identity_col_[r];
+    }
+
+    // Phase 1: minimize the sum of artificial variables.
+    if (HasArtificials()) {
+      std::vector<double> phase1_cost(n, 0.0);
+      for (std::size_t j = sf_.first_artificial; j < n; ++j) {
+        phase1_cost[j] = 1.0;
+      }
+      BuildObjectiveRow(phase1_cost);
+      const LpStatus status = Iterate(/*exclude_artificials=*/false);
+      if (status != LpStatus::kOptimal) {
+        return status;
+      }
+      if (objective_value_ > 1e-7) {
+        return LpStatus::kInfeasible;
+      }
+      DriveOutArtificials();
+    }
+
+    // Phase 2: the real objective, artificial columns barred from entering.
+    BuildObjectiveRow(sf_.cost);
+    return Iterate(/*exclude_artificials=*/true);
+  }
+
+  double ObjectiveValue() const { return objective_value_ + sf_.objective_offset; }
+
+  std::vector<double> ExtractValues(std::size_t num_original) const {
+    const std::size_t n = sf_.num_columns;
+    std::vector<double> y(n, 0.0);
+    for (std::size_t r = 0; r < basis_.size(); ++r) {
+      y[basis_[r]] = rhs_[r];
+    }
+    std::vector<double> x(num_original, 0.0);
+    for (std::size_t i = 0; i < num_original; ++i) {
+      const auto& bm = sf_.back[i];
+      double value = bm.offset;
+      if (bm.plus_col >= 0) {
+        value += y[static_cast<std::size_t>(bm.plus_col)];
+      }
+      if (bm.minus_col >= 0) {
+        value -= y[static_cast<std::size_t>(bm.minus_col)];
+      }
+      x[i] = value;
+    }
+    return x;
+  }
+
+  void SetIdentityCols(std::vector<std::size_t> cols) { identity_col_ = std::move(cols); }
+
+  void Materialize() {
+    rows_ = sf_.rows;
+    rhs_ = sf_.rhs;
+  }
+
+ private:
+  bool HasArtificials() const { return sf_.first_artificial < sf_.num_columns; }
+
+  void BuildObjectiveRow(const std::vector<double>& cost) {
+    const std::size_t n = sf_.num_columns;
+    reduced_ = cost;
+    objective_value_ = 0.0;
+    for (std::size_t r = 0; r < basis_.size(); ++r) {
+      const double cb = cost[basis_[r]];
+      if (cb != 0.0) {
+        for (std::size_t j = 0; j < n; ++j) {
+          reduced_[j] -= cb * rows_[r][j];
+        }
+        objective_value_ += cb * rhs_[r];
+      }
+    }
+  }
+
+  LpStatus Iterate(bool exclude_artificials) {
+    const std::size_t m = rows_.size();
+    const std::size_t n = sf_.num_columns;
+    const std::size_t limit_col = exclude_artificials ? sf_.first_artificial : n;
+    const std::size_t bland_switch = 2 * (m + n) + 64;
+    for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+      const bool bland = iter > bland_switch;
+      // Entering column.
+      std::size_t enter = n;
+      double best = -options_.eps;
+      for (std::size_t j = 0; j < limit_col; ++j) {
+        if (reduced_[j] < best) {
+          enter = j;
+          if (bland) {
+            break;
+          }
+          best = reduced_[j];
+        }
+      }
+      if (enter == n) {
+        return LpStatus::kOptimal;
+      }
+      // Ratio test.
+      std::size_t leave = m;
+      double best_ratio = kInf;
+      for (std::size_t r = 0; r < m; ++r) {
+        const double a = rows_[r][enter];
+        if (a > options_.eps) {
+          const double ratio = rhs_[r] / a;
+          if (ratio < best_ratio - 1e-12 ||
+              (ratio < best_ratio + 1e-12 && (leave == m || basis_[r] < basis_[leave]))) {
+            best_ratio = ratio;
+            leave = r;
+          }
+        }
+      }
+      if (leave == m) {
+        return LpStatus::kUnbounded;
+      }
+      Pivot(leave, enter);
+    }
+    return LpStatus::kIterationLimit;
+  }
+
+  void Pivot(std::size_t row, std::size_t col) {
+    const std::size_t n = sf_.num_columns;
+    const double pivot = rows_[row][col];
+    QNET_DCHECK(std::abs(pivot) > 1e-12, "degenerate pivot element");
+    const double inv = 1.0 / pivot;
+    for (std::size_t j = 0; j < n; ++j) {
+      rows_[row][j] *= inv;
+    }
+    rhs_[row] *= inv;
+    rows_[row][col] = 1.0;  // Kill accumulated round-off on the pivot element itself.
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (r == row) {
+        continue;
+      }
+      const double factor = rows_[r][col];
+      if (factor != 0.0) {
+        for (std::size_t j = 0; j < n; ++j) {
+          rows_[r][j] -= factor * rows_[row][j];
+        }
+        rows_[r][col] = 0.0;
+        rhs_[r] -= factor * rhs_[row];
+      }
+    }
+    const double red_factor = reduced_[col];
+    if (red_factor != 0.0) {
+      for (std::size_t j = 0; j < n; ++j) {
+        reduced_[j] -= red_factor * rows_[row][j];
+      }
+      reduced_[col] = 0.0;
+      objective_value_ += red_factor * rhs_[row];
+    }
+    basis_[row] = col;
+  }
+
+  // After phase 1, swap any zero-valued basic artificial for a structural column when one is
+  // available; rows where none exists are redundant and harmless (the artificial stays basic
+  // at zero and is barred from re-entering).
+  void DriveOutArtificials() {
+    for (std::size_t r = 0; r < basis_.size(); ++r) {
+      if (basis_[r] < sf_.first_artificial) {
+        continue;
+      }
+      for (std::size_t j = 0; j < sf_.first_artificial; ++j) {
+        if (std::abs(rows_[r][j]) > 1e-7) {
+          Pivot(r, j);
+          break;
+        }
+      }
+    }
+  }
+
+  StandardForm sf_;
+  SimplexOptions options_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> rhs_;
+  std::vector<double> reduced_;
+  std::vector<std::size_t> basis_;
+  std::vector<std::size_t> identity_col_;
+  double objective_value_ = 0.0;
+};
+
+}  // namespace
+
+LpSolution SimplexSolver::Solve(const LpProblem& problem) const {
+  const std::size_t num_vars = static_cast<std::size_t>(problem.NumVariables());
+
+  // --- Step 1: shift/split variables so every working variable is >= 0. -----------------
+  StandardForm sf;
+  sf.back.resize(num_vars);
+  std::size_t next_col = 0;
+  std::vector<LpConstraint> extra_rows;  // finite upper bounds become rows
+  std::vector<double> col_cost;
+  // For building constraint rows we need, per original variable, its column(s) and sign.
+  for (std::size_t i = 0; i < num_vars; ++i) {
+    const double lo = problem.Lower(static_cast<int>(i));
+    const double hi = problem.Upper(static_cast<int>(i));
+    auto& bm = sf.back[i];
+    if (lo == -kInf && hi == kInf) {
+      bm.plus_col = static_cast<int>(next_col++);
+      bm.minus_col = static_cast<int>(next_col++);
+      col_cost.push_back(0.0);
+      col_cost.push_back(0.0);
+    } else if (lo != -kInf) {
+      bm.offset = lo;
+      bm.plus_col = static_cast<int>(next_col++);
+      col_cost.push_back(0.0);
+      if (hi != kInf) {
+        extra_rows.push_back(LpConstraint{{{static_cast<int>(i), 1.0}},
+                                          LpRelation::kLessEqual, hi});
+      }
+    } else {
+      // lo == -inf, hi finite: x = hi - y.
+      bm.offset = hi;
+      bm.minus_col = static_cast<int>(next_col++);
+      col_cost.push_back(0.0);
+    }
+  }
+  const std::size_t num_structural = next_col;
+  sf.num_structural = num_structural;
+
+  // Objective in working space.
+  for (std::size_t i = 0; i < num_vars; ++i) {
+    const double c = problem.Objective(static_cast<int>(i));
+    if (c == 0.0) {
+      continue;
+    }
+    const auto& bm = sf.back[i];
+    sf.objective_offset += c * bm.offset;
+    if (bm.plus_col >= 0) {
+      col_cost[static_cast<std::size_t>(bm.plus_col)] += c;
+    }
+    if (bm.minus_col >= 0) {
+      col_cost[static_cast<std::size_t>(bm.minus_col)] -= c;
+    }
+  }
+
+  // --- Step 2: assemble rows (original constraints + upper-bound rows). -----------------
+  std::vector<const LpConstraint*> all_rows;
+  for (int r = 0; r < problem.NumConstraints(); ++r) {
+    all_rows.push_back(&problem.Constraint(r));
+  }
+  for (const auto& row : extra_rows) {
+    all_rows.push_back(&row);
+  }
+  const std::size_t m = all_rows.size();
+
+  // Column count: structural + one slack/surplus per inequality + artificials (bounded by m).
+  std::vector<std::vector<double>> dense(m);
+  std::vector<double> rhs(m, 0.0);
+  std::vector<int> row_kind(m);  // 0: <=, 1: >=, 2: ==, after rhs normalization
+  for (std::size_t r = 0; r < m; ++r) {
+    dense[r].assign(num_structural, 0.0);
+    const LpConstraint& c = *all_rows[r];
+    double b = c.rhs;
+    for (const auto& [var, coeff] : c.terms) {
+      const auto& bm = sf.back[static_cast<std::size_t>(var)];
+      b -= coeff * bm.offset;
+      if (bm.plus_col >= 0) {
+        dense[r][static_cast<std::size_t>(bm.plus_col)] += coeff;
+      }
+      if (bm.minus_col >= 0) {
+        dense[r][static_cast<std::size_t>(bm.minus_col)] -= coeff;
+      }
+    }
+    LpRelation rel = c.relation;
+    if (b < 0.0) {
+      for (double& v : dense[r]) {
+        v = -v;
+      }
+      b = -b;
+      if (rel == LpRelation::kLessEqual) {
+        rel = LpRelation::kGreaterEqual;
+      } else if (rel == LpRelation::kGreaterEqual) {
+        rel = LpRelation::kLessEqual;
+      }
+    }
+    rhs[r] = b;
+    row_kind[r] = rel == LpRelation::kLessEqual ? 0 : (rel == LpRelation::kGreaterEqual ? 1 : 2);
+  }
+
+  // Slack columns.
+  std::size_t col = num_structural;
+  std::vector<int> slack_col(m, -1);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (row_kind[r] == 0 || row_kind[r] == 1) {
+      slack_col[r] = static_cast<int>(col++);
+    }
+  }
+  // Artificial columns: for >= and == rows (the <= rows use their slack as the basis).
+  sf.first_artificial = col;
+  std::vector<int> artificial_col(m, -1);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (row_kind[r] != 0) {
+      artificial_col[r] = static_cast<int>(col++);
+    }
+  }
+  const std::size_t n_total = col;
+
+  std::vector<std::size_t> identity_cols(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    dense[r].resize(n_total, 0.0);
+    if (slack_col[r] >= 0) {
+      dense[r][static_cast<std::size_t>(slack_col[r])] = row_kind[r] == 0 ? 1.0 : -1.0;
+    }
+    if (artificial_col[r] >= 0) {
+      dense[r][static_cast<std::size_t>(artificial_col[r])] = 1.0;
+      identity_cols[r] = static_cast<std::size_t>(artificial_col[r]);
+    } else {
+      identity_cols[r] = static_cast<std::size_t>(slack_col[r]);
+    }
+  }
+  col_cost.resize(n_total, 0.0);
+
+  sf.rows = std::move(dense);
+  sf.rhs = std::move(rhs);
+  sf.cost = std::move(col_cost);
+  sf.num_columns = n_total;
+
+  Tableau tableau(std::move(sf), options_);
+  tableau.SetIdentityCols(std::move(identity_cols));
+  tableau.Materialize();
+
+  LpSolution solution;
+  solution.status = tableau.Run();
+  if (solution.status == LpStatus::kOptimal) {
+    solution.objective = tableau.ObjectiveValue();
+    solution.values = tableau.ExtractValues(num_vars);
+  }
+  return solution;
+}
+
+}  // namespace qnet

@@ -1,0 +1,41 @@
+// Dense two-phase primal simplex solver.
+//
+// Scope: exact enough for the event-initialization LPs (thousands of variables at most) and
+// for unit tests. Dantzig pricing with an automatic switch to Bland's rule for guaranteed
+// termination under degeneracy.
+
+#ifndef QNET_LP_SIMPLEX_H_
+#define QNET_LP_SIMPLEX_H_
+
+#include <vector>
+
+#include "qnet/lp/problem.h"
+
+namespace qnet {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> values;  // one per problem variable (original space)
+};
+
+struct SimplexOptions {
+  std::size_t max_iterations = 200000;
+  double eps = 1e-9;
+};
+
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  LpSolution Solve(const LpProblem& problem) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_LP_SIMPLEX_H_

@@ -1,0 +1,139 @@
+#include "qnet/model/builders.h"
+
+#include <sstream>
+
+#include "qnet/dist/exponential.h"
+#include "qnet/support/check.h"
+
+namespace qnet {
+
+QueueingNetwork MakeThreeTierNetwork(const ThreeTierConfig& config) {
+  QNET_CHECK(!config.tier_sizes.empty(), "at least one tier required");
+  QNET_CHECK(config.arrival_rate > 0.0 && config.service_rate > 0.0, "rates must be positive");
+  QueueingNetwork net(std::make_unique<Exponential>(config.arrival_rate));
+
+  std::vector<std::vector<int>> tier_queues;
+  for (std::size_t tier = 0; tier < config.tier_sizes.size(); ++tier) {
+    QNET_CHECK(config.tier_sizes[tier] > 0, "tier ", tier, " has no servers");
+    std::vector<int> queues;
+    for (int i = 0; i < config.tier_sizes[tier]; ++i) {
+      std::ostringstream name;
+      name << "tier" << tier << "_srv" << i;
+      queues.push_back(net.AddQueue(name.str(),
+                                    std::make_unique<Exponential>(config.service_rate)));
+    }
+    tier_queues.push_back(std::move(queues));
+  }
+  std::vector<int> net_queues;
+  if (config.network_queues) {
+    for (std::size_t tier = 0; tier + 1 < config.tier_sizes.size(); ++tier) {
+      std::ostringstream name;
+      name << "net" << tier << "_" << tier + 1;
+      net_queues.push_back(net.AddQueue(name.str(),
+                                        std::make_unique<Exponential>(config.network_rate)));
+    }
+  }
+
+  Fsm& fsm = net.MutableFsm();
+  std::vector<int> tier_states;
+  for (std::size_t tier = 0; tier < tier_queues.size(); ++tier) {
+    std::ostringstream name;
+    name << "tier" << tier;
+    const int state = fsm.AddState(name.str());
+    fsm.SetUniformEmission(state, tier_queues[tier]);
+    tier_states.push_back(state);
+  }
+  std::vector<int> net_states;
+  if (config.network_queues) {
+    for (std::size_t i = 0; i < net_queues.size(); ++i) {
+      std::ostringstream name;
+      name << "net" << i;
+      const int state = fsm.AddState(name.str());
+      fsm.SetDeterministicEmission(state, net_queues[i]);
+      net_states.push_back(state);
+    }
+  }
+  fsm.SetInitialState(tier_states.front());
+  for (std::size_t tier = 0; tier < tier_states.size(); ++tier) {
+    const bool last = tier + 1 == tier_states.size();
+    if (last) {
+      fsm.SetTransition(tier_states[tier], Fsm::kFinalState, 1.0);
+    } else if (config.network_queues) {
+      fsm.SetTransition(tier_states[tier], net_states[tier], 1.0);
+      fsm.SetTransition(net_states[tier], tier_states[tier + 1], 1.0);
+    } else {
+      fsm.SetTransition(tier_states[tier], tier_states[tier + 1], 1.0);
+    }
+  }
+  net.Validate();
+  return net;
+}
+
+QueueingNetwork MakeTandemNetwork(double arrival_rate,
+                                  const std::vector<double>& service_rates) {
+  QNET_CHECK(!service_rates.empty(), "tandem needs at least one queue");
+  QueueingNetwork net(std::make_unique<Exponential>(arrival_rate));
+  std::vector<int> queues;
+  for (std::size_t i = 0; i < service_rates.size(); ++i) {
+    std::ostringstream name;
+    name << "queue" << i;
+    queues.push_back(net.AddQueue(name.str(), std::make_unique<Exponential>(service_rates[i])));
+  }
+  Fsm& fsm = net.MutableFsm();
+  std::vector<int> states;
+  for (std::size_t i = 0; i < queues.size(); ++i) {
+    std::ostringstream name;
+    name << "stage" << i;
+    const int state = fsm.AddState(name.str());
+    fsm.SetDeterministicEmission(state, queues[i]);
+    states.push_back(state);
+  }
+  fsm.SetInitialState(states.front());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (i + 1 == states.size()) {
+      fsm.SetTransition(states[i], Fsm::kFinalState, 1.0);
+    } else {
+      fsm.SetTransition(states[i], states[i + 1], 1.0);
+    }
+  }
+  net.Validate();
+  return net;
+}
+
+QueueingNetwork MakeSingleQueueNetwork(double arrival_rate, double service_rate) {
+  return MakeTandemNetwork(arrival_rate, {service_rate});
+}
+
+QueueingNetwork MakeFeedbackNetwork(double arrival_rate, double service_rate,
+                                    double retry_prob) {
+  QNET_CHECK(retry_prob >= 0.0 && retry_prob < 1.0, "retry probability must be in [0, 1)");
+  QueueingNetwork net(std::make_unique<Exponential>(arrival_rate));
+  const int queue = net.AddQueue("server", std::make_unique<Exponential>(service_rate));
+  Fsm& fsm = net.MutableFsm();
+  const int state = fsm.AddState("serve");
+  fsm.SetDeterministicEmission(state, queue);
+  fsm.SetInitialState(state);
+  fsm.SetTransition(state, state, retry_prob);
+  fsm.SetTransition(state, Fsm::kFinalState, 1.0 - retry_prob);
+  net.Validate();
+  return net;
+}
+
+std::vector<ThreeTierConfig> SyntheticStructures(double arrival_rate, double service_rate) {
+  // Permutations of {1, 2, 4} across the three tiers; five structures as in Section 5.1,
+  // moving the heavily-overloaded single-server tier across positions.
+  const std::vector<std::vector<int>> sizes = {
+      {1, 2, 4}, {2, 1, 4}, {4, 2, 1}, {2, 4, 1}, {4, 1, 2},
+  };
+  std::vector<ThreeTierConfig> configs;
+  for (const auto& s : sizes) {
+    ThreeTierConfig config;
+    config.tier_sizes = s;
+    config.arrival_rate = arrival_rate;
+    config.service_rate = service_rate;
+    configs.push_back(config);
+  }
+  return configs;
+}
+
+}  // namespace qnet

@@ -1,0 +1,48 @@
+// Canonical network constructors used throughout the paper: multi-tier web services
+// (Figure 1), tandem lines, single queues, and a feedback (retry) network that exercises
+// repeated visits of one task to the same queue.
+
+#ifndef QNET_MODEL_BUILDERS_H_
+#define QNET_MODEL_BUILDERS_H_
+
+#include <vector>
+
+#include "qnet/model/network.h"
+
+namespace qnet {
+
+struct ThreeTierConfig {
+  // Number of replicated servers in each tier, front to back (e.g. {1, 2, 4}).
+  std::vector<int> tier_sizes;
+  // System arrival rate lambda (exponential interarrivals).
+  double arrival_rate = 10.0;
+  // Per-server exponential service rate mu (same for every server, per Section 5.1).
+  double service_rate = 5.0;
+  // When true, inserts one shared network queue between consecutive tiers (Figure 1 shows
+  // these; the Section 5.1 experiments drop them).
+  bool network_queues = false;
+  double network_rate = 100.0;
+};
+
+// Multi-tier network: a task visits one uniformly-chosen server per tier, front to back.
+QueueingNetwork MakeThreeTierNetwork(const ThreeTierConfig& config);
+
+// M/M/1 tandem line: every task visits queues 1..n in order.
+QueueingNetwork MakeTandemNetwork(double arrival_rate, const std::vector<double>& service_rates);
+
+// Single M/M/1 queue.
+QueueingNetwork MakeSingleQueueNetwork(double arrival_rate, double service_rate);
+
+// Single queue with geometric retries: after service the task rejoins the queue with
+// probability retry_prob. Exercises multiple same-queue visits per task.
+QueueingNetwork MakeFeedbackNetwork(double arrival_rate, double service_rate,
+                                    double retry_prob);
+
+// The five Section 5.1 synthetic structures: tier-size permutations of {1, 2, 4} chosen so
+// the bottleneck moves across tiers.
+std::vector<ThreeTierConfig> SyntheticStructures(double arrival_rate = 10.0,
+                                                 double service_rate = 5.0);
+
+}  // namespace qnet
+
+#endif  // QNET_MODEL_BUILDERS_H_

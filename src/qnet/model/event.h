@@ -1,0 +1,149 @@
+// Event-graph representation of a set of tasks processed by a queueing network
+// (paper Section 2).
+//
+// Every (task, queue-visit) pair is one event e = (k_e, sigma_e, q_e, a_e, d_e). Each task
+// additionally owns an *initial event* at the virtual arrival queue 0 that arrives at t = 0
+// and departs at the task's system entry time, so the system interarrival process is the
+// "service" process of queue 0.
+//
+// Link structure:
+//   pi(e)  — within-task predecessor (previous visit of the same task; the initial event for
+//            the first real visit),
+//   tau(e) — within-task successor,
+//   rho(e) — within-queue predecessor in *arrival order*,
+//   nu(e)  — within-queue successor in arrival order.
+//
+// The deterministic dependencies a_e = d_pi(e) and d_e = s_e + max(a_e, d_rho(e)) mean the
+// service times s_e are *derived* quantities: ServiceTime(e) computes them from the stored
+// arrival/departure times and the links. The inference code mutates times while holding the
+// link structure (i.e. the known per-queue arrival order) fixed.
+
+#ifndef QNET_MODEL_EVENT_H_
+#define QNET_MODEL_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qnet/model/network.h"
+
+namespace qnet {
+
+using EventId = std::int32_t;
+inline constexpr EventId kNoEvent = -1;
+
+struct Event {
+  std::int32_t task = -1;
+  std::int32_t state = -1;  // FSM state; -1 for initial events.
+  std::int32_t queue = -1;
+  double arrival = 0.0;
+  double departure = 0.0;
+  EventId pi = kNoEvent;
+  EventId tau = kNoEvent;
+  EventId rho = kNoEvent;
+  EventId nu = kNoEvent;
+  bool initial = false;
+};
+
+class EventLog {
+ public:
+  explicit EventLog(int num_queues);
+
+  // --- Construction ------------------------------------------------------------------
+
+  // Creates the next task together with its initial event departing at entry_time; returns
+  // the task id. Tasks must be added in nondecreasing entry-time order (this pins the
+  // arrival order at queue 0, where all initial events arrive at t = 0).
+  int AddTask(double entry_time);
+
+  // Appends the next queue visit of `task` in route order. The first visit's arrival must
+  // equal the task's entry time; later arrivals must equal the previous departure.
+  EventId AddVisit(int task, int state, int queue, double arrival, double departure);
+
+  // Establishes rho/nu links from the arrival order (ties broken by event id, which keeps
+  // queue-0 initial events in task order). Must be called once after construction; the
+  // inference code then treats the order as known and immutable.
+  void BuildQueueLinks();
+  bool QueueLinksBuilt() const { return links_built_; }
+
+  // Reassigns event e to `new_queue`, splicing it out of its current queue's arrival order
+  // and into the new queue's order at the position given by its (unchanged) arrival time.
+  // Used by the Metropolis-Hastings route-resampling move (paper Section 3: resampling
+  // unknown FSM paths); the caller is responsible for accept/reject — this method only
+  // requires the new position to respect arrival order, not FIFO feasibility.
+  void MoveEventToQueue(EventId e, int new_queue);
+
+  // --- Shape -------------------------------------------------------------------------
+
+  std::size_t NumEvents() const { return events_.size(); }
+  int NumTasks() const { return static_cast<int>(task_events_.size()); }
+  int NumQueues() const { return num_queues_; }
+  const Event& At(EventId e) const;
+  const std::vector<EventId>& TaskEvents(int task) const;     // initial event first
+  const std::vector<EventId>& QueueOrder(int queue) const;    // arrival order
+
+  // --- Times (mutable for samplers) ---------------------------------------------------
+
+  double Arrival(EventId e) const { return events_[Check(e)].arrival; }
+  double Departure(EventId e) const { return events_[Check(e)].departure; }
+  void SetArrival(EventId e, double t) { events_[Check(e)].arrival = t; }
+  void SetDeparture(EventId e, double t) { events_[Check(e)].departure = t; }
+
+  // Time at which e begins service: max(a_e, d_rho(e)).
+  double BeginService(EventId e) const;
+  // Derived service time s_e = d_e - BeginService(e).
+  double ServiceTime(EventId e) const;
+  // Derived waiting time w_e = BeginService(e) - a_e.
+  double WaitTime(EventId e) const;
+  // Response time r_e = w_e + s_e = d_e - a_e.
+  double ResponseTime(EventId e) const;
+
+  // --- Invariants & density ------------------------------------------------------------
+
+  // True when every deterministic constraint holds within tol: nonnegative service times,
+  // task continuity (a_e == d_pi(e)), per-queue arrival AND departure order consistent with
+  // the links, and initial events anchored at arrival 0. On failure *why (if non-null)
+  // receives a human-readable reason.
+  bool IsFeasible(double tol = 1e-9, std::string* why = nullptr) const;
+
+  // Log joint density of all service times under the network's service distributions:
+  // sum_e log p(s_e | q_e). This is the continuous part of eq. (1); the indicator terms are
+  // presumed satisfied (IsFeasible) and the FSM terms are LogJointRouting.
+  double LogJointTimes(const QueueingNetwork& net) const;
+  // Log probability of all task routes under the FSM: sum_e log p(q_e|sigma_e) p(sigma_e|.).
+  double LogJointRouting(const QueueingNetwork& net) const;
+
+  // --- Summaries ------------------------------------------------------------------------
+
+  // Per-queue mean of derived service times (index 0 = interarrival gaps).
+  std::vector<double> PerQueueMeanService() const;
+  // Per-queue mean waiting time.
+  std::vector<double> PerQueueMeanWait() const;
+  // Per-queue event counts.
+  std::vector<std::size_t> PerQueueCount() const;
+  // Sum of service times per queue (the M-step sufficient statistic).
+  std::vector<double> PerQueueServiceSum() const;
+  // Per-queue quantile of response times (e.g. 0.95 for tail latency); NaN for queues with
+  // no events.
+  std::vector<double> PerQueueResponseQuantile(double quantile) const;
+
+  // Route of a task as (state, queue) steps, excluding the initial event.
+  std::vector<RouteStep> TaskRoute(int task) const;
+
+  // Final (exit) time of a task = departure of its last event.
+  double TaskExitTime(int task) const;
+  double TaskEntryTime(int task) const;
+
+ private:
+  std::size_t Check(EventId e) const;
+
+  int num_queues_;
+  bool links_built_ = false;
+  std::vector<Event> events_;
+  std::vector<std::vector<EventId>> task_events_;
+  std::vector<std::vector<EventId>> queue_order_;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_MODEL_EVENT_H_

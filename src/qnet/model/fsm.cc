@@ -1,0 +1,189 @@
+#include "qnet/model/fsm.h"
+
+#include <cmath>
+#include <deque>
+
+#include "qnet/support/check.h"
+#include "qnet/support/logspace.h"
+
+namespace qnet {
+
+Fsm::Fsm(int num_queues) : num_queues_(num_queues) {
+  QNET_CHECK(num_queues >= 2, "network needs the arrival queue plus at least one real queue");
+}
+
+int Fsm::AddState(std::string name) {
+  const int id = NumStates();
+  names_.push_back(std::move(name));
+  for (auto& row : transitions_) {
+    row.insert(row.end() - 1, 0.0);  // Keep the final column last.
+  }
+  transitions_.emplace_back(static_cast<std::size_t>(NumStates()) + 1, 0.0);
+  emissions_.emplace_back(static_cast<std::size_t>(num_queues_), 0.0);
+  return id;
+}
+
+const std::string& Fsm::StateName(int state) const {
+  QNET_CHECK(state >= 0 && state < NumStates(), "bad state id ", state);
+  return names_[static_cast<std::size_t>(state)];
+}
+
+void Fsm::SetInitialState(int state) {
+  QNET_CHECK(state >= 0 && state < NumStates(), "bad initial state ", state);
+  initial_state_ = state;
+}
+
+void Fsm::SetTransition(int from, int to, double prob) {
+  QNET_CHECK(from >= 0 && from < NumStates(), "bad source state ", from);
+  QNET_CHECK(to == kFinalState || (to >= 0 && to < NumStates()), "bad target state ", to);
+  QNET_CHECK(prob >= 0.0 && prob <= 1.0, "bad probability ", prob);
+  const int column = (to == kFinalState) ? FinalColumn() : to;
+  transitions_[static_cast<std::size_t>(from)][static_cast<std::size_t>(column)] = prob;
+}
+
+double Fsm::Transition(int from, int to) const {
+  QNET_CHECK(from >= 0 && from < NumStates(), "bad source state ", from);
+  const int column = (to == kFinalState) ? FinalColumn() : to;
+  QNET_CHECK(column >= 0 && column <= FinalColumn(), "bad target state ", to);
+  return transitions_[static_cast<std::size_t>(from)][static_cast<std::size_t>(column)];
+}
+
+void Fsm::SetEmission(int state, int queue, double prob) {
+  QNET_CHECK(state >= 0 && state < NumStates(), "bad state id ", state);
+  QNET_CHECK(queue >= 1 && queue < num_queues_, "state may not emit queue ", queue);
+  QNET_CHECK(prob >= 0.0 && prob <= 1.0, "bad probability ", prob);
+  emissions_[static_cast<std::size_t>(state)][static_cast<std::size_t>(queue)] = prob;
+}
+
+double Fsm::Emission(int state, int queue) const {
+  QNET_CHECK(state >= 0 && state < NumStates(), "bad state id ", state);
+  QNET_CHECK(queue >= 0 && queue < num_queues_, "bad queue id ", queue);
+  return emissions_[static_cast<std::size_t>(state)][static_cast<std::size_t>(queue)];
+}
+
+void Fsm::SetDeterministicEmission(int state, int queue) { SetEmission(state, queue, 1.0); }
+
+void Fsm::SetUniformEmission(int state, const std::vector<int>& queues) {
+  QNET_CHECK(!queues.empty(), "uniform emission over empty queue set");
+  const double p = 1.0 / static_cast<double>(queues.size());
+  for (int q : queues) {
+    SetEmission(state, q, p);
+  }
+}
+
+void Fsm::SetWeightedEmission(int state, const std::vector<int>& queues,
+                              const std::vector<double>& weights) {
+  QNET_CHECK(queues.size() == weights.size(), "queues/weights size mismatch");
+  QNET_CHECK(!queues.empty(), "weighted emission over empty queue set");
+  double total = 0.0;
+  for (double w : weights) {
+    QNET_CHECK(w >= 0.0, "negative emission weight");
+    total += w;
+  }
+  QNET_CHECK(total > 0.0, "emission weights sum to zero");
+  for (std::size_t i = 0; i < queues.size(); ++i) {
+    SetEmission(state, queues[i], weights[i] / total);
+  }
+}
+
+std::vector<RouteStep> Fsm::SampleRoute(Rng& rng, std::size_t max_steps) const {
+  QNET_CHECK(initial_state_ >= 0, "initial state not set");
+  std::vector<RouteStep> route;
+  int state = initial_state_;
+  while (route.size() < max_steps) {
+    const auto& emission = emissions_[static_cast<std::size_t>(state)];
+    const int queue = static_cast<int>(rng.Categorical(emission));
+    route.push_back(RouteStep{state, queue});
+    const auto& row = transitions_[static_cast<std::size_t>(state)];
+    const int next = static_cast<int>(rng.Categorical(row));
+    if (next == FinalColumn()) {
+      return route;
+    }
+    state = next;
+  }
+  QNET_CHECK(false, "FSM route exceeded ", max_steps, " steps; final state unreachable?");
+  return route;
+}
+
+double Fsm::LogProbRoute(const std::vector<RouteStep>& route) const {
+  QNET_CHECK(initial_state_ >= 0, "initial state not set");
+  QNET_CHECK(!route.empty(), "empty route");
+  QNET_CHECK(route.front().state == initial_state_, "route must start in the initial state");
+  double log_prob = 0.0;
+  for (std::size_t i = 0; i < route.size(); ++i) {
+    const auto& step = route[i];
+    const double emit = Emission(step.state, step.queue);
+    if (emit <= 0.0) {
+      return kNegInf;
+    }
+    log_prob += std::log(emit);
+    const int next = (i + 1 < route.size()) ? route[i + 1].state : kFinalState;
+    const double trans = Transition(step.state, next);
+    if (trans <= 0.0) {
+      return kNegInf;
+    }
+    log_prob += std::log(trans);
+  }
+  return log_prob;
+}
+
+void Fsm::Validate() const {
+  QNET_CHECK(NumStates() > 0, "FSM has no states");
+  QNET_CHECK(initial_state_ >= 0, "initial state not set");
+  for (int s = 0; s < NumStates(); ++s) {
+    double trans_total = 0.0;
+    for (double p : transitions_[static_cast<std::size_t>(s)]) {
+      trans_total += p;
+    }
+    QNET_CHECK(std::abs(trans_total - 1.0) < 1e-9, "state ", StateName(s),
+               " transition row sums to ", trans_total);
+    double emit_total = 0.0;
+    for (double p : emissions_[static_cast<std::size_t>(s)]) {
+      emit_total += p;
+    }
+    QNET_CHECK(std::abs(emit_total - 1.0) < 1e-9, "state ", StateName(s),
+               " emission row sums to ", emit_total);
+    QNET_CHECK(emissions_[static_cast<std::size_t>(s)][0] == 0.0,
+               "state ", StateName(s), " emits the virtual arrival queue");
+  }
+  // Final state must be reachable from every state reachable from the initial state.
+  std::vector<bool> can_finish(static_cast<std::size_t>(NumStates()), false);
+  // Backward closure: states with direct mass on final, then predecessors.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int s = 0; s < NumStates(); ++s) {
+      if (can_finish[static_cast<std::size_t>(s)]) {
+        continue;
+      }
+      const auto& row = transitions_[static_cast<std::size_t>(s)];
+      bool ok = row[static_cast<std::size_t>(FinalColumn())] > 0.0;
+      for (int t = 0; !ok && t < NumStates(); ++t) {
+        ok = row[static_cast<std::size_t>(t)] > 0.0 && can_finish[static_cast<std::size_t>(t)];
+      }
+      if (ok) {
+        can_finish[static_cast<std::size_t>(s)] = true;
+        changed = true;
+      }
+    }
+  }
+  // Forward reachability from the initial state.
+  std::vector<bool> reached(static_cast<std::size_t>(NumStates()), false);
+  std::deque<int> frontier{initial_state_};
+  reached[static_cast<std::size_t>(initial_state_)] = true;
+  while (!frontier.empty()) {
+    const int s = frontier.front();
+    frontier.pop_front();
+    QNET_CHECK(can_finish[static_cast<std::size_t>(s)], "state ", StateName(s),
+               " cannot reach the final state");
+    for (int t = 0; t < NumStates(); ++t) {
+      if (transitions_[static_cast<std::size_t>(s)][static_cast<std::size_t>(t)] > 0.0 &&
+          !reached[static_cast<std::size_t>(t)]) {
+        reached[static_cast<std::size_t>(t)] = true;
+        frontier.push_back(t);
+      }
+    }
+  }
+}
+
+}  // namespace qnet

@@ -1,0 +1,85 @@
+// Probabilistic finite-state machine describing how tasks move through the network
+// (paper Section 2): transition distribution p(sigma'|sigma) over states plus a designated
+// final state, and emission distribution p(q|sigma) over queues.
+//
+// A task starts in the initial state, emits the queue it visits, then transitions; it
+// completes when it transitions to the final state.
+
+#ifndef QNET_MODEL_FSM_H_
+#define QNET_MODEL_FSM_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qnet/support/rng.h"
+
+namespace qnet {
+
+// One (state, queue) step of a task's route.
+struct RouteStep {
+  int state = -1;
+  int queue = -1;
+
+  friend bool operator==(const RouteStep&, const RouteStep&) = default;
+};
+
+class Fsm {
+ public:
+  // Sentinel passed to SetTransition as the destination meaning "task completes".
+  static constexpr int kFinalState = -1;
+
+  // num_queues is the total queue count of the owning network (queue 0 is the virtual
+  // arrival queue and must never be emitted).
+  explicit Fsm(int num_queues);
+
+  int AddState(std::string name);
+  int NumStates() const { return static_cast<int>(names_.size()); }
+  int NumQueues() const { return num_queues_; }
+  const std::string& StateName(int state) const;
+
+  void SetInitialState(int state);
+  int InitialState() const { return initial_state_; }
+
+  // Probability of moving from `from` to `to` (kFinalState allowed as `to`).
+  void SetTransition(int from, int to, double prob);
+  double Transition(int from, int to) const;
+
+  // Probability that `state` emits queue `queue` (queue >= 1).
+  void SetEmission(int state, int queue, double prob);
+  double Emission(int state, int queue) const;
+
+  // Convenience: emit `queue` with probability 1.
+  void SetDeterministicEmission(int state, int queue);
+  // Convenience: uniform emission over the given queues.
+  void SetUniformEmission(int state, const std::vector<int>& queues);
+  // Convenience: weighted emission (weights normalized internally).
+  void SetWeightedEmission(int state, const std::vector<int>& queues,
+                           const std::vector<double>& weights);
+
+  // Samples a route (sequence of (state, queue) steps) from the FSM. CHECK-fails if the
+  // route exceeds max_steps, which indicates an FSM that cannot reach the final state.
+  std::vector<RouteStep> SampleRoute(Rng& rng, std::size_t max_steps = 1u << 20) const;
+
+  // Log probability of a complete route, including the final transition to kFinalState.
+  double LogProbRoute(const std::vector<RouteStep>& route) const;
+
+  // Verifies rows are normalized, the initial state is set, the final state is reachable
+  // from every state with positive probability mass, and no state emits queue 0.
+  void Validate() const;
+
+ private:
+  int FinalColumn() const { return NumStates(); }
+
+  int num_queues_;
+  int initial_state_ = -1;
+  std::vector<std::string> names_;
+  // transitions_[s] has NumStates()+1 columns; the last column is the final state.
+  std::vector<std::vector<double>> transitions_;
+  // emissions_[s] has num_queues_ columns (column 0 must stay zero).
+  std::vector<std::vector<double>> emissions_;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_MODEL_FSM_H_

@@ -1,0 +1,96 @@
+#include "qnet/model/network.h"
+
+#include "qnet/dist/exponential.h"
+#include "qnet/support/check.h"
+
+namespace qnet {
+
+QueueingNetwork::QueueingNetwork(std::unique_ptr<ServiceDistribution> interarrival) {
+  QNET_CHECK(interarrival != nullptr, "interarrival distribution is null");
+  queues_.push_back(QueueSpec{"__arrivals__", std::move(interarrival)});
+}
+
+int QueueingNetwork::AddQueue(std::string name, std::unique_ptr<ServiceDistribution> service) {
+  QNET_CHECK(service != nullptr, "service distribution is null");
+  QNET_CHECK(!fsm_.has_value(), "queues must be added before the FSM is created");
+  QNET_CHECK(QueueIdByName(name) < 0, "duplicate queue name: ", name);
+  queues_.push_back(QueueSpec{std::move(name), std::move(service)});
+  return NumQueues() - 1;
+}
+
+const std::string& QueueingNetwork::QueueName(int q) const {
+  QNET_CHECK(q >= 0 && q < NumQueues(), "bad queue id ", q);
+  return queues_[static_cast<std::size_t>(q)].name;
+}
+
+int QueueingNetwork::QueueIdByName(const std::string& name) const {
+  for (int q = 0; q < NumQueues(); ++q) {
+    if (queues_[static_cast<std::size_t>(q)].name == name) {
+      return q;
+    }
+  }
+  return -1;
+}
+
+const ServiceDistribution& QueueingNetwork::Service(int q) const {
+  QNET_CHECK(q >= 0 && q < NumQueues(), "bad queue id ", q);
+  return *queues_[static_cast<std::size_t>(q)].service;
+}
+
+void QueueingNetwork::SetService(int q, std::unique_ptr<ServiceDistribution> service) {
+  QNET_CHECK(q >= 0 && q < NumQueues(), "bad queue id ", q);
+  QNET_CHECK(service != nullptr, "service distribution is null");
+  queues_[static_cast<std::size_t>(q)].service = std::move(service);
+}
+
+Fsm& QueueingNetwork::MutableFsm() {
+  if (!fsm_.has_value()) {
+    fsm_.emplace(NumQueues());
+  }
+  return *fsm_;
+}
+
+const Fsm& QueueingNetwork::GetFsm() const {
+  QNET_CHECK(fsm_.has_value(), "FSM not created yet");
+  return *fsm_;
+}
+
+std::vector<double> QueueingNetwork::ExponentialRates() const {
+  std::vector<double> rates;
+  rates.reserve(queues_.size());
+  for (int q = 0; q < NumQueues(); ++q) {
+    const auto* exp_dist = dynamic_cast<const Exponential*>(&Service(q));
+    QNET_CHECK(exp_dist != nullptr, "queue ", QueueName(q),
+               " is not exponential; the M/M/1 sampler requires exponential service");
+    rates.push_back(exp_dist->rate());
+  }
+  return rates;
+}
+
+double QueueingNetwork::ArrivalRate() const {
+  const auto* exp_dist = dynamic_cast<const Exponential*>(&Service(kArrivalQueue));
+  QNET_CHECK(exp_dist != nullptr, "interarrival distribution is not exponential");
+  return exp_dist->rate();
+}
+
+void QueueingNetwork::Validate() const {
+  QNET_CHECK(NumQueues() >= 2, "network needs at least one real queue");
+  for (int q = 0; q < NumQueues(); ++q) {
+    QNET_CHECK(Service(q).Mean() > 0.0, "queue ", QueueName(q), " has nonpositive mean");
+  }
+  GetFsm().Validate();
+}
+
+QueueingNetwork QueueingNetwork::Clone() const {
+  QueueingNetwork copy(queues_[0].service->Clone());
+  for (int q = 1; q < NumQueues(); ++q) {
+    copy.AddQueue(queues_[static_cast<std::size_t>(q)].name,
+                  queues_[static_cast<std::size_t>(q)].service->Clone());
+  }
+  if (fsm_.has_value()) {
+    copy.fsm_ = fsm_;  // Fsm is plain data; copyable.
+  }
+  return copy;
+}
+
+}  // namespace qnet

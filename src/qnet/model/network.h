@@ -1,0 +1,67 @@
+// A queueing network: a set of single-server FIFO queues with service distributions, plus
+// the routing FSM. Queue 0 is always the *virtual arrival queue* q0 of the paper's Section 2
+// convention — its "service" distribution is the system interarrival distribution, so the
+// arrival rate is lambda = mu_q0.
+
+#ifndef QNET_MODEL_NETWORK_H_
+#define QNET_MODEL_NETWORK_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qnet/dist/distribution.h"
+#include "qnet/model/fsm.h"
+
+namespace qnet {
+
+class QueueingNetwork {
+ public:
+  static constexpr int kArrivalQueue = 0;
+
+  // Creates the network with queue 0 bound to the interarrival distribution.
+  explicit QueueingNetwork(std::unique_ptr<ServiceDistribution> interarrival);
+
+  QueueingNetwork(QueueingNetwork&&) = default;
+  QueueingNetwork& operator=(QueueingNetwork&&) = default;
+  QueueingNetwork(const QueueingNetwork&) = delete;
+  QueueingNetwork& operator=(const QueueingNetwork&) = delete;
+
+  // Adds a real queue; returns its id (>= 1).
+  int AddQueue(std::string name, std::unique_ptr<ServiceDistribution> service);
+
+  int NumQueues() const { return static_cast<int>(queues_.size()); }
+  const std::string& QueueName(int q) const;
+  int QueueIdByName(const std::string& name) const;  // -1 when absent
+  const ServiceDistribution& Service(int q) const;
+  void SetService(int q, std::unique_ptr<ServiceDistribution> service);
+
+  // The FSM must be created after all queues exist; created lazily on first access.
+  Fsm& MutableFsm();
+  const Fsm& GetFsm() const;
+
+  // Rate vector (mu_q for every queue, index 0 = lambda). CHECK-fails unless every service
+  // distribution is Exponential — this is the M/M/1 fast path the paper's sampler needs.
+  std::vector<double> ExponentialRates() const;
+  double ArrivalRate() const;
+
+  // Full validation: at least one real queue, FSM valid, service means positive.
+  void Validate() const;
+
+  // Deep copy (service distributions cloned).
+  QueueingNetwork Clone() const;
+
+ private:
+  struct QueueSpec {
+    std::string name;
+    std::unique_ptr<ServiceDistribution> service;
+  };
+
+  std::vector<QueueSpec> queues_;
+  std::optional<Fsm> fsm_;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_MODEL_NETWORK_H_

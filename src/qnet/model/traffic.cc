@@ -1,0 +1,96 @@
+#include "qnet/model/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qnet/support/check.h"
+
+namespace qnet {
+
+std::vector<double> SolveLinearSystem(std::vector<std::vector<double>> a,
+                                      std::vector<double> b) {
+  const std::size_t n = b.size();
+  QNET_CHECK(a.size() == n, "matrix/vector size mismatch");
+  for (const auto& row : a) {
+    QNET_CHECK(row.size() == n, "matrix is not square");
+  }
+  // Forward elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) {
+        pivot = row;
+      }
+    }
+    QNET_CHECK(std::abs(a[pivot][col]) > 1e-12, "singular traffic system");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      if (factor == 0.0) {
+        continue;
+      }
+      for (std::size_t k = col; k < n; ++k) {
+        a[row][k] -= factor * a[col][k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t row = n; row-- > 0;) {
+    double sum = b[row];
+    for (std::size_t k = row + 1; k < n; ++k) {
+      sum -= a[row][k] * x[k];
+    }
+    x[row] = sum / a[row][row];
+  }
+  return x;
+}
+
+TrafficAnalysis AnalyzeTraffic(const QueueingNetwork& net) {
+  const Fsm& fsm = net.GetFsm();
+  fsm.Validate();
+  const auto num_states = static_cast<std::size_t>(fsm.NumStates());
+  const auto num_queues = static_cast<std::size_t>(net.NumQueues());
+
+  // Expected state visits: n = e_init + P^T n  =>  (I - P^T) n = e_init.
+  std::vector<std::vector<double>> system(num_states, std::vector<double>(num_states, 0.0));
+  std::vector<double> rhs(num_states, 0.0);
+  rhs[static_cast<std::size_t>(fsm.InitialState())] = 1.0;
+  for (std::size_t i = 0; i < num_states; ++i) {
+    for (std::size_t j = 0; j < num_states; ++j) {
+      const double p_ji = fsm.Transition(static_cast<int>(j), static_cast<int>(i));
+      system[i][j] = (i == j ? 1.0 : 0.0) - p_ji;
+    }
+  }
+  TrafficAnalysis analysis;
+  analysis.state_visits = SolveLinearSystem(std::move(system), std::move(rhs));
+
+  analysis.queue_visits.assign(num_queues, 0.0);
+  analysis.queue_visits[0] = 1.0;  // every task visits the virtual arrival queue once
+  for (std::size_t s = 0; s < num_states; ++s) {
+    for (std::size_t q = 1; q < num_queues; ++q) {
+      analysis.queue_visits[q] +=
+          analysis.state_visits[s] * fsm.Emission(static_cast<int>(s), static_cast<int>(q));
+    }
+  }
+
+  const std::vector<double> rates = net.ExponentialRates();
+  const double lambda = rates[0];
+  analysis.arrival_rates.assign(num_queues, 0.0);
+  analysis.utilization.assign(num_queues, 0.0);
+  double worst = -1.0;
+  for (std::size_t q = 1; q < num_queues; ++q) {
+    analysis.arrival_rates[q] = lambda * analysis.queue_visits[q];
+    analysis.utilization[q] = analysis.arrival_rates[q] / rates[q];
+    if (analysis.utilization[q] > worst) {
+      worst = analysis.utilization[q];
+      analysis.bottleneck_queue = static_cast<int>(q);
+    }
+  }
+  analysis.stable = worst < 1.0;
+  return analysis;
+}
+
+}  // namespace qnet

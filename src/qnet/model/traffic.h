@@ -1,0 +1,44 @@
+// Operational (traffic-equation) analysis of a queueing network.
+//
+// The routing FSM is an absorbing Markov chain; solving (I - P^T) n = e_init gives the
+// expected number of visits n_sigma to each state per task, and the per-queue arrival rate
+// follows as lambda_q = lambda * sum_sigma n_sigma p(q|sigma). Combined with the service
+// rates this yields utilizations and the predicted bottleneck — the classical first-order
+// sanity check that the paper's Section 5.1 setup quotes ("a tier with a single server is
+// heavily overloaded, one with two servers barely overloaded, and one with four servers
+// moderately loaded").
+
+#ifndef QNET_MODEL_TRAFFIC_H_
+#define QNET_MODEL_TRAFFIC_H_
+
+#include <vector>
+
+#include "qnet/model/network.h"
+
+namespace qnet {
+
+struct TrafficAnalysis {
+  // Expected visits per task to each FSM state.
+  std::vector<double> state_visits;
+  // Expected visits per task to each queue (index 0 is always 1: the virtual arrival).
+  std::vector<double> queue_visits;
+  // Per-queue arrival rate lambda_q = lambda * queue_visits[q].
+  std::vector<double> arrival_rates;
+  // Per-queue utilization rho_q = lambda_q / mu_q (requires exponential services).
+  std::vector<double> utilization;
+  // Queue with the highest utilization (>= 1 means predicted unstable).
+  int bottleneck_queue = -1;
+  bool stable = false;
+};
+
+// Solves the traffic equations for the network (FSM must be valid; services exponential).
+TrafficAnalysis AnalyzeTraffic(const QueueingNetwork& net);
+
+// Dense Gaussian elimination with partial pivoting: solves A x = b. Exposed because the
+// traffic equations are the library's only dense linear solve and tests pin it directly.
+std::vector<double> SolveLinearSystem(std::vector<std::vector<double>> a,
+                                      std::vector<double> b);
+
+}  // namespace qnet
+
+#endif  // QNET_MODEL_TRAFFIC_H_

@@ -1,0 +1,133 @@
+#include "qnet/obs/observation.h"
+
+#include <algorithm>
+
+#include "qnet/support/check.h"
+
+namespace qnet {
+namespace {
+
+Observation MakeEmpty(const EventLog& log) {
+  Observation obs;
+  obs.arrival_observed.assign(log.NumEvents(), 0);
+  obs.departure_observed.assign(log.NumEvents(), 0);
+  // Initial events arrive at t = 0 by convention: always known.
+  for (EventId e = 0; static_cast<std::size_t>(e) < log.NumEvents(); ++e) {
+    if (log.At(e).initial) {
+      obs.arrival_observed[static_cast<std::size_t>(e)] = 1;
+    }
+  }
+  return obs;
+}
+
+// Restores the invariant departure_observed[pi(e)] == arrival_observed[e].
+void SyncDepartures(const EventLog& log, Observation& obs) {
+  for (EventId e = 0; static_cast<std::size_t>(e) < log.NumEvents(); ++e) {
+    const Event& ev = log.At(e);
+    if (!ev.initial) {
+      obs.departure_observed[static_cast<std::size_t>(ev.pi)] =
+          obs.arrival_observed[static_cast<std::size_t>(e)];
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t Observation::NumObservedArrivals() const {
+  std::size_t count = 0;
+  for (char c : arrival_observed) {
+    count += c != 0 ? 1 : 0;
+  }
+  return count;
+}
+
+std::size_t Observation::NumLatentArrivals(const EventLog& log) const {
+  std::size_t count = 0;
+  for (EventId e = 0; static_cast<std::size_t>(e) < log.NumEvents(); ++e) {
+    if (!log.At(e).initial && !ArrivalObserved(e)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void Observation::Validate(const EventLog& log) const {
+  QNET_CHECK(arrival_observed.size() == log.NumEvents(), "arrival mask size mismatch");
+  QNET_CHECK(departure_observed.size() == log.NumEvents(), "departure mask size mismatch");
+  for (EventId e = 0; static_cast<std::size_t>(e) < log.NumEvents(); ++e) {
+    const Event& ev = log.At(e);
+    if (ev.initial) {
+      QNET_CHECK(ArrivalObserved(e), "initial event arrival must be observed");
+    } else {
+      QNET_CHECK(ArrivalObserved(e) == DepartureObserved(ev.pi),
+                 "arrival/departure observation out of sync at event ", e);
+    }
+  }
+}
+
+Observation Observation::FullyObserved(const EventLog& log) {
+  Observation obs;
+  obs.arrival_observed.assign(log.NumEvents(), 1);
+  obs.departure_observed.assign(log.NumEvents(), 1);
+  obs.observed_tasks.resize(static_cast<std::size_t>(log.NumTasks()));
+  for (int k = 0; k < log.NumTasks(); ++k) {
+    obs.observed_tasks[static_cast<std::size_t>(k)] = k;
+  }
+  return obs;
+}
+
+Observation TaskSamplingScheme::Apply(const EventLog& log, Rng& rng) const {
+  QNET_CHECK(fraction >= 0.0 && fraction <= 1.0, "bad fraction ", fraction);
+  const auto num_tasks = static_cast<std::size_t>(log.NumTasks());
+  const auto sample_size =
+      static_cast<std::size_t>(fraction * static_cast<double>(num_tasks) + 0.5);
+  const std::vector<std::size_t> picked =
+      rng.SampleWithoutReplacement(num_tasks, std::min(sample_size, num_tasks));
+  std::vector<int> tasks;
+  tasks.reserve(picked.size());
+  for (std::size_t k : picked) {
+    tasks.push_back(static_cast<int>(k));
+  }
+  return ApplyToTasks(log, tasks);
+}
+
+Observation TaskSamplingScheme::ApplyToTasks(const EventLog& log,
+                                             const std::vector<int>& tasks) const {
+  Observation obs = MakeEmpty(log);
+  obs.observed_tasks = tasks;
+  std::sort(obs.observed_tasks.begin(), obs.observed_tasks.end());
+  for (int task : obs.observed_tasks) {
+    const auto& chain = log.TaskEvents(task);
+    for (std::size_t i = 1; i < chain.size(); ++i) {  // skip the initial event (always known)
+      obs.arrival_observed[static_cast<std::size_t>(chain[i])] = 1;
+    }
+    if (observe_final_departure) {
+      obs.departure_observed[static_cast<std::size_t>(chain.back())] = 1;
+    }
+  }
+  SyncDepartures(log, obs);
+  // SyncDepartures clears final-departure flags of unobserved-next events only for events
+  // with successors; re-apply the explicit final flags.
+  if (observe_final_departure) {
+    for (int task : obs.observed_tasks) {
+      obs.departure_observed[static_cast<std::size_t>(log.TaskEvents(task).back())] = 1;
+    }
+  }
+  obs.Validate(log);
+  return obs;
+}
+
+Observation EventSamplingScheme::Apply(const EventLog& log, Rng& rng) const {
+  QNET_CHECK(fraction >= 0.0 && fraction <= 1.0, "bad fraction ", fraction);
+  Observation obs = MakeEmpty(log);
+  for (EventId e = 0; static_cast<std::size_t>(e) < log.NumEvents(); ++e) {
+    if (!log.At(e).initial && rng.Bernoulli(fraction)) {
+      obs.arrival_observed[static_cast<std::size_t>(e)] = 1;
+    }
+  }
+  SyncDepartures(log, obs);
+  obs.Validate(log);
+  return obs;
+}
+
+}  // namespace qnet

@@ -1,0 +1,72 @@
+// Observation model (paper Sections 3 and 5).
+//
+// The inference algorithms assume the *structure* of the event set is known — task routes
+// (FSM paths) and the per-queue arrival order, the latter measurable with the paper's
+// per-queue event counter trick — while only a subset of the actual times is observed.
+//
+// An Observation holds, per event, whether its arrival time and its departure time are
+// measured. Consistency invariant: an arrival measurement of event e is the same physical
+// measurement as the departure of pi(e), so arrival_observed[e] == departure_observed[pi(e)]
+// for all non-initial e; initial events have arrival_observed == true (t = 0 by convention).
+
+#ifndef QNET_OBS_OBSERVATION_H_
+#define QNET_OBS_OBSERVATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "qnet/model/event.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+
+struct Observation {
+  std::vector<char> arrival_observed;    // indexed by EventId
+  std::vector<char> departure_observed;  // indexed by EventId
+  std::vector<int> observed_tasks;       // tasks picked by task-level sampling (sorted)
+
+  bool ArrivalObserved(EventId e) const {
+    return arrival_observed[static_cast<std::size_t>(e)] != 0;
+  }
+  bool DepartureObserved(EventId e) const {
+    return departure_observed[static_cast<std::size_t>(e)] != 0;
+  }
+
+  std::size_t NumObservedArrivals() const;
+  std::size_t NumLatentArrivals(const EventLog& log) const;
+
+  // CHECK-fails unless the consistency invariants hold for `log`.
+  void Validate(const EventLog& log) const;
+
+  // Fully-observed baseline (everything measured).
+  static Observation FullyObserved(const EventLog& log);
+};
+
+// Task-level sampling (Section 5.1): observe *all arrivals* of a uniform random sample of
+// tasks, plus (by default) their system exit times. The exit times matter: a task's final
+// departure is nobody's arrival, so without observing exits the service rate of every
+// route-final queue is unidentifiable — the paper's introduction accordingly says it
+// measures "a small set of actual arrival and departure times". Set
+// observe_final_departure = false for the strict arrival-only ablation
+// (bench/ablation_moves quantifies the damage).
+struct TaskSamplingScheme {
+  double fraction = 0.1;
+  bool observe_final_departure = true;
+
+  Observation Apply(const EventLog& log, Rng& rng) const;
+  // Deterministic variant with caller-chosen tasks (used by tests).
+  Observation ApplyToTasks(const EventLog& log, const std::vector<int>& tasks) const;
+};
+
+// Event-level sampling: every non-initial event's arrival is observed independently with
+// probability `fraction` (an alternative instrumentation mode; not used by the paper's
+// experiments but supported by the sampler).
+struct EventSamplingScheme {
+  double fraction = 0.1;
+
+  Observation Apply(const EventLog& log, Rng& rng) const;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_OBS_OBSERVATION_H_

@@ -1,0 +1,24 @@
+#include "qnet/sim/fault.h"
+
+#include "qnet/support/check.h"
+
+namespace qnet {
+
+void FaultSchedule::AddSlowdown(int queue, double t0, double t1, double factor) {
+  QNET_CHECK(queue >= 1, "faults apply to real queues only");
+  QNET_CHECK(t0 < t1, "fault window is empty");
+  QNET_CHECK(factor > 0.0, "fault factor must be positive");
+  windows_.push_back(Window{queue, t0, t1, factor});
+}
+
+double FaultSchedule::ServiceFactor(int queue, double time) const {
+  double factor = 1.0;
+  for (const Window& w : windows_) {
+    if (w.queue == queue && time >= w.t0 && time < w.t1) {
+      factor *= w.factor;
+    }
+  }
+  return factor;
+}
+
+}  // namespace qnet

@@ -1,0 +1,35 @@
+// Fault injection: time-windowed service slowdowns. A slowdown multiplies the sampled
+// service time of a queue by `factor` while the service begins inside [t0, t1). This models
+// the paper's motivating scenario of an intermittently failing storage or network resource.
+
+#ifndef QNET_SIM_FAULT_H_
+#define QNET_SIM_FAULT_H_
+
+#include <vector>
+
+namespace qnet {
+
+class FaultSchedule {
+ public:
+  // Service times at `queue` beginning in [t0, t1) are multiplied by `factor` (> 0).
+  void AddSlowdown(int queue, double t0, double t1, double factor);
+
+  // Combined multiplier for a service beginning at `time` on `queue` (product of all
+  // overlapping windows; 1.0 when none apply).
+  double ServiceFactor(int queue, double time) const;
+
+  bool Empty() const { return windows_.empty(); }
+
+ private:
+  struct Window {
+    int queue;
+    double t0;
+    double t1;
+    double factor;
+  };
+  std::vector<Window> windows_;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_SIM_FAULT_H_

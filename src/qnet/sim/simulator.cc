@@ -1,0 +1,101 @@
+#include "qnet/sim/simulator.h"
+
+#include <queue>
+#include <tuple>
+
+#include "qnet/support/check.h"
+
+namespace qnet {
+namespace {
+
+struct PendingArrival {
+  double time;
+  int task;
+  std::size_t step;
+
+  // Min-heap by (time, task, step): global arrival order with a deterministic tie-break.
+  bool operator>(const PendingArrival& other) const {
+    return std::tie(time, task, step) > std::tie(other.time, other.task, other.step);
+  }
+};
+
+struct VisitTimes {
+  double arrival = 0.0;
+  double departure = 0.0;
+};
+
+}  // namespace
+
+EventLog SimulateWithRoutes(const QueueingNetwork& net, const std::vector<double>& entry_times,
+                            const std::vector<std::vector<RouteStep>>& routes, Rng& rng,
+                            const SimOptions& options) {
+  QNET_CHECK(entry_times.size() == routes.size(), "one route per task required");
+  for (std::size_t k = 0; k < entry_times.size(); ++k) {
+    QNET_CHECK(entry_times[k] > 0.0, "entry times must be positive");
+    if (k > 0) {
+      QNET_CHECK(entry_times[k] >= entry_times[k - 1], "entry times must be nondecreasing");
+    }
+    QNET_CHECK(!routes[k].empty(), "task ", k, " has an empty route");
+  }
+
+  const int num_tasks = static_cast<int>(entry_times.size());
+  std::vector<std::vector<VisitTimes>> visit_times(entry_times.size());
+  for (std::size_t k = 0; k < routes.size(); ++k) {
+    visit_times[k].resize(routes[k].size());
+  }
+
+  std::priority_queue<PendingArrival, std::vector<PendingArrival>, std::greater<>> heap;
+  for (int k = 0; k < num_tasks; ++k) {
+    heap.push(PendingArrival{entry_times[static_cast<std::size_t>(k)], k, 0});
+  }
+
+  std::vector<double> last_departure(static_cast<std::size_t>(net.NumQueues()), 0.0);
+  while (!heap.empty()) {
+    const PendingArrival next = heap.top();
+    heap.pop();
+    const auto k = static_cast<std::size_t>(next.task);
+    const RouteStep& step = routes[k][next.step];
+    const auto q = static_cast<std::size_t>(step.queue);
+    const double begin = std::max(next.time, last_departure[q]);
+    double service = net.Service(step.queue).Sample(rng);
+    if (options.faults != nullptr) {
+      service *= options.faults->ServiceFactor(step.queue, begin);
+    }
+    const double departure = begin + service;
+    last_departure[q] = departure;
+    visit_times[k][next.step] = VisitTimes{next.time, departure};
+    if (next.step + 1 < routes[k].size()) {
+      heap.push(PendingArrival{departure, next.task, next.step + 1});
+    }
+  }
+
+  EventLog log(net.NumQueues());
+  for (int k = 0; k < num_tasks; ++k) {
+    log.AddTask(entry_times[static_cast<std::size_t>(k)]);
+    const auto ku = static_cast<std::size_t>(k);
+    for (std::size_t step = 0; step < routes[ku].size(); ++step) {
+      log.AddVisit(k, routes[ku][step].state, routes[ku][step].queue,
+                   visit_times[ku][step].arrival, visit_times[ku][step].departure);
+    }
+  }
+  log.BuildQueueLinks();
+  QNET_DCHECK(log.IsFeasible(1e-6), "simulator produced an infeasible log");
+  return log;
+}
+
+EventLog Simulate(const QueueingNetwork& net, const std::vector<double>& entry_times,
+                  Rng& rng, const SimOptions& options) {
+  std::vector<std::vector<RouteStep>> routes;
+  routes.reserve(entry_times.size());
+  for (std::size_t k = 0; k < entry_times.size(); ++k) {
+    routes.push_back(net.GetFsm().SampleRoute(rng));
+  }
+  return SimulateWithRoutes(net, entry_times, routes, rng, options);
+}
+
+EventLog SimulateWorkload(const QueueingNetwork& net, const ArrivalProcess& workload,
+                          Rng& rng, const SimOptions& options) {
+  return Simulate(net, workload.Generate(rng), rng, options);
+}
+
+}  // namespace qnet

@@ -1,0 +1,144 @@
+#include "qnet/sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "qnet/support/check.h"
+
+namespace qnet {
+
+PoissonArrivals::PoissonArrivals(double rate, std::size_t num_tasks)
+    : rate_(rate), num_tasks_(num_tasks) {
+  QNET_CHECK(rate > 0.0, "Poisson rate must be positive");
+}
+
+std::vector<double> PoissonArrivals::Generate(Rng& rng) const {
+  std::vector<double> times;
+  times.reserve(num_tasks_);
+  double t = 0.0;
+  for (std::size_t i = 0; i < num_tasks_; ++i) {
+    t += rng.Exponential(rate_);
+    times.push_back(t);
+  }
+  return times;
+}
+
+std::string PoissonArrivals::Describe() const {
+  std::ostringstream os;
+  os << "poisson(rate=" << rate_ << ",tasks=" << num_tasks_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<ArrivalProcess> PoissonArrivals::Clone() const {
+  return std::make_unique<PoissonArrivals>(rate_, num_tasks_);
+}
+
+LinearRampArrivals::LinearRampArrivals(double rate0, double rate1, double horizon)
+    : rate0_(rate0), rate1_(rate1), horizon_(horizon) {
+  QNET_CHECK(rate0 >= 0.0 && rate1 >= 0.0, "ramp rates must be nonnegative");
+  QNET_CHECK(rate0 + rate1 > 0.0, "ramp must have positive mass");
+  QNET_CHECK(horizon > 0.0, "horizon must be positive");
+}
+
+std::vector<double> LinearRampArrivals::Generate(Rng& rng) const {
+  // Thinning with the envelope rate max(rate0, rate1).
+  const double envelope = std::max(rate0_, rate1_);
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(ExpectedTasks() * 1.2) + 16);
+  double t = 0.0;
+  for (;;) {
+    t += rng.Exponential(envelope);
+    if (t >= horizon_) {
+      break;
+    }
+    const double rate_t = rate0_ + (rate1_ - rate0_) * (t / horizon_);
+    if (rng.Uniform() * envelope < rate_t) {
+      times.push_back(t);
+    }
+  }
+  return times;
+}
+
+double LinearRampArrivals::ExpectedTasks() const {
+  return 0.5 * (rate0_ + rate1_) * horizon_;
+}
+
+std::string LinearRampArrivals::Describe() const {
+  std::ostringstream os;
+  os << "ramp(rate0=" << rate0_ << ",rate1=" << rate1_ << ",horizon=" << horizon_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<ArrivalProcess> LinearRampArrivals::Clone() const {
+  return std::make_unique<LinearRampArrivals>(rate0_, rate1_, horizon_);
+}
+
+PiecewiseConstantArrivals::PiecewiseConstantArrivals(std::vector<double> breaks,
+                                                     std::vector<double> rates)
+    : breaks_(std::move(breaks)), rates_(std::move(rates)) {
+  QNET_CHECK(breaks_.size() == rates_.size() + 1, "breaks must have one more entry than rates");
+  QNET_CHECK(!rates_.empty(), "need at least one segment");
+  QNET_CHECK(breaks_.front() == 0.0, "first break must be 0");
+  for (std::size_t i = 0; i + 1 < breaks_.size(); ++i) {
+    QNET_CHECK(breaks_[i] < breaks_[i + 1], "breaks must increase");
+  }
+  for (double r : rates_) {
+    QNET_CHECK(r >= 0.0, "negative rate");
+  }
+}
+
+std::vector<double> PiecewiseConstantArrivals::Generate(Rng& rng) const {
+  std::vector<double> times;
+  for (std::size_t seg = 0; seg < rates_.size(); ++seg) {
+    const double rate = rates_[seg];
+    if (rate <= 0.0) {
+      continue;
+    }
+    double t = breaks_[seg];
+    for (;;) {
+      t += rng.Exponential(rate);
+      if (t >= breaks_[seg + 1]) {
+        break;
+      }
+      times.push_back(t);
+    }
+  }
+  return times;
+}
+
+std::string PiecewiseConstantArrivals::Describe() const {
+  std::ostringstream os;
+  os << "piecewise(segments=" << rates_.size() << ")";
+  return os.str();
+}
+
+std::unique_ptr<ArrivalProcess> PiecewiseConstantArrivals::Clone() const {
+  return std::make_unique<PiecewiseConstantArrivals>(breaks_, rates_);
+}
+
+TraceArrivals::TraceArrivals(std::vector<double> times) : times_(std::move(times)) {
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    QNET_CHECK(times_[i] > 0.0, "entry times must be positive");
+    if (i > 0) {
+      QNET_CHECK(times_[i] >= times_[i - 1], "entry times must be nondecreasing");
+    }
+  }
+}
+
+std::vector<double> TraceArrivals::Generate(Rng& rng) const {
+  (void)rng;
+  return times_;
+}
+
+std::string TraceArrivals::Describe() const {
+  std::ostringstream os;
+  os << "trace(tasks=" << times_.size() << ")";
+  return os.str();
+}
+
+std::unique_ptr<ArrivalProcess> TraceArrivals::Clone() const {
+  return std::make_unique<TraceArrivals>(times_);
+}
+
+}  // namespace qnet

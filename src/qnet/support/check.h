@@ -1,0 +1,61 @@
+// Contract-checking macros and the library-wide error type.
+//
+// QNET_CHECK fires in all build modes and throws qnet::Error so that tests can assert on
+// contract violations; QNET_DCHECK compiles out under NDEBUG. Both accept an optional
+// message argument that is appended to the diagnostic.
+
+#ifndef QNET_SUPPORT_CHECK_H_
+#define QNET_SUPPORT_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qnet {
+
+// Thrown on contract violations and unrecoverable API misuse.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] inline void CheckFail(const char* expr, const char* file, int line,
+                                   const std::string& message = "") {
+  std::ostringstream os;
+  os << "QNET_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw Error(os.str());
+}
+
+// Builds the optional message lazily so that the happy path pays nothing.
+template <typename... Parts>
+std::string BuildMessage(const Parts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+}  // namespace internal
+}  // namespace qnet
+
+#define QNET_CHECK(cond, ...)                                                              \
+  do {                                                                                     \
+    if (!(cond)) {                                                                         \
+      ::qnet::internal::CheckFail(#cond, __FILE__, __LINE__,                               \
+                                  ::qnet::internal::BuildMessage("" __VA_OPT__(, ) __VA_ARGS__)); \
+    }                                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define QNET_DCHECK(cond, ...) \
+  do {                         \
+  } while (0)
+#else
+#define QNET_DCHECK(cond, ...) QNET_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#endif
+
+#endif  // QNET_SUPPORT_CHECK_H_

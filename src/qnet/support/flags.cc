@@ -1,0 +1,69 @@
+#include "qnet/support/flags.h"
+
+#include <cstdlib>
+
+#include "qnet/support/check.h"
+
+namespace qnet {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // "--key value" when the next token is not itself a flag; otherwise a boolean switch.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool Flags::Has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Flags::GetString(const std::string& key, const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long Flags::GetInt(const std::string& key, long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(it->second.c_str(), &end, 10);
+  QNET_CHECK(end != nullptr && *end == '\0', "flag --", key, " is not an integer: ",
+             it->second);
+  return value;
+}
+
+double Flags::GetDouble(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  QNET_CHECK(end != nullptr && *end == '\0', "flag --", key, " is not a number: ", it->second);
+  return value;
+}
+
+bool Flags::GetBool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace qnet

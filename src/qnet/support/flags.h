@@ -1,0 +1,34 @@
+// Minimal command-line flag parsing for the example and benchmark binaries.
+//
+// Accepts "--key=value", "--key value", and bare "--switch" (boolean true). Unrecognized
+// positional arguments are kept in Positional().
+
+#ifndef QNET_SUPPORT_FLAGS_H_
+#define QNET_SUPPORT_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qnet {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key, const std::string& fallback) const;
+  long GetInt(const std::string& key, long fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& Positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_SUPPORT_FLAGS_H_

@@ -1,0 +1,110 @@
+#include "qnet/support/logspace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qnet/support/check.h"
+
+namespace qnet {
+
+double LogAdd(double a, double b) {
+  if (a == kNegInf) {
+    return b;
+  }
+  if (b == kNegInf) {
+    return a;
+  }
+  const double hi = std::max(a, b);
+  const double lo = std::min(a, b);
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+double LogSub(double a, double b) {
+  QNET_CHECK(a >= b, "LogSub requires a >= b; a=", a, " b=", b);
+  if (b == kNegInf) {
+    return a;
+  }
+  if (a == b) {
+    return kNegInf;
+  }
+  return a + Log1mExp(a - b);
+}
+
+double LogSumExp(std::span<const double> xs) {
+  double hi = kNegInf;
+  for (double x : xs) {
+    hi = std::max(hi, x);
+  }
+  if (hi == kNegInf || hi == kPosInf) {
+    return hi;
+  }
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += std::exp(x - hi);
+  }
+  return hi + std::log(sum);
+}
+
+double Log1mExp(double u) {
+  QNET_DCHECK(u > 0.0, "Log1mExp domain requires u > 0; u=", u);
+  // Split at ln 2 to keep either log1p or expm1 well conditioned.
+  constexpr double kLn2 = 0.6931471805599453;
+  if (u > kLn2) {
+    return std::log1p(-std::exp(-u));
+  }
+  return std::log(-std::expm1(-u));
+}
+
+double LogIntegralExpLinear(double alpha, double beta, double lo, double hi) {
+  QNET_DCHECK(lo <= hi, "integral bounds reversed: lo=", lo, " hi=", hi);
+  if (!(lo < hi)) {
+    return kNegInf;
+  }
+  if (hi == kPosInf) {
+    QNET_CHECK(beta < 0.0, "semi-infinite integral requires beta < 0; beta=", beta);
+    // Integral = exp(alpha + beta*lo) / (-beta).
+    return alpha + beta * lo - std::log(-beta);
+  }
+  const double width = hi - lo;
+  const double u = beta * width;
+  // |u| small enough that expm1(u)/u ~= 1 + u/2: integrate as a near-uniform segment.
+  if (std::abs(u) < 1e-12) {
+    return alpha + beta * lo + std::log(width);
+  }
+  if (beta > 0.0) {
+    // exp(alpha) * (exp(beta*hi) - exp(beta*lo)) / beta, anchored at the large end.
+    return alpha + beta * hi + Log1mExp(u) - std::log(beta);
+  }
+  // beta < 0: anchor at lo where the integrand is largest.
+  return alpha + beta * lo + Log1mExp(-u) - std::log(-beta);
+}
+
+double SampleExpLinear(double beta, double lo, double hi, double v) {
+  QNET_DCHECK(v >= 0.0 && v <= 1.0, "v out of [0,1]: ", v);
+  QNET_DCHECK(lo < hi, "empty segment: lo=", lo, " hi=", hi);
+  if (hi == kPosInf) {
+    QNET_CHECK(beta < 0.0, "semi-infinite segment requires beta < 0");
+    // CDF(x) = 1 - exp(beta*(x - lo)); inverse at v.
+    return lo + std::log1p(-v) / beta;
+  }
+  const double width = hi - lo;
+  const double u = beta * width;
+  if (std::abs(u) < 1e-12) {
+    return lo + v * width;
+  }
+  // CDF(x) = (exp(beta*(x-lo)) - 1) / (exp(beta*width) - 1); invert with expm1/log1p.
+  // x = lo + log1p(v * expm1(u)) / beta. For large positive u, expm1 overflows; anchor at
+  // hi instead: x = hi + log(v + (1-v)*exp(-u)) / beta, computed via log-space.
+  if (u > 0.0) {
+    if (u < 30.0) {
+      return lo + std::log1p(v * std::expm1(u)) / beta;
+    }
+    // v + (1 - v) * exp(-u) evaluated stably: exp(-u) negligible unless v ~ 0.
+    const double tail = (1.0 - v) * std::exp(-u);
+    return hi + std::log(v + tail) / beta;
+  }
+  // u < 0: expm1(u) in (-1, 0); log1p argument in (-1, 0]; stable directly.
+  return lo + std::log1p(v * std::expm1(u)) / beta;
+}
+
+}  // namespace qnet

@@ -1,0 +1,42 @@
+// Numerically stable log-space arithmetic.
+//
+// The Gibbs conditional (paper Figure 3) normalizes piecewise-exponential densities whose
+// unnormalized masses can differ by hundreds of orders of magnitude; every integral here is
+// therefore carried in log space.
+
+#ifndef QNET_SUPPORT_LOGSPACE_H_
+#define QNET_SUPPORT_LOGSPACE_H_
+
+#include <limits>
+#include <span>
+
+namespace qnet {
+
+inline constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+inline constexpr double kPosInf = std::numeric_limits<double>::infinity();
+
+// log(exp(a) + exp(b)) without overflow; handles -inf operands.
+double LogAdd(double a, double b);
+
+// log(exp(a) - exp(b)) for a >= b; returns -inf when a == b.
+double LogSub(double a, double b);
+
+// log(sum_i exp(x_i)); returns -inf for an empty span.
+double LogSumExp(std::span<const double> xs);
+
+// log(1 - exp(-u)) for u > 0, stable near both ends (Maechler 2012).
+double Log1mExp(double u);
+
+// log of the integral of exp(alpha + beta * x) over [lo, hi].
+//
+// Requirements: lo <= hi. hi may be +infinity when beta < 0. Degenerate intervals return
+// -inf. Stable for |beta| * (hi - lo) both tiny and huge.
+double LogIntegralExpLinear(double alpha, double beta, double lo, double hi);
+
+// Inverse CDF of the density proportional to exp(beta * x) on [lo, hi], evaluated at
+// v in [0, 1]. hi may be +infinity when beta < 0. beta == 0 gives the uniform inverse CDF.
+double SampleExpLinear(double beta, double lo, double hi, double v);
+
+}  // namespace qnet
+
+#endif  // QNET_SUPPORT_LOGSPACE_H_

@@ -1,0 +1,78 @@
+// Deterministic, fork-able random number generator (xoshiro256++ core, SplitMix64 seeding)
+// plus the samplers the library needs. No dependency on <random> engines so that streams are
+// reproducible across standard libraries.
+
+#ifndef QNET_SUPPORT_RNG_H_
+#define QNET_SUPPORT_RNG_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qnet {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+  // Raw 64-bit output of the xoshiro256++ core.
+  std::uint64_t NextU64();
+
+  // Uniform double in [0, 1) with 53 random bits.
+  double Uniform();
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+  // Uniform integer in [0, n); n must be positive. Uses rejection to avoid modulo bias.
+  std::uint64_t UniformInt(std::uint64_t n);
+  bool Bernoulli(double p);
+
+  // Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate);
+  // Exponential with the given rate truncated to (lo, hi); hi may be +infinity.
+  double TruncatedExponential(double rate, double lo, double hi);
+
+  // Standard normal via the polar (Marsaglia) method with one cached deviate.
+  double Normal();
+  double Normal(double mean, double stddev);
+  double LogNormal(double mu, double sigma);
+
+  // Gamma(shape, scale) via Marsaglia-Tsang, with the standard shape < 1 boost.
+  double Gamma(double shape, double scale);
+
+  // Poisson: Knuth product method below mean 30, normal approximation above.
+  std::uint64_t Poisson(double mean);
+
+  // Index sampled proportionally to `weights` (nonnegative, not all zero).
+  std::size_t Categorical(std::span<const double> weights);
+  // Index sampled proportionally to exp(log_weights), stable in log space.
+  std::size_t CategoricalFromLogs(std::span<const double> log_weights);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    if (v.empty()) {
+      return;
+    }
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(UniformInt(i + 1));
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+  // k distinct indices drawn uniformly from [0, n), returned sorted (Floyd's algorithm).
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n, std::size_t k);
+
+  // Derives an independently-seeded generator; the parent stream advances by one draw.
+  Rng Fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_SUPPORT_RNG_H_

@@ -1,0 +1,29 @@
+// Monotonic wall-clock stopwatch for bench harnesses.
+
+#ifndef QNET_SUPPORT_STOPWATCH_H_
+#define QNET_SUPPORT_STOPWATCH_H_
+
+#include <chrono>
+
+namespace qnet {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_SUPPORT_STOPWATCH_H_

@@ -1,0 +1,132 @@
+#include "qnet/trace/csv.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "qnet/support/check.h"
+
+namespace qnet {
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) {
+    fields.push_back(field);
+  }
+  return fields;
+}
+
+}  // namespace
+
+void WriteEventLog(std::ostream& os, const EventLog& log) {
+  os << "task,state,queue,arrival,departure,initial\n";
+  os << std::setprecision(17);
+  for (int task = 0; task < log.NumTasks(); ++task) {
+    for (EventId e : log.TaskEvents(task)) {
+      const Event& ev = log.At(e);
+      os << ev.task << ',' << ev.state << ',' << ev.queue << ',' << ev.arrival << ','
+         << ev.departure << ',' << (ev.initial ? 1 : 0) << '\n';
+    }
+  }
+}
+
+void WriteEventLogFile(const std::string& path, const EventLog& log) {
+  std::ofstream os(path);
+  QNET_CHECK(os.good(), "cannot open ", path, " for writing");
+  WriteEventLog(os, log);
+  QNET_CHECK(os.good(), "write failed for ", path);
+}
+
+EventLog ReadEventLog(std::istream& is, int num_queues) {
+  std::string line;
+  QNET_CHECK(static_cast<bool>(std::getline(is, line)), "empty event-log stream");
+  QNET_CHECK(line.rfind("task,", 0) == 0, "missing event-log header");
+  EventLog log(num_queues);
+  int current_task = -1;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto fields = SplitCsvLine(line);
+    QNET_CHECK(fields.size() == 6, "bad event-log row: ", line);
+    const int task = std::stoi(fields[0]);
+    const int state = std::stoi(fields[1]);
+    const int queue = std::stoi(fields[2]);
+    const double arrival = std::stod(fields[3]);
+    const double departure = std::stod(fields[4]);
+    const bool initial = fields[5] == "1";
+    if (initial) {
+      QNET_CHECK(task == current_task + 1, "tasks out of order at row: ", line);
+      current_task = log.AddTask(departure);
+      QNET_CHECK(current_task == task, "task renumbering mismatch");
+    } else {
+      log.AddVisit(task, state, queue, arrival, departure);
+    }
+  }
+  log.BuildQueueLinks();
+  return log;
+}
+
+EventLog ReadEventLogFile(const std::string& path, int num_queues) {
+  std::ifstream is(path);
+  QNET_CHECK(is.good(), "cannot open ", path);
+  return ReadEventLog(is, num_queues);
+}
+
+void WriteObservation(std::ostream& os, const Observation& obs) {
+  os << "event,arrival_observed,departure_observed\n";
+  for (std::size_t e = 0; e < obs.arrival_observed.size(); ++e) {
+    os << e << ',' << static_cast<int>(obs.arrival_observed[e]) << ','
+       << static_cast<int>(obs.departure_observed[e]) << '\n';
+  }
+}
+
+Observation ReadObservation(std::istream& is, const EventLog& log) {
+  std::string line;
+  QNET_CHECK(static_cast<bool>(std::getline(is, line)), "empty observation stream");
+  QNET_CHECK(line.rfind("event,", 0) == 0, "missing observation header");
+  Observation obs;
+  obs.arrival_observed.assign(log.NumEvents(), 0);
+  obs.departure_observed.assign(log.NumEvents(), 0);
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto fields = SplitCsvLine(line);
+    QNET_CHECK(fields.size() == 3, "bad observation row: ", line);
+    const auto e = static_cast<std::size_t>(std::stoul(fields[0]));
+    QNET_CHECK(e < log.NumEvents(), "event id out of range: ", line);
+    obs.arrival_observed[e] = fields[1] == "1" ? 1 : 0;
+    obs.departure_observed[e] = fields[2] == "1" ? 1 : 0;
+  }
+  obs.Validate(log);
+  return obs;
+}
+
+void WriteSeries(std::ostream& os, const std::vector<std::string>& header,
+                 const std::vector<std::vector<double>>& rows) {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    os << header[i] << (i + 1 < header.size() ? "," : "");
+  }
+  os << '\n' << std::setprecision(12);
+  for (const auto& row : rows) {
+    QNET_CHECK(row.size() == header.size(), "row width != header width");
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i] << (i + 1 < row.size() ? "," : "");
+    }
+    os << '\n';
+  }
+}
+
+void WriteSeriesFile(const std::string& path, const std::vector<std::string>& header,
+                     const std::vector<std::vector<double>>& rows) {
+  std::ofstream os(path);
+  QNET_CHECK(os.good(), "cannot open ", path, " for writing");
+  WriteSeries(os, header, rows);
+  QNET_CHECK(os.good(), "write failed for ", path);
+}
+
+}  // namespace qnet

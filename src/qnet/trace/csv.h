@@ -1,0 +1,39 @@
+// CSV serialization for event logs, observations, and result series, so experiments can be
+// archived and re-plotted outside the binaries.
+//
+// Event-log format, one row per event in (task, route-order):
+//     task,state,queue,arrival,departure,initial
+// Observation format, one row per event id:
+//     event,arrival_observed,departure_observed
+
+#ifndef QNET_TRACE_CSV_H_
+#define QNET_TRACE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "qnet/model/event.h"
+#include "qnet/obs/observation.h"
+
+namespace qnet {
+
+void WriteEventLog(std::ostream& os, const EventLog& log);
+void WriteEventLogFile(const std::string& path, const EventLog& log);
+
+// Reads a log written by WriteEventLog; num_queues must match the writer's network.
+EventLog ReadEventLog(std::istream& is, int num_queues);
+EventLog ReadEventLogFile(const std::string& path, int num_queues);
+
+void WriteObservation(std::ostream& os, const Observation& obs);
+Observation ReadObservation(std::istream& is, const EventLog& log);
+
+// Generic numeric series: a header row then one row per record.
+void WriteSeries(std::ostream& os, const std::vector<std::string>& header,
+                 const std::vector<std::vector<double>>& rows);
+void WriteSeriesFile(const std::string& path, const std::vector<std::string>& header,
+                     const std::vector<std::vector<double>>& rows);
+
+}  // namespace qnet
+
+#endif  // QNET_TRACE_CSV_H_

@@ -1,0 +1,32 @@
+// Fixed-width table formatting for the bench harnesses' paper-style output.
+
+#ifndef QNET_TRACE_TABLE_H_
+#define QNET_TRACE_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qnet {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Convenience: formats doubles with the given precision.
+  void AddRow(const std::vector<double>& row, int precision = 4);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Helper: fixed-precision double to string.
+std::string FormatDouble(double value, int precision = 4);
+
+}  // namespace qnet
+
+#endif  // QNET_TRACE_TABLE_H_

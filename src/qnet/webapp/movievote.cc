@@ -1,0 +1,62 @@
+#include "qnet/webapp/movievote.h"
+
+#include <sstream>
+
+#include "qnet/dist/exponential.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/check.h"
+
+namespace qnet {
+namespace webapp {
+
+MovieVoteTestbed MakeTestbed(const MovieVoteConfig& config) {
+  QNET_CHECK(config.num_web_servers >= 2, "need at least two web servers");
+  QNET_CHECK(config.starved_weight > 0.0 && config.starved_weight < 1.0, "bad starved weight");
+  // The ramp's *average* arrival rate parameterizes the virtual arrival queue; the actual
+  // trace is generated from the non-homogeneous process below.
+  const double mean_rate = 0.5 * (config.rate0 + config.rate1);
+  MovieVoteTestbed testbed{QueueingNetwork(std::make_unique<Exponential>(mean_rate)), -1, -1,
+                           {}};
+
+  testbed.network_queue =
+      testbed.network.AddQueue("network", std::make_unique<Exponential>(config.network_rate));
+  for (int i = 0; i < config.num_web_servers; ++i) {
+    std::ostringstream name;
+    name << "web" << i;
+    testbed.web_queues.push_back(
+        testbed.network.AddQueue(name.str(), std::make_unique<Exponential>(config.web_rate)));
+  }
+  testbed.db_queue =
+      testbed.network.AddQueue("database", std::make_unique<Exponential>(config.db_rate));
+
+  Fsm& fsm = testbed.network.MutableFsm();
+  const int s_net_in = fsm.AddState("net_request");
+  const int s_web = fsm.AddState("web");
+  const int s_db = fsm.AddState("db");
+  const int s_net_out = fsm.AddState("net_response");
+  fsm.SetInitialState(s_net_in);
+  fsm.SetDeterministicEmission(s_net_in, testbed.network_queue);
+  // haproxy weights: server 0 starved, the rest balanced.
+  std::vector<double> weights(static_cast<std::size_t>(config.num_web_servers),
+                              (1.0 - config.starved_weight) /
+                                  static_cast<double>(config.num_web_servers - 1));
+  weights[0] = config.starved_weight;
+  fsm.SetWeightedEmission(s_web, testbed.web_queues, weights);
+  fsm.SetDeterministicEmission(s_db, testbed.db_queue);
+  fsm.SetDeterministicEmission(s_net_out, testbed.network_queue);
+  fsm.SetTransition(s_net_in, s_web, 1.0);
+  fsm.SetTransition(s_web, s_db, 1.0);
+  fsm.SetTransition(s_db, s_net_out, 1.0);
+  fsm.SetTransition(s_net_out, Fsm::kFinalState, 1.0);
+  testbed.network.Validate();
+  return testbed;
+}
+
+EventLog GenerateTrace(const MovieVoteTestbed& testbed, const MovieVoteConfig& config,
+                       Rng& rng) {
+  const LinearRampArrivals workload(config.rate0, config.rate1, config.horizon);
+  return SimulateWorkload(testbed.network, workload, rng);
+}
+
+}  // namespace webapp
+}  // namespace qnet

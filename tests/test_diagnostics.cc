@@ -1,0 +1,102 @@
+// Tests for the MCMC diagnostics.
+
+#include "qnet/infer/diagnostics.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qnet/support/check.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+namespace {
+
+std::vector<double> WhiteNoise(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(rng.Normal());
+  }
+  return xs;
+}
+
+std::vector<double> Ar1(std::size_t n, double phi, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  double x = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = phi * x + rng.Normal() * std::sqrt(1.0 - phi * phi);
+    xs.push_back(x);
+  }
+  return xs;
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const auto xs = WhiteNoise(1000, 3);
+  EXPECT_DOUBLE_EQ(Autocorrelation(xs, 0), 1.0);
+}
+
+TEST(Autocorrelation, WhiteNoiseNearZero) {
+  const auto xs = WhiteNoise(20000, 5);
+  for (std::size_t lag : {1u, 5u, 20u}) {
+    EXPECT_NEAR(Autocorrelation(xs, lag), 0.0, 0.03) << "lag=" << lag;
+  }
+}
+
+TEST(Autocorrelation, Ar1MatchesPhiPowers) {
+  const double phi = 0.8;
+  const auto xs = Ar1(200000, phi, 7);
+  EXPECT_NEAR(Autocorrelation(xs, 1), phi, 0.02);
+  EXPECT_NEAR(Autocorrelation(xs, 2), phi * phi, 0.03);
+  EXPECT_NEAR(Autocorrelation(xs, 5), std::pow(phi, 5.0), 0.04);
+}
+
+TEST(Autocorrelation, ConstantSeriesIsDefined) {
+  const std::vector<double> xs(100, 3.5);
+  EXPECT_DOUBLE_EQ(Autocorrelation(xs, 1), 0.0);
+  EXPECT_DOUBLE_EQ(Autocorrelation(xs, 0), 1.0);
+}
+
+TEST(EffectiveSampleSize, WhiteNoiseNearN) {
+  const auto xs = WhiteNoise(20000, 11);
+  const double ess = EffectiveSampleSize(xs);
+  EXPECT_GT(ess, 0.7 * 20000.0);
+  EXPECT_LE(ess, 1.3 * 20000.0);
+}
+
+TEST(EffectiveSampleSize, Ar1MatchesTheory) {
+  // tau = (1 + phi) / (1 - phi) for AR(1).
+  const double phi = 0.6;
+  const auto xs = Ar1(200000, phi, 13);
+  const double tau = IntegratedAutocorrTime(xs);
+  EXPECT_NEAR(tau, (1.0 + phi) / (1.0 - phi), 0.5);
+  EXPECT_NEAR(EffectiveSampleSize(xs), 200000.0 / tau, 1.0);
+}
+
+TEST(GelmanRubin, SameDistributionNearOne) {
+  std::vector<std::vector<double>> chains;
+  for (int c = 0; c < 4; ++c) {
+    chains.push_back(WhiteNoise(5000, 17 + static_cast<std::uint64_t>(c)));
+  }
+  EXPECT_NEAR(GelmanRubin(chains), 1.0, 0.02);
+}
+
+TEST(GelmanRubin, ShiftedChainsDetected) {
+  auto a = WhiteNoise(2000, 23);
+  auto b = WhiteNoise(2000, 29);
+  for (double& x : b) {
+    x += 3.0;  // chain stuck in a different mode
+  }
+  EXPECT_GT(GelmanRubin({a, b}), 1.5);
+}
+
+TEST(GelmanRubin, GuardsBadInput) {
+  EXPECT_THROW(GelmanRubin({{1.0, 2.0}}), Error);                 // one chain
+  EXPECT_THROW(GelmanRubin({{1.0, 2.0}, {1.0}}), Error);          // ragged
+  EXPECT_THROW(GelmanRubin({{1.0}, {1.0}}), Error);               // too short
+}
+
+}  // namespace
+}  // namespace qnet

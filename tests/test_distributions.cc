@@ -1,0 +1,263 @@
+// Property tests for all service distributions: density normalization, CDF/pdf consistency,
+// sample/analytic moment agreement, and KS identity between Sample() and Cdf(). The suite is
+// parameterized over every concrete family so each property runs everywhere.
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qnet/dist/deterministic.h"
+#include "qnet/dist/distribution.h"
+#include "qnet/dist/exponential.h"
+#include "qnet/dist/gamma.h"
+#include "qnet/dist/hyperexp.h"
+#include "qnet/dist/lognormal.h"
+#include "qnet/dist/pareto.h"
+#include "qnet/dist/truncated_exponential.h"
+#include "qnet/dist/uniform_dist.h"
+#include "qnet/dist/weibull.h"
+#include "qnet/support/check.h"
+#include "qnet/support/logspace.h"
+#include "qnet/support/math.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+namespace {
+
+struct DistCase {
+  std::string name;
+  std::function<std::unique_ptr<ServiceDistribution>()> make;
+  bool continuous = true;  // Deterministic is excluded from density-based checks.
+};
+
+std::vector<DistCase> AllCases() {
+  return {
+      {"exp_fast", [] { return std::make_unique<Exponential>(5.0); }},
+      {"exp_slow", [] { return std::make_unique<Exponential>(0.25); }},
+      {"trexp_pos", [] { return std::make_unique<TruncatedExponential>(2.0, 0.5, 3.0); }},
+      {"trexp_neg", [] { return std::make_unique<TruncatedExponential>(-1.5, 0.0, 2.0); }},
+      {"trexp_inf", [] { return std::make_unique<TruncatedExponential>(3.0, 1.0, kPosInf); }},
+      {"gamma_under", [] { return std::make_unique<GammaDist>(0.7, 2.0); }},
+      {"gamma_over", [] { return std::make_unique<GammaDist>(4.5, 3.0); }},
+      {"lognormal", [] { return std::make_unique<LogNormal>(-1.0, 0.8); }},
+      {"uniform", [] { return std::make_unique<UniformDist>(0.2, 1.7); }},
+      {"hyperexp",
+       [] {
+         return std::make_unique<HyperExponential>(std::vector<double>{0.3, 0.7},
+                                                   std::vector<double>{1.0, 10.0});
+       }},
+      {"weibull_decr", [] { return std::make_unique<Weibull>(0.8, 0.5); }},
+      {"weibull_incr", [] { return std::make_unique<Weibull>(2.5, 1.2); }},
+      {"pareto", [] { return std::make_unique<Pareto>(4.0, 0.9); }},
+      {"deterministic", [] { return std::make_unique<Deterministic>(0.4); }, false},
+  };
+}
+
+class DistributionTest : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributionTest, SampleMomentsMatchAnalytic) {
+  const auto dist = GetParam().make();
+  Rng rng(1234);
+  RunningStat rs;
+  const int n = 150000;
+  for (int i = 0; i < n; ++i) {
+    rs.Add(dist->Sample(rng));
+  }
+  const double mean = dist->Mean();
+  const double sd = std::sqrt(dist->Variance());
+  EXPECT_NEAR(rs.Mean(), mean, 5.0 * sd / std::sqrt(static_cast<double>(n)) + 1e-9)
+      << dist->Describe();
+  if (GetParam().continuous) {
+    EXPECT_NEAR(rs.Variance(), dist->Variance(), 0.15 * dist->Variance() + 1e-6)
+        << dist->Describe();
+  }
+}
+
+TEST_P(DistributionTest, DensityIntegratesToOne) {
+  if (!GetParam().continuous) {
+    GTEST_SKIP() << "degenerate distribution";
+  }
+  const auto dist = GetParam().make();
+  // Integrate exp(LogPdf) over a wide quantile-ish range by trapezoid.
+  const double hi = dist->Mean() + 40.0 * std::sqrt(dist->Variance()) + 10.0;
+  const int steps = 400000;
+  const double h = hi / steps;
+  double integral = 0.0;
+  for (int i = 0; i <= steps; ++i) {
+    const double x = i * h;
+    const double w = (i == 0 || i == steps) ? 0.5 : 1.0;
+    const double lp = dist->LogPdf(x);
+    if (lp > -700.0) {
+      integral += w * std::exp(lp);
+    }
+  }
+  integral *= h;
+  EXPECT_NEAR(integral, 1.0, 5e-3) << dist->Describe();
+}
+
+TEST_P(DistributionTest, CdfMatchesIntegratedPdf) {
+  if (!GetParam().continuous) {
+    GTEST_SKIP() << "degenerate distribution";
+  }
+  const auto dist = GetParam().make();
+  const double sd = std::sqrt(dist->Variance());
+  for (double frac : {0.3, 1.0, 2.0}) {
+    const double x = std::max(dist->Mean() + (frac - 1.0) * sd, 1e-3);
+    const int steps = 200000;
+    const double h = x / steps;
+    double integral = 0.0;
+    for (int i = 0; i <= steps; ++i) {
+      const double t = i * h;
+      const double w = (i == 0 || i == steps) ? 0.5 : 1.0;
+      const double lp = dist->LogPdf(t);
+      if (lp > -700.0) {
+        integral += w * std::exp(lp);
+      }
+    }
+    integral *= h;
+    EXPECT_NEAR(dist->Cdf(x), integral, 5e-3) << dist->Describe() << " at x=" << x;
+  }
+}
+
+TEST_P(DistributionTest, KsSampleAgainstCdf) {
+  if (!GetParam().continuous) {
+    GTEST_SKIP() << "degenerate distribution";
+  }
+  const auto dist = GetParam().make();
+  Rng rng(99);
+  std::vector<double> xs;
+  for (int i = 0; i < 4000; ++i) {
+    xs.push_back(dist->Sample(rng));
+  }
+  const double d = KsStatistic(xs, [&](double x) { return dist->Cdf(x); });
+  EXPECT_GT(KsPValue(d, xs.size()), 1e-4) << dist->Describe() << " d=" << d;
+}
+
+TEST_P(DistributionTest, CloneIsEquivalent) {
+  const auto dist = GetParam().make();
+  const auto clone = dist->Clone();
+  EXPECT_EQ(dist->Describe(), clone->Describe());
+  EXPECT_DOUBLE_EQ(dist->Mean(), clone->Mean());
+  EXPECT_DOUBLE_EQ(dist->Variance(), clone->Variance());
+  for (double x : {0.1, 0.5, 1.0, 2.0}) {
+    EXPECT_DOUBLE_EQ(dist->LogPdf(x), clone->LogPdf(x)) << "x=" << x;
+    EXPECT_DOUBLE_EQ(dist->Cdf(x), clone->Cdf(x)) << "x=" << x;
+  }
+}
+
+TEST_P(DistributionTest, CdfIsMonotoneWithCorrectLimits) {
+  const auto dist = GetParam().make();
+  double prev = -1.0;
+  for (double x = 0.0; x <= 20.0; x += 0.25) {
+    const double c = dist->Cdf(x);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(dist->Cdf(-1.0), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, DistributionTest, ::testing::ValuesIn(AllCases()),
+                         [](const ::testing::TestParamInfo<DistCase>& param_info) {
+                           return param_info.param.name;
+                         });
+
+TEST(Exponential, RejectsBadRate) {
+  EXPECT_THROW(Exponential(0.0), Error);
+  EXPECT_THROW(Exponential(-1.0), Error);
+}
+
+TEST(Exponential, Memoryless) {
+  const Exponential dist(2.0);
+  // P(X > s + t | X > s) == P(X > t).
+  const double s = 0.7;
+  const double t = 0.4;
+  const double lhs = (1.0 - dist.Cdf(s + t)) / (1.0 - dist.Cdf(s));
+  EXPECT_NEAR(lhs, 1.0 - dist.Cdf(t), 1e-12);
+}
+
+TEST(TruncatedExponential, DegeneratesToUniformAtRateZero) {
+  const TruncatedExponential dist(0.0, 1.0, 3.0);
+  EXPECT_NEAR(dist.Mean(), 2.0, 1e-12);
+  EXPECT_NEAR(dist.Variance(), 4.0 / 12.0, 1e-12);
+  EXPECT_NEAR(dist.Cdf(2.0), 0.5, 1e-12);
+}
+
+TEST(TruncatedExponential, RejectsInvalidConstruction) {
+  EXPECT_THROW(TruncatedExponential(1.0, 2.0, 1.0), Error);
+  EXPECT_THROW(TruncatedExponential(-1.0, 0.0, kPosInf), Error);
+}
+
+TEST(GammaDist, RegularizedLowerGammaKnownValues) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 1.0, 3.0}) {
+    EXPECT_NEAR(RegularizedLowerGamma(1.0, x), 1.0 - std::exp(-x), 1e-10);
+  }
+  // P(a, a) -> 1/2 as a grows.
+  EXPECT_NEAR(RegularizedLowerGamma(300.0, 300.0), 0.5, 0.02);
+  EXPECT_DOUBLE_EQ(RegularizedLowerGamma(2.0, 0.0), 0.0);
+}
+
+TEST(LogNormal, FromMeanScvRoundTrips) {
+  const LogNormal dist = LogNormal::FromMeanScv(2.5, 1.8);
+  EXPECT_NEAR(dist.Mean(), 2.5, 1e-9);
+  EXPECT_NEAR(SquaredCoefficientOfVariation(dist), 1.8, 1e-9);
+}
+
+TEST(HyperExponential, ScvExceedsOne) {
+  const HyperExponential dist({0.9, 0.1}, {10.0, 0.5});
+  EXPECT_GT(SquaredCoefficientOfVariation(dist), 1.0);
+}
+
+TEST(HyperExponential, RejectsUnnormalizedWeights) {
+  EXPECT_THROW(HyperExponential({0.5, 0.6}, {1.0, 2.0}), Error);
+  EXPECT_THROW(HyperExponential({0.5, 0.5}, {1.0, -2.0}), Error);
+  EXPECT_THROW(HyperExponential({0.5, 0.5}, {1.0}), Error);
+}
+
+TEST(Deterministic, PointMassBehavior) {
+  const Deterministic dist(0.4);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(dist.Sample(rng), 0.4);
+  EXPECT_DOUBLE_EQ(dist.Mean(), 0.4);
+  EXPECT_DOUBLE_EQ(dist.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(dist.Cdf(0.39), 0.0);
+  EXPECT_DOUBLE_EQ(dist.Cdf(0.4), 1.0);
+  EXPECT_EQ(dist.LogPdf(1.0), kNegInf);
+  EXPECT_GT(dist.LogPdf(0.4), 0.0);
+}
+
+TEST(ServiceDistribution, ScvIdentities) {
+  EXPECT_NEAR(SquaredCoefficientOfVariation(Exponential(3.0)), 1.0, 1e-12);
+  EXPECT_NEAR(SquaredCoefficientOfVariation(UniformDist(0.0, 1.0)), 1.0 / 3.0, 1e-12);
+  // Weibull with shape 1 is exponential.
+  EXPECT_NEAR(SquaredCoefficientOfVariation(Weibull(1.0, 2.0)), 1.0, 1e-9);
+  // Pareto SCV = shape/(shape-2) > 1 always.
+  EXPECT_GT(SquaredCoefficientOfVariation(Pareto(3.0, 1.0)), 1.0);
+}
+
+TEST(Weibull, ShapeOneIsExponential) {
+  const Weibull weibull(1.0, 0.5);  // scale 0.5 <=> rate 2
+  const Exponential exponential(2.0);
+  for (double x : {0.1, 0.5, 1.0, 2.0}) {
+    EXPECT_NEAR(weibull.Cdf(x), exponential.Cdf(x), 1e-12) << "x=" << x;
+    EXPECT_NEAR(weibull.LogPdf(x), exponential.LogPdf(x), 1e-12) << "x=" << x;
+  }
+  EXPECT_THROW(Weibull(0.0, 1.0), Error);
+}
+
+TEST(Pareto, TailHeavierThanExponential) {
+  const Pareto pareto(2.5, 1.5);
+  const Exponential exponential(1.0 / pareto.Mean());
+  // Same mean, but the Pareto survival dominates far in the tail.
+  const double x = 20.0 * pareto.Mean();
+  EXPECT_GT(1.0 - pareto.Cdf(x), 10.0 * (1.0 - exponential.Cdf(x)));
+  EXPECT_THROW(Pareto(1.5, 1.0), Error);  // needs shape > 2 for finite variance
+}
+
+}  // namespace
+}  // namespace qnet

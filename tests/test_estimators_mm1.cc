@@ -1,0 +1,117 @@
+// Tests for the baseline estimators and error helpers.
+
+#include "qnet/infer/estimators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "qnet/model/builders.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/check.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+namespace {
+
+TEST(ObservedMeanService, HandComputedScenario) {
+  EventLog log(2);
+  log.AddTask(1.0);
+  log.AddTask(2.0);
+  log.AddVisit(0, 0, 1, 1.0, 3.0);  // service 2.0
+  log.AddVisit(1, 0, 1, 2.0, 4.0);  // service 1.0 (starts at 3.0)
+  log.BuildQueueLinks();
+
+  const BaselineEstimate only_first = ObservedMeanService(log, {0});
+  EXPECT_DOUBLE_EQ(only_first.mean_service[1], 2.0);
+  EXPECT_EQ(only_first.counts[1], 1u);
+  EXPECT_EQ(only_first.counts[0], 1u);  // the task's initial event
+
+  const BaselineEstimate both = ObservedMeanService(log, {0, 1});
+  EXPECT_DOUBLE_EQ(both.mean_service[1], 1.5);
+
+  const BaselineEstimate none = ObservedMeanService(log, {});
+  EXPECT_TRUE(std::isnan(none.mean_service[1]));
+  EXPECT_EQ(none.counts[1], 0u);
+}
+
+TEST(ObservedMeanService, ConvergesToTruthWithAllTasks) {
+  const QueueingNetwork net = MakeSingleQueueNetwork(2.0, 5.0);
+  Rng rng(3);
+  const EventLog log = SimulateWorkload(net, PoissonArrivals(2.0, 5000), rng);
+  std::vector<int> all_tasks;
+  for (int k = 0; k < log.NumTasks(); ++k) {
+    all_tasks.push_back(k);
+  }
+  const BaselineEstimate est = ObservedMeanService(log, all_tasks);
+  EXPECT_NEAR(est.mean_service[1], 0.2, 0.01);
+}
+
+TEST(CompleteDataRatesMle, InvertsMeanService) {
+  const QueueingNetwork net = MakeTandemNetwork(3.0, {6.0, 9.0});
+  Rng rng(5);
+  const EventLog log = SimulateWorkload(net, PoissonArrivals(3.0, 2000), rng);
+  const auto rates = CompleteDataRatesMle(log);
+  const auto mean_service = log.PerQueueMeanService();
+  for (std::size_t q = 0; q < rates.size(); ++q) {
+    EXPECT_NEAR(rates[q], 1.0 / mean_service[q], 1e-9);
+  }
+  EXPECT_NEAR(rates[1], 6.0, 0.5);
+  EXPECT_NEAR(rates[2], 9.0, 0.8);
+}
+
+TEST(WarmStartRates, ResponseBoundOnLightlyLoadedQueue) {
+  // rho = 0.2: response ~ service, so the warm start should land near the true rate.
+  const QueueingNetwork net = MakeSingleQueueNetwork(1.0, 5.0);
+  Rng rng(7);
+  const EventLog log = SimulateWorkload(net, PoissonArrivals(1.0, 2000), rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.2;
+  const Observation obs = scheme.Apply(log, rng);
+  const auto rates = WarmStartRates(log, obs);
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_NEAR(rates[0], 1.0, 0.2);   // lambda from total count / horizon
+  EXPECT_GT(rates[1], 2.5);          // within ~2x of mu = 5 from below
+  EXPECT_LT(rates[1], 6.5);
+}
+
+TEST(WarmStartRates, ThroughputBoundOnSaturatedQueue) {
+  // rho = 2: responses are huge, but the throughput bound n/horizon recovers mu ~ 5.
+  const QueueingNetwork net = MakeSingleQueueNetwork(10.0, 5.0);
+  Rng rng(9);
+  const EventLog log = SimulateWorkload(net, PoissonArrivals(10.0, 2000), rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.1;
+  const Observation obs = scheme.Apply(log, rng);
+  const auto rates = WarmStartRates(log, obs);
+  EXPECT_GT(rates[1], 2.0);
+  EXPECT_LT(rates[1], 8.0);
+}
+
+TEST(WarmStartRates, FallsBackWithNoObservations) {
+  const QueueingNetwork net = MakeSingleQueueNetwork(1.0, 5.0);
+  Rng rng(11);
+  const EventLog log = SimulateWorkload(net, PoissonArrivals(1.0, 50), rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.0;
+  const Observation obs = scheme.Apply(log, rng);
+  const auto rates = WarmStartRates(log, obs, 3.5);
+  EXPECT_DOUBLE_EQ(rates[0], 3.5);
+  EXPECT_DOUBLE_EQ(rates[1], 3.5);
+}
+
+TEST(PerQueueAbsoluteError, SkipsArrivalQueueByDefault) {
+  const std::vector<double> estimate = {1.0, 2.0, 3.0};
+  const std::vector<double> reference = {0.0, 2.5, 2.0};
+  const auto errors = PerQueueAbsoluteError(estimate, reference);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_DOUBLE_EQ(errors[0], 0.5);
+  EXPECT_DOUBLE_EQ(errors[1], 1.0);
+  const auto with_arrival = PerQueueAbsoluteError(estimate, reference, false);
+  ASSERT_EQ(with_arrival.size(), 3u);
+  EXPECT_DOUBLE_EQ(with_arrival[0], 1.0);
+  EXPECT_THROW(PerQueueAbsoluteError(estimate, {1.0}), Error);
+}
+
+}  // namespace
+}  // namespace qnet

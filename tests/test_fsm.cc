@@ -1,0 +1,169 @@
+// Tests for the probabilistic routing FSM.
+
+#include "qnet/model/fsm.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qnet/support/check.h"
+#include "qnet/support/logspace.h"
+#include "qnet/support/math.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+namespace {
+
+// Two-state FSM: state A emits queue 1, then moves to B (p=0.4) or finishes (p=0.6);
+// state B emits queue 2 or 3 uniformly, then finishes.
+Fsm MakeSmallFsm() {
+  Fsm fsm(4);
+  const int a = fsm.AddState("A");
+  const int b = fsm.AddState("B");
+  fsm.SetInitialState(a);
+  fsm.SetDeterministicEmission(a, 1);
+  fsm.SetUniformEmission(b, {2, 3});
+  fsm.SetTransition(a, b, 0.4);
+  fsm.SetTransition(a, Fsm::kFinalState, 0.6);
+  fsm.SetTransition(b, Fsm::kFinalState, 1.0);
+  return fsm;
+}
+
+TEST(Fsm, ValidatesCleanMachine) {
+  Fsm fsm = MakeSmallFsm();
+  EXPECT_NO_THROW(fsm.Validate());
+  EXPECT_EQ(fsm.NumStates(), 2);
+  EXPECT_EQ(fsm.StateName(0), "A");
+}
+
+TEST(Fsm, RejectsUnnormalizedRows) {
+  Fsm fsm(3);
+  const int a = fsm.AddState("A");
+  fsm.SetInitialState(a);
+  fsm.SetDeterministicEmission(a, 1);
+  fsm.SetTransition(a, Fsm::kFinalState, 0.5);  // row sums to 0.5
+  EXPECT_THROW(fsm.Validate(), Error);
+}
+
+TEST(Fsm, RejectsMissingInitialState) {
+  Fsm fsm(3);
+  const int a = fsm.AddState("A");
+  fsm.SetDeterministicEmission(a, 1);
+  fsm.SetTransition(a, Fsm::kFinalState, 1.0);
+  EXPECT_THROW(fsm.Validate(), Error);
+}
+
+TEST(Fsm, RejectsUnreachableFinalState) {
+  Fsm fsm(3);
+  const int a = fsm.AddState("A");
+  const int b = fsm.AddState("B");
+  fsm.SetInitialState(a);
+  fsm.SetDeterministicEmission(a, 1);
+  fsm.SetDeterministicEmission(b, 2);
+  fsm.SetTransition(a, b, 1.0);
+  fsm.SetTransition(b, b, 1.0);  // absorbing non-final loop
+  EXPECT_THROW(fsm.Validate(), Error);
+}
+
+TEST(Fsm, RejectsEmissionToArrivalQueue) {
+  Fsm fsm(3);
+  const int a = fsm.AddState("A");
+  EXPECT_THROW(fsm.SetEmission(a, 0, 1.0), Error);
+}
+
+TEST(Fsm, SampleRouteTerminatesAndStartsAtInitial) {
+  Fsm fsm = MakeSmallFsm();
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto route = fsm.SampleRoute(rng);
+    ASSERT_FALSE(route.empty());
+    EXPECT_EQ(route.front().state, 0);
+    EXPECT_EQ(route.front().queue, 1);
+    ASSERT_LE(route.size(), 2u);
+    if (route.size() == 2) {
+      EXPECT_EQ(route.back().state, 1);
+      EXPECT_TRUE(route.back().queue == 2 || route.back().queue == 3);
+    }
+  }
+}
+
+TEST(Fsm, RouteLengthFrequencyMatchesTransitionProb) {
+  Fsm fsm = MakeSmallFsm();
+  Rng rng(7);
+  int continued = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    continued += fsm.SampleRoute(rng).size() == 2 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(continued) / n, 0.4, 0.01);
+}
+
+TEST(Fsm, LogProbRouteMatchesHandComputation) {
+  Fsm fsm = MakeSmallFsm();
+  // Route A->1 then finish: p = 1.0 (emit) * 0.6 (finish).
+  const std::vector<RouteStep> short_route = {{0, 1}};
+  EXPECT_NEAR(fsm.LogProbRoute(short_route), std::log(0.6), 1e-12);
+  // Route A->1, B->3, finish: 1.0 * 0.4 * 0.5 * 1.0.
+  const std::vector<RouteStep> long_route = {{0, 1}, {1, 3}};
+  EXPECT_NEAR(fsm.LogProbRoute(long_route), std::log(0.4 * 0.5), 1e-12);
+}
+
+TEST(Fsm, LogProbRouteOfImpossibleRouteIsNegInf) {
+  Fsm fsm = MakeSmallFsm();
+  const std::vector<RouteStep> impossible = {{0, 2}};  // A never emits queue 2
+  EXPECT_EQ(fsm.LogProbRoute(impossible), kNegInf);
+}
+
+TEST(Fsm, SampleAndLogProbAreConsistent) {
+  // Empirical route frequencies should match exp(LogProbRoute).
+  Fsm fsm = MakeSmallFsm();
+  Rng rng(11);
+  std::map<std::string, std::pair<std::vector<RouteStep>, int>> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const auto route = fsm.SampleRoute(rng);
+    std::string key;
+    for (const RouteStep& step : route) {
+      key += std::to_string(step.state) + ":" + std::to_string(step.queue) + ";";
+    }
+    auto& entry = counts[key];
+    entry.first = route;
+    ++entry.second;
+  }
+  for (const auto& [key, entry] : counts) {
+    const double expected = std::exp(fsm.LogProbRoute(entry.first));
+    EXPECT_NEAR(static_cast<double>(entry.second) / n, expected, 0.01) << key;
+  }
+}
+
+TEST(Fsm, WeightedEmissionNormalizes) {
+  Fsm fsm(4);
+  const int a = fsm.AddState("A");
+  fsm.SetInitialState(a);
+  fsm.SetWeightedEmission(a, {1, 2, 3}, {2.0, 6.0, 2.0});
+  fsm.SetTransition(a, Fsm::kFinalState, 1.0);
+  EXPECT_NEAR(fsm.Emission(a, 1), 0.2, 1e-12);
+  EXPECT_NEAR(fsm.Emission(a, 2), 0.6, 1e-12);
+  EXPECT_NO_THROW(fsm.Validate());
+}
+
+TEST(Fsm, SelfLoopRoutesSampleGeometricLength) {
+  Fsm fsm(2);
+  const int a = fsm.AddState("loop");
+  fsm.SetInitialState(a);
+  fsm.SetDeterministicEmission(a, 1);
+  fsm.SetTransition(a, a, 0.5);
+  fsm.SetTransition(a, Fsm::kFinalState, 0.5);
+  fsm.Validate();
+  Rng rng(13);
+  RunningStat lengths;
+  for (int i = 0; i < 20000; ++i) {
+    lengths.Add(static_cast<double>(fsm.SampleRoute(rng).size()));
+  }
+  EXPECT_NEAR(lengths.Mean(), 2.0, 0.05);  // Geometric(1/2) mean.
+}
+
+}  // namespace
+}  // namespace qnet

@@ -1,0 +1,145 @@
+// End-to-end integration tests: the paper's full workflow (simulate -> observe a fraction ->
+// StEM+Gibbs -> localize) on the Section 5.1 networks, including fault localization via the
+// waiting/service decomposition.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "qnet/infer/estimators.h"
+#include "qnet/infer/stem.h"
+#include "qnet/model/builders.h"
+#include "qnet/obs/observation.h"
+#include "qnet/sim/fault.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/math.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+namespace {
+
+TEST(Integration, ThreeTierRecoveryAtQuarterObservation) {
+  // Structure {1,2,4} at lambda=10, mu=5 (the paper's overload mix), 25% of tasks observed.
+  ThreeTierConfig config;
+  config.tier_sizes = {1, 2, 4};
+  const QueueingNetwork net = MakeThreeTierNetwork(config);
+  Rng rng(3);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(10.0, 1000), rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.25;
+  const Observation obs = scheme.Apply(truth, rng);
+
+  StemOptions options;
+  options.iterations = 120;
+  options.burn_in = 40;
+  options.wait_sweeps = 40;
+  std::vector<double> init_rates(static_cast<std::size_t>(net.NumQueues()), 1.0);
+  const StemResult result = StemEstimator(options).Run(truth, obs, init_rates, rng);
+
+  // Service-time recovery: every real queue's mean service is 1/5 = 0.2.
+  const auto realized_service = truth.PerQueueMeanService();
+  for (int q = 1; q < net.NumQueues(); ++q) {
+    EXPECT_NEAR(result.mean_service[static_cast<std::size_t>(q)],
+                realized_service[static_cast<std::size_t>(q)], 0.08)
+        << net.QueueName(q);
+  }
+  // Waiting-time decomposition identifies the single-server tier as the bottleneck.
+  ASSERT_FALSE(result.mean_wait.empty());
+  double max_other_wait = 0.0;
+  for (int q = 2; q < net.NumQueues(); ++q) {
+    max_other_wait = std::max(max_other_wait, result.mean_wait[static_cast<std::size_t>(q)]);
+  }
+  EXPECT_GT(result.mean_wait[1], 3.0 * max_other_wait)
+      << "overloaded tier-0 server must dominate waiting";
+}
+
+TEST(Integration, FaultLocalizationSeparatesLoadFromDegradation) {
+  // Two-queue tandem where queue 2 intrinsically degrades (4x slower service) for the whole
+  // run: the *service* estimate must implicate queue 2, not just its waiting time. This is
+  // the paper's "poor performance due to intrinsic performance vs heavy load" distinction.
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {4.0, 8.0});
+  FaultSchedule faults;
+  faults.AddSlowdown(2, 0.0, 1.0e9, 4.0);  // queue 2 effective rate: 2.0
+  SimOptions sim_options;
+  sim_options.faults = &faults;
+  Rng rng(5);
+  const EventLog truth =
+      Simulate(net, PoissonArrivals(2.0, 800).Generate(rng), rng, sim_options);
+
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.2;
+  const Observation obs = scheme.Apply(truth, rng);
+  StemOptions options;
+  options.iterations = 120;
+  options.burn_in = 40;
+  options.wait_sweeps = 0;
+  const StemResult result =
+      StemEstimator(options).Run(truth, obs, {1.0, 1.0, 1.0}, rng);
+
+  // Queue 1 healthy: mean service ~0.25. Queue 2 degraded: ~0.5 despite nominal 0.125.
+  EXPECT_NEAR(result.mean_service[1], 0.25, 0.08);
+  EXPECT_GT(result.mean_service[2], 0.3);
+  EXPECT_NEAR(result.mean_service[2], 0.5, 0.15);
+}
+
+TEST(Integration, SpikeDiagnosisViaWaitingTimes) {
+  // The paper's motivating question: "five minutes ago a brief spike occurred — which part
+  // of the system was the bottleneck?" A workload spike inflates *waiting* at the slowest
+  // queue while *service* estimates stay at their intrinsic values.
+  const QueueingNetwork net = MakeTandemNetwork(1.0, {3.0, 12.0});
+  Rng rng(7);
+  const PiecewiseConstantArrivals workload({0.0, 60.0, 90.0, 150.0}, {1.0, 8.0, 1.0});
+  const EventLog truth = Simulate(net, workload.Generate(rng), rng);
+
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.3;
+  const Observation obs = scheme.Apply(truth, rng);
+  StemOptions options;
+  options.iterations = 100;
+  options.burn_in = 40;
+  options.wait_sweeps = 40;
+  const StemResult result =
+      StemEstimator(options).Run(truth, obs, {1.0, 1.0, 1.0}, rng);
+
+  // Intrinsic service recovered despite the spike.
+  EXPECT_NEAR(result.mean_service[1], 1.0 / 3.0, 0.12);
+  EXPECT_NEAR(result.mean_service[2], 1.0 / 12.0, 0.05);
+  // The slow queue (1) absorbed the spike: its waiting dominates.
+  ASSERT_FALSE(result.mean_wait.empty());
+  EXPECT_GT(result.mean_wait[1], 2.0 * result.mean_wait[2]);
+}
+
+TEST(Integration, EstimatesImproveWithObservationFraction) {
+  // Error at 50% observed should not exceed error at 2% observed (directional sanity of the
+  // Figure 4 trend), measured on the same ground truth.
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {5.0, 4.0});
+  Rng rng(9);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 800), rng);
+  const auto realized = truth.PerQueueMeanService();
+
+  const auto run_at = [&](double fraction) {
+    TaskSamplingScheme scheme;
+    scheme.fraction = fraction;
+    Rng local_rng(1000 + static_cast<std::uint64_t>(fraction * 1000));
+    const Observation obs = scheme.Apply(truth, local_rng);
+    StemOptions options;
+    options.iterations = 100;
+    options.burn_in = 40;
+    options.wait_sweeps = 0;
+    const StemResult result =
+        StemEstimator(options).Run(truth, obs, {1.0, 1.0, 1.0}, local_rng);
+    double err = 0.0;
+    for (std::size_t q = 1; q < realized.size(); ++q) {
+      err += std::abs(result.mean_service[q] - realized[q]);
+    }
+    return err;
+  };
+
+  const double err_low = run_at(0.02);
+  const double err_high = run_at(0.5);
+  EXPECT_LT(err_high, err_low + 0.05);  // allow noise, but the trend must hold
+  EXPECT_LT(err_high, 0.05);
+}
+
+}  // namespace
+}  // namespace qnet

@@ -1,0 +1,157 @@
+// Unit tests for log-space arithmetic — the numerical foundation of the Gibbs conditionals.
+
+#include "qnet/support/logspace.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qnet/support/check.h"
+
+namespace qnet {
+namespace {
+
+// Numeric reference: trapezoid integration of exp(alpha + beta x) over [lo, hi].
+double NumericLogIntegral(double alpha, double beta, double lo, double hi, int steps = 200000) {
+  const double h = (hi - lo) / steps;
+  // Integrate exp(alpha + beta x - peak) to stay in range, then add peak back.
+  const double peak = alpha + beta * (beta > 0 ? hi : lo);
+  double sum = 0.0;
+  for (int i = 0; i <= steps; ++i) {
+    const double x = lo + i * h;
+    const double w = (i == 0 || i == steps) ? 0.5 : 1.0;
+    sum += w * std::exp(alpha + beta * x - peak);
+  }
+  return peak + std::log(sum * h);
+}
+
+TEST(LogAdd, BasicIdentities) {
+  EXPECT_NEAR(LogAdd(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  EXPECT_NEAR(LogAdd(0.0, 0.0), std::log(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(LogAdd(kNegInf, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(LogAdd(1.5, kNegInf), 1.5);
+  EXPECT_DOUBLE_EQ(LogAdd(kNegInf, kNegInf), kNegInf);
+}
+
+TEST(LogAdd, ExtremeMagnitudeGap) {
+  // exp(-1000) is invisible next to exp(1000); the result must not overflow.
+  EXPECT_DOUBLE_EQ(LogAdd(1000.0, -1000.0), 1000.0);
+  EXPECT_NEAR(LogAdd(700.0, 700.0), 700.0 + std::log(2.0), 1e-12);
+}
+
+TEST(LogSub, BasicIdentities) {
+  EXPECT_NEAR(LogSub(std::log(5.0), std::log(3.0)), std::log(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(LogSub(2.0, kNegInf), 2.0);
+  EXPECT_DOUBLE_EQ(LogSub(2.0, 2.0), kNegInf);
+  EXPECT_THROW(LogSub(1.0, 2.0), Error);
+}
+
+TEST(LogSumExp, MatchesPairwise) {
+  const std::vector<double> xs = {0.1, -3.0, 2.5, 1.0};
+  double pair = kNegInf;
+  for (double x : xs) {
+    pair = LogAdd(pair, x);
+  }
+  EXPECT_NEAR(LogSumExp(xs), pair, 1e-12);
+}
+
+TEST(LogSumExp, EmptyAndAllNegInf) {
+  EXPECT_DOUBLE_EQ(LogSumExp(std::vector<double>{}), kNegInf);
+  EXPECT_DOUBLE_EQ(LogSumExp(std::vector<double>{kNegInf, kNegInf}), kNegInf);
+}
+
+TEST(Log1mExp, MatchesDirectComputation) {
+  for (double u : {1e-3, 0.1, 0.5, 0.69, 0.70, 1.0, 5.0, 40.0}) {
+    const double direct = std::log(1.0 - std::exp(-u));
+    EXPECT_NEAR(Log1mExp(u), direct, 1e-10) << "u=" << u;
+  }
+}
+
+TEST(Log1mExp, AccurateForTinyArguments) {
+  // Direct log(1 - exp(-u)) loses precision to cancellation here; compare against the
+  // series log(u) - u/2 + u^2/24 - ...
+  for (double u : {1e-10, 1e-8, 1e-6}) {
+    const double series = std::log(u) - u / 2.0 + u * u / 24.0;
+    EXPECT_NEAR(Log1mExp(u), series, 1e-12 * std::abs(series)) << "u=" << u;
+  }
+}
+
+TEST(LogIntegralExpLinear, MatchesNumericIntegration) {
+  struct Case {
+    double alpha, beta, lo, hi;
+  };
+  const std::vector<Case> cases = {
+      {0.0, 0.0, 1.0, 2.0},    {0.0, 1.0, 0.0, 1.0},     {2.0, -3.0, 0.5, 4.0},
+      {-5.0, 0.5, 10.0, 11.0}, {1.0, 1e-14, 3.0, 7.0},   {0.0, -0.25, 0.0, 100.0},
+      {3.0, 12.0, 0.0, 2.0},   {-2.0, -7.5, 1.0, 1.001},
+  };
+  for (const auto& c : cases) {
+    EXPECT_NEAR(LogIntegralExpLinear(c.alpha, c.beta, c.lo, c.hi),
+                NumericLogIntegral(c.alpha, c.beta, c.lo, c.hi), 1e-6)
+        << "alpha=" << c.alpha << " beta=" << c.beta << " lo=" << c.lo << " hi=" << c.hi;
+  }
+}
+
+TEST(LogIntegralExpLinear, HugeExponentsStayFinite) {
+  // alpha + beta*x around +-20000: naive exponentiation would overflow.
+  const double value = LogIntegralExpLinear(20000.0, -10.0, 1000.0, 2000.0);
+  EXPECT_TRUE(std::isfinite(value));
+  // Analytic: alpha + beta*lo - log(beta adjustments); mass concentrated at lo.
+  EXPECT_NEAR(value, 20000.0 - 10.0 * 1000.0 - std::log(10.0), 1e-9);
+}
+
+TEST(LogIntegralExpLinear, SemiInfiniteTail) {
+  // Integral of exp(-2x) from 3 to infinity = exp(-6)/2.
+  EXPECT_NEAR(LogIntegralExpLinear(0.0, -2.0, 3.0, kPosInf), -6.0 - std::log(2.0), 1e-12);
+  EXPECT_THROW(LogIntegralExpLinear(0.0, 1.0, 0.0, kPosInf), Error);
+}
+
+TEST(LogIntegralExpLinear, EmptyInterval) {
+  EXPECT_DOUBLE_EQ(LogIntegralExpLinear(1.0, 1.0, 2.0, 2.0), kNegInf);
+}
+
+TEST(SampleExpLinear, EndpointsAndMonotonicity) {
+  for (double beta : {-4.0, -1e-15, 0.0, 2.5, 50.0}) {
+    const double lo = 1.0;
+    const double hi = 3.0;
+    EXPECT_NEAR(SampleExpLinear(beta, lo, hi, 0.0), lo, 1e-9) << "beta=" << beta;
+    EXPECT_NEAR(SampleExpLinear(beta, lo, hi, 1.0), hi, 1e-6) << "beta=" << beta;
+    double prev = lo;
+    for (double v = 0.1; v < 1.0; v += 0.1) {
+      const double x = SampleExpLinear(beta, lo, hi, v);
+      EXPECT_GE(x, prev) << "beta=" << beta << " v=" << v;
+      EXPECT_LE(x, hi + 1e-12);
+      prev = x;
+    }
+  }
+}
+
+TEST(SampleExpLinear, InverseCdfIdentity) {
+  // For density ∝ exp(beta x) on [lo, hi], CDF(SampleExpLinear(v)) == v.
+  for (double beta : {-3.0, -0.5, 0.5, 3.0}) {
+    const double lo = 0.5;
+    const double hi = 2.5;
+    const double log_total = LogIntegralExpLinear(0.0, beta, lo, hi);
+    for (double v : {0.05, 0.3, 0.5, 0.77, 0.95}) {
+      const double x = SampleExpLinear(beta, lo, hi, v);
+      const double cdf = std::exp(LogIntegralExpLinear(0.0, beta, lo, x) - log_total);
+      EXPECT_NEAR(cdf, v, 1e-9) << "beta=" << beta << " v=" << v;
+    }
+  }
+}
+
+TEST(SampleExpLinear, SemiInfiniteMatchesExponential) {
+  // beta < 0 on [lo, inf): X - lo ~ Exp(-beta).
+  const double x = SampleExpLinear(-2.0, 1.0, kPosInf, 0.5);
+  EXPECT_NEAR(x, 1.0 + std::log(2.0) / 2.0, 1e-12);
+}
+
+TEST(SampleExpLinear, LargePositiveBetaConcentratesAtUpperEnd) {
+  const double x = SampleExpLinear(200.0, 0.0, 1.0, 0.5);
+  EXPECT_GT(x, 0.99);
+  EXPECT_LE(x, 1.0);
+}
+
+}  // namespace
+}  // namespace qnet

@@ -1,0 +1,188 @@
+// Tests for the two-phase simplex solver.
+
+#include "qnet/lp/simplex.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "qnet/lp/problem.h"
+#include "qnet/support/logspace.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+namespace {
+
+TEST(Simplex, TextbookMaximizationAsMinimization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0  => optimum (2, 6), value 36.
+  LpProblem lp;
+  const int x = lp.AddVariable("x");
+  const int y = lp.AddVariable("y");
+  lp.SetObjective(x, -3.0);
+  lp.SetObjective(y, -5.0);
+  lp.AddConstraint({{x, 1.0}}, LpRelation::kLessEqual, 4.0);
+  lp.AddConstraint({{y, 2.0}}, LpRelation::kLessEqual, 12.0);
+  lp.AddConstraint({{x, 3.0}, {y, 2.0}}, LpRelation::kLessEqual, 18.0);
+  const LpSolution solution = SimplexSolver().Solve(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -36.0, 1e-8);
+  EXPECT_NEAR(solution.values[0], 2.0, 1e-8);
+  EXPECT_NEAR(solution.values[1], 6.0, 1e-8);
+}
+
+TEST(Simplex, GreaterEqualAndEqualityConstraints) {
+  // min x + 2y s.t. x + y >= 3, x - y == 1, x,y >= 0 => (2, 1), value 4.
+  LpProblem lp;
+  const int x = lp.AddVariable("x");
+  const int y = lp.AddVariable("y");
+  lp.SetObjective(x, 1.0);
+  lp.SetObjective(y, 2.0);
+  lp.AddConstraint({{x, 1.0}, {y, 1.0}}, LpRelation::kGreaterEqual, 3.0);
+  lp.AddConstraint({{x, 1.0}, {y, -1.0}}, LpRelation::kEqual, 1.0);
+  const LpSolution solution = SimplexSolver().Solve(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 4.0, 1e-8);
+  EXPECT_NEAR(solution.values[0], 2.0, 1e-8);
+  EXPECT_NEAR(solution.values[1], 1.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LpProblem lp;
+  const int x = lp.AddVariable("x");
+  lp.AddConstraint({{x, 1.0}}, LpRelation::kLessEqual, 1.0);
+  lp.AddConstraint({{x, 1.0}}, LpRelation::kGreaterEqual, 2.0);
+  EXPECT_EQ(SimplexSolver().Solve(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LpProblem lp;
+  const int x = lp.AddVariable("x");
+  lp.SetObjective(x, -1.0);  // minimize -x with x unbounded above
+  lp.AddConstraint({{x, 1.0}}, LpRelation::kGreaterEqual, 0.0);
+  EXPECT_EQ(SimplexSolver().Solve(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, HandlesVariableBounds) {
+  // min x + y with 2 <= x <= 5, y in [-3, -1]: optimum (2, -3).
+  LpProblem lp;
+  const int x = lp.AddVariable("x", 2.0, 5.0);
+  const int y = lp.AddVariable("y", -3.0, -1.0);
+  lp.SetObjective(x, 1.0);
+  lp.SetObjective(y, 1.0);
+  const LpSolution solution = SimplexSolver().Solve(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.values[0], 2.0, 1e-8);
+  EXPECT_NEAR(solution.values[1], -3.0, 1e-8);
+  EXPECT_NEAR(solution.objective, -1.0, 1e-8);
+}
+
+TEST(Simplex, HandlesFreeVariables) {
+  // min |x - 3| via epigraph: min u s.t. u >= x-3, u >= 3-x, x free => u = 0, x = 3.
+  LpProblem lp;
+  const int x = lp.AddVariable("x", -kPosInf, kPosInf);
+  const int u = lp.AddVariable("u");
+  lp.SetObjective(u, 1.0);
+  lp.AddConstraint({{u, 1.0}, {x, -1.0}}, LpRelation::kGreaterEqual, -3.0);
+  lp.AddConstraint({{u, 1.0}, {x, 1.0}}, LpRelation::kGreaterEqual, 3.0);
+  const LpSolution solution = SimplexSolver().Solve(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 0.0, 1e-8);
+  EXPECT_NEAR(solution.values[0], 3.0, 1e-8);
+}
+
+TEST(Simplex, UpperBoundedOnlyVariable) {
+  // min -x with x <= 7 and x >= -inf... bounded: optimum at 7.
+  LpProblem lp;
+  const int x = lp.AddVariable("x", -kPosInf, 7.0);
+  lp.SetObjective(x, -1.0);
+  const LpSolution solution = SimplexSolver().Solve(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.values[0], 7.0, 1e-8);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Klee-Minty-flavored degenerate constraints; correctness matters more than speed.
+  LpProblem lp;
+  const int x1 = lp.AddVariable("x1");
+  const int x2 = lp.AddVariable("x2");
+  const int x3 = lp.AddVariable("x3");
+  lp.SetObjective(x1, -100.0);
+  lp.SetObjective(x2, -10.0);
+  lp.SetObjective(x3, -1.0);
+  lp.AddConstraint({{x1, 1.0}}, LpRelation::kLessEqual, 1.0);
+  lp.AddConstraint({{x1, 20.0}, {x2, 1.0}}, LpRelation::kLessEqual, 100.0);
+  lp.AddConstraint({{x1, 200.0}, {x2, 20.0}, {x3, 1.0}}, LpRelation::kLessEqual, 10000.0);
+  const LpSolution solution = SimplexSolver().Solve(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -10000.0, 1e-6);
+}
+
+TEST(Simplex, RedundantEqualitiesAreHarmless) {
+  // x + y == 2 stated twice; min x => (0, 2).
+  LpProblem lp;
+  const int x = lp.AddVariable("x");
+  const int y = lp.AddVariable("y");
+  lp.SetObjective(x, 1.0);
+  lp.AddConstraint({{x, 1.0}, {y, 1.0}}, LpRelation::kEqual, 2.0);
+  lp.AddConstraint({{x, 1.0}, {y, 1.0}}, LpRelation::kEqual, 2.0);
+  const LpSolution solution = SimplexSolver().Solve(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.values[0], 0.0, 1e-8);
+  EXPECT_NEAR(solution.values[1], 2.0, 1e-8);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // min x s.t. -x <= -4 (i.e. x >= 4).
+  LpProblem lp;
+  const int x = lp.AddVariable("x");
+  lp.SetObjective(x, 1.0);
+  lp.AddConstraint({{x, -1.0}}, LpRelation::kLessEqual, -4.0);
+  const LpSolution solution = SimplexSolver().Solve(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.values[0], 4.0, 1e-8);
+}
+
+TEST(Simplex, RandomFeasibilitySystemsSolve) {
+  // Random difference-constraint systems (the initializer's shape): always feasible.
+  Rng rng(61);
+  for (int trial = 0; trial < 20; ++trial) {
+    LpProblem lp;
+    const int n = 12;
+    std::vector<int> vars;
+    for (int i = 0; i < n; ++i) {
+      vars.push_back(lp.AddVariable("v" + std::to_string(i)));
+      lp.SetObjective(vars.back(), 1.0);
+    }
+    // Chain: v_i <= v_{i+1} plus random extra forward edges.
+    for (int i = 0; i + 1 < n; ++i) {
+      lp.AddConstraint({{vars[i], 1.0}, {vars[i + 1], -1.0}}, LpRelation::kLessEqual, 0.0);
+    }
+    for (int k = 0; k < 8; ++k) {
+      const int a = static_cast<int>(rng.UniformInt(n - 1));
+      const int b = a + 1 + static_cast<int>(rng.UniformInt(n - a - 1));
+      lp.AddConstraint({{vars[a], 1.0}, {vars[b], -1.0}}, LpRelation::kLessEqual,
+                       -rng.Uniform());  // v_a + gap <= v_b
+    }
+    lp.AddConstraint({{vars[0], 1.0}}, LpRelation::kGreaterEqual, 1.0);
+    const LpSolution solution = SimplexSolver().Solve(lp);
+    ASSERT_EQ(solution.status, LpStatus::kOptimal) << "trial " << trial;
+    // Verify all constraints hold.
+    for (int i = 0; i < lp.NumConstraints(); ++i) {
+      const LpConstraint& c = lp.Constraint(i);
+      double lhs = 0.0;
+      for (const auto& [v, coeff] : c.terms) {
+        lhs += coeff * solution.values[static_cast<std::size_t>(v)];
+      }
+      if (c.relation == LpRelation::kLessEqual) {
+        EXPECT_LE(lhs, c.rhs + 1e-7);
+      } else if (c.relation == LpRelation::kGreaterEqual) {
+        EXPECT_GE(lhs, c.rhs - 1e-7);
+      } else {
+        EXPECT_NEAR(lhs, c.rhs, 1e-7);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qnet

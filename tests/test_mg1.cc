@@ -1,0 +1,106 @@
+// M/G/1 (Pollaczek-Khinchine) and M/M/c (Erlang-C) analytics, validated against known
+// identities and against the discrete-event simulator.
+
+#include "qnet/infer/mg1.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "qnet/dist/deterministic.h"
+#include "qnet/dist/exponential.h"
+#include "qnet/dist/hyperexp.h"
+#include "qnet/infer/mm1.h"
+#include "qnet/model/network.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/check.h"
+#include "qnet/support/math.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+namespace {
+
+TEST(Mg1, ReducesToMm1ForExponentialService) {
+  const Exponential service(10.0);
+  const Mg1Metrics mg1 = AnalyzeMg1(5.0, service);
+  const Mm1Metrics mm1 = AnalyzeMm1(5.0, 10.0);
+  ASSERT_TRUE(mg1.stable);
+  EXPECT_NEAR(mg1.mean_wait, mm1.mean_wait, 1e-12);
+  EXPECT_NEAR(mg1.mean_response, mm1.mean_response, 1e-12);
+}
+
+TEST(Mg1, DeterministicServiceHalvesWaiting) {
+  // M/D/1 waits are exactly half of M/M/1 at the same utilization.
+  const Deterministic det(0.1);
+  const Mg1Metrics md1 = AnalyzeMg1(5.0, det);
+  const Mm1Metrics mm1 = AnalyzeMm1(5.0, 10.0);
+  ASSERT_TRUE(md1.stable);
+  EXPECT_NEAR(md1.mean_wait, 0.5 * mm1.mean_wait, 1e-12);
+}
+
+TEST(Mg1, HighVarianceServiceInflatesWaiting) {
+  const HyperExponential bursty({0.9, 0.1}, {20.0, 0.8});  // same-ish mean, high SCV
+  const Mg1Metrics mg1 = AnalyzeMg1(2.0, bursty);
+  const Mg1Metrics exp_case = AnalyzeMg1(2.0, Exponential(1.0 / bursty.Mean()));
+  ASSERT_TRUE(mg1.stable);
+  EXPECT_GT(mg1.mean_wait, 2.0 * exp_case.mean_wait);
+}
+
+TEST(Mg1, UnstableWhenOverloaded) {
+  EXPECT_FALSE(AnalyzeMg1(20.0, Exponential(10.0)).stable);
+}
+
+TEST(Mg1, MatchesSimulatedMd1Queue) {
+  // Simulate M/D/1 via the network simulator and compare mean waits.
+  QueueingNetwork net(std::make_unique<Exponential>(6.0));
+  net.AddQueue("d", std::make_unique<Deterministic>(0.1));
+  Fsm& fsm = net.MutableFsm();
+  const int s = fsm.AddState("s");
+  fsm.SetDeterministicEmission(s, 1);
+  fsm.SetInitialState(s);
+  fsm.SetTransition(s, Fsm::kFinalState, 1.0);
+  net.Validate();
+  Rng rng(3);
+  const EventLog log = SimulateWorkload(net, PoissonArrivals(6.0, 40000), rng);
+  RunningStat wait;
+  const auto& order = log.QueueOrder(1);
+  for (std::size_t i = order.size() / 5; i < order.size(); ++i) {
+    wait.Add(log.WaitTime(order[i]));
+  }
+  const Mg1Metrics theory = AnalyzeMg1(6.0, Deterministic(0.1));
+  EXPECT_NEAR(wait.Mean(), theory.mean_wait, 0.15 * theory.mean_wait);
+}
+
+TEST(Mmc, ReducesToMm1ForOneServer) {
+  const MmcMetrics mmc = AnalyzeMmc(5.0, 10.0, 1);
+  const Mm1Metrics mm1 = AnalyzeMm1(5.0, 10.0);
+  ASSERT_TRUE(mmc.stable);
+  EXPECT_NEAR(mmc.mean_wait, mm1.mean_wait, 1e-12);
+  EXPECT_NEAR(mmc.prob_wait, mm1.utilization, 1e-12);  // P(wait) = rho for M/M/1
+}
+
+TEST(Mmc, KnownErlangCValue) {
+  // Textbook: lambda = 2, mu = 1, c = 3 -> rho = 2/3, C(3,2) = 4/9.
+  const MmcMetrics mmc = AnalyzeMmc(2.0, 1.0, 3);
+  ASSERT_TRUE(mmc.stable);
+  EXPECT_NEAR(mmc.prob_wait, 4.0 / 9.0, 1e-12);
+  EXPECT_NEAR(mmc.mean_wait, (4.0 / 9.0) / (3.0 - 2.0), 1e-12);
+}
+
+TEST(Mmc, PoolingBeatsSeparateQueues) {
+  // Classic result: one pooled M/M/2 beats two separate M/M/1 at the same total load.
+  const MmcMetrics pooled = AnalyzeMmc(8.0, 5.0, 2);
+  const Mm1Metrics split = AnalyzeMm1(4.0, 5.0);
+  ASSERT_TRUE(pooled.stable);
+  EXPECT_LT(pooled.mean_response, split.mean_response);
+}
+
+TEST(Mmc, UnstableAndGuards) {
+  EXPECT_FALSE(AnalyzeMmc(20.0, 5.0, 2).stable);
+  EXPECT_THROW(AnalyzeMmc(1.0, 1.0, 0), Error);
+  EXPECT_THROW(AnalyzeMg1(-1.0, Exponential(1.0)), Error);
+}
+
+}  // namespace
+}  // namespace qnet

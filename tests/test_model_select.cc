@@ -1,0 +1,101 @@
+// Model selection: MLE fits recover generating parameters; BIC picks the generating family
+// when families are clearly separated.
+
+#include "qnet/infer/model_select.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qnet/dist/exponential.h"
+#include "qnet/dist/gamma.h"
+#include "qnet/dist/lognormal.h"
+#include "qnet/support/check.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+namespace {
+
+std::vector<double> Draw(const ServiceDistribution& dist, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(dist.Sample(rng));
+  }
+  return xs;
+}
+
+TEST(FitMle, ExponentialRecoversRate) {
+  const auto xs = Draw(Exponential(3.0), 20000, 3);
+  const auto fit = FitMle(ServiceFamily::kExponential, xs);
+  EXPECT_NEAR(fit->Mean(), 1.0 / 3.0, 0.01);
+}
+
+TEST(FitMle, GammaRecoversShapeAndRate) {
+  const GammaDist truth(3.5, 2.0);
+  const auto xs = Draw(truth, 40000, 5);
+  const auto fit = FitMle(ServiceFamily::kGamma, xs);
+  const auto* gamma = dynamic_cast<const GammaDist*>(fit.get());
+  ASSERT_NE(gamma, nullptr);
+  EXPECT_NEAR(gamma->shape(), 3.5, 0.15);
+  EXPECT_NEAR(gamma->rate(), 2.0, 0.1);
+}
+
+TEST(FitMle, LogNormalRecoversParameters) {
+  const LogNormal truth(-0.5, 0.7);
+  const auto xs = Draw(truth, 40000, 7);
+  const auto fit = FitMle(ServiceFamily::kLogNormal, xs);
+  const auto* ln = dynamic_cast<const LogNormal*>(fit.get());
+  ASSERT_NE(ln, nullptr);
+  EXPECT_NEAR(ln->mu(), -0.5, 0.02);
+  EXPECT_NEAR(ln->sigma(), 0.7, 0.02);
+}
+
+TEST(FitMle, NearDeterministicSampleFallsBackGracefully) {
+  std::vector<double> xs(100, 0.25);
+  xs[0] = 0.2500001;
+  const auto fit = FitMle(ServiceFamily::kGamma, xs);
+  EXPECT_NEAR(fit->Mean(), 0.25, 0.01);
+  EXPECT_THROW(FitMle(ServiceFamily::kGamma, std::vector<double>{1.0}), Error);
+}
+
+TEST(ScoreFamilies, SortedByBicAndSelectsGenerator) {
+  // Strongly log-normal data (high SCV) vs exponential.
+  const LogNormal truth(0.0, 1.5);
+  const auto xs = Draw(truth, 5000, 9);
+  const auto scores = ScoreFamilies(xs);
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_LE(scores[0].bic, scores[1].bic);
+  EXPECT_LE(scores[1].bic, scores[2].bic);
+  EXPECT_EQ(scores[0].family, ServiceFamily::kLogNormal);
+  EXPECT_EQ(SelectServiceFamily(xs), ServiceFamily::kLogNormal);
+}
+
+TEST(ScoreFamilies, ExponentialDataPrefersExponentialByParsimony) {
+  const auto xs = Draw(Exponential(2.0), 5000, 11);
+  // Gamma/log-normal can only match the exponential's likelihood; BIC then charges them the
+  // extra parameter. Exponential must win (gamma could tie within noise, so check top-2).
+  const auto scores = ScoreFamilies(xs);
+  EXPECT_TRUE(scores[0].family == ServiceFamily::kExponential ||
+              scores[1].family == ServiceFamily::kExponential);
+  EXPECT_EQ(SelectServiceFamily(xs),
+            scores[0].family);  // consistency between the two APIs
+}
+
+TEST(ScoreFamilies, GammaShapeTwoDataSelectsGamma) {
+  const GammaDist truth(2.0, 4.0);
+  const auto xs = Draw(truth, 8000, 13);
+  const auto best = SelectServiceFamily(xs);
+  // Gamma(2) is far from exponential (SCV 0.5) and from log-normal's right tail.
+  EXPECT_EQ(best, ServiceFamily::kGamma);
+}
+
+TEST(FamilyName, AllNamed) {
+  EXPECT_EQ(FamilyName(ServiceFamily::kExponential), "exponential");
+  EXPECT_EQ(FamilyName(ServiceFamily::kGamma), "gamma");
+  EXPECT_EQ(FamilyName(ServiceFamily::kLogNormal), "lognormal");
+}
+
+}  // namespace
+}  // namespace qnet

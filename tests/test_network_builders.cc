@@ -1,0 +1,126 @@
+// Tests for QueueingNetwork and the canonical builders.
+
+#include "qnet/model/builders.h"
+#include "qnet/model/network.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "qnet/dist/exponential.h"
+#include "qnet/dist/lognormal.h"
+#include "qnet/support/check.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+namespace {
+
+TEST(QueueingNetwork, BasicConstruction) {
+  QueueingNetwork net(std::make_unique<Exponential>(10.0));
+  EXPECT_EQ(net.NumQueues(), 1);
+  const int q = net.AddQueue("db", std::make_unique<Exponential>(5.0));
+  EXPECT_EQ(q, 1);
+  EXPECT_EQ(net.QueueName(1), "db");
+  EXPECT_EQ(net.QueueIdByName("db"), 1);
+  EXPECT_EQ(net.QueueIdByName("nope"), -1);
+  EXPECT_DOUBLE_EQ(net.ArrivalRate(), 10.0);
+}
+
+TEST(QueueingNetwork, DuplicateQueueNameRejected) {
+  QueueingNetwork net(std::make_unique<Exponential>(1.0));
+  net.AddQueue("a", std::make_unique<Exponential>(1.0));
+  EXPECT_THROW(net.AddQueue("a", std::make_unique<Exponential>(1.0)), Error);
+}
+
+TEST(QueueingNetwork, ExponentialRatesRequiresExponential) {
+  QueueingNetwork net(std::make_unique<Exponential>(2.0));
+  net.AddQueue("ln", std::make_unique<LogNormal>(0.0, 1.0));
+  EXPECT_THROW(net.ExponentialRates(), Error);
+  net.SetService(1, std::make_unique<Exponential>(4.0));
+  const auto rates = net.ExponentialRates();
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0], 2.0);
+  EXPECT_DOUBLE_EQ(rates[1], 4.0);
+}
+
+TEST(QueueingNetwork, CloneIsDeep) {
+  QueueingNetwork net = MakeSingleQueueNetwork(10.0, 5.0);
+  QueueingNetwork copy = net.Clone();
+  copy.SetService(1, std::make_unique<Exponential>(99.0));
+  EXPECT_DOUBLE_EQ(net.ExponentialRates()[1], 5.0);
+  EXPECT_DOUBLE_EQ(copy.ExponentialRates()[1], 99.0);
+  EXPECT_NO_THROW(copy.Validate());
+}
+
+TEST(Builders, ThreeTierShape) {
+  ThreeTierConfig config;
+  config.tier_sizes = {1, 2, 4};
+  const QueueingNetwork net = MakeThreeTierNetwork(config);
+  EXPECT_EQ(net.NumQueues(), 1 + 1 + 2 + 4);
+  EXPECT_NO_THROW(net.Validate());
+  // Every route visits exactly one server per tier, in tier order.
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const auto route = net.GetFsm().SampleRoute(rng);
+    ASSERT_EQ(route.size(), 3u);
+    EXPECT_EQ(route[0].queue, 1);                           // single tier-0 server
+    EXPECT_TRUE(route[1].queue == 2 || route[1].queue == 3);  // tier 1
+    EXPECT_TRUE(route[2].queue >= 4 && route[2].queue <= 7);  // tier 2
+  }
+}
+
+TEST(Builders, ThreeTierWithNetworkQueues) {
+  ThreeTierConfig config;
+  config.tier_sizes = {2, 2};
+  config.network_queues = true;
+  const QueueingNetwork net = MakeThreeTierNetwork(config);
+  // 1 arrival + 4 servers + 1 inter-tier network queue.
+  EXPECT_EQ(net.NumQueues(), 6);
+  Rng rng(5);
+  const auto route = net.GetFsm().SampleRoute(rng);
+  ASSERT_EQ(route.size(), 3u);  // tier0 -> net -> tier1
+  EXPECT_EQ(net.QueueName(route[1].queue).rfind("net", 0), 0u);
+}
+
+TEST(Builders, TandemVisitsAllQueuesInOrder) {
+  const QueueingNetwork net = MakeTandemNetwork(1.0, {2.0, 3.0, 4.0});
+  EXPECT_EQ(net.NumQueues(), 4);
+  Rng rng(7);
+  const auto route = net.GetFsm().SampleRoute(rng);
+  ASSERT_EQ(route.size(), 3u);
+  EXPECT_EQ(route[0].queue, 1);
+  EXPECT_EQ(route[1].queue, 2);
+  EXPECT_EQ(route[2].queue, 3);
+  const auto rates = net.ExponentialRates();
+  EXPECT_DOUBLE_EQ(rates[2], 3.0);
+}
+
+TEST(Builders, FeedbackRouteLengthIsGeometric) {
+  const QueueingNetwork net = MakeFeedbackNetwork(1.0, 5.0, 0.25);
+  Rng rng(11);
+  double total = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    total += static_cast<double>(net.GetFsm().SampleRoute(rng).size());
+  }
+  EXPECT_NEAR(total / n, 1.0 / 0.75, 0.02);  // Geometric mean 1/(1-p).
+  EXPECT_THROW(MakeFeedbackNetwork(1.0, 5.0, 1.0), Error);
+}
+
+TEST(Builders, SyntheticStructuresMatchPaperSetup) {
+  const auto structures = SyntheticStructures();
+  EXPECT_EQ(structures.size(), 5u);
+  for (const auto& config : structures) {
+    EXPECT_EQ(config.tier_sizes.size(), 3u);
+    EXPECT_DOUBLE_EQ(config.arrival_rate, 10.0);
+    EXPECT_DOUBLE_EQ(config.service_rate, 5.0);
+    // Each structure is a permutation of {1, 2, 4}.
+    auto sizes = config.tier_sizes;
+    std::sort(sizes.begin(), sizes.end());
+    EXPECT_EQ(sizes, (std::vector<int>{1, 2, 4}));
+    EXPECT_NO_THROW(MakeThreeTierNetwork(config).Validate());
+  }
+}
+
+}  // namespace
+}  // namespace qnet

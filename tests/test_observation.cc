@@ -1,0 +1,123 @@
+// Tests for the observation schemes and their consistency invariants.
+
+#include "qnet/obs/observation.h"
+
+#include <gtest/gtest.h>
+
+#include "qnet/model/builders.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/check.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+namespace {
+
+EventLog MakeLog(int tasks = 100) {
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {5.0, 5.0});
+  Rng rng(3);
+  return SimulateWorkload(net, PoissonArrivals(2.0, static_cast<std::size_t>(tasks)), rng);
+}
+
+TEST(Observation, FullyObservedHasNoLatents) {
+  const EventLog log = MakeLog(20);
+  const Observation obs = Observation::FullyObserved(log);
+  obs.Validate(log);
+  EXPECT_EQ(obs.NumLatentArrivals(log), 0u);
+  EXPECT_EQ(obs.observed_tasks.size(), 20u);
+}
+
+TEST(TaskSampling, ObservesAllArrivalsOfSampledTasksOnly) {
+  const EventLog log = MakeLog(100);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.25;
+  Rng rng(7);
+  const Observation obs = scheme.Apply(log, rng);
+  obs.Validate(log);
+  EXPECT_EQ(obs.observed_tasks.size(), 25u);
+  std::vector<char> is_observed(static_cast<std::size_t>(log.NumTasks()), 0);
+  for (int task : obs.observed_tasks) {
+    is_observed[static_cast<std::size_t>(task)] = 1;
+  }
+  for (int task = 0; task < log.NumTasks(); ++task) {
+    const auto& chain = log.TaskEvents(task);
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      EXPECT_EQ(obs.ArrivalObserved(chain[i]),
+                is_observed[static_cast<std::size_t>(task)] != 0);
+    }
+    // Exits of sampled tasks are observed by default (identifiability of the last queue).
+    EXPECT_EQ(obs.DepartureObserved(chain.back()),
+              is_observed[static_cast<std::size_t>(task)] != 0);
+  }
+}
+
+TEST(TaskSampling, ArrivalOnlyModeLeavesExitsLatent) {
+  const EventLog log = MakeLog(40);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.5;
+  scheme.observe_final_departure = false;
+  Rng rng(9);
+  const Observation obs = scheme.Apply(log, rng);
+  obs.Validate(log);
+  for (int task : obs.observed_tasks) {
+    EXPECT_FALSE(obs.DepartureObserved(log.TaskEvents(task).back()));
+    EXPECT_TRUE(obs.ArrivalObserved(log.TaskEvents(task)[1]));
+  }
+}
+
+TEST(TaskSampling, LatentCountMatchesUnobservedEvents) {
+  const EventLog log = MakeLog(100);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.1;
+  Rng rng(11);
+  const Observation obs = scheme.Apply(log, rng);
+  // 100 tasks x 2 visits; 10 observed tasks => 90 * 2 latent arrivals.
+  EXPECT_EQ(obs.NumLatentArrivals(log), 180u);
+  EXPECT_EQ(obs.NumObservedArrivals(), 100u + 20u);  // initial events always observed
+}
+
+TEST(TaskSampling, FractionZeroAndOne) {
+  const EventLog log = MakeLog(30);
+  Rng rng(13);
+  TaskSamplingScheme none;
+  none.fraction = 0.0;
+  EXPECT_EQ(none.Apply(log, rng).observed_tasks.size(), 0u);
+  TaskSamplingScheme all;
+  all.fraction = 1.0;
+  const Observation obs = all.Apply(log, rng);
+  EXPECT_EQ(obs.observed_tasks.size(), 30u);
+  EXPECT_EQ(obs.NumLatentArrivals(log), 0u);
+}
+
+TEST(TaskSampling, DeterministicTaskChoice) {
+  const EventLog log = MakeLog(10);
+  TaskSamplingScheme scheme;
+  const Observation obs = scheme.ApplyToTasks(log, {2, 7});
+  obs.Validate(log);
+  EXPECT_EQ(obs.observed_tasks, (std::vector<int>{2, 7}));
+  EXPECT_TRUE(obs.ArrivalObserved(log.TaskEvents(2)[1]));
+  EXPECT_FALSE(obs.ArrivalObserved(log.TaskEvents(3)[1]));
+}
+
+TEST(EventSampling, InvariantHoldsUnderIndependentSampling) {
+  const EventLog log = MakeLog(200);
+  EventSamplingScheme scheme;
+  scheme.fraction = 0.3;
+  Rng rng(17);
+  const Observation obs = scheme.Apply(log, rng);
+  obs.Validate(log);  // would CHECK-fail on any inconsistency
+  const double latent_fraction =
+      static_cast<double>(obs.NumLatentArrivals(log)) / (200.0 * 2.0);
+  EXPECT_NEAR(latent_fraction, 0.7, 0.08);
+}
+
+TEST(Observation, ValidateCatchesDesyncedMasks) {
+  const EventLog log = MakeLog(5);
+  Observation obs = Observation::FullyObserved(log);
+  // Desync: claim an arrival observed but its pi departure not.
+  const EventId second = log.TaskEvents(0)[1];
+  obs.departure_observed[static_cast<std::size_t>(log.At(second).pi)] = 0;
+  EXPECT_THROW(obs.Validate(log), Error);
+}
+
+}  // namespace
+}  // namespace qnet

@@ -1,0 +1,109 @@
+// Online (sliding-window) StEM: window extraction correctness and rate tracking across a
+// workload/service change.
+
+#include "qnet/infer/online.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "qnet/model/builders.h"
+#include "qnet/obs/observation.h"
+#include "qnet/sim/fault.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/check.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+namespace {
+
+TEST(ExtractTaskWindow, PreservesTimesLinksAndFlags) {
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {4.0, 3.0});
+  Rng rng(3);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 60), rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.4;
+  const Observation obs = scheme.Apply(truth, rng);
+
+  const std::vector<int> tasks = {10, 11, 12, 13, 14, 20, 21};
+  const auto [window, window_obs] = ExtractTaskWindow(truth, obs, tasks);
+  EXPECT_EQ(window.NumTasks(), 7);
+  std::string why;
+  EXPECT_TRUE(window.IsFeasible(1e-9, &why)) << why;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const int wk = static_cast<int>(i);
+    EXPECT_DOUBLE_EQ(window.TaskEntryTime(wk), truth.TaskEntryTime(tasks[i]));
+    EXPECT_DOUBLE_EQ(window.TaskExitTime(wk), truth.TaskExitTime(tasks[i]));
+    // Arrival observation flags carried over per event.
+    const auto& old_chain = truth.TaskEvents(tasks[i]);
+    const auto& new_chain = window.TaskEvents(wk);
+    ASSERT_EQ(old_chain.size(), new_chain.size());
+    for (std::size_t j = 1; j < old_chain.size(); ++j) {
+      EXPECT_EQ(window_obs.ArrivalObserved(new_chain[j]), obs.ArrivalObserved(old_chain[j]));
+    }
+  }
+  window_obs.Validate(window);
+}
+
+TEST(ExtractTaskWindow, RejectsUnsortedTasks) {
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {4.0});
+  Rng rng(5);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 10), rng);
+  const Observation obs = Observation::FullyObserved(truth);
+  EXPECT_THROW(ExtractTaskWindow(truth, obs, {3, 1}), Error);
+  EXPECT_THROW(ExtractTaskWindow(truth, obs, {}), Error);
+}
+
+TEST(OnlineStem, ProducesPerWindowEstimates) {
+  const QueueingNetwork net = MakeSingleQueueNetwork(4.0, 8.0);
+  Rng rng(7);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(4.0, 600), rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.5;
+  const Observation obs = scheme.Apply(truth, rng);
+
+  OnlineStemOptions options;
+  options.window_duration = 30.0;
+  options.stem.iterations = 40;
+  options.stem.burn_in = 15;
+  options.stem.wait_sweeps = 0;
+  const auto estimates = RunOnlineStem(truth, obs, {1.0, 1.0}, rng, options);
+  ASSERT_GE(estimates.size(), 3u);
+  for (const auto& window : estimates) {
+    EXPECT_GT(window.tasks, 0u);
+    ASSERT_EQ(window.rates.size(), 2u);
+    EXPECT_NEAR(1.0 / window.rates[1], 1.0 / 8.0, 0.08) << "window at " << window.t0;
+  }
+}
+
+TEST(OnlineStem, TracksMidStreamServiceDegradation) {
+  // The queue slows down 4x halfway through; window estimates should reflect it.
+  const QueueingNetwork net = MakeSingleQueueNetwork(2.0, 10.0);
+  FaultSchedule faults;
+  faults.AddSlowdown(1, 150.0, 1.0e9, 4.0);
+  SimOptions sim_options;
+  sim_options.faults = &faults;
+  Rng rng(11);
+  const EventLog truth =
+      Simulate(net, PoissonArrivals(2.0, 600).Generate(rng), rng, sim_options);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.6;
+  const Observation obs = scheme.Apply(truth, rng);
+
+  OnlineStemOptions options;
+  options.window_duration = 75.0;
+  options.stem.iterations = 40;
+  options.stem.burn_in = 15;
+  options.stem.wait_sweeps = 0;
+  const auto estimates = RunOnlineStem(truth, obs, {1.0, 1.0}, rng, options);
+  ASSERT_GE(estimates.size(), 3u);
+  const auto& first = estimates.front();
+  const auto& last = estimates.back();
+  const double early_service = 1.0 / first.rates[1];
+  const double late_service = 1.0 / last.rates[1];
+  EXPECT_NEAR(early_service, 0.1, 0.05);
+  EXPECT_GT(late_service, 2.0 * early_service);
+}
+
+}  // namespace
+}  // namespace qnet

@@ -1,0 +1,149 @@
+// Validation of the piecewise-exponential density engine against numeric integration and
+// inverse-CDF identities. This is the machinery under every Gibbs conditional.
+
+#include "qnet/infer/piecewise_exp.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qnet/support/check.h"
+#include "qnet/support/logspace.h"
+#include "qnet/support/math.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+namespace {
+
+// Three-piece density mimicking a Figure-3 conditional shape: decreasing, flat, increasing.
+PiecewiseExpDensity MakeThreePiece() {
+  PiecewiseExpDensity density;
+  density.AddSegment(0.0, 1.0, 0.3, -2.0);
+  density.AddSegment(1.0, 2.5, 0.3 - 2.0, 0.0);   // continuous at x=1
+  density.AddSegment(2.5, 3.0, -1.7 - 3.0 * 2.5, 3.0);  // continuous at x=2.5
+  density.Finalize();
+  return density;
+}
+
+double NumericMass(const PiecewiseExpDensity& density, double lo, double hi,
+                   int steps = 400000) {
+  const double h = (hi - lo) / steps;
+  double sum = 0.0;
+  for (int i = 0; i <= steps; ++i) {
+    const double x = lo + i * h;
+    const double w = (i == 0 || i == steps) ? 0.5 : 1.0;
+    const double lp = density.LogPdf(x);
+    if (lp > -700.0) {
+      sum += w * std::exp(lp);
+    }
+  }
+  return sum * h;
+}
+
+TEST(PiecewiseExp, NormalizesToOne) {
+  const PiecewiseExpDensity density = MakeThreePiece();
+  EXPECT_NEAR(NumericMass(density, 0.0, 3.0), 1.0, 1e-4);
+}
+
+TEST(PiecewiseExp, CdfMatchesNumericIntegral) {
+  const PiecewiseExpDensity density = MakeThreePiece();
+  for (double x : {0.2, 0.5, 1.0, 1.7, 2.5, 2.8, 3.0}) {
+    EXPECT_NEAR(density.Cdf(x), NumericMass(density, 0.0, x), 1e-4) << "x=" << x;
+  }
+  EXPECT_DOUBLE_EQ(density.Cdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(density.Cdf(5.0), 1.0);
+}
+
+TEST(PiecewiseExp, MeanMatchesNumericIntegral) {
+  const PiecewiseExpDensity density = MakeThreePiece();
+  const int steps = 400000;
+  const double h = 3.0 / steps;
+  double mean = 0.0;
+  for (int i = 0; i <= steps; ++i) {
+    const double x = i * h;
+    const double w = (i == 0 || i == steps) ? 0.5 : 1.0;
+    mean += w * x * std::exp(density.LogPdf(x));
+  }
+  mean *= h;
+  EXPECT_NEAR(density.Mean(), mean, 1e-4);
+}
+
+TEST(PiecewiseExp, SamplesMatchCdfByKs) {
+  const PiecewiseExpDensity density = MakeThreePiece();
+  Rng rng(71);
+  std::vector<double> xs;
+  for (int i = 0; i < 8000; ++i) {
+    const double x = density.Sample(rng);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 3.0);
+    xs.push_back(x);
+  }
+  const double d = KsStatistic(xs, [&](double x) { return density.Cdf(x); });
+  EXPECT_GT(KsPValue(d, xs.size()), 1e-4) << "d=" << d;
+}
+
+TEST(PiecewiseExp, HandlesExtremeLogScalesWithoutOverflow) {
+  // Segment log-densities near +-20000: any naive exp() would overflow/underflow.
+  PiecewiseExpDensity density;
+  density.AddSegment(1000.0, 1001.0, 20000.0, -15.0);
+  density.AddSegment(1001.0, 1002.0, 20000.0 - 15.0 * 1001.0 + 5.0 * 1001.0, 5.0);
+  density.Finalize();
+  EXPECT_TRUE(std::isfinite(density.LogNormalizer()));
+  Rng rng(73);
+  for (int i = 0; i < 100; ++i) {
+    const double x = density.Sample(rng);
+    EXPECT_GE(x, 1000.0);
+    EXPECT_LE(x, 1002.0);
+  }
+  EXPECT_NEAR(density.Cdf(1002.0), 1.0, 1e-9);
+}
+
+TEST(PiecewiseExp, SemiInfiniteTailSamplesExponential) {
+  PiecewiseExpDensity density;
+  density.AddSegment(2.0, kPosInf, 0.0, -3.0);
+  density.Finalize();
+  Rng rng(79);
+  RunningStat rs;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = density.Sample(rng);
+    ASSERT_GE(x, 2.0);
+    rs.Add(x);
+  }
+  EXPECT_NEAR(rs.Mean(), 2.0 + 1.0 / 3.0, 0.01);
+  EXPECT_NEAR(density.Mean(), 2.0 + 1.0 / 3.0, 1e-12);
+}
+
+TEST(PiecewiseExp, MassProportionsAcrossSegments) {
+  // Two flat segments with known mass ratio exp(1):exp(0) = e:1.
+  PiecewiseExpDensity density;
+  density.AddSegment(0.0, 1.0, 1.0, 0.0);
+  density.AddSegment(1.0, 2.0, 0.0, 0.0);
+  density.Finalize();
+  const double p_first = std::exp(density.Segment(0).log_mass - density.LogNormalizer());
+  EXPECT_NEAR(p_first, std::exp(1.0) / (std::exp(1.0) + 1.0), 1e-12);
+  EXPECT_NEAR(density.Cdf(1.0), p_first, 1e-12);
+}
+
+TEST(PiecewiseExp, GuardsApiMisuse) {
+  Rng rng(1);
+  PiecewiseExpDensity density;
+  EXPECT_THROW(density.Finalize(), Error);  // no support
+  density.AddSegment(0.0, 1.0, 0.0, 0.0);
+  EXPECT_THROW(density.AddSegment(0.5, 2.0, 0.0, 0.0), Error);      // overlap
+  EXPECT_THROW(density.AddSegment(1.0, kPosInf, 0.0, 1.0), Error);  // unbounded increasing
+  EXPECT_THROW(density.Sample(rng), Error);                         // not finalized
+  density.Finalize();
+  EXPECT_THROW(density.AddSegment(1.0, 2.0, 0.0, 0.0), Error);  // frozen
+}
+
+TEST(PiecewiseExp, ZeroWidthSegmentsIgnored) {
+  PiecewiseExpDensity density;
+  density.AddSegment(0.0, 0.0, 5.0, 0.0);
+  density.AddSegment(0.0, 1.0, 0.0, 0.0);
+  density.Finalize();
+  EXPECT_EQ(density.NumSegments(), 1u);
+}
+
+}  // namespace
+}  // namespace qnet

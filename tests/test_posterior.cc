@@ -1,0 +1,110 @@
+// Posterior summaries and multi-chain convergence assessment.
+
+#include "qnet/infer/posterior.h"
+
+#include <gtest/gtest.h>
+
+#include "qnet/infer/initializer.h"
+#include "qnet/model/builders.h"
+#include "qnet/obs/observation.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/check.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+namespace {
+
+TEST(PosteriorSummary, AccumulatesAndSummarizes) {
+  const QueueingNetwork net = MakeSingleQueueNetwork(2.0, 5.0);
+  Rng rng(3);
+  const EventLog log = SimulateWorkload(net, PoissonArrivals(2.0, 100), rng);
+  PosteriorSummary summary(net.NumQueues());
+  summary.Accumulate(log);
+  summary.Accumulate(log);
+  EXPECT_EQ(summary.NumSamples(), 2u);
+  const auto realized = log.PerQueueMeanService();
+  EXPECT_DOUBLE_EQ(summary.MeanService()[1], realized[1]);
+  EXPECT_DOUBLE_EQ(summary.ServiceQuantile(0.5)[1], realized[1]);
+  EXPECT_EQ(summary.ServiceSeries(1).size(), 2u);
+  EXPECT_THROW(summary.ServiceSeries(7), Error);
+}
+
+TEST(MultiChain, ConvergesWithRhatNearOne) {
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {4.0, 3.0});
+  const auto rates = net.ExponentialRates();
+  Rng rng(5);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 200), rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.3;
+  const Observation obs = scheme.Apply(truth, rng);
+
+  MultiChainOptions options;
+  options.chains = 3;
+  options.sweeps = 150;
+  options.burn_in = 50;
+  const MultiChainResult result = RunMultiChainGibbs(truth, obs, rates, rng, options);
+  EXPECT_LT(result.max_r_hat, 1.3);
+  EXPECT_EQ(result.pooled.NumSamples(), 3u * 100u);
+  // Pooled posterior mean near the realized truth.
+  EXPECT_NEAR(result.pooled.MeanService()[1], truth.PerQueueMeanService()[1], 0.06);
+  // Credible interval brackets the posterior mean.
+  const auto lo = result.pooled.ServiceQuantile(0.05);
+  const auto hi = result.pooled.ServiceQuantile(0.95);
+  EXPECT_LT(lo[1], result.pooled.MeanService()[1]);
+  EXPECT_GT(hi[1], result.pooled.MeanService()[1]);
+}
+
+TEST(MultiChain, IntervalWidthShrinksWithMoreData) {
+  // Credible intervals at 60% observed should be no wider than at 10% observed.
+  const QueueingNetwork net = MakeSingleQueueNetwork(2.0, 5.0);
+  const auto rates = net.ExponentialRates();
+  const auto width_at = [&](double fraction) {
+    Rng rng(7);
+    const EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 400), rng);
+    TaskSamplingScheme scheme;
+    scheme.fraction = fraction;
+    const Observation obs = scheme.Apply(truth, rng);
+    MultiChainOptions options;
+    options.chains = 2;
+    options.sweeps = 120;
+    options.burn_in = 40;
+    const MultiChainResult result = RunMultiChainGibbs(truth, obs, rates, rng, options);
+    return result.pooled.ServiceQuantile(0.95)[1] - result.pooled.ServiceQuantile(0.05)[1];
+  };
+  EXPECT_LT(width_at(0.6), width_at(0.1) + 1e-6);
+}
+
+TEST(PosteriorSummary, TailResponseEstimateTracksRealizedP95) {
+  // Posterior p95 per-queue response from a 30% trace should land near the realized p95 —
+  // the tail-latency estimate operators actually watch.
+  const QueueingNetwork net = MakeSingleQueueNetwork(3.0, 5.0);  // rho = 0.6: real tail
+  const auto rates = net.ExponentialRates();
+  Rng rng(21);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(3.0, 600), rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.3;
+  const Observation obs = scheme.Apply(truth, rng);
+  GibbsSampler sampler(InitializeFeasible(truth, obs, rates, rng), obs, rates);
+  PosteriorSummary summary(net.NumQueues(), 0.95);
+  for (int sweep = 0; sweep < 120; ++sweep) {
+    sampler.Sweep(rng);
+    if (sweep >= 40) {
+      summary.Accumulate(sampler.State());
+    }
+  }
+  const double realized_p95 = truth.PerQueueResponseQuantile(0.95)[1];
+  EXPECT_NEAR(summary.MeanTailResponse()[1], realized_p95, 0.3 * realized_p95);
+}
+
+TEST(MultiChain, GuardsBadOptions) {
+  const QueueingNetwork net = MakeSingleQueueNetwork(2.0, 5.0);
+  Rng rng(9);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 20), rng);
+  const Observation obs = Observation::FullyObserved(truth);
+  MultiChainOptions options;
+  options.chains = 1;
+  EXPECT_THROW(RunMultiChainGibbs(truth, obs, net.ExponentialRates(), rng, options), Error);
+}
+
+}  // namespace
+}  // namespace qnet

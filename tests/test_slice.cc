@@ -1,0 +1,93 @@
+// Slice sampler validation against known densities.
+
+#include "qnet/infer/slice.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "qnet/support/check.h"
+#include "qnet/support/logspace.h"
+#include "qnet/support/math.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+namespace {
+
+TEST(Slice, SamplesStandardNormal) {
+  Rng rng(3);
+  const auto log_density = [](double x) { return -0.5 * x * x; };
+  std::vector<double> xs;
+  double x = 0.5;
+  for (int i = 0; i < 20000; ++i) {
+    x = SliceSample(log_density, x, -kPosInf, kPosInf, rng);
+    if (i % 4 == 0) {  // thin to reduce autocorrelation for the KS test
+      xs.push_back(x);
+    }
+  }
+  const double d = KsStatistic(xs, [](double v) { return 0.5 * std::erfc(-v / std::sqrt(2.0)); });
+  EXPECT_GT(KsPValue(d, xs.size() / 4), 1e-4) << "d=" << d;  // conservative effective n
+}
+
+TEST(Slice, SamplesTruncatedExponentialWithinBounds) {
+  Rng rng(5);
+  const double rate = 2.0;
+  const auto log_density = [&](double x) { return -rate * x; };
+  std::vector<double> xs;
+  double x = 1.0;
+  RunningStat rs;
+  for (int i = 0; i < 40000; ++i) {
+    x = SliceSample(log_density, x, 0.5, 3.0, rng);
+    ASSERT_GE(x, 0.5);
+    ASSERT_LE(x, 3.0);
+    rs.Add(x);
+    xs.push_back(x);
+  }
+  // Compare mean to the truncated-exponential analytic mean.
+  const double width = 2.5;
+  const double u = rate * width;
+  const double expected = 0.5 + 1.0 / rate - width * std::exp(-u) / (1.0 - std::exp(-u));
+  EXPECT_NEAR(rs.Mean(), expected, 0.02);
+}
+
+TEST(Slice, BimodalDensityVisitsBothModes) {
+  Rng rng(7);
+  const auto log_density = [](double x) {
+    return LogAdd(-0.5 * (x - 3.0) * (x - 3.0), -0.5 * (x + 3.0) * (x + 3.0));
+  };
+  SliceOptions options;
+  options.width = 4.0;  // wide enough to hop modes
+  double x = 3.0;
+  int left = 0;
+  int right = 0;
+  for (int i = 0; i < 30000; ++i) {
+    x = SliceSample(log_density, x, -kPosInf, kPosInf, rng, options);
+    (x < 0 ? left : right)++;
+  }
+  EXPECT_GT(left, 5000);
+  EXPECT_GT(right, 5000);
+}
+
+TEST(Slice, RespectsHardBoundsAndStartChecks) {
+  Rng rng(9);
+  const auto log_density = [](double x) { return -x; };
+  EXPECT_THROW(SliceSample(log_density, 5.0, 0.0, 4.0, rng), Error);  // start outside
+  const auto zero_density = [](double x) { return x > 2.0 ? 0.0 : kNegInf; };
+  EXPECT_THROW(SliceSample(zero_density, 1.0, 0.0, 4.0, rng), Error);  // start has no mass
+}
+
+TEST(Slice, PeakedDensityStaysNearMode) {
+  Rng rng(11);
+  const auto log_density = [](double x) { return -5000.0 * (x - 1.0) * (x - 1.0); };
+  double x = 1.0;
+  RunningStat rs;
+  for (int i = 0; i < 5000; ++i) {
+    x = SliceSample(log_density, x, 0.0, 2.0, rng);
+    rs.Add(x);
+  }
+  EXPECT_NEAR(rs.Mean(), 1.0, 0.005);
+  EXPECT_LT(rs.Stddev(), 0.05);
+}
+
+}  // namespace
+}  // namespace qnet

@@ -1,0 +1,99 @@
+// Slow-request diagnosis: hand-checked attribution and the paper's "slow-request bottleneck
+// differs from the average bottleneck" scenario (intermittently failing resource).
+
+#include "qnet/infer/slow_requests.h"
+
+#include <gtest/gtest.h>
+
+#include "qnet/infer/initializer.h"
+#include "qnet/model/builders.h"
+#include "qnet/obs/observation.h"
+#include "qnet/sim/fault.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/check.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+namespace {
+
+TEST(SlowRequests, HandComputedAttribution) {
+  // Two tasks on one queue; task 1 waits 1.0 while task 0 is served.
+  EventLog log(2);
+  log.AddTask(1.0);
+  log.AddTask(2.0);
+  log.AddVisit(0, 0, 1, 1.0, 3.0);  // response 2.0
+  log.AddVisit(1, 0, 1, 2.0, 4.0);  // response 2.0 (wait 1.0 + service 1.0)
+  log.BuildQueueLinks();
+  const SlowRequestReport report = AnalyzeSlowRequests(log, 0.5);
+  EXPECT_EQ(report.num_tasks, 2u);
+  EXPECT_GE(report.num_slow, 1u);
+  // All-task attribution: mean wait (0 + 1)/2, mean service (2 + 1)/2.
+  EXPECT_NEAR(report.all_wait[1], 0.5, 1e-12);
+  EXPECT_NEAR(report.all_service[1], 1.5, 1e-12);
+  EXPECT_EQ(report.SlowBottleneckQueue(), 1);
+}
+
+TEST(SlowRequests, IntermittentFaultShowsOnlyInSlowTail) {
+  // Queue 2 is intermittently 30x slower for short windows covering ~5% of time: queue 1
+  // is the steady (mild) bottleneck on average, while the *slow-request* bottleneck is
+  // queue 2 — the paper's motivating distinction.
+  const QueueingNetwork net = MakeTandemNetwork(1.0, {2.5, 20.0});
+  FaultSchedule faults;
+  for (int w = 0; w < 20; ++w) {
+    const double t0 = 100.0 * w + 50.0;
+    faults.AddSlowdown(2, t0, t0 + 5.0, 30.0);
+  }
+  SimOptions options;
+  options.faults = &faults;
+  Rng rng(3);
+  const EventLog log =
+      Simulate(net, PoissonArrivals(1.0, 2000).Generate(rng), rng, options);
+
+  const SlowRequestReport report = AnalyzeSlowRequests(log, 0.95);
+  // Average behavior: queue 1 dominates waiting.
+  EXPECT_GT(report.all_wait[1], report.all_wait[2]);
+  // Slow tail: queue 2's share grows dramatically relative to its average share.
+  const double q2_ratio = report.slow_wait[2] / (report.all_wait[2] + 1e-9);
+  const double q1_ratio = report.slow_wait[1] / (report.all_wait[1] + 1e-9);
+  EXPECT_GT(q2_ratio, q1_ratio);
+  EXPECT_EQ(report.MostDisproportionateQueue(), 2);
+}
+
+TEST(SlowRequests, PosteriorVariantAgreesOnModeratelyObservedLog) {
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {4.0, 3.0});
+  const auto rates = net.ExponentialRates();
+  Rng rng(5);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 400), rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.5;
+  const Observation obs = scheme.Apply(truth, rng);
+  GibbsSampler sampler(InitializeFeasible(truth, obs, rates, rng), obs, rates);
+  const SlowRequestReport posterior = AnalyzeSlowRequestsPosterior(sampler, rng, 40, 0.9);
+  const SlowRequestReport exact = AnalyzeSlowRequests(truth, 0.9);
+  // Posterior attribution should track the complete-data attribution.
+  for (int q = 1; q <= 2; ++q) {
+    const auto qi = static_cast<std::size_t>(q);
+    EXPECT_NEAR(posterior.all_service[qi], exact.all_service[qi],
+                0.3 * exact.all_service[qi] + 0.02)
+        << "queue " << q;
+    EXPECT_NEAR(posterior.all_wait[qi], exact.all_wait[qi], 0.5 * exact.all_wait[qi] + 0.05)
+        << "queue " << q;
+  }
+}
+
+TEST(SlowRequests, GuardsBadInput) {
+  EXPECT_THROW(
+      {
+        EventLog log(2);
+        AnalyzeSlowRequests(log, 0.99);
+      },
+      Error);
+  EventLog log(2);
+  log.AddTask(1.0);
+  log.AddVisit(0, 0, 1, 1.0, 2.0);
+  log.BuildQueueLinks();
+  EXPECT_THROW(AnalyzeSlowRequests(log, 1.5), Error);
+}
+
+}  // namespace
+}  // namespace qnet

@@ -1,0 +1,189 @@
+// Stochastic EM: parameter recovery from incomplete traces, M-step correctness, and the
+// waiting-time estimation phase.
+
+#include "qnet/infer/stem.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "qnet/infer/estimators.h"
+#include "qnet/model/builders.h"
+#include "qnet/obs/observation.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/check.h"
+#include "qnet/support/math.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+namespace {
+
+TEST(MStep, MatchesCompleteDataMle) {
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {4.0, 3.0});
+  Rng rng(3);
+  const EventLog log = SimulateWorkload(net, PoissonArrivals(2.0, 300), rng);
+  const auto mstep = StemEstimator::MStep(log);
+  const auto mle = CompleteDataRatesMle(log);
+  ASSERT_EQ(mstep.size(), mle.size());
+  for (std::size_t q = 0; q < mle.size(); ++q) {
+    EXPECT_NEAR(mstep[q], mle[q], 1e-9) << "queue " << q;
+  }
+  // And the MLE should be near the generating rates.
+  EXPECT_NEAR(mle[0], 2.0, 0.3);
+  EXPECT_NEAR(mle[1], 4.0, 0.6);
+  EXPECT_NEAR(mle[2], 3.0, 0.45);
+}
+
+TEST(Stem, FullObservationReducesToCompleteDataMle) {
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {4.0, 3.0});
+  Rng rng(5);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 200), rng);
+  const Observation obs = Observation::FullyObserved(truth);
+  StemOptions options;
+  options.iterations = 5;
+  options.burn_in = 1;
+  options.wait_sweeps = 0;
+  const StemResult result =
+      StemEstimator(options).Run(truth, obs, {1.0, 1.0, 1.0}, rng);
+  const auto mle = CompleteDataRatesMle(truth);
+  for (std::size_t q = 0; q < mle.size(); ++q) {
+    EXPECT_NEAR(result.rates[q], mle[q], 1e-6) << "queue " << q;
+  }
+  EXPECT_EQ(result.latent_arrivals, 0u);
+}
+
+TEST(Stem, RecoversRatesFromHalfObservedTandem) {
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {5.0, 4.0});
+  const auto true_rates = net.ExponentialRates();
+  Rng rng(7);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 600), rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.5;
+  const Observation obs = scheme.Apply(truth, rng);
+
+  StemOptions options;
+  options.iterations = 120;
+  options.burn_in = 40;
+  options.wait_sweeps = 0;
+  const StemResult result =
+      StemEstimator(options).Run(truth, obs, {1.0, 1.0, 1.0}, rng);
+  for (std::size_t q = 0; q < true_rates.size(); ++q) {
+    EXPECT_NEAR(result.mean_service[q], 1.0 / true_rates[q], 0.2 / true_rates[q])
+        << "queue " << q;
+  }
+}
+
+TEST(Stem, RecoversServiceMeansAtLowObservationFraction) {
+  // The paper's headline regime: a small fraction of tasks observed.
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {5.0, 4.0});
+  Rng rng(11);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 1000), rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.1;
+  const Observation obs = scheme.Apply(truth, rng);
+  StemOptions options;
+  options.iterations = 300;
+  options.burn_in = 120;
+  options.wait_sweeps = 0;
+  const StemResult result =
+      StemEstimator(options).Run(truth, obs, {1.0, 1.0, 1.0}, rng);
+  // Looser tolerance: only ~100 tasks carry direct timing information.
+  EXPECT_NEAR(result.mean_service[1], 0.2, 0.1);
+  EXPECT_NEAR(result.mean_service[2], 0.25, 0.12);
+  EXPECT_NEAR(1.0 / result.rates[0], 0.5, 0.15);  // mean interarrival
+}
+
+TEST(Stem, WaitingTimeEstimatesTrackRealizedWaits) {
+  // Moderately loaded single queue; realized mean wait is stable and should be recovered.
+  const QueueingNetwork net = MakeSingleQueueNetwork(3.0, 5.0);  // rho = 0.6
+  Rng rng(13);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(3.0, 800), rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.25;
+  const Observation obs = scheme.Apply(truth, rng);
+  StemOptions options;
+  options.iterations = 120;
+  options.burn_in = 40;
+  options.wait_sweeps = 60;
+  const StemResult result = StemEstimator(options).Run(truth, obs, {1.0, 1.0}, rng);
+  const double realized_wait = truth.PerQueueMeanWait()[1];
+  ASSERT_FALSE(result.mean_wait.empty());
+  EXPECT_NEAR(result.mean_wait[1], realized_wait, 0.35 * realized_wait + 0.03);
+}
+
+TEST(Stem, KeepsArrivalRateFixedWhenAsked) {
+  const QueueingNetwork net = MakeSingleQueueNetwork(2.0, 6.0);
+  Rng rng(17);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 150), rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.5;
+  const Observation obs = scheme.Apply(truth, rng);
+  StemOptions options;
+  options.iterations = 30;
+  options.burn_in = 10;
+  options.wait_sweeps = 0;
+  options.estimate_arrival_rate = false;
+  const StemResult result = StemEstimator(options).Run(truth, obs, {2.5, 1.0}, rng);
+  EXPECT_DOUBLE_EQ(result.rates[0], 2.5);
+  for (const auto& iteration : result.rate_trace) {
+    EXPECT_DOUBLE_EQ(iteration[0], 2.5);
+  }
+}
+
+TEST(Stem, RateTraceHasExpectedShape) {
+  const QueueingNetwork net = MakeSingleQueueNetwork(2.0, 6.0);
+  Rng rng(19);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 100), rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.3;
+  const Observation obs = scheme.Apply(truth, rng);
+  StemOptions options;
+  options.iterations = 25;
+  options.burn_in = 5;
+  options.wait_sweeps = 0;
+  const StemResult result = StemEstimator(options).Run(truth, obs, {1.0, 1.0}, rng);
+  EXPECT_EQ(result.rate_trace.size(), 25u);
+  EXPECT_EQ(result.rate_trace[0].size(), 2u);
+  ASSERT_TRUE(result.final_state.has_value());
+  std::string why;
+  EXPECT_TRUE(result.final_state->IsFeasible(1e-6, &why)) << why;
+  EXPECT_THROW(
+      {
+        StemOptions bad;
+        bad.iterations = 5;
+        bad.burn_in = 5;
+        StemEstimator(bad).Run(truth, obs, {1.0, 1.0}, rng);
+      },
+      Error);
+}
+
+TEST(Stem, VarianceNoWorseThanObservedMeanBaseline) {
+  // Directional version of the paper's in-text claim: across repetitions, StEM's service
+  // estimates should not have materially larger spread than the observed-true-service
+  // baseline, despite using strictly less information.
+  const QueueingNetwork net = MakeSingleQueueNetwork(2.0, 5.0);
+  RunningStat stem_estimates;
+  RunningStat baseline_estimates;
+  for (int rep = 0; rep < 8; ++rep) {
+    Rng rng(100 + static_cast<std::uint64_t>(rep));
+    const EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 400), rng);
+    TaskSamplingScheme scheme;
+    scheme.fraction = 0.15;
+    const Observation obs = scheme.Apply(truth, rng);
+    StemOptions options;
+    options.iterations = 80;
+    options.burn_in = 30;
+    options.wait_sweeps = 0;
+    const StemResult result = StemEstimator(options).Run(truth, obs, {1.0, 1.0}, rng);
+    stem_estimates.Add(result.mean_service[1]);
+    baseline_estimates.Add(ObservedMeanService(truth, obs.observed_tasks).mean_service[1]);
+  }
+  // Both should be near the truth...
+  EXPECT_NEAR(stem_estimates.Mean(), 0.2, 0.05);
+  EXPECT_NEAR(baseline_estimates.Mean(), 0.2, 0.05);
+  // ...and StEM's spread should be comparable or better (paper: ~2/3 the variance).
+  EXPECT_LT(stem_estimates.Variance(), 3.0 * baseline_estimates.Variance() + 1e-6);
+}
+
+}  // namespace
+}  // namespace qnet

@@ -1,0 +1,110 @@
+// Tests for the remaining support utilities: command-line flags, contract macros, and the
+// stopwatch.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qnet/support/check.h"
+#include "qnet/support/flags.h"
+#include "qnet/support/stopwatch.h"
+
+namespace qnet {
+namespace {
+
+Flags MakeFlags(std::vector<const char*> args) {
+  args.insert(args.begin(), "binary");
+  return Flags(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Flags, ParsesEqualsAndSpaceSeparatedValues) {
+  const Flags flags = MakeFlags({"--tasks=100", "--rate", "2.5", "--name", "web"});
+  EXPECT_EQ(flags.GetInt("tasks", 0), 100);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 0.0), 2.5);
+  EXPECT_EQ(flags.GetString("name", ""), "web");
+  EXPECT_TRUE(flags.Has("tasks"));
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(Flags, BareSwitchesAreBooleanTrue) {
+  const Flags flags = MakeFlags({"--verbose", "--dry-run", "--count=3"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.GetBool("dry-run", false));
+  EXPECT_FALSE(flags.GetBool("other", false));
+  EXPECT_TRUE(flags.GetBool("other", true));
+  EXPECT_EQ(flags.GetInt("count", 0), 3);
+}
+
+TEST(Flags, SwitchFollowedByFlagDoesNotSwallowIt) {
+  const Flags flags = MakeFlags({"--fast", "--tasks", "7"});
+  EXPECT_TRUE(flags.GetBool("fast", false));
+  EXPECT_EQ(flags.GetInt("tasks", 0), 7);
+}
+
+TEST(Flags, PositionalArgumentsPreserved) {
+  const Flags flags = MakeFlags({"input.csv", "--n=1", "output.csv"});
+  ASSERT_EQ(flags.Positional().size(), 2u);
+  EXPECT_EQ(flags.Positional()[0], "input.csv");
+  EXPECT_EQ(flags.Positional()[1], "output.csv");
+}
+
+TEST(Flags, DefaultsWhenAbsentAndTypeGuards) {
+  const Flags flags = MakeFlags({"--text", "abc"});
+  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 1.5), 1.5);
+  EXPECT_THROW(flags.GetInt("text", 0), Error);
+  EXPECT_THROW(flags.GetDouble("text", 0.0), Error);
+}
+
+TEST(Flags, BooleanSpellings) {
+  const Flags flags = MakeFlags({"--a=true", "--b=1", "--c=yes", "--d=false", "--e=0"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+  EXPECT_FALSE(flags.GetBool("e", true));
+}
+
+TEST(Check, ThrowsWithExpressionAndMessage) {
+  try {
+    QNET_CHECK(1 == 2, "context ", 42);
+    FAIL() << "QNET_CHECK did not throw";
+  } catch (const Error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+    EXPECT_NE(what.find("test_support_misc"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  EXPECT_NO_THROW(QNET_CHECK(true));
+  EXPECT_NO_THROW(QNET_CHECK(2 > 1, "never shown"));
+}
+
+TEST(Check, MessageIsLazy) {
+  // The message expression must not be evaluated when the condition holds.
+  int evaluations = 0;
+  const auto side_effect = [&]() {
+    ++evaluations;
+    return "msg";
+  };
+  QNET_CHECK(true, side_effect());
+  // The current implementation builds the message eagerly inside the failure branch only.
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double first = watch.ElapsedMillis();
+  EXPECT_GE(first, 15.0);
+  EXPECT_LT(first, 2000.0);
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedMillis(), first);
+  EXPECT_NEAR(watch.ElapsedSeconds() * 1e3, watch.ElapsedMillis(), 5.0);
+}
+
+}  // namespace
+}  // namespace qnet

@@ -1,0 +1,98 @@
+// CSV round-trip tests for event logs, observations, and series output.
+
+#include "qnet/trace/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "qnet/model/builders.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/check.h"
+#include "qnet/support/rng.h"
+#include "qnet/trace/table.h"
+
+namespace qnet {
+namespace {
+
+TEST(Csv, EventLogRoundTripsExactly) {
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {4.0, 3.0});
+  Rng rng(3);
+  const EventLog log = SimulateWorkload(net, PoissonArrivals(2.0, 40), rng);
+  std::stringstream buffer;
+  WriteEventLog(buffer, log);
+  const EventLog restored = ReadEventLog(buffer, net.NumQueues());
+  ASSERT_EQ(restored.NumEvents(), log.NumEvents());
+  ASSERT_EQ(restored.NumTasks(), log.NumTasks());
+  for (int k = 0; k < log.NumTasks(); ++k) {
+    const auto& original = log.TaskEvents(k);
+    const auto& copy = restored.TaskEvents(k);
+    ASSERT_EQ(original.size(), copy.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      EXPECT_DOUBLE_EQ(restored.Arrival(copy[i]), log.Arrival(original[i]));
+      EXPECT_DOUBLE_EQ(restored.Departure(copy[i]), log.Departure(original[i]));
+      EXPECT_EQ(restored.At(copy[i]).queue, log.At(original[i]).queue);
+      EXPECT_EQ(restored.At(copy[i]).state, log.At(original[i]).state);
+    }
+  }
+  std::string why;
+  EXPECT_TRUE(restored.IsFeasible(1e-9, &why)) << why;
+}
+
+TEST(Csv, ObservationRoundTrips) {
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {4.0});
+  Rng rng(5);
+  const EventLog log = SimulateWorkload(net, PoissonArrivals(2.0, 30), rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.4;
+  const Observation obs = scheme.Apply(log, rng);
+  std::stringstream buffer;
+  WriteObservation(buffer, obs);
+  const Observation restored = ReadObservation(buffer, log);
+  EXPECT_EQ(restored.arrival_observed, obs.arrival_observed);
+  EXPECT_EQ(restored.departure_observed, obs.departure_observed);
+}
+
+TEST(Csv, RejectsCorruptStreams) {
+  std::stringstream empty;
+  EXPECT_THROW(ReadEventLog(empty, 2), Error);
+  std::stringstream bad_header("nonsense\n1,2,3\n");
+  EXPECT_THROW(ReadEventLog(bad_header, 2), Error);
+}
+
+TEST(Csv, SeriesWriterFormatsRows) {
+  std::stringstream buffer;
+  WriteSeries(buffer, {"x", "y"}, {{1.0, 2.0}, {3.0, 4.5}});
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("x,y"), std::string::npos);
+  EXPECT_NE(text.find("3,4.5"), std::string::npos);
+  EXPECT_THROW(WriteSeries(buffer, {"x"}, {{1.0, 2.0}}), Error);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const QueueingNetwork net = MakeSingleQueueNetwork(1.0, 2.0);
+  Rng rng(7);
+  const EventLog log = SimulateWorkload(net, PoissonArrivals(1.0, 10), rng);
+  const std::string path = ::testing::TempDir() + "/qnet_log.csv";
+  WriteEventLogFile(path, log);
+  const EventLog restored = ReadEventLogFile(path, net.NumQueues());
+  EXPECT_EQ(restored.NumEvents(), log.NumEvents());
+  EXPECT_THROW(ReadEventLogFile("/nonexistent/dir/file.csv", 2), Error);
+}
+
+TEST(Table, AlignsAndFormats) {
+  TablePrinter table({"name", "value"});
+  table.AddRow(std::vector<std::string>{"alpha", "1.0"});
+  table.AddRow(std::vector<double>{2.0, 3.14159}, 2);
+  std::stringstream buffer;
+  table.Print(buffer);
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+  const std::vector<std::string> too_many = {"too", "many", "cells"};
+  EXPECT_THROW(table.AddRow(too_many), Error);
+  EXPECT_EQ(FormatDouble(1.23456, 3), "1.235");
+}
+
+}  // namespace
+}  // namespace qnet

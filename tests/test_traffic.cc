@@ -1,0 +1,95 @@
+// Traffic-equation analysis: visit counts, utilizations, and the paper's Section 5.1
+// overload characterization, cross-validated against simulation.
+
+#include "qnet/model/traffic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "qnet/model/builders.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/check.h"
+#include "qnet/support/rng.h"
+#include "qnet/webapp/movievote.h"
+
+namespace qnet {
+namespace {
+
+TEST(SolveLinearSystem, KnownSolutions) {
+  // 2x2: x + y = 3, x - y = 1 -> (2, 1).
+  const auto x = SolveLinearSystem({{1.0, 1.0}, {1.0, -1.0}}, {3.0, 1.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+  // Requires pivoting: first pivot is zero.
+  const auto y = SolveLinearSystem({{0.0, 2.0}, {3.0, 0.0}}, {4.0, 6.0});
+  EXPECT_NEAR(y[0], 2.0, 1e-12);
+  EXPECT_NEAR(y[1], 2.0, 1e-12);
+  EXPECT_THROW(SolveLinearSystem({{1.0, 1.0}, {2.0, 2.0}}, {1.0, 1.0}), Error);
+}
+
+TEST(Traffic, TandemVisitsEveryQueueOnce) {
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {5.0, 4.0, 8.0});
+  const TrafficAnalysis analysis = AnalyzeTraffic(net);
+  for (int q = 1; q <= 3; ++q) {
+    EXPECT_NEAR(analysis.queue_visits[static_cast<std::size_t>(q)], 1.0, 1e-12);
+  }
+  EXPECT_NEAR(analysis.utilization[1], 0.4, 1e-12);
+  EXPECT_NEAR(analysis.utilization[2], 0.5, 1e-12);
+  EXPECT_NEAR(analysis.utilization[3], 0.25, 1e-12);
+  EXPECT_EQ(analysis.bottleneck_queue, 2);
+  EXPECT_TRUE(analysis.stable);
+}
+
+TEST(Traffic, FeedbackVisitsAreGeometric) {
+  const QueueingNetwork net = MakeFeedbackNetwork(1.0, 5.0, 0.4);
+  const TrafficAnalysis analysis = AnalyzeTraffic(net);
+  // Expected visits 1/(1 - p) = 5/3.
+  EXPECT_NEAR(analysis.queue_visits[1], 1.0 / 0.6, 1e-9);
+  EXPECT_NEAR(analysis.utilization[1], (1.0 / 0.6) / 5.0, 1e-9);
+}
+
+TEST(Traffic, PaperSectionFiveOneUtilizations) {
+  // The paper: lambda = 10, mu = 5 => "a tier with a single server is heavily overloaded
+  // [rho = 2], one with two servers barely overloaded [rho = 1], and one with four servers
+  // moderately loaded [rho = 0.5]".
+  ThreeTierConfig config;
+  config.tier_sizes = {1, 2, 4};
+  const QueueingNetwork net = MakeThreeTierNetwork(config);
+  const TrafficAnalysis analysis = AnalyzeTraffic(net);
+  EXPECT_NEAR(analysis.utilization[1], 2.0, 1e-9);   // single server
+  EXPECT_NEAR(analysis.utilization[2], 1.0, 1e-9);   // two servers
+  EXPECT_NEAR(analysis.utilization[3], 1.0, 1e-9);
+  for (int q = 4; q <= 7; ++q) {
+    EXPECT_NEAR(analysis.utilization[static_cast<std::size_t>(q)], 0.5, 1e-9);
+  }
+  EXPECT_EQ(analysis.bottleneck_queue, 1);
+  EXPECT_FALSE(analysis.stable);
+}
+
+TEST(Traffic, MatchesSimulatedVisitCounts) {
+  const webapp::MovieVoteConfig config;
+  const webapp::MovieVoteTestbed testbed = webapp::MakeTestbed(config);
+  const TrafficAnalysis analysis = AnalyzeTraffic(testbed.network);
+  // Network queue visited twice per request; database once; web servers by LB weight.
+  EXPECT_NEAR(analysis.queue_visits[static_cast<std::size_t>(testbed.network_queue)], 2.0,
+              1e-9);
+  EXPECT_NEAR(analysis.queue_visits[static_cast<std::size_t>(testbed.db_queue)], 1.0, 1e-9);
+  EXPECT_NEAR(analysis.queue_visits[static_cast<std::size_t>(testbed.web_queues[0])],
+              config.starved_weight, 1e-9);
+
+  Rng rng(3);
+  const EventLog trace = webapp::GenerateTrace(testbed, config, rng);
+  const auto counts = trace.PerQueueCount();
+  const double tasks = static_cast<double>(trace.NumTasks());
+  for (int q = 1; q < testbed.network.NumQueues(); ++q) {
+    const double simulated =
+        static_cast<double>(counts[static_cast<std::size_t>(q)]) / tasks;
+    const double predicted = analysis.queue_visits[static_cast<std::size_t>(q)];
+    EXPECT_NEAR(simulated, predicted, 0.1 * predicted + 0.01)
+        << testbed.network.QueueName(q);
+  }
+}
+
+}  // namespace
+}  // namespace qnet

@@ -1,0 +1,95 @@
+// Tests for the movie-voting testbed substitute (paper Section 5.2 environment).
+
+#include "qnet/webapp/movievote.h"
+
+#include <gtest/gtest.h>
+
+#include "qnet/support/rng.h"
+
+namespace qnet {
+namespace {
+
+TEST(MovieVote, NetworkShapeMatchesPaperDeployment) {
+  const webapp::MovieVoteTestbed testbed = webapp::MakeTestbed();
+  // 1 virtual arrival + 1 network + 10 web servers + 1 database = 13 queues.
+  EXPECT_EQ(testbed.network.NumQueues(), 13);
+  EXPECT_EQ(testbed.web_queues.size(), 10u);
+  EXPECT_EQ(testbed.network.QueueName(testbed.network_queue), "network");
+  EXPECT_EQ(testbed.network.QueueName(testbed.db_queue), "database");
+}
+
+TEST(MovieVote, RoutesAreNetWebDbNet) {
+  const webapp::MovieVoteTestbed testbed = webapp::MakeTestbed();
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto route = testbed.network.GetFsm().SampleRoute(rng);
+    ASSERT_EQ(route.size(), 4u);
+    EXPECT_EQ(route[0].queue, testbed.network_queue);
+    EXPECT_GE(route[1].queue, testbed.web_queues.front());
+    EXPECT_LE(route[1].queue, testbed.web_queues.back());
+    EXPECT_EQ(route[2].queue, testbed.db_queue);
+    EXPECT_EQ(route[3].queue, testbed.network_queue);
+  }
+}
+
+TEST(MovieVote, TraceMatchesPaperScale) {
+  const webapp::MovieVoteConfig config;
+  const webapp::MovieVoteTestbed testbed = webapp::MakeTestbed(config);
+  Rng rng(5);
+  const EventLog trace = webapp::GenerateTrace(testbed, config, rng);
+  // Paper: 5759 requests, 23036 arrival events (4 per request).
+  EXPECT_NEAR(static_cast<double>(trace.NumTasks()), 5759.0, 400.0);
+  EXPECT_EQ(trace.NumEvents(),
+            static_cast<std::size_t>(trace.NumTasks()) * 5u);  // incl. initial events
+  std::string why;
+  EXPECT_TRUE(trace.IsFeasible(1e-6, &why)) << why;
+}
+
+TEST(MovieVote, StarvedServerReceivesHandfulOfRequests) {
+  const webapp::MovieVoteConfig config;
+  const webapp::MovieVoteTestbed testbed = webapp::MakeTestbed(config);
+  Rng rng(7);
+  const EventLog trace = webapp::GenerateTrace(testbed, config, rng);
+  const auto counts = trace.PerQueueCount();
+  const auto starved = static_cast<std::size_t>(testbed.web_queues.front());
+  // Paper's outlier: ~19 requests for the starved server.
+  EXPECT_GE(counts[starved], 5u);
+  EXPECT_LE(counts[starved], 45u);
+  // Other web servers share the load roughly evenly.
+  for (std::size_t i = 1; i < testbed.web_queues.size(); ++i) {
+    const auto q = static_cast<std::size_t>(testbed.web_queues[i]);
+    EXPECT_GT(counts[q], 400u);
+  }
+  // The network queue is visited twice per task.
+  EXPECT_EQ(counts[static_cast<std::size_t>(testbed.network_queue)],
+            static_cast<std::size_t>(trace.NumTasks()) * 2u);
+}
+
+TEST(MovieVote, LoadRampIsVisibleInWaitingTimes) {
+  const webapp::MovieVoteConfig config;
+  const webapp::MovieVoteTestbed testbed = webapp::MakeTestbed(config);
+  Rng rng(9);
+  const EventLog trace = webapp::GenerateTrace(testbed, config, rng);
+  // Mean network wait in the last tenth of the horizon exceeds the first tenth: the ramp
+  // pushes the (twice-visited) network queue toward saturation.
+  double early = 0.0;
+  double late = 0.0;
+  std::size_t early_n = 0;
+  std::size_t late_n = 0;
+  for (EventId e : trace.QueueOrder(testbed.network_queue)) {
+    const double t = trace.Arrival(e);
+    if (t < config.horizon * 0.1) {
+      early += trace.WaitTime(e);
+      ++early_n;
+    } else if (t > config.horizon * 0.9) {
+      late += trace.WaitTime(e);
+      ++late_n;
+    }
+  }
+  ASSERT_GT(early_n, 0u);
+  ASSERT_GT(late_n, 0u);
+  EXPECT_GT(late / static_cast<double>(late_n), 2.0 * early / static_cast<double>(early_n));
+}
+
+}  // namespace
+}  // namespace qnet

@@ -1,0 +1,94 @@
+// Tests for the arrival (workload) processes.
+
+#include "qnet/sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "qnet/support/check.h"
+#include "qnet/support/math.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+namespace {
+
+TEST(PoissonArrivals, CountAndGapDistribution) {
+  const PoissonArrivals workload(4.0, 5000);
+  Rng rng(3);
+  const auto times = workload.Generate(rng);
+  ASSERT_EQ(times.size(), 5000u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  std::vector<double> gaps;
+  gaps.push_back(times[0]);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    gaps.push_back(times[i] - times[i - 1]);
+  }
+  const double d = KsStatistic(gaps, [](double x) { return 1.0 - std::exp(-4.0 * x); });
+  EXPECT_GT(KsPValue(d, gaps.size()), 1e-4);
+}
+
+TEST(LinearRampArrivals, ExpectedCountAndDensitySkew) {
+  const LinearRampArrivals workload(1.0, 5.4, 1800.0);
+  EXPECT_NEAR(workload.ExpectedTasks(), 5760.0, 1.0);
+  Rng rng(5);
+  const auto times = workload.Generate(rng);
+  EXPECT_NEAR(static_cast<double>(times.size()), 5760.0, 5.0 * std::sqrt(5760.0));
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  EXPECT_LT(times.back(), 1800.0);
+  // Second half of the window must contain more arrivals than the first half:
+  // integral of rate over [900, 1800] vs [0, 900] = (3.2+5.4)/2 vs (1.0+3.2)/2.
+  const auto mid = std::lower_bound(times.begin(), times.end(), 900.0);
+  const double first_half = static_cast<double>(mid - times.begin());
+  const double second_half = static_cast<double>(times.end() - mid);
+  EXPECT_NEAR(second_half / first_half, 8.6 / 4.2, 0.15);
+}
+
+TEST(LinearRampArrivals, DecreasingRampWorksToo) {
+  const LinearRampArrivals workload(5.0, 1.0, 100.0);
+  Rng rng(7);
+  const auto times = workload.Generate(rng);
+  EXPECT_NEAR(static_cast<double>(times.size()), 300.0, 5.0 * std::sqrt(300.0));
+}
+
+TEST(PiecewiseConstantArrivals, SpikeShape) {
+  // Quiet / spike / quiet.
+  const PiecewiseConstantArrivals workload({0.0, 10.0, 20.0, 30.0}, {1.0, 20.0, 1.0});
+  Rng rng(9);
+  const auto times = workload.Generate(rng);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  std::size_t in_spike = 0;
+  for (double t : times) {
+    in_spike += (t >= 10.0 && t < 20.0) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(in_spike), 200.0, 5.0 * std::sqrt(200.0));
+  EXPECT_NEAR(static_cast<double>(times.size() - in_spike), 20.0, 5.0 * std::sqrt(20.0));
+}
+
+TEST(PiecewiseConstantArrivals, RejectsMalformedBreaks) {
+  EXPECT_THROW(PiecewiseConstantArrivals({0.0, 1.0}, {1.0, 2.0}), Error);
+  EXPECT_THROW(PiecewiseConstantArrivals({1.0, 2.0}, {1.0}), Error);
+  EXPECT_THROW(PiecewiseConstantArrivals({0.0, 0.0}, {1.0}), Error);
+}
+
+TEST(TraceArrivals, ReplaysExactly) {
+  const std::vector<double> times = {0.5, 1.0, 1.0, 2.5};
+  const TraceArrivals workload(times);
+  Rng rng(1);
+  EXPECT_EQ(workload.Generate(rng), times);
+  EXPECT_THROW(TraceArrivals({1.0, 0.5}), Error);
+  EXPECT_THROW(TraceArrivals({0.0}), Error);
+}
+
+TEST(ArrivalProcess, CloneAndDescribe) {
+  const PoissonArrivals workload(2.0, 10);
+  const auto clone = workload.Clone();
+  Rng rng_a(42);
+  Rng rng_b(42);
+  EXPECT_EQ(workload.Generate(rng_a), clone->Generate(rng_b));
+  EXPECT_NE(workload.Describe().find("poisson"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qnet
