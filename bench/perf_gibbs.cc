@@ -1,9 +1,29 @@
-// Microbenchmarks: Gibbs sweep and StEM iteration throughput (google-benchmark).
+// Microbenchmarks: Gibbs sweep, single-move, parallel-chains and allocation-count
+// throughput (google-benchmark).
+//
+// Workflow (tracked in CI as BENCH_gibbs.json; compare runs with benchmark's
+// tools/compare.py):
+//   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+//   ./build/perf_gibbs --benchmark_format=json > BENCH_gibbs.json
+//   ./build/perf_gibbs --benchmark_filter='BM_GibbsSweep/500'   # the headline number
+// Headline metrics:
+//   BM_GibbsSweep/N items_per_second   — latent arrival moves per second (N tasks,
+//                                        three-tier {1,2,4} fixture, 10% tasks observed);
+//   BM_ParallelChains/T draws_per_sec  — pooled post-burn-in draws per wall second with
+//                                        4 chains on T threads (scaling curve);
+//   BM_GibbsSweepAllocations allocs_per_sweep — global operator-new calls per sweep;
+//                                        must stay exactly 0 (see tests/test_alloc_free.cc
+//                                        for the hard assertion).
 
 #include <benchmark/benchmark.h>
 
+// Counting allocator (defines global operator new/delete; one TU per binary): lets the
+// allocation benchmarks report exact counts alongside timings.
+#include "../tests/support/counting_allocator.h"
+
 #include "qnet/infer/gibbs.h"
 #include "qnet/infer/initializer.h"
+#include "qnet/infer/parallel_chains.h"
 #include "qnet/infer/route_mh.h"
 #include "qnet/model/builders.h"
 #include "qnet/obs/observation.h"
@@ -11,6 +31,8 @@
 #include "qnet/support/rng.h"
 
 namespace {
+
+using qnet_testing::AllocationCount;
 
 struct Fixture {
   qnet::EventLog truth;
@@ -93,6 +115,79 @@ void BM_RouteMhSweep(benchmark::State& state) {
                           static_cast<std::int64_t>(latents.size()));
 }
 BENCHMARK(BM_RouteMhSweep)->Unit(benchmark::kMillisecond);
+
+// Allocation count per sweep on the fast path. The counter is exact (every operator new in
+// the process), so the benchmark pauses timing around the measured region is unnecessary —
+// we simply diff the counter across the iteration. Expected value: 0.
+void BM_GibbsSweepAllocations(benchmark::State& state) {
+  const Fixture fixture = MakeFixture(500, 0.1);
+  qnet::GibbsSampler sampler(fixture.init, fixture.obs, fixture.rates);
+  qnet::Rng rng(7);
+  sampler.Sweep(rng);  // warm-up outside the counted region
+  const std::size_t before = AllocationCount();
+  std::size_t sweeps = 0;
+  for (auto _ : state) {
+    sampler.Sweep(rng);
+    ++sweeps;
+  }
+  const std::size_t after = AllocationCount();
+  state.counters["allocs_per_sweep"] =
+      sweeps > 0 ? static_cast<double>(after - before) / static_cast<double>(sweeps) : 0.0;
+}
+BENCHMARK(BM_GibbsSweepAllocations)->Unit(benchmark::kMillisecond);
+
+void BM_SingleArrivalMoveAllocations(benchmark::State& state) {
+  const Fixture fixture = MakeFixture(500, 0.1);
+  qnet::Rng rng(11);
+  qnet::EventId target = qnet::kNoEvent;
+  for (qnet::EventId e = static_cast<qnet::EventId>(fixture.truth.NumEvents() / 2);
+       static_cast<std::size_t>(e) < fixture.truth.NumEvents(); ++e) {
+    if (!fixture.truth.At(e).initial) {
+      target = e;
+      break;
+    }
+  }
+  qnet::EventLog log = fixture.init;
+  const std::size_t before = AllocationCount();
+  std::size_t moves = 0;
+  for (auto _ : state) {
+    const qnet::ArrivalMove move = qnet::GatherArrivalMove(log, target, fixture.rates);
+    benchmark::DoNotOptimize(qnet::SampleArrival(move, rng));
+    ++moves;
+  }
+  const std::size_t after = AllocationCount();
+  state.counters["allocs_per_move"] =
+      moves > 0 ? static_cast<double>(after - before) / static_cast<double>(moves) : 0.0;
+}
+BENCHMARK(BM_SingleArrivalMoveAllocations);
+
+// Multi-chain scaling: 4 chains of the three-tier fixture on T = state.range(0) threads.
+// draws_per_sec is the pooled post-burn-in draw throughput; on a multi-core host it should
+// scale near-linearly in T up to the core count (chains are embarrassingly parallel and
+// share no mutable state).
+void BM_ParallelChains(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const Fixture fixture = MakeFixture(200, 0.1);
+  qnet::ParallelChainsOptions options;
+  options.chains = 4;
+  options.threads = threads;
+  options.sweeps = 40;
+  options.burn_in = 10;
+  std::uint64_t seed = 1;
+  std::size_t draws = 0;
+  for (auto _ : state) {
+    const qnet::ParallelChainsResult result = qnet::RunParallelChains(
+        fixture.truth, fixture.obs, fixture.rates, seed++, options);
+    draws += result.total_draws;
+    benchmark::DoNotOptimize(result.pooled.NumSamples());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(draws));
+  state.counters["draws_per_sec"] = benchmark::Counter(
+      static_cast<double>(draws), benchmark::Counter::kIsRate);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_ParallelChains)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
 
 void BM_Initializer(benchmark::State& state) {
   const auto tasks = static_cast<std::size_t>(state.range(0));

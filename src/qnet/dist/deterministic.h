@@ -1,0 +1,53 @@
+// Deterministic (point-mass) service distribution — the M/D/1 reference case, whose waiting
+// time is exactly half the M/M/1 value at the same utilization (Pollaczek-Khinchine with
+// SCV = 0).
+
+#ifndef QNET_DIST_DETERMINISTIC_H_
+#define QNET_DIST_DETERMINISTIC_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "qnet/dist/distribution.h"
+#include "qnet/support/check.h"
+#include "qnet/support/logspace.h"
+
+namespace qnet {
+
+class Deterministic : public ServiceDistribution {
+ public:
+  explicit Deterministic(double value) : value_(value) {
+    QNET_CHECK(value > 0.0, "Deterministic service time must be positive: ", value);
+  }
+
+  double value() const { return value_; }
+
+  double Sample(Rng&) const override { return value_; }
+
+  // A point mass has no density; report a large finite log-"density" at the atom so that
+  // likelihood comparisons strongly prefer exact matches, and -inf elsewhere.
+  double LogPdf(double x) const override { return x == value_ ? 700.0 : kNegInf; }
+
+  double Cdf(double x) const override { return x >= value_ ? 1.0 : 0.0; }
+
+  double Mean() const override { return value_; }
+  double Variance() const override { return 0.0; }
+
+  std::unique_ptr<ServiceDistribution> Clone() const override {
+    return std::make_unique<Deterministic>(value_);
+  }
+
+  std::string Describe() const override {
+    std::ostringstream os;
+    os << "deterministic(value=" << value_ << ")";
+    return os.str();
+  }
+
+ private:
+  double value_;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_DIST_DETERMINISTIC_H_

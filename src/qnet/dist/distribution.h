@@ -1,0 +1,39 @@
+// Abstract service-time distribution. Queue q's "service" process in the paper's event
+// model is any positive distribution; queue 0's service process is the system interarrival
+// process. Implementations must be immutable after construction so that sharing a clone
+// across threads is safe.
+
+#ifndef QNET_DIST_DISTRIBUTION_H_
+#define QNET_DIST_DISTRIBUTION_H_
+
+#include <memory>
+#include <string>
+
+#include "qnet/support/rng.h"
+
+namespace qnet {
+
+class ServiceDistribution {
+ public:
+  virtual ~ServiceDistribution() = default;
+
+  virtual double Sample(Rng& rng) const = 0;
+  // Natural-log density; -inf outside the support.
+  virtual double LogPdf(double x) const = 0;
+  virtual double Cdf(double x) const = 0;
+  virtual double Mean() const = 0;
+  virtual double Variance() const = 0;
+  virtual std::unique_ptr<ServiceDistribution> Clone() const = 0;
+  // Human-readable family + parameters, e.g. "Exponential(rate=2)".
+  virtual std::string Describe() const = 0;
+};
+
+// SCV = Var/Mean^2; 1 for exponential, < 1 for more regular, > 1 for burstier service.
+inline double SquaredCoefficientOfVariation(const ServiceDistribution& dist) {
+  const double mean = dist.Mean();
+  return dist.Variance() / (mean * mean);
+}
+
+}  // namespace qnet
+
+#endif  // QNET_DIST_DISTRIBUTION_H_

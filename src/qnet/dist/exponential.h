@@ -1,0 +1,61 @@
+// Exponential service distribution — the M/M/1 fast path of the paper's Gibbs sampler
+// (the conditional densities of Figure 3 are piecewise exponential only in this case).
+
+#ifndef QNET_DIST_EXPONENTIAL_H_
+#define QNET_DIST_EXPONENTIAL_H_
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "qnet/dist/distribution.h"
+#include "qnet/support/check.h"
+#include "qnet/support/logspace.h"
+
+namespace qnet {
+
+class Exponential : public ServiceDistribution {
+ public:
+  explicit Exponential(double rate) : rate_(rate) {
+    QNET_CHECK(rate > 0.0, "Exponential rate must be positive: ", rate);
+  }
+
+  double rate() const { return rate_; }
+
+  double Sample(Rng& rng) const override { return rng.Exponential(rate_); }
+
+  double LogPdf(double x) const override {
+    if (x < 0.0) {
+      return kNegInf;
+    }
+    return std::log(rate_) - rate_ * x;
+  }
+
+  double Cdf(double x) const override {
+    if (x <= 0.0) {
+      return 0.0;
+    }
+    return -std::expm1(-rate_ * x);
+  }
+
+  double Mean() const override { return 1.0 / rate_; }
+  double Variance() const override { return 1.0 / (rate_ * rate_); }
+
+  std::unique_ptr<ServiceDistribution> Clone() const override {
+    return std::make_unique<Exponential>(rate_);
+  }
+
+  std::string Describe() const override {
+    std::ostringstream os;
+    os << "exponential(rate=" << rate_ << ")";
+    return os.str();
+  }
+
+ private:
+  double rate_;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_DIST_EXPONENTIAL_H_

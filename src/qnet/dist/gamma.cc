@@ -1,0 +1,68 @@
+#include "qnet/dist/gamma.h"
+
+#include <cmath>
+
+#include "qnet/support/check.h"
+
+namespace qnet {
+namespace {
+
+// P(a, x) by the series gamma(a,x) = x^a e^-x sum_n x^n Gamma(a)/Gamma(a+1+n).
+double LowerGammaSeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) {
+      break;
+    }
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Q(a, x) by the Lentz modified continued fraction; P = 1 - Q.
+double UpperGammaContinuedFraction(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) {
+      d = kTiny;
+    }
+    c = b + an / c;
+    if (std::abs(c) < kTiny) {
+      c = kTiny;
+    }
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) {
+      break;
+    }
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double RegularizedLowerGamma(double a, double x) {
+  QNET_CHECK(a > 0.0, "RegularizedLowerGamma requires a > 0; a=", a);
+  QNET_CHECK(x >= 0.0, "RegularizedLowerGamma requires x >= 0; x=", x);
+  if (x == 0.0) {
+    return 0.0;
+  }
+  if (x < a + 1.0) {
+    return LowerGammaSeries(a, x);
+  }
+  return 1.0 - UpperGammaContinuedFraction(a, x);
+}
+
+}  // namespace qnet

@@ -1,0 +1,103 @@
+// Hyperexponential service distribution: a finite mixture of exponentials. Its SCV always
+// exceeds 1, which makes it the standard model for bursty service in M/G/1 comparisons.
+
+#ifndef QNET_DIST_HYPEREXP_H_
+#define QNET_DIST_HYPEREXP_H_
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "qnet/dist/distribution.h"
+#include "qnet/support/check.h"
+#include "qnet/support/logspace.h"
+
+namespace qnet {
+
+class HyperExponential : public ServiceDistribution {
+ public:
+  HyperExponential(std::vector<double> weights, std::vector<double> rates)
+      : weights_(std::move(weights)), rates_(std::move(rates)) {
+    QNET_CHECK(!weights_.empty(), "HyperExponential needs at least one branch");
+    QNET_CHECK(weights_.size() == rates_.size(), "weights/rates size mismatch: ",
+               weights_.size(), " vs ", rates_.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      QNET_CHECK(weights_[i] >= 0.0, "negative mixture weight: ", weights_[i]);
+      QNET_CHECK(rates_[i] > 0.0, "branch rate must be positive: ", rates_[i]);
+      total += weights_[i];
+    }
+    QNET_CHECK(std::abs(total - 1.0) < 1e-9, "mixture weights must sum to 1; sum=", total);
+  }
+
+  const std::vector<double>& weights() const { return weights_; }
+  const std::vector<double>& rates() const { return rates_; }
+
+  double Sample(Rng& rng) const override {
+    const std::size_t branch = rng.Categorical(weights_);
+    return rng.Exponential(rates_[branch]);
+  }
+
+  double LogPdf(double x) const override {
+    if (x < 0.0) {
+      return kNegInf;
+    }
+    double density = 0.0;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      density += weights_[i] * rates_[i] * std::exp(-rates_[i] * x);
+    }
+    return density > 0.0 ? std::log(density) : kNegInf;
+  }
+
+  double Cdf(double x) const override {
+    if (x <= 0.0) {
+      return 0.0;
+    }
+    double total = 0.0;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      total += weights_[i] * -std::expm1(-rates_[i] * x);
+    }
+    return total;
+  }
+
+  double Mean() const override {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      mean += weights_[i] / rates_[i];
+    }
+    return mean;
+  }
+
+  double Variance() const override {
+    double second = 0.0;  // E[X^2] = sum_i w_i * 2 / rate_i^2
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      second += weights_[i] * 2.0 / (rates_[i] * rates_[i]);
+    }
+    const double mean = Mean();
+    return second - mean * mean;
+  }
+
+  std::unique_ptr<ServiceDistribution> Clone() const override {
+    return std::make_unique<HyperExponential>(weights_, rates_);
+  }
+
+  std::string Describe() const override {
+    std::ostringstream os;
+    os << "hyperexponential(";
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      os << (i > 0 ? ", " : "") << weights_[i] << "@" << rates_[i];
+    }
+    os << ")";
+    return os.str();
+  }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> rates_;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_DIST_HYPEREXP_H_

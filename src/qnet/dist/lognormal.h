@@ -1,0 +1,78 @@
+// Log-normal service distribution (log X ~ N(mu, sigma^2)) — the canonical heavy-ish-tailed
+// service model for web workloads; FromMeanScv matches a target mean and squared coefficient
+// of variation, which is how the M/G/1 scenarios are parameterized.
+
+#ifndef QNET_DIST_LOGNORMAL_H_
+#define QNET_DIST_LOGNORMAL_H_
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "qnet/dist/distribution.h"
+#include "qnet/support/check.h"
+#include "qnet/support/logspace.h"
+
+namespace qnet {
+
+class LogNormal : public ServiceDistribution {
+ public:
+  LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+    QNET_CHECK(sigma > 0.0, "LogNormal sigma must be positive: ", sigma);
+  }
+
+  // The log-normal with the given mean and SCV: sigma^2 = log(1 + scv),
+  // mu = log(mean) - sigma^2 / 2.
+  static LogNormal FromMeanScv(double mean, double scv) {
+    QNET_CHECK(mean > 0.0 && scv > 0.0, "FromMeanScv needs positive mean and scv");
+    const double sigma2 = std::log1p(scv);
+    return LogNormal(std::log(mean) - 0.5 * sigma2, std::sqrt(sigma2));
+  }
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+  double Sample(Rng& rng) const override { return rng.LogNormal(mu_, sigma_); }
+
+  double LogPdf(double x) const override {
+    if (x <= 0.0) {
+      return kNegInf;
+    }
+    const double z = (std::log(x) - mu_) / sigma_;
+    return -0.5 * z * z - std::log(x * sigma_) - 0.5 * std::log(2.0 * M_PI);
+  }
+
+  double Cdf(double x) const override {
+    if (x <= 0.0) {
+      return 0.0;
+    }
+    const double z = (std::log(x) - mu_) / (sigma_ * std::sqrt(2.0));
+    return 0.5 * std::erfc(-z);
+  }
+
+  double Mean() const override { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+  double Variance() const override {
+    const double s2 = sigma_ * sigma_;
+    return std::expm1(s2) * std::exp(2.0 * mu_ + s2);
+  }
+
+  std::unique_ptr<ServiceDistribution> Clone() const override {
+    return std::make_unique<LogNormal>(mu_, sigma_);
+  }
+
+  std::string Describe() const override {
+    std::ostringstream os;
+    os << "lognormal(mu=" << mu_ << ", sigma=" << sigma_ << ")";
+    return os.str();
+  }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_DIST_LOGNORMAL_H_

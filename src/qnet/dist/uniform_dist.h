@@ -1,0 +1,71 @@
+// Uniform service distribution on [lo, hi] — low-variance service for ablations and as the
+// SCV < 1 reference point in the M/G/1 comparisons.
+
+#ifndef QNET_DIST_UNIFORM_DIST_H_
+#define QNET_DIST_UNIFORM_DIST_H_
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "qnet/dist/distribution.h"
+#include "qnet/support/check.h"
+#include "qnet/support/logspace.h"
+
+namespace qnet {
+
+class UniformDist : public ServiceDistribution {
+ public:
+  UniformDist(double lo, double hi) : lo_(lo), hi_(hi) {
+    QNET_CHECK(lo < hi, "UniformDist needs lo < hi; lo=", lo, " hi=", hi);
+    QNET_CHECK(lo >= 0.0, "service times are nonnegative; lo=", lo);
+  }
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  double Sample(Rng& rng) const override { return rng.Uniform(lo_, hi_); }
+
+  double LogPdf(double x) const override {
+    if (x < lo_ || x > hi_) {
+      return kNegInf;
+    }
+    return -std::log(hi_ - lo_);
+  }
+
+  double Cdf(double x) const override {
+    if (x <= lo_) {
+      return 0.0;
+    }
+    if (x >= hi_) {
+      return 1.0;
+    }
+    return (x - lo_) / (hi_ - lo_);
+  }
+
+  double Mean() const override { return 0.5 * (lo_ + hi_); }
+
+  double Variance() const override {
+    const double width = hi_ - lo_;
+    return width * width / 12.0;
+  }
+
+  std::unique_ptr<ServiceDistribution> Clone() const override {
+    return std::make_unique<UniformDist>(lo_, hi_);
+  }
+
+  std::string Describe() const override {
+    std::ostringstream os;
+    os << "uniform(lo=" << lo_ << ", hi=" << hi_ << ")";
+    return os.str();
+  }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_DIST_UNIFORM_DIST_H_

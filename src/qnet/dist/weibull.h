@@ -1,0 +1,77 @@
+// Weibull service distribution in shape/scale parameterization. Shape < 1 is heavy-tailed
+// (stretched exponential), shape 1 is exponential with rate 1/scale, shape > 1 approaches
+// normal-like service.
+
+#ifndef QNET_DIST_WEIBULL_H_
+#define QNET_DIST_WEIBULL_H_
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "qnet/dist/distribution.h"
+#include "qnet/support/check.h"
+#include "qnet/support/logspace.h"
+
+namespace qnet {
+
+class Weibull : public ServiceDistribution {
+ public:
+  Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+    QNET_CHECK(shape > 0.0 && scale > 0.0, "Weibull parameters must be positive; shape=",
+               shape, " scale=", scale);
+  }
+
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+  double Sample(Rng& rng) const override {
+    // Inverse CDF: scale * (-log(1 - u))^{1/shape}.
+    return scale_ * std::pow(-std::log1p(-rng.Uniform()), 1.0 / shape_);
+  }
+
+  double LogPdf(double x) const override {
+    if (x < 0.0 || (x == 0.0 && shape_ < 1.0)) {
+      return kNegInf;
+    }
+    if (x == 0.0) {
+      return shape_ == 1.0 ? -std::log(scale_) : kNegInf;
+    }
+    const double z = x / scale_;
+    return std::log(shape_ / scale_) + (shape_ - 1.0) * std::log(z) - std::pow(z, shape_);
+  }
+
+  double Cdf(double x) const override {
+    if (x <= 0.0) {
+      return 0.0;
+    }
+    return -std::expm1(-std::pow(x / scale_, shape_));
+  }
+
+  double Mean() const override { return scale_ * std::tgamma(1.0 + 1.0 / shape_); }
+
+  double Variance() const override {
+    const double g1 = std::tgamma(1.0 + 1.0 / shape_);
+    const double g2 = std::tgamma(1.0 + 2.0 / shape_);
+    return scale_ * scale_ * (g2 - g1 * g1);
+  }
+
+  std::unique_ptr<ServiceDistribution> Clone() const override {
+    return std::make_unique<Weibull>(shape_, scale_);
+  }
+
+  std::string Describe() const override {
+    std::ostringstream os;
+    os << "weibull(shape=" << shape_ << ", scale=" << scale_ << ")";
+    return os.str();
+  }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_DIST_WEIBULL_H_

@@ -1,8 +1,8 @@
 #include "qnet/infer/conditional.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
-#include <vector>
 
 #include "qnet/support/check.h"
 #include "qnet/support/logspace.h"
@@ -11,6 +11,79 @@ namespace qnet {
 namespace {
 
 constexpr double kDegenerateWindow = 1e-12;
+
+// Empty span = unit rates. Only the Gather*Geometry wrappers pass an empty span (so no
+// ones vector is ever materialized); the public rate-taking entry points validate exact
+// size before delegating here.
+inline double RateAt(std::span<const double> rates, int queue) {
+  return rates.empty() ? 1.0 : rates[static_cast<std::size_t>(queue)];
+}
+
+ArrivalMove GatherArrivalMoveImpl(const EventLog& log, EventId e,
+                                  std::span<const double> rates) {
+  const Event& ev = log.At(e);
+  QNET_CHECK(!ev.initial, "cannot resample the arrival of an initial event");
+
+  ArrivalMove move;
+  move.event = e;
+  move.d_e = ev.departure;
+  move.mu_e = RateAt(rates, ev.queue);
+
+  const Event& pi = log.AtUnchecked(ev.pi);
+  move.mu_pi = RateAt(rates, pi.queue);
+  move.c_pi = log.BeginServiceUnchecked(ev.pi);
+
+  move.rho_is_pi = (ev.rho == ev.pi);
+  if (ev.rho != kNoEvent && !move.rho_is_pi) {
+    move.has_t1 = true;
+    move.t1 = log.DepartureUnchecked(ev.rho);
+  }
+
+  // nu(pi): the next arrival at pi's queue. When it is e itself (consecutive same-queue
+  // visits) its service time is s_e, already accounted for by the first term.
+  if (pi.nu != kNoEvent && pi.nu != e) {
+    move.has_nu_pi = true;
+    move.t2 = log.ArrivalUnchecked(pi.nu);
+    move.d_nu_pi = log.DepartureUnchecked(pi.nu);
+  }
+
+  // Bounds: L = max{c_pi, a_rho(e)}; U = min{d_e, a_nu(e), d_nu(pi)}.
+  double lower = move.c_pi;
+  if (ev.rho != kNoEvent) {
+    lower = std::max(lower, log.ArrivalUnchecked(ev.rho));
+  }
+  double upper = move.d_e;
+  if (ev.nu != kNoEvent) {
+    upper = std::min(upper, log.ArrivalUnchecked(ev.nu));
+  }
+  if (move.has_nu_pi) {
+    upper = std::min(upper, move.d_nu_pi);
+  }
+  move.lower = lower;
+  move.upper = upper;
+  return move;
+}
+
+FinalDepartureMove GatherFinalDepartureMoveImpl(const EventLog& log, EventId e,
+                                                std::span<const double> rates) {
+  const Event& ev = log.At(e);
+  QNET_CHECK(ev.tau == kNoEvent,
+             "event has a within-task successor; use the arrival move on tau instead");
+  FinalDepartureMove move;
+  move.event = e;
+  move.mu_e = RateAt(rates, ev.queue);
+  move.c_e = log.BeginServiceUnchecked(e);
+  if (ev.nu != kNoEvent) {
+    move.has_nu = true;
+    move.t_nu = log.ArrivalUnchecked(ev.nu);
+    move.d_nu = log.DepartureUnchecked(ev.nu);
+    move.upper = move.d_nu;
+  } else {
+    move.upper = kPosInf;
+  }
+  move.lower = move.c_e;
+  return move;
+}
 
 }  // namespace
 
@@ -32,72 +105,32 @@ double ArrivalMove::LogG(double a) const {
 }
 
 ArrivalMove GatherArrivalMove(const EventLog& log, EventId e, std::span<const double> rates) {
-  const Event& ev = log.At(e);
-  QNET_CHECK(!ev.initial, "cannot resample the arrival of an initial event");
   QNET_CHECK(static_cast<std::size_t>(log.NumQueues()) == rates.size(), "rate vector size");
-
-  ArrivalMove move;
-  move.event = e;
-  move.d_e = ev.departure;
-  move.mu_e = rates[static_cast<std::size_t>(ev.queue)];
-
-  const Event& pi = log.At(ev.pi);
-  move.mu_pi = rates[static_cast<std::size_t>(pi.queue)];
-  move.c_pi = log.BeginService(ev.pi);
-
-  move.rho_is_pi = (ev.rho == ev.pi);
-  if (ev.rho != kNoEvent && !move.rho_is_pi) {
-    move.has_t1 = true;
-    move.t1 = log.At(ev.rho).departure;
-  }
-
-  // nu(pi): the next arrival at pi's queue. When it is e itself (consecutive same-queue
-  // visits) its service time is s_e, already accounted for by the first term.
-  if (pi.nu != kNoEvent && pi.nu != e) {
-    move.has_nu_pi = true;
-    move.t2 = log.At(pi.nu).arrival;
-    move.d_nu_pi = log.At(pi.nu).departure;
-  }
-
-  // Bounds: L = max{c_pi, a_rho(e)}; U = min{d_e, a_nu(e), d_nu(pi)}.
-  double lower = move.c_pi;
-  if (ev.rho != kNoEvent) {
-    lower = std::max(lower, log.At(ev.rho).arrival);
-  }
-  double upper = move.d_e;
-  if (ev.nu != kNoEvent) {
-    upper = std::min(upper, log.At(ev.nu).arrival);
-  }
-  if (move.has_nu_pi) {
-    upper = std::min(upper, move.d_nu_pi);
-  }
-  move.lower = lower;
-  move.upper = upper;
-  return move;
+  return GatherArrivalMoveImpl(log, e, rates);
 }
 
 ArrivalMove GatherArrivalGeometry(const EventLog& log, EventId e) {
-  const std::vector<double> ones(static_cast<std::size_t>(log.NumQueues()), 1.0);
-  return GatherArrivalMove(log, e, ones);
+  return GatherArrivalMoveImpl(log, e, {});
 }
 
 PiecewiseExpDensity BuildArrivalDensity(const ArrivalMove& move) {
   QNET_CHECK(move.lower < move.upper, "empty conditional window: L=", move.lower,
              " U=", move.upper);
-  // Breakpoints inside (L, U) where a max() changes branch.
-  std::vector<double> cuts;
-  cuts.push_back(move.lower);
+  // Breakpoints inside (L, U) where a max() changes branch: at most lower, t1, t2, upper.
+  std::array<double, 4> cuts;
+  std::size_t num_cuts = 0;
+  cuts[num_cuts++] = move.lower;
   if (move.has_t1 && move.t1 > move.lower && move.t1 < move.upper) {
-    cuts.push_back(move.t1);
+    cuts[num_cuts++] = move.t1;
   }
   if (move.has_nu_pi && move.t2 > move.lower && move.t2 < move.upper) {
-    cuts.push_back(move.t2);
+    cuts[num_cuts++] = move.t2;
   }
-  cuts.push_back(move.upper);
-  std::sort(cuts.begin(), cuts.end());
+  cuts[num_cuts++] = move.upper;
+  std::sort(cuts.begin(), cuts.begin() + num_cuts);
 
   PiecewiseExpDensity density;
-  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+  for (std::size_t i = 0; i + 1 < num_cuts; ++i) {
     const double lo = cuts[i];
     const double hi = cuts[i + 1];
     if (!(lo < hi)) {
@@ -158,7 +191,8 @@ double SampleArrivalClosedForm(const ArrivalMove& move, Rng& rng) {
   const double log_z3 =
       LogIntegralExpLinear(move.LogG(0.5 * (b_break + U)) - mu_e * 0.5 * (b_break + U), mu_e,
                            b_break, U);
-  const double log_z = LogSumExp(std::vector<double>{log_z1, log_z2, log_z3});
+  const std::array<double, 3> piece_masses{log_z1, log_z2, log_z3};
+  const double log_z = LogSumExp(piece_masses);
 
   const double u_case = rng.Uniform();
   const double v = rng.Uniform();
@@ -200,28 +234,12 @@ double FinalDepartureMove::LogG(double d) const {
 
 FinalDepartureMove GatherFinalDepartureMove(const EventLog& log, EventId e,
                                             std::span<const double> rates) {
-  const Event& ev = log.At(e);
-  QNET_CHECK(ev.tau == kNoEvent,
-             "event has a within-task successor; use the arrival move on tau instead");
-  FinalDepartureMove move;
-  move.event = e;
-  move.mu_e = rates[static_cast<std::size_t>(ev.queue)];
-  move.c_e = log.BeginService(e);
-  if (ev.nu != kNoEvent) {
-    move.has_nu = true;
-    move.t_nu = log.At(ev.nu).arrival;
-    move.d_nu = log.At(ev.nu).departure;
-    move.upper = move.d_nu;
-  } else {
-    move.upper = kPosInf;
-  }
-  move.lower = move.c_e;
-  return move;
+  QNET_CHECK(static_cast<std::size_t>(log.NumQueues()) == rates.size(), "rate vector size");
+  return GatherFinalDepartureMoveImpl(log, e, rates);
 }
 
 FinalDepartureMove GatherFinalDepartureGeometry(const EventLog& log, EventId e) {
-  const std::vector<double> ones(static_cast<std::size_t>(log.NumQueues()), 1.0);
-  return GatherFinalDepartureMove(log, e, ones);
+  return GatherFinalDepartureMoveImpl(log, e, {});
 }
 
 PiecewiseExpDensity BuildFinalDepartureDensity(const FinalDepartureMove& move) {

@@ -68,9 +68,12 @@ ArrivalMove GatherArrivalMove(const EventLog& log, EventId e, std::span<const do
 
 // Geometry-only variant with all rates set to 1 (LogG is then not meaningful); used by the
 // general-service sampler, which evaluates its own densities on the same geometry.
+// Allocation-free: forwards an empty rate span instead of building a ones vector.
 ArrivalMove GatherArrivalGeometry(const EventLog& log, EventId e);
 
-// Builds the normalized piecewise-exponential conditional. Requires lower < upper.
+// Builds the normalized piecewise-exponential conditional. Requires lower < upper. The
+// returned density lives entirely on the stack (inline segment storage); the whole
+// gather→build→sample path performs zero heap allocations.
 PiecewiseExpDensity BuildArrivalDensity(const ArrivalMove& move);
 
 // Samples a_e | everything else. Degenerate windows (upper - lower below tolerance) return

@@ -14,7 +14,7 @@ constexpr double kDegenerateWindow = 1e-12;
 // When the current point has zero density (e.g. a boundary-clipped initial state under a
 // distribution whose pdf vanishes at 0, like a log-normal), probe the window for a usable
 // slice start.
-double FindSliceStart(const std::function<double(double)>& log_density, double x0, double lo,
+double FindSliceStart(FunctionRef<double(double)> log_density, double x0, double lo,
                       double hi, Rng& rng) {
   if (log_density(x0) > kNegInf) {
     return x0;

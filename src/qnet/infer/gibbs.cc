@@ -35,19 +35,26 @@ void GibbsSampler::SetRates(std::vector<double> rates) {
 }
 
 void GibbsSampler::Sweep(Rng& rng) {
-  scan_buffer_ = latent_arrivals_;
+  // Systematic scans iterate the latent id lists in place; only the shuffled scan needs a
+  // mutable copy, and scan_buffer_ persists across sweeps so the copy reuses its capacity
+  // after the first sweep (no per-sweep allocation either way).
+  const std::vector<EventId>* scan = &latent_arrivals_;
   if (options_.shuffle_scan) {
+    scan_buffer_.assign(latent_arrivals_.begin(), latent_arrivals_.end());
     rng.Shuffle(scan_buffer_);
+    scan = &scan_buffer_;
   }
-  for (EventId e : scan_buffer_) {
+  for (EventId e : *scan) {
     ResampleArrival(e, rng);
   }
   if (options_.resample_final_departures) {
-    scan_buffer_ = latent_final_departures_;
+    scan = &latent_final_departures_;
     if (options_.shuffle_scan) {
+      scan_buffer_.assign(latent_final_departures_.begin(), latent_final_departures_.end());
       rng.Shuffle(scan_buffer_);
+      scan = &scan_buffer_;
     }
-    for (EventId e : scan_buffer_) {
+    for (EventId e : *scan) {
       ResampleFinalDeparture(e, rng);
     }
   }
@@ -56,13 +63,13 @@ void GibbsSampler::Sweep(Rng& rng) {
 void GibbsSampler::ResampleArrival(EventId e, Rng& rng) {
   const ArrivalMove move = GatherArrivalMove(state_, e, rates_);
   const double a = SampleArrival(move, rng);
-  state_.SetArrival(e, a);
-  state_.SetDeparture(state_.At(e).pi, a);
+  state_.SetArrivalUnchecked(e, a);
+  state_.SetDepartureUnchecked(state_.AtUnchecked(e).pi, a);
 }
 
 void GibbsSampler::ResampleFinalDeparture(EventId e, Rng& rng) {
   const FinalDepartureMove move = GatherFinalDepartureMove(state_, e, rates_);
-  state_.SetDeparture(e, SampleFinalDeparture(move, rng));
+  state_.SetDepartureUnchecked(e, SampleFinalDeparture(move, rng));
 }
 
 double GibbsSampler::LogJointExponential() const {

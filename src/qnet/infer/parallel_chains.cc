@@ -1,0 +1,198 @@
+#include "qnet/infer/parallel_chains.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "qnet/infer/diagnostics.h"
+#include "qnet/support/check.h"
+
+namespace qnet {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+std::size_t ResolveThreads(std::size_t requested, std::size_t chains) {
+  if (requested == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    requested = hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  }
+  return std::max<std::size_t>(1, std::min(requested, chains));
+}
+
+// Derives one independent stream seed per chain from the master seed, in chain order —
+// the c-th chain's stream is a pure function of (seed, c).
+std::vector<std::uint64_t> DeriveChainSeeds(std::uint64_t seed, std::size_t chains) {
+  Rng master(seed);
+  std::vector<std::uint64_t> seeds(chains);
+  for (std::uint64_t& s : seeds) {
+    s = master.NextU64();
+  }
+  return seeds;
+}
+
+// Runs `work(c)` for every chain index on a static round-robin partition over T threads.
+// Exceptions are captured per-thread and the first (by thread index) is rethrown after
+// join, so a CHECK failure inside a chain surfaces to the caller instead of terminating.
+template <typename Work>
+void RunOnThreadPool(std::size_t chains, std::size_t threads, const Work& work) {
+  if (threads <= 1) {
+    for (std::size_t c = 0; c < chains; ++c) {
+      work(c);
+    }
+    return;
+  }
+  std::vector<std::exception_ptr> errors(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      try {
+        for (std::size_t c = t; c < chains; c += threads) {
+          work(c);
+        }
+      } catch (...) {
+        errors[t] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& thread : pool) {
+    thread.join();
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+}  // namespace
+
+ParallelChainsResult RunParallelChains(const EventLog& truth, const Observation& obs,
+                                       const std::vector<double>& rates, std::uint64_t seed,
+                                       const ParallelChainsOptions& options) {
+  QNET_CHECK(options.chains >= 1, "need at least one chain");
+  QNET_CHECK(options.sweeps > options.burn_in, "sweeps must exceed burn-in; sweeps=",
+             options.sweeps, " burn_in=", options.burn_in);
+  // R-hat over >= 2 chains needs at least 2 post-burn-in draws per chain; fail here
+  // instead of after all the sampling work is done.
+  QNET_CHECK(options.chains < 2 || options.sweeps - options.burn_in >= 2,
+             "R-hat needs >= 2 post-burn-in sweeps per chain; sweeps=", options.sweeps,
+             " burn_in=", options.burn_in);
+  const auto start = std::chrono::steady_clock::now();
+  const int num_queues = truth.NumQueues();
+  const std::size_t threads = ResolveThreads(options.threads, options.chains);
+  const std::vector<std::uint64_t> chain_seeds = DeriveChainSeeds(seed, options.chains);
+
+  ParallelChainsResult result(num_queues, options.tail_quantile);
+  result.per_chain.assign(options.chains, PosteriorSummary(num_queues, options.tail_quantile));
+  result.chain_stats.assign(options.chains, ChainStats{});
+
+  RunOnThreadPool(options.chains, threads, [&](std::size_t c) {
+    const auto chain_start = std::chrono::steady_clock::now();
+    Rng chain_rng(chain_seeds[c]);
+    // Independent random initializations diversify the chain starts (required for R-hat to
+    // be an honest convergence check).
+    GibbsSampler sampler(InitializeFeasible(truth, obs, rates, chain_rng, options.init), obs,
+                         rates, options.gibbs);
+    PosteriorSummary& summary = result.per_chain[c];
+    for (std::size_t sweep = 0; sweep < options.sweeps; ++sweep) {
+      sampler.Sweep(chain_rng);
+      if (sweep >= options.burn_in) {
+        summary.Accumulate(sampler.State());
+      }
+    }
+    ChainStats& stats = result.chain_stats[c];
+    stats.seed = chain_seeds[c];
+    stats.draws = summary.NumSamples();
+    stats.seconds = SecondsSince(chain_start);
+  });
+
+  // Pool in chain-index order on the calling thread: bit-identical for any thread count.
+  for (const PosteriorSummary& summary : result.per_chain) {
+    result.pooled.Merge(summary);
+    result.total_draws += summary.NumSamples();
+  }
+
+  // R-hat needs >= 2 chains; a single chain reports the neutral value 1 everywhere.
+  result.r_hat_service.assign(static_cast<std::size_t>(num_queues), 1.0);
+  result.max_r_hat = 1.0;
+  if (options.chains >= 2) {
+    result.max_r_hat = 0.0;
+    for (int q = 1; q < num_queues; ++q) {
+      std::vector<std::vector<double>> series;
+      series.reserve(options.chains);
+      for (const PosteriorSummary& summary : result.per_chain) {
+        series.push_back(summary.ServiceSeries(q));
+      }
+      const double r_hat = GelmanRubin(series);
+      result.r_hat_service[static_cast<std::size_t>(q)] = r_hat;
+      result.max_r_hat = std::max(result.max_r_hat, r_hat);
+    }
+  }
+  result.wall_seconds = SecondsSince(start);
+  return result;
+}
+
+ParallelStemResult RunParallelStem(const EventLog& truth, const Observation& obs,
+                                   const std::vector<double>& init_rates, std::uint64_t seed,
+                                   const StemOptions& stem_options, std::size_t chains,
+                                   std::size_t threads) {
+  QNET_CHECK(chains >= 1, "need at least one chain");
+  // Mirrors the RunParallelChains precondition: the cross-chain R-hat needs length >= 2
+  // post-burn-in rate traces (StemEstimator itself only enforces iterations > burn_in).
+  QNET_CHECK(chains < 2 || stem_options.iterations - stem_options.burn_in >= 2,
+             "R-hat needs >= 2 post-burn-in StEM iterations per chain; iterations=",
+             stem_options.iterations, " burn_in=", stem_options.burn_in);
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t num_queues = static_cast<std::size_t>(truth.NumQueues());
+  const std::vector<std::uint64_t> chain_seeds = DeriveChainSeeds(seed, chains);
+
+  ParallelStemResult result;
+  result.per_chain.assign(chains, StemResult{});
+
+  RunOnThreadPool(chains, ResolveThreads(threads, chains), [&](std::size_t c) {
+    Rng chain_rng(chain_seeds[c]);
+    result.per_chain[c] =
+        StemEstimator(stem_options).Run(truth, obs, init_rates, chain_rng);
+  });
+
+  result.pooled_rates.assign(num_queues, 0.0);
+  for (const StemResult& chain : result.per_chain) {
+    for (std::size_t q = 0; q < num_queues; ++q) {
+      result.pooled_rates[q] += chain.rates[q] / static_cast<double>(chains);
+    }
+  }
+  result.pooled_mean_service.assign(num_queues, 0.0);
+  for (std::size_t q = 0; q < num_queues; ++q) {
+    result.pooled_mean_service[q] = 1.0 / result.pooled_rates[q];
+  }
+
+  result.r_hat_rates.assign(num_queues, 1.0);
+  result.max_r_hat = 1.0;
+  if (chains >= 2) {
+    result.max_r_hat = 0.0;
+    for (std::size_t q = 0; q < num_queues; ++q) {
+      std::vector<std::vector<double>> series;
+      series.reserve(chains);
+      for (const StemResult& chain : result.per_chain) {
+        std::vector<double> trace;
+        trace.reserve(chain.rate_trace.size() - stem_options.burn_in);
+        for (std::size_t iter = stem_options.burn_in; iter < chain.rate_trace.size(); ++iter) {
+          trace.push_back(chain.rate_trace[iter][q]);
+        }
+        series.push_back(std::move(trace));
+      }
+      const double r_hat = GelmanRubin(series);
+      result.r_hat_rates[q] = r_hat;
+      result.max_r_hat = std::max(result.max_r_hat, r_hat);
+    }
+  }
+  result.wall_seconds = SecondsSince(start);
+  return result;
+}
+
+}  // namespace qnet

@@ -7,6 +7,12 @@
 #include "qnet/support/logspace.h"
 
 namespace qnet {
+namespace {
+
+// Below this |beta| * width the segment is numerically uniform.
+constexpr double kFlatThreshold = 1e-12;
+
+}  // namespace
 
 void PiecewiseExpDensity::AddSegment(double lo, double hi, double alpha, double beta) {
   QNET_CHECK(!finalized_, "AddSegment after Finalize");
@@ -17,39 +23,79 @@ void PiecewiseExpDensity::AddSegment(double lo, double hi, double alpha, double 
   if (hi == kPosInf) {
     QNET_CHECK(beta < 0.0, "unbounded segment requires beta < 0");
   }
-  if (!segments_.empty()) {
-    QNET_CHECK(segments_.back().hi <= lo + 1e-12, "segments must be ordered and disjoint");
+  if (num_segments_ > 0) {
+    QNET_CHECK(segments_[num_segments_ - 1].hi <= lo + 1e-12,
+               "segments must be ordered and disjoint");
   }
-  segments_.push_back(ExpSegment{lo, hi, alpha, beta, kNegInf});
+  QNET_CHECK(num_segments_ < kMaxSegments, "more than ", kMaxSegments,
+             " segments; the Gibbs conditionals never need this");
+  segments_[num_segments_++] = ExpSegment{lo, hi, alpha, beta, kNegInf};
 }
 
 void PiecewiseExpDensity::Finalize() {
   QNET_CHECK(!finalized_, "Finalize called twice");
-  QNET_CHECK(!segments_.empty(), "density has no support");
-  std::vector<double> masses;
-  masses.reserve(segments_.size());
-  for (ExpSegment& seg : segments_) {
-    seg.log_mass = LogIntegralExpLinear(seg.alpha, seg.beta, seg.lo, seg.hi);
-    masses.push_back(seg.log_mass);
+  QNET_CHECK(num_segments_ > 0, "density has no support");
+
+  // The log density is linear on each segment, so its maximum over the support is attained
+  // at a segment endpoint (for the unbounded tail, at lo since beta < 0 there).
+  double peak = kNegInf;
+  std::array<double, kMaxSegments> peak_value;  // per-segment max of alpha + beta * x
+  for (std::size_t i = 0; i < num_segments_; ++i) {
+    const ExpSegment& seg = segments_[i];
+    const double at_lo = seg.alpha + seg.beta * seg.lo;
+    const double value =
+        (seg.beta > 0.0 && seg.hi != kPosInf) ? seg.alpha + seg.beta * seg.hi : at_lo;
+    peak_value[i] = value;
+    peak = std::max(peak, value);
   }
-  log_normalizer_ = LogSumExp(masses);
-  QNET_CHECK(log_normalizer_ > kNegInf, "density has zero total mass");
-  QNET_CHECK(std::isfinite(log_normalizer_), "density mass is not finite");
+  QNET_CHECK(peak > kNegInf && peak < kPosInf, "density peak is not finite");
+  peak_log_value_ = peak;
+
+  // Segment masses relative to the peak:  mass_i = exp(peak_i - peak) * R_i, where R_i is
+  // the integral of exp(beta (x - argpeak_i)) over the segment — computed with one expm1,
+  // never overflowing because the integrand is anchored at its maximum.
+  double total = 0.0;
+  for (std::size_t i = 0; i < num_segments_; ++i) {
+    const ExpSegment& seg = segments_[i];
+    const double gap = peak_value[i] - peak;
+    const double scale = gap == 0.0 ? 1.0 : std::exp(gap);  // in (0, 1]
+    double reduced;
+    if (seg.hi == kPosInf) {
+      reduced = 1.0 / (-seg.beta);
+    } else {
+      const double width = seg.hi - seg.lo;
+      const double u = seg.beta * width;
+      if (std::abs(u) < kFlatThreshold) {
+        reduced = width;
+      } else {
+        // (1 - exp(-|u|)) / |beta|, the integral anchored at the segment's peak end.
+        reduced = -std::expm1(-std::abs(u)) / std::abs(seg.beta);
+      }
+    }
+    mass_[i] = scale * reduced;
+    total += mass_[i];
+  }
+  total_mass_ = total;
+  QNET_CHECK(total > 0.0, "density has zero total mass");
+  QNET_CHECK(std::isfinite(total), "density mass is not finite");
+  // The log normalizer (peak + log(total)) is derived on demand in LogNormalizer():
+  // sampling needs only the linear masses, so the hot path skips the log entirely.
   finalized_ = true;
 }
 
 double PiecewiseExpDensity::LogNormalizer() const {
   QNET_CHECK(finalized_, "Finalize first");
-  return log_normalizer_;
+  return peak_log_value_ + std::log(total_mass_);
 }
 
 double PiecewiseExpDensity::Sample(Rng& rng) const {
   QNET_CHECK(finalized_, "Finalize first");
-  // Pick a segment proportionally to its mass, then inverse-CDF within the segment.
-  double u = rng.Uniform();
-  std::size_t pick = segments_.size() - 1;
-  for (std::size_t i = 0; i < segments_.size(); ++i) {
-    u -= std::exp(segments_[i].log_mass - log_normalizer_);
+  // Pick a segment proportionally to its mass (plain arithmetic on the linear masses),
+  // then inverse-CDF within the segment.
+  double u = rng.Uniform() * total_mass_;
+  std::size_t pick = num_segments_ - 1;
+  for (std::size_t i = 0; i + 1 < num_segments_; ++i) {
+    u -= mass_[i];
     if (u < 0.0) {
       pick = i;
       break;
@@ -61,9 +107,10 @@ double PiecewiseExpDensity::Sample(Rng& rng) const {
 
 double PiecewiseExpDensity::LogPdf(double x) const {
   QNET_CHECK(finalized_, "Finalize first");
-  for (const ExpSegment& seg : segments_) {
+  for (std::size_t i = 0; i < num_segments_; ++i) {
+    const ExpSegment& seg = segments_[i];
     if (x >= seg.lo && x <= seg.hi) {
-      return seg.alpha + seg.beta * x - log_normalizer_;
+      return seg.alpha + seg.beta * x - LogNormalizer();
     }
   }
   return kNegInf;
@@ -75,11 +122,12 @@ double PiecewiseExpDensity::Cdf(double x) const {
     return 0.0;
   }
   double total = 0.0;
-  for (const ExpSegment& seg : segments_) {
+  for (std::size_t i = 0; i < num_segments_; ++i) {
+    const ExpSegment& seg = segments_[i];
     if (x >= seg.hi) {
-      total += std::exp(seg.log_mass - log_normalizer_);
+      total += mass_[i] / total_mass_;
     } else if (x > seg.lo) {
-      total += std::exp(LogIntegralExpLinear(seg.alpha, seg.beta, seg.lo, x) - log_normalizer_);
+      total += std::exp(LogIntegralExpLinear(seg.alpha, seg.beta, seg.lo, x) - LogNormalizer());
       break;
     } else {
       break;
@@ -91,15 +139,16 @@ double PiecewiseExpDensity::Cdf(double x) const {
 double PiecewiseExpDensity::Mean() const {
   QNET_CHECK(finalized_, "Finalize first");
   double mean = 0.0;
-  for (const ExpSegment& seg : segments_) {
-    const double weight = std::exp(seg.log_mass - log_normalizer_);
+  for (std::size_t i = 0; i < num_segments_; ++i) {
+    const ExpSegment& seg = segments_[i];
+    const double weight = mass_[i] / total_mass_;
     if (weight <= 0.0) {
       continue;
     }
     double segment_mean = 0.0;
     if (seg.hi == kPosInf) {
       segment_mean = seg.lo + 1.0 / (-seg.beta);
-    } else if (std::abs(seg.beta * (seg.hi - seg.lo)) < 1e-12) {
+    } else if (std::abs(seg.beta * (seg.hi - seg.lo)) < kFlatThreshold) {
       segment_mean = 0.5 * (seg.lo + seg.hi);
     } else {
       // Conditional mean of density ∝ exp(beta x) on [lo, hi]; this is the truncated
@@ -115,14 +164,23 @@ double PiecewiseExpDensity::Mean() const {
   return mean;
 }
 
+ExpSegment PiecewiseExpDensity::Segment(std::size_t i) const {
+  QNET_CHECK(i < num_segments_, "segment index out of range: ", i);
+  ExpSegment seg = segments_[i];
+  if (finalized_) {
+    seg.log_mass = mass_[i] > 0.0 ? peak_log_value_ + std::log(mass_[i]) : kNegInf;
+  }
+  return seg;
+}
+
 double PiecewiseExpDensity::SupportLo() const {
-  QNET_CHECK(!segments_.empty(), "density has no support");
-  return segments_.front().lo;
+  QNET_CHECK(num_segments_ > 0, "density has no support");
+  return segments_[0].lo;
 }
 
 double PiecewiseExpDensity::SupportHi() const {
-  QNET_CHECK(!segments_.empty(), "density has no support");
-  return segments_.back().hi;
+  QNET_CHECK(num_segments_ > 0, "density has no support");
+  return segments_[num_segments_ - 1].hi;
 }
 
 }  // namespace qnet

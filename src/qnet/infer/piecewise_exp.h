@@ -6,12 +6,24 @@
 // This class normalizes such densities in log space (immune to exp overflow even when
 // |alpha| is in the tens of thousands), samples by inverse CDF, and exposes LogPdf/Cdf/Mean
 // so tests can verify the sampler against numeric integration.
+//
+// Hot-path design (the Gibbs sampler builds + samples one of these per latent coordinate
+// per sweep):
+//  * fixed-capacity inline segment storage — the whole object lives on the stack and the
+//    build→finalize→sample path performs zero heap allocations;
+//  * Finalize computes segment masses in *linear* space relative to the density's peak
+//    log value (one exp + one expm1 per segment instead of the log-space Log1mExp/log
+//    chain), so Sample picks a segment with plain arithmetic and spends its only
+//    transcendentals in the final inverse-CDF;
+//  * per-segment log masses (test/diagnostic API) are derived lazily in Segment().
+// Masses more than ~700 nats below the peak underflow to exactly zero weight, which is the
+// same behavior the previous log-space implementation had at sampling time.
 
 #ifndef QNET_INFER_PIECEWISE_EXP_H_
 #define QNET_INFER_PIECEWISE_EXP_H_
 
+#include <array>
 #include <cstddef>
-#include <vector>
 
 #include "qnet/support/rng.h"
 
@@ -27,13 +39,25 @@ struct ExpSegment {
 
 class PiecewiseExpDensity {
  public:
+  // Arrival conditionals have <= 3 segments and final-departure conditionals <= 2; one
+  // extra slot of headroom keeps the capacity check from ever firing on valid geometry.
+  static constexpr std::size_t kMaxSegments = 4;
+
   // Appends a segment; segments must be added left to right and non-overlapping. hi may be
-  // +infinity only when beta < 0. Zero-width segments are ignored.
+  // +infinity only when beta < 0. Zero-width segments are ignored. CHECK-fails beyond
+  // kMaxSegments.
   void AddSegment(double lo, double hi, double alpha, double beta);
 
   // Computes segment masses and the normalizer. CHECK-fails when the total mass is zero.
   void Finalize();
   bool Finalized() const { return finalized_; }
+
+  // Returns the density to the empty un-finalized state so the instance can be rebuilt
+  // in place on the next move.
+  void Reset() {
+    num_segments_ = 0;
+    finalized_ = false;
+  }
 
   double LogNormalizer() const;
   double Sample(Rng& rng) const;
@@ -42,14 +66,21 @@ class PiecewiseExpDensity {
   double Cdf(double x) const;
   double Mean() const;
 
-  std::size_t NumSegments() const { return segments_.size(); }
-  const ExpSegment& Segment(std::size_t i) const { return segments_[i]; }
+  std::size_t NumSegments() const { return num_segments_; }
+  // Diagnostic accessor, returned by value with log_mass derived on demand (it is not
+  // needed for sampling, and computing it here keeps the object free of mutable state —
+  // safe to share const across threads).
+  ExpSegment Segment(std::size_t i) const;
   double SupportLo() const;
   double SupportHi() const;
 
  private:
-  std::vector<ExpSegment> segments_;
-  double log_normalizer_ = 0.0;
+  std::array<ExpSegment, kMaxSegments> segments_;
+  // Linear-space segment masses, scaled by exp(-peak_log_value_); valid after Finalize.
+  std::array<double, kMaxSegments> mass_;
+  double total_mass_ = 0.0;
+  double peak_log_value_ = 0.0;  // max of the log density over all segment endpoints
+  std::size_t num_segments_ = 0;
   bool finalized_ = false;
 };
 

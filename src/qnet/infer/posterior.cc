@@ -30,6 +30,20 @@ void PosteriorSummary::Accumulate(const EventLog& state) {
   ++num_samples_;
 }
 
+void PosteriorSummary::Merge(const PosteriorSummary& other) {
+  QNET_CHECK(other.service_series_.size() == service_series_.size(), "queue count mismatch");
+  QNET_CHECK(other.tail_quantile_ == tail_quantile_, "tail quantile mismatch");
+  for (std::size_t q = 0; q < service_series_.size(); ++q) {
+    service_series_[q].insert(service_series_[q].end(), other.service_series_[q].begin(),
+                              other.service_series_[q].end());
+    wait_series_[q].insert(wait_series_[q].end(), other.wait_series_[q].begin(),
+                           other.wait_series_[q].end());
+    tail_series_[q].insert(tail_series_[q].end(), other.tail_series_[q].begin(),
+                           other.tail_series_[q].end());
+  }
+  num_samples_ += other.num_samples_;
+}
+
 std::vector<double> PosteriorSummary::MeanService() const {
   std::vector<double> means(service_series_.size(), 0.0);
   for (std::size_t q = 0; q < service_series_.size(); ++q) {

@@ -26,6 +26,11 @@ class PosteriorSummary {
 
   void Accumulate(const EventLog& state);
 
+  // Appends another summary's draws after this one's (chain-order pooling). Deterministic:
+  // merging the same summaries in the same order always yields identical series, which is
+  // what makes the parallel-chains engine's pooled output independent of thread timing.
+  void Merge(const PosteriorSummary& other);
+
   std::size_t NumSamples() const { return num_samples_; }
   // Posterior means.
   std::vector<double> MeanService() const;

@@ -8,8 +8,8 @@
 
 namespace qnet {
 
-double SliceSample(const std::function<double(double)>& log_density, double x0, double lo,
-                   double hi, Rng& rng, const SliceOptions& options) {
+double SliceSample(FunctionRef<double(double)> log_density, double x0, double lo, double hi,
+                   Rng& rng, const SliceOptions& options) {
   QNET_CHECK(x0 >= lo && x0 <= hi, "slice start outside bounds");
   const double log_f0 = log_density(x0);
   QNET_CHECK(log_f0 > kNegInf, "slice start has zero density");

@@ -5,8 +5,7 @@
 #ifndef QNET_INFER_SLICE_H_
 #define QNET_INFER_SLICE_H_
 
-#include <functional>
-
+#include "qnet/support/function_ref.h"
 #include "qnet/support/rng.h"
 
 namespace qnet {
@@ -21,9 +20,10 @@ struct SliceOptions {
 };
 
 // Draws one sample from the (unnormalized) log density restricted to (lo, hi); x0 must lie
-// inside the support with log_density(x0) > -inf. lo may be -inf and hi +inf.
-double SliceSample(const std::function<double(double)>& log_density, double x0, double lo,
-                   double hi, Rng& rng, const SliceOptions& options = {});
+// inside the support with log_density(x0) > -inf. lo may be -inf and hi +inf. The density
+// is taken by non-owning FunctionRef so per-call capturing lambdas never heap-allocate.
+double SliceSample(FunctionRef<double(double)> log_density, double x0, double lo, double hi,
+                   Rng& rng, const SliceOptions& options = {});
 
 }  // namespace qnet
 

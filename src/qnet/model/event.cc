@@ -153,12 +153,8 @@ const std::vector<EventId>& EventLog::QueueOrder(int queue) const {
 }
 
 double EventLog::BeginService(EventId e) const {
-  const Event& ev = events_[Check(e)];
-  QNET_DCHECK(links_built_, "queue links not built");
-  if (ev.rho == kNoEvent) {
-    return ev.arrival;
-  }
-  return std::max(ev.arrival, events_[Check(ev.rho)].departure);
+  Check(e);
+  return BeginServiceUnchecked(e);
 }
 
 double EventLog::ServiceTime(EventId e) const {

@@ -21,11 +21,13 @@
 #ifndef QNET_MODEL_EVENT_H_
 #define QNET_MODEL_EVENT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "qnet/model/network.h"
+#include "qnet/support/check.h"
 
 namespace qnet {
 
@@ -89,6 +91,29 @@ class EventLog {
   void SetArrival(EventId e, double t) { events_[Check(e)].arrival = t; }
   void SetDeparture(EventId e, double t) { events_[Check(e)].departure = t; }
 
+  // --- Unchecked hot-path accessors ----------------------------------------------------
+  // Inline, QNET_DCHECK-guarded variants of At/Arrival/Departure/BeginService for the
+  // Gibbs inner loop: bounds checks compile out under NDEBUG and no out-of-line call is
+  // made per access. The checked accessors below stay the default everywhere else.
+
+  const Event& AtUnchecked(EventId e) const {
+    QNET_DCHECK(e >= 0 && static_cast<std::size_t>(e) < events_.size(), "bad event id ", e);
+    return events_[static_cast<std::size_t>(e)];
+  }
+  double ArrivalUnchecked(EventId e) const { return AtUnchecked(e).arrival; }
+  double DepartureUnchecked(EventId e) const { return AtUnchecked(e).departure; }
+  void SetArrivalUnchecked(EventId e, double t) { MutableAtUnchecked(e).arrival = t; }
+  void SetDepartureUnchecked(EventId e, double t) { MutableAtUnchecked(e).departure = t; }
+  // max(a_e, d_rho(e)) without an out-of-line call; BeginService delegates here.
+  double BeginServiceUnchecked(EventId e) const {
+    QNET_DCHECK(links_built_, "queue links not built");
+    const Event& ev = AtUnchecked(e);
+    if (ev.rho == kNoEvent) {
+      return ev.arrival;
+    }
+    return std::max(ev.arrival, AtUnchecked(ev.rho).departure);
+  }
+
   // Time at which e begins service: max(a_e, d_rho(e)).
   double BeginService(EventId e) const;
   // Derived service time s_e = d_e - BeginService(e).
@@ -136,6 +161,11 @@ class EventLog {
 
  private:
   std::size_t Check(EventId e) const;
+
+  Event& MutableAtUnchecked(EventId e) {
+    QNET_DCHECK(e >= 0 && static_cast<std::size_t>(e) < events_.size(), "bad event id ", e);
+    return events_[static_cast<std::size_t>(e)];
+  }
 
   int num_queues_;
   bool links_built_ = false;

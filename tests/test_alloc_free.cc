@@ -1,0 +1,131 @@
+// Counting-allocator proof that the Gibbs hot path is allocation-free: every global
+// operator new in this binary bumps a counter, and the tests assert the counter does not
+// move across gather->build->sample cycles and across whole sweeps. This pins the
+// perf-critical property (PiecewiseExpDensity inline storage, stack cut arrays, empty-span
+// geometry gathers, FunctionRef slice callbacks) so a regression that reintroduces a heap
+// allocation per move fails CI instead of just slowing the benchmarks.
+
+#include <gtest/gtest.h>
+
+#include "support/counting_allocator.h"
+
+#include "qnet/infer/conditional.h"
+#include "qnet/infer/general_gibbs.h"
+#include "qnet/infer/gibbs.h"
+#include "qnet/infer/initializer.h"
+#include "qnet/model/builders.h"
+#include "qnet/obs/observation.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+namespace {
+
+using qnet_testing::AllocationCount;
+
+struct Fixture {
+  EventLog truth;
+  Observation obs;
+  std::vector<double> rates;
+  EventLog init;
+};
+
+Fixture MakeFixture() {
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {4.0, 3.0});
+  Rng rng(21);
+  EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 120), rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.2;
+  Observation obs = scheme.Apply(truth, rng);
+  std::vector<double> rates = net.ExponentialRates();
+  EventLog init = InitializeFeasible(truth, obs, rates, rng);
+  return Fixture{std::move(truth), std::move(obs), std::move(rates), std::move(init)};
+}
+
+EventId FirstLatentArrival(const Fixture& fixture) {
+  for (EventId e = 0; static_cast<std::size_t>(e) < fixture.init.NumEvents(); ++e) {
+    if (!fixture.init.At(e).initial && !fixture.obs.ArrivalObserved(e)) {
+      return e;
+    }
+  }
+  return kNoEvent;
+}
+
+TEST(AllocFree, SampleArrivalFastPathDoesNotAllocate) {
+  const Fixture fixture = MakeFixture();
+  const EventId target = FirstLatentArrival(fixture);
+  ASSERT_NE(target, kNoEvent);
+  Rng rng(7);
+  // Warm-up exercises every branch object once before counting.
+  {
+    const ArrivalMove move = GatherArrivalMove(fixture.init, target, fixture.rates);
+    (void)SampleArrival(move, rng);
+  }
+  const std::size_t before = AllocationCount();
+  double sink = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const ArrivalMove move = GatherArrivalMove(fixture.init, target, fixture.rates);
+    sink += SampleArrival(move, rng);
+  }
+  EXPECT_EQ(AllocationCount(), before) << "sink=" << sink;
+}
+
+TEST(AllocFree, GeometryGathersDoNotAllocate) {
+  const Fixture fixture = MakeFixture();
+  const EventId target = FirstLatentArrival(fixture);
+  ASSERT_NE(target, kNoEvent);
+  const std::size_t before = AllocationCount();
+  double sink = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const ArrivalMove geom = GatherArrivalGeometry(fixture.init, target);
+    sink += geom.upper - geom.lower;
+  }
+  EXPECT_EQ(AllocationCount(), before) << "sink=" << sink;
+}
+
+TEST(AllocFree, BuildArrivalDensityDoesNotAllocate) {
+  const Fixture fixture = MakeFixture();
+  const EventId target = FirstLatentArrival(fixture);
+  ASSERT_NE(target, kNoEvent);
+  const ArrivalMove move = GatherArrivalMove(fixture.init, target, fixture.rates);
+  ASSERT_LT(move.lower, move.upper);
+  const std::size_t before = AllocationCount();
+  double sink = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const PiecewiseExpDensity density = BuildArrivalDensity(move);
+    sink += density.NumSegments() > 0 ? density.SupportLo() : 0.0;
+  }
+  EXPECT_EQ(AllocationCount(), before) << "sink=" << sink;
+}
+
+TEST(AllocFree, WholeGibbsSweepDoesNotAllocate) {
+  const Fixture fixture = MakeFixture();
+  GibbsSampler sampler(fixture.init, fixture.obs, fixture.rates);
+  ASSERT_GT(sampler.NumLatentArrivals(), 0u);
+  Rng rng(9);
+  sampler.Sweep(rng);  // warm-up
+  const std::size_t before = AllocationCount();
+  for (int sweep = 0; sweep < 20; ++sweep) {
+    sampler.Sweep(rng);
+  }
+  EXPECT_EQ(AllocationCount(), before);
+}
+
+TEST(AllocFree, GeneralGibbsSweepDoesNotAllocate) {
+  // The slice-sampling path (FunctionRef callbacks, geometry gathers) must also stay
+  // allocation-free; exponential services keep LogPdf itself trivially clean.
+  const Fixture fixture = MakeFixture();
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {4.0, 3.0});
+  GeneralGibbsSampler sampler(fixture.init, fixture.obs, net);
+  ASSERT_GT(sampler.NumLatentArrivals(), 0u);
+  Rng rng(11);
+  sampler.Sweep(rng);  // warm-up
+  const std::size_t before = AllocationCount();
+  for (int sweep = 0; sweep < 5; ++sweep) {
+    sampler.Sweep(rng);
+  }
+  EXPECT_EQ(AllocationCount(), before);
+}
+
+}  // namespace
+}  // namespace qnet
