@@ -11,6 +11,9 @@
 //                                        three-tier {1,2,4} fixture, 10% tasks observed);
 //   BM_ParallelChains/T draws_per_sec  — pooled post-burn-in draws per wall second with
 //                                        4 chains on T threads (scaling curve);
+//   BM_ShardedSweep/T items_per_second — one chain's colored sharded sweep on T worker
+//                                        threads (intra-chain scaling; bit-identical
+//                                        results across T by construction);
 //   BM_GibbsSweepAllocations allocs_per_sweep — global operator-new calls per sweep;
 //                                        must stay exactly 0 (see tests/test_alloc_free.cc
 //                                        for the hard assertion).
@@ -115,6 +118,60 @@ void BM_RouteMhSweep(benchmark::State& state) {
                           static_cast<std::int64_t>(latents.size()));
 }
 BENCHMARK(BM_RouteMhSweep)->Unit(benchmark::kMillisecond);
+
+// Intra-chain scaling: one chain's sweep on the colored sharded scheduler with
+// T = state.range(0) worker threads (4 logical shards, so results are bit-identical across
+// the T values — only wall-clock changes). Compare against BM_GibbsSweep for the sharding
+// overhead at T=1 and against the core count for parallel efficiency.
+void BM_ShardedSweep(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const Fixture fixture = MakeFixture(500, 0.1);
+  qnet::GibbsSampler sampler(fixture.init, fixture.obs, fixture.rates);
+  qnet::ShardedSweepOptions options;
+  options.shards = 4;
+  options.threads = threads;
+  sampler.EnableShardedSweeps(options);
+  qnet::Rng rng(7);
+  for (auto _ : state) {
+    sampler.Sweep(rng);
+    benchmark::DoNotOptimize(sampler.State().Arrival(1));
+  }
+  // Items = latent arrivals, matching BM_GibbsSweep's definition so the T=1 overhead
+  // comparison and the 8.1M moves/s baseline stay apples-to-apples (the sharded sweep
+  // additionally executes the final-departure moves, reported via total_moves).
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sampler.NumLatentArrivals()));
+  state.counters["total_moves"] = static_cast<double>(sampler.Scheduler()->NumMoves());
+  state.counters["threads"] = static_cast<double>(sampler.Scheduler()->NumThreads());
+  state.counters["colors"] = static_cast<double>(sampler.Scheduler()->NumColors());
+}
+BENCHMARK(BM_ShardedSweep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+// Allocation gate for the colored sweep path (threads = 1 keeps the counter exact: with
+// workers the count is still 0 after warm-up — see tests/test_alloc_free.cc — but worker
+// wake-ups could jitter the timing columns). Expected value: 0, enforced by CI alongside
+// the sequential-sweep counter.
+void BM_ShardedSweepAllocations(benchmark::State& state) {
+  const Fixture fixture = MakeFixture(500, 0.1);
+  qnet::GibbsSampler sampler(fixture.init, fixture.obs, fixture.rates);
+  qnet::ShardedSweepOptions options;
+  options.shards = 4;
+  options.threads = 1;
+  sampler.EnableShardedSweeps(options);
+  qnet::Rng rng(7);
+  sampler.Sweep(rng);  // warm-up outside the counted region
+  const std::size_t before = AllocationCount();
+  std::size_t sweeps = 0;
+  for (auto _ : state) {
+    sampler.Sweep(rng);
+    ++sweeps;
+  }
+  const std::size_t after = AllocationCount();
+  state.counters["allocs_per_sweep"] =
+      sweeps > 0 ? static_cast<double>(after - before) / static_cast<double>(sweeps) : 0.0;
+}
+BENCHMARK(BM_ShardedSweepAllocations)->Unit(benchmark::kMillisecond);
 
 // Allocation count per sweep on the fast path. The counter is exact (every operator new in
 // the process), so the benchmark pauses timing around the measured region is unnecessary —

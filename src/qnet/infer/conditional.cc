@@ -21,7 +21,9 @@ inline double RateAt(std::span<const double> rates, int queue) {
 
 ArrivalMove GatherArrivalMoveImpl(const EventLog& log, EventId e,
                                   std::span<const double> rates) {
-  const Event& ev = log.At(e);
+  // Inner-loop contract: every access below is *Unchecked (bounds DCHECK-only); this is
+  // called once per latent coordinate per sweep.
+  const Event& ev = log.AtUnchecked(e);
   QNET_CHECK(!ev.initial, "cannot resample the arrival of an initial event");
 
   ArrivalMove move;
@@ -66,7 +68,7 @@ ArrivalMove GatherArrivalMoveImpl(const EventLog& log, EventId e,
 
 FinalDepartureMove GatherFinalDepartureMoveImpl(const EventLog& log, EventId e,
                                                 std::span<const double> rates) {
-  const Event& ev = log.At(e);
+  const Event& ev = log.AtUnchecked(e);
   QNET_CHECK(ev.tau == kNoEvent,
              "event has a within-task successor; use the arrival move on tau instead");
   FinalDepartureMove move;

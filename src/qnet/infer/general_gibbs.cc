@@ -1,38 +1,8 @@
 #include "qnet/infer/general_gibbs.h"
 
-#include <algorithm>
-#include <cmath>
-
 #include "qnet/support/check.h"
-#include "qnet/support/logspace.h"
 
 namespace qnet {
-namespace {
-
-constexpr double kDegenerateWindow = 1e-12;
-
-// When the current point has zero density (e.g. a boundary-clipped initial state under a
-// distribution whose pdf vanishes at 0, like a log-normal), probe the window for a usable
-// slice start.
-double FindSliceStart(FunctionRef<double(double)> log_density, double x0, double lo,
-                      double hi, Rng& rng) {
-  if (log_density(x0) > kNegInf) {
-    return x0;
-  }
-  double best = x0;
-  double best_value = kNegInf;
-  for (int i = 0; i < 32; ++i) {
-    const double x = lo + (hi - lo) * rng.Uniform();
-    const double value = log_density(x);
-    if (value > best_value) {
-      best_value = value;
-      best = x;
-    }
-  }
-  return best_value > kNegInf ? best : x0;
-}
-
-}  // namespace
 
 GeneralGibbsSampler::GeneralGibbsSampler(EventLog state, const Observation& obs,
                                          const QueueingNetwork& net,
@@ -41,15 +11,7 @@ GeneralGibbsSampler::GeneralGibbsSampler(EventLog state, const Observation& obs,
   obs.Validate(state_);
   std::string why;
   QNET_CHECK(state_.IsFeasible(1e-6, &why), "initial state infeasible: ", why);
-  for (EventId e = 0; static_cast<std::size_t>(e) < state_.NumEvents(); ++e) {
-    const Event& ev = state_.At(e);
-    if (!ev.initial && !obs.ArrivalObserved(e)) {
-      latent_arrivals_.push_back(e);
-    }
-    if (ev.tau == kNoEvent && !obs.DepartureObserved(e)) {
-      latent_final_departures_.push_back(e);
-    }
-  }
+  CollectLatentMoves(state_, obs, arrival_moves_, final_moves_);
 }
 
 void GeneralGibbsSampler::SetService(int queue, std::unique_ptr<ServiceDistribution> service) {
@@ -57,70 +19,26 @@ void GeneralGibbsSampler::SetService(int queue, std::unique_ptr<ServiceDistribut
 }
 
 void GeneralGibbsSampler::Sweep(Rng& rng) {
-  for (EventId e : latent_arrivals_) {
-    ResampleArrival(e, rng);
+  const GeneralMoveKernel kernel(net_, options_.slice);
+  if (scheduler_ != nullptr) {
+    scheduler_->Run(
+        [&](const SweepMove& move, Rng& move_rng) { kernel.Apply(state_, move, move_rng); },
+        rng.NextU64());
+    return;
   }
+  RunSweep(state_, arrival_moves_, kernel, rng);
   if (options_.resample_final_departures) {
-    for (EventId e : latent_final_departures_) {
-      ResampleFinalDeparture(e, rng);
-    }
+    RunSweep(state_, final_moves_, kernel, rng);
   }
 }
 
-void GeneralGibbsSampler::ResampleArrival(EventId e, Rng& rng) {
-  const ArrivalMove geom = GatherArrivalGeometry(state_, e);
-  if (!(geom.upper - geom.lower > kDegenerateWindow)) {
-    return;
-  }
-  const Event& ev = state_.At(e);
-  const ServiceDistribution& f_e = net_.Service(ev.queue);
-  const int pi_queue = state_.At(ev.pi).queue;
-  const ServiceDistribution& f_pi = net_.Service(pi_queue);
-
-  const auto log_density = [&](double a) {
-    const double s_e = geom.has_t1 ? geom.d_e - std::max(a, geom.t1) : geom.d_e - a;
-    double total = f_e.LogPdf(s_e);
-    total += f_pi.LogPdf(a - geom.c_pi);
-    if (geom.has_nu_pi) {
-      total += f_pi.LogPdf(geom.d_nu_pi - std::max(a, geom.t2));
-    }
-    return total;
-  };
-
-  const double x0 =
-      FindSliceStart(log_density, state_.Arrival(e), geom.lower, geom.upper, rng);
-  if (log_density(x0) == kNegInf) {
-    return;  // Nothing in the window has positive density under the current parameters.
-  }
-  SliceOptions slice = options_.slice;
-  slice.width = std::min(slice.width, 0.5 * (geom.upper - geom.lower));
-  const double a = SliceSample(log_density, x0, geom.lower, geom.upper, rng, slice);
-  state_.SetArrival(e, a);
-  state_.SetDeparture(ev.pi, a);
+void GeneralGibbsSampler::EnableShardedSweeps(const ShardedSweepOptions& options) {
+  const std::vector<SweepMove> moves = SweepMoves();
+  scheduler_ = std::make_unique<ShardedSweepScheduler>(state_, moves, options);
 }
 
-void GeneralGibbsSampler::ResampleFinalDeparture(EventId e, Rng& rng) {
-  const FinalDepartureMove geom = GatherFinalDepartureGeometry(state_, e);
-  const ServiceDistribution& f_e = net_.Service(state_.At(e).queue);
-  const auto log_density = [&](double d) {
-    double total = f_e.LogPdf(d - geom.c_e);
-    if (geom.has_nu) {
-      total += f_e.LogPdf(geom.d_nu - std::max(geom.t_nu, d));
-    }
-    return total;
-  };
-  const double hi =
-      std::isfinite(geom.upper) ? geom.upper : geom.c_e + 64.0 * f_e.Mean() + 1.0;
-  if (!(hi - geom.lower > kDegenerateWindow)) {
-    return;
-  }
-  const double x0 = FindSliceStart(log_density, state_.Departure(e), geom.lower, hi, rng);
-  if (log_density(x0) == kNegInf) {
-    return;
-  }
-  SliceOptions slice = options_.slice;
-  slice.width = std::min(slice.width, 0.5 * (hi - geom.lower));
-  state_.SetDeparture(e, SliceSample(log_density, x0, geom.lower, hi, rng, slice));
+std::vector<SweepMove> GeneralGibbsSampler::SweepMoves() const {
+  return ConcatSweepMoves(arrival_moves_, final_moves_, options_.resample_final_departures);
 }
 
 }  // namespace qnet

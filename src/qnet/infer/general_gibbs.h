@@ -6,14 +6,19 @@
 // identical to the M/M/1 case; only the density changes:
 //     g(a) = f_qe(s_e(a)) * f_qpi(s_pi(a)) * f_qpi(s_nu(pi)(a)),
 // which for arbitrary log-concave-or-not f has no closed-form inverse CDF, so each latent
-// coordinate is updated with a slice sampler restricted to (L, U).
+// coordinate is updated with a slice sampler restricted to (L, U). That per-move logic is
+// GeneralMoveKernel (infer/move_kernel.h); this class is the thin sweep driver over it,
+// sequential by default or colored/sharded after EnableShardedSweeps — the same driver
+// structure as the exponential GibbsSampler, with only the kernel swapped.
 
 #ifndef QNET_INFER_GENERAL_GIBBS_H_
 #define QNET_INFER_GENERAL_GIBBS_H_
 
+#include <memory>
 #include <vector>
 
-#include "qnet/infer/conditional.h"
+#include "qnet/infer/move_kernel.h"
+#include "qnet/infer/sharded_sweep.h"
 #include "qnet/infer/slice.h"
 #include "qnet/model/event.h"
 #include "qnet/model/network.h"
@@ -42,20 +47,27 @@ class GeneralGibbsSampler {
 
   void Sweep(Rng& rng);
 
-  std::size_t NumLatentArrivals() const { return latent_arrivals_.size(); }
+  // Same contract as GibbsSampler::EnableShardedSweeps: bit-identical results for any
+  // thread count, one NextU64 consumed per sharded sweep.
+  void EnableShardedSweeps(const ShardedSweepOptions& options = {});
+  bool ShardedSweepsEnabled() const { return scheduler_ != nullptr; }
+  const ShardedSweepScheduler* Scheduler() const { return scheduler_.get(); }
+
+  // The sweep's moves in sequential scan order (see GibbsSampler::SweepMoves).
+  std::vector<SweepMove> SweepMoves() const;
+
+  std::size_t NumLatentArrivals() const { return arrival_moves_.size(); }
 
   // Current log joint density of all service times (continuous part of eq. (1)).
   double LogJoint() const { return state_.LogJointTimes(net_); }
 
  private:
-  void ResampleArrival(EventId e, Rng& rng);
-  void ResampleFinalDeparture(EventId e, Rng& rng);
-
   EventLog state_;
   QueueingNetwork net_;
   GeneralGibbsOptions options_;
-  std::vector<EventId> latent_arrivals_;
-  std::vector<EventId> latent_final_departures_;
+  std::vector<SweepMove> arrival_moves_;
+  std::vector<SweepMove> final_moves_;
+  std::unique_ptr<ShardedSweepScheduler> scheduler_;
 };
 
 }  // namespace qnet

@@ -1,6 +1,7 @@
 #include "qnet/infer/gibbs.h"
 
 #include <cmath>
+#include <span>
 
 #include "qnet/support/check.h"
 #include "qnet/support/logspace.h"
@@ -15,15 +16,7 @@ GibbsSampler::GibbsSampler(EventLog state, const Observation& obs, std::vector<d
              "rates size mismatch");
   std::string why;
   QNET_CHECK(state_.IsFeasible(1e-6, &why), "initial Gibbs state infeasible: ", why);
-  for (EventId e = 0; static_cast<std::size_t>(e) < state_.NumEvents(); ++e) {
-    const Event& ev = state_.At(e);
-    if (!ev.initial && !obs.ArrivalObserved(e)) {
-      latent_arrivals_.push_back(e);
-    }
-    if (ev.tau == kNoEvent && !obs.DepartureObserved(e)) {
-      latent_final_departures_.push_back(e);
-    }
-  }
+  CollectLatentMoves(state_, obs, arrival_moves_, final_moves_);
 }
 
 void GibbsSampler::SetRates(std::vector<double> rates) {
@@ -35,41 +28,44 @@ void GibbsSampler::SetRates(std::vector<double> rates) {
 }
 
 void GibbsSampler::Sweep(Rng& rng) {
-  // Systematic scans iterate the latent id lists in place; only the shuffled scan needs a
+  const ExponentialMoveKernel kernel(rates_);
+  if (scheduler_ != nullptr) {
+    scheduler_->Run(
+        [&](const SweepMove& move, Rng& move_rng) { kernel.Apply(state_, move, move_rng); },
+        rng.NextU64());
+    return;
+  }
+  // Systematic scans iterate the move lists in place; only the shuffled scan needs a
   // mutable copy, and scan_buffer_ persists across sweeps so the copy reuses its capacity
   // after the first sweep (no per-sweep allocation either way).
-  const std::vector<EventId>* scan = &latent_arrivals_;
+  std::span<const SweepMove> scan = arrival_moves_;
   if (options_.shuffle_scan) {
-    scan_buffer_.assign(latent_arrivals_.begin(), latent_arrivals_.end());
+    scan_buffer_.assign(arrival_moves_.begin(), arrival_moves_.end());
     rng.Shuffle(scan_buffer_);
-    scan = &scan_buffer_;
+    scan = scan_buffer_;
   }
-  for (EventId e : *scan) {
-    ResampleArrival(e, rng);
-  }
+  RunSweep(state_, scan, kernel, rng);
   if (options_.resample_final_departures) {
-    scan = &latent_final_departures_;
+    scan = final_moves_;
     if (options_.shuffle_scan) {
-      scan_buffer_.assign(latent_final_departures_.begin(), latent_final_departures_.end());
+      scan_buffer_.assign(final_moves_.begin(), final_moves_.end());
       rng.Shuffle(scan_buffer_);
-      scan = &scan_buffer_;
+      scan = scan_buffer_;
     }
-    for (EventId e : *scan) {
-      ResampleFinalDeparture(e, rng);
-    }
+    RunSweep(state_, scan, kernel, rng);
   }
 }
 
-void GibbsSampler::ResampleArrival(EventId e, Rng& rng) {
-  const ArrivalMove move = GatherArrivalMove(state_, e, rates_);
-  const double a = SampleArrival(move, rng);
-  state_.SetArrivalUnchecked(e, a);
-  state_.SetDepartureUnchecked(state_.AtUnchecked(e).pi, a);
+void GibbsSampler::EnableShardedSweeps(const ShardedSweepOptions& options) {
+  QNET_CHECK(!options_.shuffle_scan,
+             "sharded sweeps are incompatible with shuffle_scan: the colored schedule is "
+             "frozen per trace");
+  const std::vector<SweepMove> moves = SweepMoves();
+  scheduler_ = std::make_unique<ShardedSweepScheduler>(state_, moves, options);
 }
 
-void GibbsSampler::ResampleFinalDeparture(EventId e, Rng& rng) {
-  const FinalDepartureMove move = GatherFinalDepartureMove(state_, e, rates_);
-  state_.SetDepartureUnchecked(e, SampleFinalDeparture(move, rng));
+std::vector<SweepMove> GibbsSampler::SweepMoves() const {
+  return ConcatSweepMoves(arrival_moves_, final_moves_, options_.resample_final_departures);
 }
 
 double GibbsSampler::LogJointExponential() const {

@@ -8,6 +8,12 @@
 //    departure is unobserved (the arrival move never touches these because nothing arrives
 //    when a task leaves the system).
 //
+// The per-move logic lives in ExponentialMoveKernel (infer/move_kernel.h); this class is a
+// thin sweep driver: it owns the state, the move list, and the scan policy. By default a
+// sweep is the sequential scan over one RNG stream; EnableShardedSweeps switches it to the
+// colored sharded schedule (infer/sharded_sweep.h), which runs conflict-free moves in
+// parallel with bit-identical results for any thread count.
+//
 // The per-queue arrival order and the FSM routes are held fixed throughout (the paper's
 // standing assumptions); every accepted move preserves feasibility by construction because
 // the conditional's support is exactly the feasible window.
@@ -16,9 +22,11 @@
 #define QNET_INFER_GIBBS_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
-#include "qnet/infer/conditional.h"
+#include "qnet/infer/move_kernel.h"
+#include "qnet/infer/sharded_sweep.h"
 #include "qnet/model/event.h"
 #include "qnet/obs/observation.h"
 #include "qnet/support/rng.h"
@@ -45,26 +53,38 @@ class GibbsSampler {
   const std::vector<double>& Rates() const { return rates_; }
   void SetRates(std::vector<double> rates);
 
-  // One systematic scan over all latent variables.
+  // One systematic scan over all latent variables: sequential by default, the colored
+  // sharded schedule after EnableShardedSweeps (which consumes exactly one NextU64 from
+  // `rng` per sweep to seed the per-bucket streams).
   void Sweep(Rng& rng);
 
-  std::size_t NumLatentArrivals() const { return latent_arrivals_.size(); }
-  std::size_t NumLatentFinalDepartures() const { return latent_final_departures_.size(); }
+  // Switches Sweep to the ShardedSweepScheduler. Results depend on options.shards but
+  // never on options.threads (bit-identical for any thread count); incompatible with
+  // shuffle_scan, whose per-sweep random scan order has no fixed schedule to color.
+  void EnableShardedSweeps(const ShardedSweepOptions& options = {});
+  bool ShardedSweepsEnabled() const { return scheduler_ != nullptr; }
+  // Non-null iff sharded sweeps are enabled (coloring/shard diagnostics).
+  const ShardedSweepScheduler* Scheduler() const { return scheduler_.get(); }
+
+  // The sweep's moves in sequential scan order: arrival moves, then final-departure moves
+  // when enabled. The sharded schedule is a reordering of exactly this list.
+  std::vector<SweepMove> SweepMoves() const;
+
+  std::size_t NumLatentArrivals() const { return arrival_moves_.size(); }
+  std::size_t NumLatentFinalDepartures() const { return final_moves_.size(); }
 
   // Unnormalized log joint of the current service times under exponential rates (density
   // part of eq. (1)); useful as a mixing diagnostic.
   double LogJointExponential() const;
 
  private:
-  void ResampleArrival(EventId e, Rng& rng);
-  void ResampleFinalDeparture(EventId e, Rng& rng);
-
   EventLog state_;
   std::vector<double> rates_;
   GibbsOptions options_;
-  std::vector<EventId> latent_arrivals_;
-  std::vector<EventId> latent_final_departures_;
-  std::vector<EventId> scan_buffer_;
+  std::vector<SweepMove> arrival_moves_;
+  std::vector<SweepMove> final_moves_;
+  std::vector<SweepMove> scan_buffer_;
+  std::unique_ptr<ShardedSweepScheduler> scheduler_;
 };
 
 }  // namespace qnet

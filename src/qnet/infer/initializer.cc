@@ -18,14 +18,16 @@ namespace {
 std::vector<std::vector<EventId>> BuildConstraintEdges(const EventLog& log) {
   const std::size_t n = log.NumEvents();
   std::vector<std::vector<EventId>> succ(n);
+  // Per-event inner loop over the whole log: *Unchecked accessors under DCHECK, per the
+  // hot-path contract (ids come straight from the iteration bounds and the links).
   for (EventId e = 0; static_cast<std::size_t>(e) < n; ++e) {
-    const Event& ev = log.At(e);
+    const Event& ev = log.AtUnchecked(e);
     if (!ev.initial) {
       succ[static_cast<std::size_t>(ev.pi)].push_back(e);  // x_pi <= x_e
     }
     if (ev.rho != kNoEvent) {
       succ[static_cast<std::size_t>(ev.rho)].push_back(e);  // x_rho <= x_e
-      const Event& rho = log.At(ev.rho);
+      const Event& rho = log.AtUnchecked(ev.rho);
       if (!ev.initial && !rho.initial) {
         // Arrival order: x_pi(rho(e)) <= x_pi(e).
         succ[static_cast<std::size_t>(rho.pi)].push_back(ev.pi);
@@ -89,7 +91,7 @@ Windows ComputeWindows(const EventLog& log, const Observation& obs,
   for (EventId e = 0; static_cast<std::size_t>(e) < n; ++e) {
     if (obs.DepartureObserved(e)) {
       w.pinned[static_cast<std::size_t>(e)] = 1;
-      w.pin_value[static_cast<std::size_t>(e)] = log.Departure(e);
+      w.pin_value[static_cast<std::size_t>(e)] = log.DepartureUnchecked(e);
     }
   }
   // Forward pass: lower bounds.
@@ -140,7 +142,7 @@ std::vector<double> AssignGreedy(const EventLog& log, const Windows& windows,
                  "observed time below assigned predecessors at event ", u);
     } else {
       const double base = std::max(pred_max[ui], windows.lower[ui]);
-      const double rate = rates[static_cast<std::size_t>(log.At(u).queue)];
+      const double rate = rates[static_cast<std::size_t>(log.AtUnchecked(u).queue)];
       double value_try = base + rng.Exponential(rate);
       const double ub = windows.upper[ui];
       if (value_try > ub) {
@@ -291,12 +293,12 @@ EventLog InitializeFeasible(const EventLog& truth, const Observation& obs,
 
   EventLog state = truth;  // copies structure; all times overwritten below
   for (EventId e = 0; static_cast<std::size_t>(e) < truth.NumEvents(); ++e) {
-    const Event& ev = truth.At(e);
-    state.SetDeparture(e, x[static_cast<std::size_t>(e)]);
+    const Event& ev = truth.AtUnchecked(e);
+    state.SetDepartureUnchecked(e, x[static_cast<std::size_t>(e)]);
     if (ev.initial) {
-      state.SetArrival(e, 0.0);
+      state.SetArrivalUnchecked(e, 0.0);
     } else {
-      state.SetArrival(e, x[static_cast<std::size_t>(ev.pi)]);
+      state.SetArrivalUnchecked(e, x[static_cast<std::size_t>(ev.pi)]);
     }
   }
   std::string why;

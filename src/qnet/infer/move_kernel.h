@@ -1,0 +1,101 @@
+// Unified per-move Gibbs kernel — the one sampler core.
+//
+// A latent move is always the same shape: gather the move's fixed neighborhood, build (or
+// evaluate) the conditional on the feasible window, sample, write the new time(s) back in
+// place. The exponential sampler realizes it with the paper's exact piecewise-exponential
+// conditional (Figure 3); the general-service sampler with slice sampling over the same
+// geometry. Both are packaged here as kernels with an identical `Apply(state, move, rng)`
+// surface so every sweep driver — the sequential scans in GibbsSampler and
+// GeneralGibbsSampler, the colored sharded scheduler, and the StEM/online re-sweeps — runs
+// the exact same per-move code instead of each sampler hard-coding its own copy.
+//
+// Contracts:
+//  * Apply is const and touches only the move's footprint
+//    (EventLog::ComputeMoveFootprint), so kernels are safe to call concurrently on moves
+//    with disjoint footprints — this is what the sharded sweep scheduler relies on;
+//  * Apply performs zero heap allocations (the PR-1 hot-path contract, enforced by
+//    tests/test_alloc_free.cc);
+//  * kernels are non-owning views over the parameters (rates span / network reference);
+//    the referents must outlive the kernel.
+
+#ifndef QNET_INFER_MOVE_KERNEL_H_
+#define QNET_INFER_MOVE_KERNEL_H_
+
+#include <span>
+#include <vector>
+
+#include "qnet/infer/conditional.h"
+#include "qnet/infer/slice.h"
+#include "qnet/model/event.h"
+#include "qnet/model/network.h"
+#include "qnet/obs/observation.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+
+// The latent coordinates of (log, obs) as sweep moves, in scan (event id) order: an
+// arrival move for every non-initial event whose arrival is unobserved, a final-departure
+// move for every task-final event whose departure is unobserved. Shared by every sweep
+// driver so move eligibility is defined exactly once.
+void CollectLatentMoves(const EventLog& log, const Observation& obs,
+                        std::vector<SweepMove>& arrival_moves,
+                        std::vector<SweepMove>& final_moves);
+
+// The sequential scan order: arrival moves, then (optionally) final-departure moves.
+std::vector<SweepMove> ConcatSweepMoves(std::span<const SweepMove> arrival_moves,
+                                        std::span<const SweepMove> final_moves,
+                                        bool include_finals);
+
+// Exponential-service kernel: exact three-piece conditional, inverse-CDF sampling. Fully
+// inline — the sequential sweep compiles to the same code as the pre-kernel loop.
+class ExponentialMoveKernel {
+ public:
+  // `rates` holds mu_q for every queue (index 0 = lambda) and must outlive the kernel.
+  explicit ExponentialMoveKernel(std::span<const double> rates) : rates_(rates) {}
+
+  void Apply(EventLog& state, const SweepMove& move, Rng& rng) const {
+    if (move.kind == MoveKind::kArrival) {
+      const ArrivalMove m = GatherArrivalMove(state, move.event, rates_);
+      const double a = SampleArrival(m, rng);
+      state.SetArrivalUnchecked(move.event, a);
+      state.SetDepartureUnchecked(state.AtUnchecked(move.event).pi, a);
+    } else {
+      const FinalDepartureMove m = GatherFinalDepartureMove(state, move.event, rates_);
+      state.SetDepartureUnchecked(move.event, SampleFinalDeparture(m, rng));
+    }
+  }
+
+ private:
+  std::span<const double> rates_;
+};
+
+// General-service kernel: the same move geometry, conditional evaluated through the
+// network's service distributions and sampled with a window-restricted slice sampler.
+class GeneralMoveKernel {
+ public:
+  GeneralMoveKernel(const QueueingNetwork& net, const SliceOptions& slice)
+      : net_(&net), slice_(slice) {}
+
+  void Apply(EventLog& state, const SweepMove& move, Rng& rng) const;
+
+ private:
+  void ApplyArrival(EventLog& state, EventId e, Rng& rng) const;
+  void ApplyFinalDeparture(EventLog& state, EventId e, Rng& rng) const;
+
+  const QueueingNetwork* net_;
+  SliceOptions slice_;
+};
+
+// Sequential sweep driver: one RNG stream, moves in scan order. The samplers' default
+// Sweep is this loop; the sharded scheduler is the parallel alternative.
+template <typename Kernel>
+void RunSweep(EventLog& state, std::span<const SweepMove> moves, const Kernel& kernel,
+              Rng& rng) {
+  for (const SweepMove& move : moves) {
+    kernel.Apply(state, move, rng);
+  }
+}
+
+}  // namespace qnet
+
+#endif  // QNET_INFER_MOVE_KERNEL_H_

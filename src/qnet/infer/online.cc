@@ -83,6 +83,9 @@ std::vector<WindowEstimate> RunOnlineStem(const EventLog& truth, const Observati
       return false;
     }
     auto [window, window_obs] = ExtractTaskWindow(truth, obs, pending);
+    // The window re-sweep is the same MoveKernel-driven sampler as batch StEM (including
+    // the sharded scheduler when options.stem.sharded_sweeps is set) — no online-only
+    // sweep loop to drift from the batch behavior.
     const StemResult result = estimator.Run(window, window_obs, rates, rng);
     WindowEstimate est;
     est.t0 = t0;

@@ -6,6 +6,12 @@
 // a rate trajectory over time, which is what the paper's "what happened five minutes ago"
 // diagnosis questions consume. Tasks are assigned to the window containing their entry time;
 // cross-window queueing interactions are approximated away (documented limitation).
+//
+// Every window's E-step sweeps run through the unified MoveKernel/sweep-driver core (the
+// same GibbsSampler the batch estimators use — infer/move_kernel.h), so streaming windows
+// cannot drift from the batch sampler's behavior. Set stem.sharded_sweeps to run each
+// window's sweeps on the colored sharded scheduler (useful when windows are large and
+// arrive faster than a sequential chain can sweep them).
 
 #ifndef QNET_INFER_ONLINE_H_
 #define QNET_INFER_ONLINE_H_

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <exception>
 #include <thread>
 
 #include "qnet/infer/diagnostics.h"
+#include "qnet/infer/thread_pool.h"
 #include "qnet/support/check.h"
 
 namespace qnet {
@@ -32,41 +32,6 @@ std::vector<std::uint64_t> DeriveChainSeeds(std::uint64_t seed, std::size_t chai
     s = master.NextU64();
   }
   return seeds;
-}
-
-// Runs `work(c)` for every chain index on a static round-robin partition over T threads.
-// Exceptions are captured per-thread and the first (by thread index) is rethrown after
-// join, so a CHECK failure inside a chain surfaces to the caller instead of terminating.
-template <typename Work>
-void RunOnThreadPool(std::size_t chains, std::size_t threads, const Work& work) {
-  if (threads <= 1) {
-    for (std::size_t c = 0; c < chains; ++c) {
-      work(c);
-    }
-    return;
-  }
-  std::vector<std::exception_ptr> errors(threads);
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) {
-    pool.emplace_back([&, t] {
-      try {
-        for (std::size_t c = t; c < chains; c += threads) {
-          work(c);
-        }
-      } catch (...) {
-        errors[t] = std::current_exception();
-      }
-    });
-  }
-  for (std::thread& thread : pool) {
-    thread.join();
-  }
-  for (const std::exception_ptr& error : errors) {
-    if (error) {
-      std::rethrow_exception(error);
-    }
-  }
 }
 
 }  // namespace
@@ -98,6 +63,9 @@ ParallelChainsResult RunParallelChains(const EventLog& truth, const Observation&
     // be an honest convergence check).
     GibbsSampler sampler(InitializeFeasible(truth, obs, rates, chain_rng, options.init), obs,
                          rates, options.gibbs);
+    if (options.sharded_sweeps) {
+      sampler.EnableShardedSweeps(options.sharded);
+    }
     PosteriorSummary& summary = result.per_chain[c];
     for (std::size_t sweep = 0; sweep < options.sweeps; ++sweep) {
       sampler.Sweep(chain_rng);

@@ -43,6 +43,13 @@ struct ParallelChainsOptions {
   double tail_quantile = 0.95;
   GibbsOptions gibbs;
   InitializerOptions init;
+  // Intra-chain parallelism: run each chain's sweeps through the colored sharded
+  // scheduler (infer/sharded_sweep.h), composing K chains × S shards. Total worker
+  // threads ≈ threads × sharded.threads — size both for the host. Draws change when
+  // sharding is toggled or sharded.shards changes (different deterministic stream
+  // layout), but stay bit-identical across every (threads, sharded.threads) pair.
+  bool sharded_sweeps = false;
+  ShardedSweepOptions sharded;
 };
 
 struct ChainStats {

@@ -1,0 +1,151 @@
+#include "qnet/infer/sharded_sweep.h"
+
+#include <algorithm>
+
+#include "qnet/model/conflict.h"
+#include "qnet/support/check.h"
+
+namespace qnet {
+
+ShardedSweepScheduler::ShardedSweepScheduler(const EventLog& log,
+                                             std::span<const SweepMove> moves,
+                                             const ShardedSweepOptions& options)
+    : shards_(std::max<std::size_t>(1, options.shards)) {
+  std::size_t threads = options.threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  }
+  threads_ = std::max<std::size_t>(1, std::min(threads, shards_));
+
+  const MoveColoring coloring = ColorSweepMoves(log, moves);
+  num_colors_ = static_cast<std::size_t>(coloring.num_colors);
+
+  // Counting sort of the moves into (color, shard) buckets; within a bucket moves keep
+  // their class-rank order, so the schedule is a pure function of (moves, shards).
+  const std::size_t buckets = num_colors_ * shards_;
+  bucket_offsets_.assign(buckets + 1, 0);
+  std::vector<std::size_t> rank_in_class(num_colors_, 0);
+  std::vector<std::size_t> bucket_of(moves.size());
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    const auto c = static_cast<std::size_t>(coloring.color[i]);
+    const std::size_t s = rank_in_class[c]++ % shards_;
+    bucket_of[i] = c * shards_ + s;
+    ++bucket_offsets_[bucket_of[i] + 1];
+  }
+  for (std::size_t b = 0; b < buckets; ++b) {
+    bucket_offsets_[b + 1] += bucket_offsets_[b];
+  }
+  schedule_.resize(moves.size());
+  std::vector<std::size_t> cursor(bucket_offsets_.begin(), bucket_offsets_.end() - 1);
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    schedule_[cursor[bucket_of[i]]++] = moves[i];
+  }
+
+  if (threads_ > 1) {
+    class_barrier_.emplace(static_cast<std::ptrdiff_t>(threads_));
+    errors_.assign(threads_, nullptr);
+    workers_.reserve(threads_ - 1);
+    for (std::size_t t = 1; t < threads_; ++t) {
+      workers_.emplace_back([this, t] { WorkerLoop(t); });
+    }
+  }
+}
+
+ShardedSweepScheduler::~ShardedSweepScheduler() {
+  if (!workers_.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& worker : workers_) {
+      worker.join();
+    }
+  }
+}
+
+std::span<const SweepMove> ShardedSweepScheduler::Bucket(std::size_t color,
+                                                         std::size_t shard) const {
+  QNET_CHECK(color < num_colors_ && shard < shards_, "bucket out of range: color=", color,
+             " shard=", shard);
+  const std::size_t b = color * shards_ + shard;
+  return {schedule_.data() + bucket_offsets_[b], bucket_offsets_[b + 1] - bucket_offsets_[b]};
+}
+
+void ShardedSweepScheduler::Run(FunctionRef<void(const SweepMove&, Rng&)> apply,
+                                std::uint64_t sweep_seed) {
+  if (threads_ <= 1) {
+    // Sequential, allocation-free loop — no pool, no barrier.
+    for (std::size_t c = 0; c < num_colors_; ++c) {
+      for (std::size_t s = 0; s < shards_; ++s) {
+        RunBucket(c, s, apply, sweep_seed);
+      }
+    }
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    apply_ = &apply;
+    sweep_seed_ = sweep_seed;
+    std::fill(errors_.begin(), errors_.end(), std::exception_ptr());
+    ++generation_;
+  }
+  cv_.notify_all();
+  RunParticipant(0);
+  // Passing the last class barrier means every participant finished every bucket (the
+  // barrier synchronizes-with their writes), so errors_ is stable to read here.
+  apply_ = nullptr;
+  for (const std::exception_ptr& error : errors_) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+void ShardedSweepScheduler::RunParticipant(std::size_t t) {
+  for (std::size_t c = 0; c < num_colors_; ++c) {
+    if (!errors_[t]) {
+      try {
+        for (std::size_t s = t; s < shards_; s += threads_) {
+          RunBucket(c, s, *apply_, sweep_seed_);
+        }
+      } catch (...) {
+        errors_[t] = std::current_exception();
+      }
+    }
+    class_barrier_->arrive_and_wait();
+  }
+}
+
+void ShardedSweepScheduler::WorkerLoop(std::size_t t) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) {
+        return;
+      }
+      seen = generation_;
+    }
+    RunParticipant(t);
+  }
+}
+
+void ShardedSweepScheduler::RunBucket(std::size_t color, std::size_t shard,
+                                      FunctionRef<void(const SweepMove&, Rng&)> apply,
+                                      std::uint64_t sweep_seed) const {
+  const std::size_t b = color * shards_ + shard;
+  const std::size_t begin = bucket_offsets_[b];
+  const std::size_t end = bucket_offsets_[b + 1];
+  if (begin == end) {
+    return;
+  }
+  Rng rng(MixSeed(MixSeed(sweep_seed, color), shard));
+  for (std::size_t i = begin; i < end; ++i) {
+    apply(schedule_[i], rng);
+  }
+}
+
+}  // namespace qnet

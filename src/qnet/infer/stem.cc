@@ -31,6 +31,9 @@ StemResult StemEstimator::Run(const EventLog& truth, const Observation& obs,
 
   EventLog state = InitializeFeasible(truth, obs, init_rates, rng, options_.init);
   GibbsSampler gibbs(std::move(state), obs, init_rates, options_.gibbs);
+  if (options_.sharded_sweeps) {
+    gibbs.EnableShardedSweeps(options_.sharded);
+  }
 
   const std::size_t num_queues = init_rates.size();
   std::vector<double> rates = std::move(init_rates);

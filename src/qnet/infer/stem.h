@@ -37,6 +37,11 @@ struct StemOptions {
   double service_sum_floor = 1e-9;
   GibbsOptions gibbs;
   InitializerOptions init;
+  // Run the E-step (and waiting-time) sweeps through the colored sharded scheduler
+  // instead of the sequential scan. Same contract as GibbsSampler::EnableShardedSweeps;
+  // online/windowed estimation inherits this through OnlineStemOptions::stem.
+  bool sharded_sweeps = false;
+  ShardedSweepOptions sharded;
 };
 
 struct StemResult {

@@ -1,0 +1,60 @@
+// Fork-join helper shared by the sampling engines.
+//
+// The static item -> thread partition (item i runs on thread i mod T) makes the work
+// assignment — and therefore any per-item RNG stream consumption — a pure function of
+// (items, threads), never of scheduling. Worker exceptions are captured per thread and
+// the first (by thread index) is rethrown after join, so a QNET_CHECK failure inside a
+// worker surfaces to the caller instead of terminating the process.
+//
+// This spawn-per-call helper fits coarse work units (a whole chain per item, as in
+// parallel_chains). For fine-grained repeated dispatch — e.g. one sweep per call, many
+// thousands of calls — use a persistent pool instead (see ShardedSweepScheduler, which
+// parks its workers on a condition variable between sweeps).
+
+#ifndef QNET_INFER_THREAD_POOL_H_
+#define QNET_INFER_THREAD_POOL_H_
+
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace qnet {
+
+// Runs work(i) for every i in [0, items) on a static round-robin partition over T
+// threads. threads <= 1 degenerates to a plain sequential loop on the calling thread.
+template <typename Work>
+void RunOnThreadPool(std::size_t items, std::size_t threads, const Work& work) {
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < items; ++i) {
+      work(i);
+    }
+    return;
+  }
+  std::vector<std::exception_ptr> errors(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      try {
+        for (std::size_t i = t; i < items; i += threads) {
+          work(i);
+        }
+      } catch (...) {
+        errors[t] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& thread : pool) {
+    thread.join();
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+}  // namespace qnet
+
+#endif  // QNET_INFER_THREAD_POOL_H_

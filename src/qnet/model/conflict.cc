@@ -1,0 +1,57 @@
+#include "qnet/model/conflict.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "qnet/support/check.h"
+
+namespace qnet {
+
+MoveColoring ColorSweepMoves(const EventLog& log, std::span<const SweepMove> moves) {
+  MoveColoring out;
+  const std::size_t n = moves.size();
+  out.color.assign(n, -1);
+  if (n == 0) {
+    return out;
+  }
+
+  // Incidence lists: event -> indices of moves whose footprint touches it. Every conflict
+  // edge appears as two moves sharing one list, so neighbor enumeration during coloring is
+  // a walk over the footprint's lists instead of a quadratic pairwise scan. Footprints are
+  // cached so the coloring pass below reuses them instead of re-walking neighborhoods.
+  std::vector<MoveFootprint> footprints(n);
+  std::vector<std::vector<std::int32_t>> touching(log.NumEvents());
+  for (std::size_t i = 0; i < n; ++i) {
+    footprints[i] = log.ComputeMoveFootprint(moves[i]);
+    for (EventId e : footprints[i].Events()) {
+      touching[static_cast<std::size_t>(e)].push_back(static_cast<std::int32_t>(i));
+    }
+  }
+
+  // First-fit in move order: blocked[c] == i+1 marks color c used by a neighbor of i.
+  std::vector<std::size_t> blocked;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (EventId e : footprints[i].Events()) {
+      for (std::int32_t j : touching[static_cast<std::size_t>(e)]) {
+        const int c = out.color[static_cast<std::size_t>(j)];
+        if (c < 0) {
+          continue;  // j not colored yet (j >= i in move order)
+        }
+        if (static_cast<std::size_t>(c) >= blocked.size()) {
+          blocked.resize(static_cast<std::size_t>(c) + 1, 0);
+        }
+        blocked[static_cast<std::size_t>(c)] = i + 1;
+      }
+    }
+    int c = 0;
+    while (static_cast<std::size_t>(c) < blocked.size() &&
+           blocked[static_cast<std::size_t>(c)] == i + 1) {
+      ++c;
+    }
+    out.color[i] = c;
+    out.num_colors = std::max(out.num_colors, c + 1);
+  }
+  return out;
+}
+
+}  // namespace qnet

@@ -152,6 +152,34 @@ const std::vector<EventId>& EventLog::QueueOrder(int queue) const {
   return queue_order_[static_cast<std::size_t>(queue)];
 }
 
+MoveFootprint EventLog::ComputeMoveFootprint(const SweepMove& move) const {
+  QNET_CHECK(links_built_, "queue links not built");
+  MoveFootprint fp;
+  const auto add = [&fp](EventId e) {
+    if (e == kNoEvent || fp.Contains(e)) {
+      return;
+    }
+    fp.events[fp.count++] = e;
+  };
+  const Event& ev = At(move.event);
+  add(move.event);
+  if (move.kind == MoveKind::kArrival) {
+    QNET_CHECK(!ev.initial, "arrival moves target non-initial events; got ", move.event);
+    const Event& pi = events_[static_cast<std::size_t>(ev.pi)];
+    add(ev.pi);   // d_pi is written (d_pi = a_e); a_pi is read via BeginService(pi)
+    add(pi.rho);  // BeginService(pi) reads d_rho(pi)
+    add(ev.rho);  // t1 = d_rho(e); L reads a_rho(e)
+    add(ev.nu);   // U reads a_nu(e)
+    add(pi.nu);   // s_nu(pi) reads a_nu(pi), d_nu(pi) (== e dedups on revisits)
+  } else {
+    QNET_CHECK(ev.tau == kNoEvent,
+               "final-departure moves target a task's last event; got ", move.event);
+    add(ev.rho);  // BeginService(e) reads d_rho(e)
+    add(ev.nu);   // the two-piece tail reads a_nu(e), d_nu(e)
+  }
+  return fp;
+}
+
 double EventLog::BeginService(EventId e) const {
   Check(e);
   return BeginServiceUnchecked(e);

@@ -22,7 +22,9 @@
 #define QNET_MODEL_EVENT_H_
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,6 +47,58 @@ struct Event {
   EventId rho = kNoEvent;
   EventId nu = kNoEvent;
   bool initial = false;
+};
+
+// --- Sweep moves & footprints ----------------------------------------------------------
+//
+// A Gibbs sweep is a sequence of single-site moves; each move resamples one latent time
+// while reading only a bounded neighborhood of the event graph. The model layer owns the
+// move/footprint vocabulary because the footprint is a pure function of the link structure
+// (which the inference code holds fixed), so conflict analysis never depends on sampler
+// internals.
+
+enum class MoveKind : std::uint8_t {
+  kArrival,         // resample a_e jointly with d_pi(e)
+  kFinalDeparture,  // resample the system exit time d_e of a task's last event
+};
+
+struct SweepMove {
+  MoveKind kind = MoveKind::kArrival;
+  EventId event = kNoEvent;
+
+  friend bool operator==(const SweepMove&, const SweepMove&) = default;
+};
+
+// The set of events whose stored times a move reads or writes. Bounded by construction:
+// an arrival move touches {e, pi(e), rho(pi), rho(e), nu(e), nu(pi)} and a final-departure
+// move {e, rho(e), nu(e)} — deduplicated, with missing neighbors dropped. Two moves with
+// disjoint footprints commute: their writes are disjoint and neither reads a time the
+// other writes, so they may run concurrently (or in either order) with identical results.
+struct MoveFootprint {
+  static constexpr std::size_t kMaxEvents = 6;
+
+  std::array<EventId, kMaxEvents> events{};
+  std::size_t count = 0;
+
+  std::span<const EventId> Events() const { return {events.data(), count}; }
+
+  bool Contains(EventId e) const {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (events[i] == e) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool Intersects(const MoveFootprint& other) const {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (other.Contains(events[i])) {
+        return true;
+      }
+    }
+    return false;
+  }
 };
 
 class EventLog {
@@ -113,6 +167,15 @@ class EventLog {
     }
     return std::max(ev.arrival, AtUnchecked(ev.rho).departure);
   }
+
+  // --- Move dependency API --------------------------------------------------------------
+
+  // The bounded neighborhood of events whose times the given Gibbs move reads or writes
+  // (see MoveFootprint). Depends only on the link structure, never on the stored times, so
+  // footprints computed once stay valid while a sampler mutates times in place. Requires
+  // built queue links; CHECK-fails on moves the samplers would reject (arrival move on an
+  // initial event, final-departure move on an event with a within-task successor).
+  MoveFootprint ComputeMoveFootprint(const SweepMove& move) const;
 
   // Time at which e begins service: max(a_e, d_rho(e)).
   double BeginService(EventId e) const;

@@ -22,6 +22,12 @@ std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); 
 
 }  // namespace
 
+std::uint64_t MixSeed(std::uint64_t seed, std::uint64_t salt) {
+  // SplitMix64 is a bijection, so for a fixed seed distinct salts map to distinct outputs.
+  std::uint64_t x = seed + (salt + 1) * 0x9e3779b97f4a7c15ULL;
+  return SplitMix64(x);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& word : state_) {

@@ -73,6 +73,12 @@ class Rng {
   double cached_normal_ = 0.0;
 };
 
+// Deterministically combines a seed with a salt (one SplitMix64 step over a golden-ratio
+// offset of the pair). Distinct salts yield distinct, well-mixed seeds for the same base
+// seed — used to derive independent per-(color, shard) streams from a per-sweep seed so
+// that sharded sweeps are a pure function of (seed, color, shard), never of scheduling.
+std::uint64_t MixSeed(std::uint64_t seed, std::uint64_t salt);
+
 }  // namespace qnet
 
 #endif  // QNET_SUPPORT_RNG_H_

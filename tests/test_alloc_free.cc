@@ -111,6 +111,46 @@ TEST(AllocFree, WholeGibbsSweepDoesNotAllocate) {
   EXPECT_EQ(AllocationCount(), before);
 }
 
+TEST(AllocFree, ShardedSweepDoesNotAllocate) {
+  // The colored sweep path must preserve the hot-path contract: the schedule and all
+  // buffers are frozen at EnableShardedSweeps, per-bucket Rng streams live on the stack,
+  // and with threads == 1 Run is a plain sequential loop — so a warmed-up sharded sweep
+  // performs zero allocations.
+  const Fixture fixture = MakeFixture();
+  GibbsSampler sampler(fixture.init, fixture.obs, fixture.rates);
+  ShardedSweepOptions options;
+  options.shards = 4;
+  options.threads = 1;
+  sampler.EnableShardedSweeps(options);
+  ASSERT_GT(sampler.Scheduler()->NumColors(), 0u);
+  Rng rng(9);
+  sampler.Sweep(rng);  // warm-up
+  const std::size_t before = AllocationCount();
+  for (int sweep = 0; sweep < 20; ++sweep) {
+    sampler.Sweep(rng);
+  }
+  EXPECT_EQ(AllocationCount(), before);
+}
+
+TEST(AllocFree, ShardedSweepWithWorkersDoesNotAllocate) {
+  // Workers are persistent (launched once at EnableShardedSweeps, parked on a condition
+  // variable between sweeps), so the zero-allocation contract holds for threads > 1 too:
+  // a sweep is a notify + barrier-phased bucket execution, nothing more.
+  const Fixture fixture = MakeFixture();
+  GibbsSampler sampler(fixture.init, fixture.obs, fixture.rates);
+  ShardedSweepOptions options;
+  options.shards = 4;
+  options.threads = 2;
+  sampler.EnableShardedSweeps(options);
+  Rng rng(9);
+  sampler.Sweep(rng);  // warm-up
+  const std::size_t before = AllocationCount();
+  for (int sweep = 0; sweep < 20; ++sweep) {
+    sampler.Sweep(rng);
+  }
+  EXPECT_EQ(AllocationCount(), before);
+}
+
 TEST(AllocFree, GeneralGibbsSweepDoesNotAllocate) {
   // The slice-sampling path (FunctionRef callbacks, geometry gathers) must also stay
   // allocation-free; exponential services keep LogPdf itself trivially clean.
