@@ -1,0 +1,79 @@
+// Streaming monitor: live per-window service-rate tracking over an endless-style trace.
+//
+// A live incremental simulation of a tandem network suffers a mid-stream slowdown at its
+// second stage. Instead of collecting the full trace and running batch inference, the
+// stream flows task-by-task through the watermark-driven WindowAssembler into the
+// pipelined StreamingEstimator, which fits warm-started StEM per window while the next
+// window is still being ingested — the "what is happening right now?" monitoring loop the
+// paper's Section 6 sketches. Memory stays bounded by one window regardless of how long
+// the stream runs.
+//
+// Usage: streaming_monitor [--tasks 3000] [--rate 4] [--window 30] [--fraction 0.4]
+//                          [--seed 1] [--no-pipeline]
+
+#include <cstdio>
+#include <iostream>
+
+#include "qnet/model/builders.h"
+#include "qnet/sim/fault.h"
+#include "qnet/stream/live_stream.h"
+#include "qnet/stream/streaming_estimator.h"
+#include "qnet/support/flags.h"
+#include "qnet/trace/table.h"
+
+int main(int argc, char** argv) {
+  const qnet::Flags flags(argc, argv);
+  const auto tasks = static_cast<std::size_t>(flags.GetInt("tasks", 3000));
+  const double rate = flags.GetDouble("rate", 4.0);
+  const double window = flags.GetDouble("window", 30.0);
+  const double fraction = flags.GetDouble("fraction", 0.4);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+
+  // Tandem line; stage 2 degrades 3x starting halfway through the stream (20/s -> 6.7/s,
+  // still above the arrival rate so the queue stays stable and the estimate stays crisp).
+  const qnet::QueueingNetwork net = qnet::MakeTandemNetwork(rate, {10.0, 20.0});
+  const double fault_at = static_cast<double>(tasks) / rate / 2.0;
+  qnet::FaultSchedule faults;
+  faults.AddSlowdown(2, fault_at, 1.0e12, 3.0);
+
+  qnet::LiveSimOptions sim_options;
+  sim_options.max_tasks = tasks;
+  sim_options.arrival_rate = rate;
+  sim_options.faults = &faults;
+  sim_options.observed_fraction = fraction;
+  qnet::LiveSimStream stream(net, sim_options, seed);
+
+  qnet::StreamingEstimatorOptions options;
+  options.window.window_duration = window;
+  options.stem.iterations = 60;
+  options.stem.burn_in = 20;
+  options.stem.wait_sweeps = 20;
+  options.pipeline = !flags.GetBool("no-pipeline", false);
+
+  std::vector<double> init(static_cast<std::size_t>(net.NumQueues()), 1.0);
+  init[0] = rate;
+  qnet::StreamingEstimator estimator(init, seed, options);
+  const auto estimates = estimator.Run(stream);
+
+  std::cout << "Streamed " << estimator.Stats().tasks_ingested << " tasks in "
+            << qnet::FormatDouble(estimator.Stats().total_wall_seconds) << " s ("
+            << qnet::FormatDouble(estimator.Stats().tasks_per_second / 1e3)
+            << "k tasks/s end-to-end, max sweep lag "
+            << qnet::FormatDouble(estimator.Stats().max_sweep_lag_seconds * 1e3)
+            << " ms)\n";
+  std::cout << "Fault injected at t = " << qnet::FormatDouble(fault_at)
+            << " s: stage-2 service slows 3x (true mean 0.05 -> 0.15 s)\n\n";
+
+  qnet::TablePrinter table({"window", "tasks", "est svc q1", "est svc q2", "est wait q2"});
+  for (const auto& est : estimates) {
+    const std::string span = qnet::FormatDouble(est.t0) + " - " + qnet::FormatDouble(est.t1) +
+                             (est.merged_tail_tasks > 0 ? " (tail merged)" : "");
+    table.AddRow({span, std::to_string(est.tasks), qnet::FormatDouble(1.0 / est.rates[1]),
+                  qnet::FormatDouble(1.0 / est.rates[2]),
+                  est.mean_wait.empty() ? "-" : qnet::FormatDouble(est.mean_wait[2])});
+  }
+  table.Print(std::cout);
+  std::cout << "\nThe stage-2 service estimate should jump ~3x in the windows after the "
+               "fault.\n";
+  return 0;
+}

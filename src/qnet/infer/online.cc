@@ -1,8 +1,7 @@
 #include "qnet/infer/online.h"
 
-#include <algorithm>
-#include <cmath>
-
+#include "qnet/stream/replay_stream.h"
+#include "qnet/stream/window_assembler.h"
 #include "qnet/support/check.h"
 
 namespace qnet {
@@ -14,103 +13,27 @@ std::pair<EventLog, Observation> ExtractTaskWindow(const EventLog& truth,
   for (std::size_t i = 1; i < tasks.size(); ++i) {
     QNET_CHECK(tasks[i - 1] < tasks[i], "window tasks must be sorted and unique");
   }
-  EventLog window(truth.NumQueues());
-  Observation window_obs;
-  // First pass: create tasks and visits, recording the id mapping implicitly — events are
-  // appended per task in route order, so we can rebuild flags in the same sweep order.
-  std::vector<EventId> old_ids;
-  for (std::size_t wk = 0; wk < tasks.size(); ++wk) {
-    const int task = tasks[wk];
-    const auto& chain = truth.TaskEvents(task);
-    window.AddTask(truth.TaskEntryTime(task));
-    old_ids.push_back(chain.front());
-    for (std::size_t i = 1; i < chain.size(); ++i) {
-      const Event& ev = truth.At(chain[i]);
-      window.AddVisit(static_cast<int>(wk), ev.state, ev.queue, ev.arrival, ev.departure);
-      old_ids.push_back(chain[i]);
-    }
+  WindowLogBuilder builder(truth.NumQueues());
+  TaskRecord record;
+  for (const int task : tasks) {
+    FillTaskRecord(truth, obs, task, record);
+    builder.Add(record);
   }
-  window.BuildQueueLinks();
-
-  window_obs.arrival_observed.assign(window.NumEvents(), 0);
-  window_obs.departure_observed.assign(window.NumEvents(), 0);
-  for (EventId e = 0; static_cast<std::size_t>(e) < window.NumEvents(); ++e) {
-    const EventId old = old_ids[static_cast<std::size_t>(e)];
-    window_obs.arrival_observed[static_cast<std::size_t>(e)] =
-        window.At(e).initial ? 1 : obs.arrival_observed[static_cast<std::size_t>(old)];
-    window_obs.departure_observed[static_cast<std::size_t>(e)] =
-        obs.departure_observed[static_cast<std::size_t>(old)];
-  }
-  // Restore the arrival/departure consistency invariant on the window boundary: departures
-  // whose successor event fell outside the window keep their original flag only if the
-  // original flag came from an observed successor arrival — re-derive instead.
-  for (EventId e = 0; static_cast<std::size_t>(e) < window.NumEvents(); ++e) {
-    const Event& ev = window.At(e);
-    if (!ev.initial) {
-      window_obs.departure_observed[static_cast<std::size_t>(ev.pi)] =
-          window_obs.arrival_observed[static_cast<std::size_t>(e)];
-    }
-  }
-  // Tasks observed at the task level: those whose every non-initial arrival is observed.
-  for (int wk = 0; wk < window.NumTasks(); ++wk) {
-    const auto& chain = window.TaskEvents(wk);
-    bool all = true;
-    for (std::size_t i = 1; i < chain.size(); ++i) {
-      all = all && window_obs.arrival_observed[static_cast<std::size_t>(chain[i])] != 0;
-    }
-    if (all && chain.size() > 1) {
-      window_obs.observed_tasks.push_back(wk);
-    }
-  }
-  window_obs.Validate(window);
-  return {std::move(window), std::move(window_obs)};
+  return builder.Finish();
 }
 
 std::vector<WindowEstimate> RunOnlineStem(const EventLog& truth, const Observation& obs,
                                           std::vector<double> init_rates, Rng& rng,
                                           const OnlineStemOptions& options) {
   QNET_CHECK(options.window_duration > 0.0, "window duration must be positive");
-  std::vector<WindowEstimate> estimates;
-  std::vector<int> pending;
-  double window_start = 0.0;
-  double window_end = options.window_duration;
-
-  const StemEstimator estimator(options.stem);
-  std::vector<double> rates = std::move(init_rates);
-
-  const auto flush = [&](double t0, double t1) {
-    if (pending.size() < std::max<std::size_t>(options.min_tasks_per_window, 2)) {
-      return false;
-    }
-    auto [window, window_obs] = ExtractTaskWindow(truth, obs, pending);
-    // The window re-sweep is the same MoveKernel-driven sampler as batch StEM (including
-    // the sharded scheduler when options.stem.sharded_sweeps is set) — no online-only
-    // sweep loop to drift from the batch behavior.
-    const StemResult result = estimator.Run(window, window_obs, rates, rng);
-    WindowEstimate est;
-    est.t0 = t0;
-    est.t1 = t1;
-    est.tasks = pending.size();
-    est.rates = result.rates;
-    est.mean_wait = result.mean_wait;
-    estimates.push_back(est);
-    rates = result.rates;  // Warm start for the next window.
-    pending.clear();
-    return true;
-  };
-
-  for (int task = 0; task < truth.NumTasks(); ++task) {
-    const double entry = truth.TaskEntryTime(task);
-    while (entry >= window_end) {
-      if (flush(window_start, window_end)) {
-        window_start = window_end;
-      }
-      window_end += options.window_duration;
-    }
-    pending.push_back(task);
-  }
-  flush(window_start, window_end);
-  return estimates;
+  LogReplayStream stream(truth, obs);
+  StreamingEstimatorOptions stream_options;
+  stream_options.window.window_duration = options.window_duration;
+  stream_options.window.min_tasks_per_window = options.min_tasks_per_window;
+  stream_options.stem = options.stem;
+  stream_options.pipeline = options.pipeline;
+  StreamingEstimator estimator(std::move(init_rates), rng.NextU64(), stream_options);
+  return estimator.Run(stream);
 }
 
 }  // namespace qnet

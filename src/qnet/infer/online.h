@@ -1,43 +1,43 @@
 // Online (sliding-window) StEM — the paper's Section 6 "online, distributed inference"
-// future-work direction, in its simplest useful form.
+// future-work direction.
 //
-// The task stream is partitioned into consecutive time windows by entry time; each window is
-// estimated with a short StEM run warm-started from the previous window's rates. This yields
-// a rate trajectory over time, which is what the paper's "what happened five minutes ago"
-// diagnosis questions consume. Tasks are assigned to the window containing their entry time;
-// cross-window queueing interactions are approximated away (documented limitation).
+// Since the streaming refactor this is a thin adapter: RunOnlineStem wraps the batch log
+// in a LogReplayStream and drains it through the StreamingEstimator
+// (src/qnet/stream/streaming_estimator.h), which partitions tasks into event-time windows
+// by entry time and runs warm-started StEM per window through the unified
+// MoveKernel/sweep-driver core. Cross-window queueing interactions are approximated away
+// (documented limitation). Window w's StEM run is seeded MixSeed(base, w) with base drawn
+// once from `rng`, so results are bit-identical to streaming the same log — for any
+// sharded-sweep thread count and any pipelining — and a trailing window with fewer than
+// min_tasks_per_window tasks is merged into the previous window's span and re-estimated
+// rather than dropped.
 //
-// Every window's E-step sweeps run through the unified MoveKernel/sweep-driver core (the
-// same GibbsSampler the batch estimators use — infer/move_kernel.h), so streaming windows
-// cannot drift from the batch sampler's behavior. Set stem.sharded_sweeps to run each
-// window's sweeps on the colored sharded scheduler (useful when windows are large and
-// arrive faster than a sequential chain can sweep them).
+// ExtractTaskWindow remains the batch window extractor (it now rides the same
+// WindowLogBuilder the assembler uses, so the two paths cannot diverge).
 
 #ifndef QNET_INFER_ONLINE_H_
 #define QNET_INFER_ONLINE_H_
 
+#include <utility>
 #include <vector>
 
 #include "qnet/infer/stem.h"
 #include "qnet/model/event.h"
 #include "qnet/obs/observation.h"
+#include "qnet/stream/streaming_estimator.h"
 #include "qnet/support/rng.h"
 
 namespace qnet {
 
-struct WindowEstimate {
-  double t0 = 0.0;
-  double t1 = 0.0;
-  std::size_t tasks = 0;
-  std::vector<double> rates;      // index 0 = lambda
-  std::vector<double> mean_wait;  // posterior mean per queue (may be empty)
-};
-
 struct OnlineStemOptions {
   double window_duration = 60.0;
-  // Windows with fewer tasks than this are merged into the next window.
+  // Windows with fewer tasks than this are merged into the next window (the trailing
+  // window merges into the *previous* one instead — there is no next).
   std::size_t min_tasks_per_window = 8;
   StemOptions stem;
+  // Overlap each window's StEM sweeps with the next window's ingestion (pure wall-clock
+  // knob; estimates are unchanged).
+  bool pipeline = false;
 };
 
 // Extracts the sub-log of `truth` containing exactly `tasks` (renumbered contiguously),

@@ -17,7 +17,10 @@
 #include <cstddef>
 #include <exception>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "qnet/support/check.h"
 
 namespace qnet {
 
@@ -54,6 +57,59 @@ void RunOnThreadPool(std::size_t items, std::size_t threads, const Work& work) {
     }
   }
 }
+
+// One-deep pipeline stage: runs a single coarse work unit on a background thread while
+// the caller keeps producing (e.g. the streaming estimator overlaps window N's StEM
+// sweeps with window N+1's ingestion). Spawn-per-submit, matching RunOnThreadPool's
+// coarse-unit philosophy — a window estimate is milliseconds-to-seconds of work, so
+// thread spawn cost is noise. Exceptions thrown by the work unit are rethrown from
+// Wait(); a slot destroyed while busy joins first and swallows the exception (call
+// Wait() before destruction to observe it).
+class PipelineSlot {
+ public:
+  PipelineSlot() = default;
+  ~PipelineSlot() {
+    if (worker_.joinable()) {
+      worker_.join();
+    }
+  }
+
+  PipelineSlot(const PipelineSlot&) = delete;
+  PipelineSlot& operator=(const PipelineSlot&) = delete;
+
+  bool Busy() const { return worker_.joinable(); }
+
+  // Starts `work` on the background thread. The slot must be idle (Wait() first).
+  template <typename Work>
+  void Submit(Work&& work) {
+    QNET_CHECK(!Busy(), "PipelineSlot::Submit while busy; call Wait() first");
+    error_ = nullptr;
+    worker_ = std::thread([this, w = std::forward<Work>(work)]() mutable {
+      try {
+        w();
+      } catch (...) {
+        error_ = std::current_exception();
+      }
+    });
+  }
+
+  // Blocks until the in-flight work unit (if any) finishes; rethrows its exception.
+  void Wait() {
+    if (!worker_.joinable()) {
+      return;
+    }
+    worker_.join();
+    worker_ = std::thread();
+    if (error_ != nullptr) {
+      std::exception_ptr error = std::exchange(error_, nullptr);
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  std::thread worker_;
+  std::exception_ptr error_;
+};
 
 }  // namespace qnet
 

@@ -1,23 +1,11 @@
 #include "qnet/sim/simulator.h"
 
 #include <queue>
-#include <tuple>
 
 #include "qnet/support/check.h"
 
 namespace qnet {
 namespace {
-
-struct PendingArrival {
-  double time;
-  int task;
-  std::size_t step;
-
-  // Min-heap by (time, task, step): global arrival order with a deterministic tie-break.
-  bool operator>(const PendingArrival& other) const {
-    return std::tie(time, task, step) > std::tie(other.time, other.task, other.step);
-  }
-};
 
 struct VisitTimes {
   double arrival = 0.0;
@@ -44,28 +32,22 @@ EventLog SimulateWithRoutes(const QueueingNetwork& net, const std::vector<double
     visit_times[k].resize(routes[k].size());
   }
 
-  std::priority_queue<PendingArrival, std::vector<PendingArrival>, std::greater<>> heap;
+  std::priority_queue<DesArrival, std::vector<DesArrival>, std::greater<>> heap;
   for (int k = 0; k < num_tasks; ++k) {
-    heap.push(PendingArrival{entry_times[static_cast<std::size_t>(k)], k, 0});
+    heap.push(DesArrival{entry_times[static_cast<std::size_t>(k)], k, 0});
   }
 
-  std::vector<double> last_departure(static_cast<std::size_t>(net.NumQueues()), 0.0);
+  QueueFrontier frontier(net.NumQueues());
   while (!heap.empty()) {
-    const PendingArrival next = heap.top();
+    const DesArrival next = heap.top();
     heap.pop();
     const auto k = static_cast<std::size_t>(next.task);
     const RouteStep& step = routes[k][next.step];
-    const auto q = static_cast<std::size_t>(step.queue);
-    const double begin = std::max(next.time, last_departure[q]);
-    double service = net.Service(step.queue).Sample(rng);
-    if (options.faults != nullptr) {
-      service *= options.faults->ServiceFactor(step.queue, begin);
-    }
-    const double departure = begin + service;
-    last_departure[q] = departure;
+    const double departure =
+        frontier.ProcessArrival(net, step.queue, next.time, rng, options.faults);
     visit_times[k][next.step] = VisitTimes{next.time, departure};
     if (next.step + 1 < routes[k].size()) {
-      heap.push(PendingArrival{departure, next.task, next.step + 1});
+      heap.push(DesArrival{departure, next.task, next.step + 1});
     }
   }
 

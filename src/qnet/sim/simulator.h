@@ -10,6 +10,8 @@
 #ifndef QNET_SIM_SIMULATOR_H_
 #define QNET_SIM_SIMULATOR_H_
 
+#include <algorithm>
+#include <tuple>
 #include <vector>
 
 #include "qnet/model/event.h"
@@ -23,6 +25,49 @@ namespace qnet {
 struct SimOptions {
   // Optional service-time fault schedule.
   const FaultSchedule* faults = nullptr;
+};
+
+// One pending (task, step) arrival in the DES heap. Min-heap by (time, task, step):
+// global arrival order with a deterministic tie-break. Shared by the batch simulator and
+// the live streaming adapter (stream/live_stream.h) so both process events in the same
+// order.
+struct DesArrival {
+  double time = 0.0;
+  int task = -1;
+  std::size_t step = 0;
+
+  bool operator>(const DesArrival& other) const {
+    return std::tie(time, task, step) > std::tie(other.time, other.task, other.step);
+  }
+};
+
+// The DES physics, shared by the batch simulator and the live streaming adapter: one
+// per-queue last-departure frontier advanced through d_e = s_e + max(a_e, d_rho(e)) with
+// fault scaling. Keeping the single step here means the two drivers cannot diverge on
+// the generative model (they deliberately differ in RNG draw *order*, so a behavioral
+// divergence would be invisible to bit-equality tests).
+class QueueFrontier {
+ public:
+  explicit QueueFrontier(int num_queues)
+      : last_departure_(static_cast<std::size_t>(num_queues), 0.0) {}
+
+  // Processes one arrival at `queue`: samples its service time (scaled by `faults` if
+  // given), advances the queue's frontier, and returns the departure time.
+  double ProcessArrival(const QueueingNetwork& net, int queue, double arrival, Rng& rng,
+                        const FaultSchedule* faults) {
+    const auto q = static_cast<std::size_t>(queue);
+    const double begin = std::max(arrival, last_departure_[q]);
+    double service = net.Service(queue).Sample(rng);
+    if (faults != nullptr) {
+      service *= faults->ServiceFactor(queue, begin);
+    }
+    const double departure = begin + service;
+    last_departure_[q] = departure;
+    return departure;
+  }
+
+ private:
+  std::vector<double> last_departure_;
 };
 
 // Simulates the network for the given system entry times (strictly positive, nondecreasing).

@@ -1,0 +1,103 @@
+#include "qnet/stream/live_stream.h"
+
+#include <algorithm>
+
+#include "qnet/support/check.h"
+
+namespace qnet {
+
+LiveSimStream::LiveSimStream(const QueueingNetwork& net, const LiveSimOptions& options,
+                             std::uint64_t seed)
+    : net_(&net),
+      options_(options),
+      num_queues_(net.NumQueues()),
+      rng_(seed),
+      obs_rng_(MixSeed(seed, 0x6f62732d726e67ULL)),  // independent observation stream
+      frontier_(net.NumQueues()) {
+  QNET_CHECK(options_.max_tasks > 0 || options_.horizon > 0.0,
+             "LiveSimStream needs max_tasks or horizon to terminate");
+  QNET_CHECK(options_.arrival_rate > 0.0, "arrival rate must be positive");
+  QNET_CHECK(options_.observed_fraction >= 0.0 && options_.observed_fraction <= 1.0,
+             "bad observed_fraction ", options_.observed_fraction);
+  next_entry_time_ = rng_.Exponential(options_.arrival_rate);
+  if (options_.horizon > 0.0 && next_entry_time_ > options_.horizon) {
+    spawning_done_ = true;
+  }
+}
+
+LiveSimStream::InFlightTask& LiveSimStream::TaskSlot(int task) {
+  QNET_DCHECK(task >= next_emit_, "task already emitted");
+  return inflight_[static_cast<std::size_t>(task - next_emit_)];
+}
+
+void LiveSimStream::SpawnTask() {
+  const int task = next_spawn_++;
+  InFlightTask slot;
+  slot.record.entry_time = next_entry_time_;
+  slot.route = net_->GetFsm().SampleRoute(rng_);
+  const bool observed = obs_rng_.Bernoulli(options_.observed_fraction);
+  slot.record.visits.reserve(slot.route.size());
+  for (std::size_t i = 0; i < slot.route.size(); ++i) {
+    TaskVisit visit;
+    visit.state = slot.route[i].state;
+    visit.queue = slot.route[i].queue;
+    visit.arrival_observed = observed;
+    visit.departure_observed =
+        observed && (i + 1 < slot.route.size() || options_.observe_final_departure);
+    slot.record.visits.push_back(visit);
+  }
+  inflight_.push_back(std::move(slot));
+  heap_.push(DesArrival{next_entry_time_, task, 0});
+
+  if (options_.max_tasks > 0 && static_cast<std::size_t>(next_spawn_) >= options_.max_tasks) {
+    spawning_done_ = true;
+    return;
+  }
+  next_entry_time_ += rng_.Exponential(options_.arrival_rate);
+  if (options_.horizon > 0.0 && next_entry_time_ > options_.horizon) {
+    spawning_done_ = true;
+  }
+}
+
+bool LiveSimStream::Step() {
+  // Keep the next unspawned entry ahead of the processing frontier: spawn while its entry
+  // time is at or before the earliest pending arrival, so the heap pops events in exactly
+  // the batch simulator's (time, task, step) order.
+  while (!spawning_done_ && (heap_.empty() || next_entry_time_ <= heap_.top().time)) {
+    SpawnTask();
+  }
+  if (heap_.empty()) {
+    return false;
+  }
+  const DesArrival next = heap_.top();
+  heap_.pop();
+  InFlightTask& slot = TaskSlot(next.task);
+  const RouteStep& step = slot.route[next.step];
+  const double departure =
+      frontier_.ProcessArrival(*net_, step.queue, next.time, rng_, options_.faults);
+  TaskVisit& visit = slot.record.visits[next.step];
+  visit.arrival = next.time;
+  visit.departure = departure;
+  ++slot.completed_steps;
+  if (next.step + 1 < slot.route.size()) {
+    heap_.push(DesArrival{departure, next.task, next.step + 1});
+  } else {
+    slot.done = true;
+  }
+  return true;
+}
+
+bool LiveSimStream::Next(TaskRecord& out) {
+  while (inflight_.empty() || !inflight_.front().done) {
+    if (!Step()) {
+      QNET_CHECK(inflight_.empty(), "simulation drained with tasks in flight");
+      return false;
+    }
+  }
+  out = std::move(inflight_.front().record);
+  inflight_.pop_front();
+  ++next_emit_;
+  return true;
+}
+
+}  // namespace qnet

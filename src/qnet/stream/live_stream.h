@@ -1,0 +1,100 @@
+// Live TraceStream backend: drives the discrete-event simulator *incrementally* (the
+// `sim/` layer of the streaming engine).
+//
+// The batch simulator (sim/simulator.cc) needs every entry time up front. This adapter
+// runs the same generative process — arrivals processed in global (time, task, step)
+// order against per-queue last-departure frontiers, d_e = s_e + max(a_e, d_rho(e)) — but
+// spawns tasks lazily from an interarrival process and emits each task's TaskRecord as
+// soon as the task leaves the system, holding only the in-flight tasks in memory. That
+// makes unbounded-horizon workloads streamable: memory is O(tasks in flight), not
+// O(tasks simulated).
+//
+// Records are emitted in task (= entry) order: a task that finishes before an earlier
+// task is buffered until the earlier one completes, so downstream consumers see the
+// entry-ordered stream TraceStream promises.
+//
+// Determinism: everything is a function of the seed. Interarrivals, routes and service
+// times interleave on one stream in simulation order (unlike the batch simulator, which
+// samples all routes before any service time, so the two are not draw-for-draw
+// identical); per-task observation coin flips use an independently forked stream.
+
+#ifndef QNET_STREAM_LIVE_STREAM_H_
+#define QNET_STREAM_LIVE_STREAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "qnet/model/network.h"
+#include "qnet/sim/fault.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/stream/task_record.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+
+struct LiveSimOptions {
+  // Stop spawning after this many tasks (0 = unbounded; then horizon must be set).
+  std::size_t max_tasks = 0;
+  // Stop spawning once the next entry time would exceed this (0 = unbounded).
+  double horizon = 0.0;
+  // Poisson interarrival rate for task entries.
+  double arrival_rate = 1.0;
+  // Optional service-time fault schedule (must outlive the stream).
+  const FaultSchedule* faults = nullptr;
+  // Task-level observation thinning, mirroring TaskSamplingScheme: each task is fully
+  // arrival-observed with probability observed_fraction; observed tasks additionally
+  // report their system exit time when observe_final_departure is set.
+  double observed_fraction = 1.0;
+  bool observe_final_departure = true;
+};
+
+class LiveSimStream : public TraceStream {
+ public:
+  // `net` must outlive the stream.
+  LiveSimStream(const QueueingNetwork& net, const LiveSimOptions& options, std::uint64_t seed);
+
+  bool Next(TaskRecord& out) override;
+  int NumQueues() const override { return num_queues_; }
+
+  // Tasks currently in flight inside the simulated network (memory bound witness).
+  std::size_t TasksInFlight() const { return inflight_.size(); }
+
+ private:
+  struct InFlightTask {
+    TaskRecord record;
+    std::vector<RouteStep> route;
+    std::size_t completed_steps = 0;
+    bool done = false;
+  };
+
+  void SpawnTask();
+  // Runs one simulator step (spawning tasks as the frontier requires); false when the
+  // simulation is fully drained.
+  bool Step();
+  InFlightTask& TaskSlot(int task);
+
+  const QueueingNetwork* net_;
+  LiveSimOptions options_;
+  int num_queues_;
+  Rng rng_;
+  Rng obs_rng_;
+
+  // Shared DES machinery (sim/simulator.h): same heap order and frontier recursion as
+  // the batch simulator.
+  std::priority_queue<DesArrival, std::vector<DesArrival>, std::greater<>> heap_;
+  QueueFrontier frontier_;
+
+  // In-flight tasks, front() == task next_emit_ (tasks complete out of order but are
+  // emitted in order).
+  std::deque<InFlightTask> inflight_;
+  int next_emit_ = 0;
+  int next_spawn_ = 0;
+  bool spawning_done_ = false;
+  double next_entry_time_ = 0.0;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_STREAM_LIVE_STREAM_H_

@@ -1,0 +1,120 @@
+#include "qnet/stream/replay_stream.h"
+
+#include "qnet/support/check.h"
+#include "qnet/trace/csv.h"
+
+namespace qnet {
+
+LogReplayStream::LogReplayStream(const EventLog& log, const Observation& obs)
+    : log_(&log), obs_(&obs) {}
+
+bool LogReplayStream::Next(TaskRecord& out) {
+  if (next_task_ >= log_->NumTasks()) {
+    return false;
+  }
+  FillTaskRecord(*log_, *obs_, next_task_, out);
+  ++next_task_;
+  return true;
+}
+
+CsvReplayStream::CsvReplayStream(std::istream& log_is, int num_queues, std::istream* obs_is)
+    : log_is_(&log_is), obs_is_(obs_is), num_queues_(num_queues) {
+  Init();
+}
+
+CsvReplayStream::CsvReplayStream(const std::string& log_path, int num_queues)
+    : owned_log_(std::make_unique<std::ifstream>(log_path)),
+      log_is_(owned_log_.get()),
+      obs_is_(nullptr),
+      num_queues_(num_queues) {
+  QNET_CHECK(owned_log_->good(), "cannot open ", log_path);
+  Init();
+}
+
+CsvReplayStream::CsvReplayStream(const std::string& log_path, const std::string& obs_path,
+                                 int num_queues)
+    : owned_log_(std::make_unique<std::ifstream>(log_path)),
+      owned_obs_(std::make_unique<std::ifstream>(obs_path)),
+      log_is_(owned_log_.get()),
+      obs_is_(owned_obs_.get()),
+      num_queues_(num_queues) {
+  QNET_CHECK(owned_log_->good(), "cannot open ", log_path);
+  QNET_CHECK(owned_obs_->good(), "cannot open ", obs_path);
+  Init();
+}
+
+void CsvReplayStream::Init() {
+  num_queues_ = ReadEventLogHeader(*log_is_, num_queues_);
+  if (obs_is_ != nullptr) {
+    QNET_CHECK(static_cast<bool>(std::getline(*obs_is_, line_)), "empty observation stream");
+    QNET_CHECK(line_.rfind("event,", 0) == 0, "missing observation header");
+  }
+}
+
+bool CsvReplayStream::NextLogRow() {
+  while (std::getline(*log_is_, line_)) {
+    if (line_.empty()) {
+      continue;
+    }
+    SplitCsvLine(line_, fields_);
+    QNET_CHECK(fields_.size() == 6, "bad event-log row: ", line_);
+    QNET_CHECK(fields_[5] == "0" || fields_[5] == "1", "bad initial flag in row: ", line_);
+    return true;
+  }
+  return false;
+}
+
+std::pair<bool, bool> CsvReplayStream::NextObsFlags() {
+  const long event = next_event_id_++;
+  if (obs_is_ == nullptr) {
+    return {true, true};
+  }
+  while (std::getline(*obs_is_, obs_line_)) {
+    if (obs_line_.empty()) {
+      continue;
+    }
+    SplitCsvLine(obs_line_, obs_fields_);
+    QNET_CHECK(obs_fields_.size() == 3, "bad observation row: ", obs_line_);
+    QNET_CHECK((obs_fields_[1] == "0" || obs_fields_[1] == "1") &&
+                   (obs_fields_[2] == "0" || obs_fields_[2] == "1"),
+               "bad observation flags in row: ", obs_line_);
+    QNET_CHECK(ParseCsvLong(obs_fields_[0], obs_line_) == event,
+               "observation rows out of lockstep with log at event ", event);
+    return {obs_fields_[1] == "1", obs_fields_[2] == "1"};
+  }
+  QNET_CHECK(false, "observation stream ended before the log (event ", event, ")");
+  return {true, true};  // unreachable
+}
+
+bool CsvReplayStream::Next(TaskRecord& out) {
+  if (!have_buffered_row_ && !NextLogRow()) {
+    return false;
+  }
+  have_buffered_row_ = false;
+  QNET_CHECK(fields_[5] == "1", "expected an initial row, got: ", line_);
+  QNET_CHECK(ParseCsvInt(fields_[0], line_) == next_task_,
+             "tasks out of order at row: ", line_);
+  out.Clear();
+  out.entry_time = ParseCsvDouble(fields_[4], line_);
+  NextObsFlags();  // keep the observation stream in lockstep (initial-event row)
+  while (NextLogRow()) {
+    if (fields_[5] == "1") {
+      have_buffered_row_ = true;
+      break;
+    }
+    TaskVisit visit;
+    visit.state = ParseCsvInt(fields_[1], line_);
+    visit.queue = ParseCsvInt(fields_[2], line_);
+    visit.arrival = ParseCsvDouble(fields_[3], line_);
+    visit.departure = ParseCsvDouble(fields_[4], line_);
+    const auto [arrival_observed, departure_observed] = NextObsFlags();
+    visit.arrival_observed = arrival_observed;
+    visit.departure_observed = departure_observed;
+    out.visits.push_back(visit);
+  }
+  QNET_CHECK(!out.visits.empty(), "task ", next_task_, " has no visits");
+  ++next_task_;
+  return true;
+}
+
+}  // namespace qnet

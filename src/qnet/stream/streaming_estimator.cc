@@ -1,0 +1,123 @@
+#include "qnet/stream/streaming_estimator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "qnet/infer/thread_pool.h"
+#include "qnet/support/check.h"
+#include "qnet/support/stopwatch.h"
+
+namespace qnet {
+
+StreamingEstimator::StreamingEstimator(std::vector<double> init_rates, std::uint64_t seed,
+                                       const StreamingEstimatorOptions& options)
+    : init_rates_(std::move(init_rates)), seed_(seed), options_(options) {}
+
+std::vector<WindowEstimate> StreamingEstimator::Run(TraceStream& stream) {
+  stats_ = StreamingStats{};
+  Stopwatch total;
+  WindowAssembler assembler(stream.NumQueues(), options_.window);
+  const StemEstimator estimator(options_.stem);
+
+  std::vector<WindowEstimate> estimates;
+  std::vector<double> rates = init_rates_;
+  // Warm-start input of the most recently launched window — a merged-tail re-fit of that
+  // window must start from the same rates its first fit did.
+  std::vector<double> prev_input_rates = init_rates_;
+  std::size_t window_index = 0;
+
+  PipelineSlot slot;
+  bool inflight_active = false;
+  WindowEstimate inflight_meta;
+  StemResult inflight_result;
+
+  // Joins the in-flight window's StEM run (no-op without pipelining — the result is
+  // already there), folds its result into the estimate sequence, and advances the
+  // warm-start chain.
+  const auto complete_inflight = [&] {
+    if (!inflight_active) {
+      return;
+    }
+    slot.Wait();
+    inflight_active = false;
+    WindowEstimate estimate = std::move(inflight_meta);
+    estimate.rates = inflight_result.rates;
+    estimate.mean_wait = inflight_result.mean_wait;
+    rates = inflight_result.rates;
+    if (estimate.merged_tail_tasks > 0) {
+      // The merged-tail re-fit replaces the last estimate — same window, not a new one.
+      QNET_CHECK(!estimates.empty(), "merged-tail window with no previous estimate");
+      estimates.back() = std::move(estimate);
+    } else {
+      estimates.push_back(std::move(estimate));
+      ++stats_.windows_estimated;
+    }
+  };
+
+  const auto process = [&](ClosedWindow&& window) {
+    // Warm starts serialize StEM runs: the previous window must finish first. The time
+    // spent blocked here is the sweep lag — how far estimation trails ingestion.
+    Stopwatch waited;
+    complete_inflight();
+    stats_.max_sweep_lag_seconds =
+        std::max(stats_.max_sweep_lag_seconds, waited.ElapsedSeconds());
+
+    const bool merged = window.merged_tail_tasks > 0;
+    std::vector<double> warm_start;
+    std::uint64_t window_seed = 0;
+    if (merged) {
+      QNET_DCHECK(window_index > 0, "merged tail before any window");
+      warm_start = prev_input_rates;
+      window_seed = MixSeed(seed_, window_index - 1);
+    } else {
+      warm_start = rates;
+      prev_input_rates = rates;
+      window_seed = MixSeed(seed_, window_index);
+      ++window_index;
+    }
+    inflight_meta = WindowEstimate{};
+    inflight_meta.t0 = window.t0;
+    inflight_meta.t1 = window.t1;
+    inflight_meta.tasks = window.num_tasks;
+    inflight_meta.merged_tail_tasks = window.merged_tail_tasks;
+    inflight_active = true;
+    auto work = [&estimator, &result = inflight_result, log = std::move(window.log),
+                 obs = std::move(window.obs), warm = std::move(warm_start),
+                 window_seed]() mutable {
+      Rng rng(window_seed);
+      result = estimator.Run(log, obs, std::move(warm), rng);
+    };
+    if (options_.pipeline) {
+      slot.Submit(std::move(work));
+    } else {
+      work();
+    }
+  };
+
+  TaskRecord record;
+  while (stream.Next(record)) {
+    assembler.Push(record);
+    while (assembler.HasClosed()) {
+      process(assembler.PopClosed());
+    }
+  }
+  assembler.FinishStream();
+  while (assembler.HasClosed()) {
+    process(assembler.PopClosed());
+  }
+  complete_inflight();
+
+  const WindowAssemblerStats& astats = assembler.Stats();
+  stats_.tasks_ingested = astats.tasks_ingested;
+  stats_.late_dropped = astats.late_dropped;
+  stats_.tail_dropped = astats.tail_dropped;
+  stats_.peak_buffered_tasks = astats.peak_buffered_tasks;
+  stats_.total_wall_seconds = total.ElapsedSeconds();
+  stats_.tasks_per_second = stats_.total_wall_seconds > 0.0
+                                ? static_cast<double>(stats_.tasks_ingested) /
+                                      stats_.total_wall_seconds
+                                : 0.0;
+  return estimates;
+}
+
+}  // namespace qnet

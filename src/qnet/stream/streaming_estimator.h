@@ -1,0 +1,88 @@
+// Streaming windowed StEM: warm-started per-window estimation over a TraceStream.
+//
+// The estimator pulls TaskRecords from any TraceStream (replay, CSV, live simulator),
+// feeds them through a watermark-driven WindowAssembler, and runs a short StEM fit on
+// every closed window through the same MoveKernel/sweep-driver core as the batch
+// estimators — windows cannot drift from batch sampler behavior. Each window is
+// warm-started from the previous window's rate estimate, yielding the rate trajectory
+// the paper's "what happened five minutes ago" diagnosis questions consume.
+//
+// Determinism contract (extends the PR-1/PR-2 contracts): window w's StEM run consumes
+// an Rng seeded MixSeed(seed, w) — a pure function of the base seed and the window's
+// emission index, never of ingestion timing. Combined with the assembler's
+// order-preserving close and StEM's sharded-sweep contract, the estimate sequence is
+// bit-identical for any pipeline setting and any sharded-sweep thread count; only
+// wall-clock changes.
+//
+// Pipelining: with `pipeline` set, window N's StEM sweeps run on a PipelineSlot
+// background thread while the caller's Run loop keeps ingesting window N+1 from the
+// stream (warm starts serialize the StEM runs themselves, so one slot is the maximal
+// useful depth). Stats() reports ingest throughput, sweep lag, and the assembler's
+// late/dropped/peak-buffer counters.
+
+#ifndef QNET_STREAM_STREAMING_ESTIMATOR_H_
+#define QNET_STREAM_STREAMING_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qnet/infer/stem.h"
+#include "qnet/stream/task_record.h"
+#include "qnet/stream/window_assembler.h"
+
+namespace qnet {
+
+struct WindowEstimate {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  std::size_t tasks = 0;
+  // > 0: this estimate replaced a previously reported one — the trailing remainder of
+  // the stream (this many tasks) was merged into the last window and it was re-fit.
+  std::size_t merged_tail_tasks = 0;
+  std::vector<double> rates;      // index 0 = lambda
+  std::vector<double> mean_wait;  // posterior mean per queue (may be empty)
+};
+
+struct StreamingEstimatorOptions {
+  WindowAssemblerOptions window;
+  StemOptions stem;
+  // Overlap window N's StEM sweeps with window N+1's ingestion.
+  bool pipeline = false;
+};
+
+struct StreamingStats {
+  std::size_t tasks_ingested = 0;
+  std::size_t windows_estimated = 0;
+  std::size_t late_dropped = 0;
+  std::size_t tail_dropped = 0;
+  std::size_t peak_buffered_tasks = 0;
+  double total_wall_seconds = 0.0;
+  double tasks_per_second = 0.0;  // end-to-end sustained ingest rate
+  // Longest a closed window waited before its StEM run started (pipeline backpressure).
+  double max_sweep_lag_seconds = 0.0;
+};
+
+class StreamingEstimator {
+ public:
+  // `init_rates` warm-starts the first window (index 0 = lambda); `seed` drives the
+  // MixSeed-per-window discipline above.
+  StreamingEstimator(std::vector<double> init_rates, std::uint64_t seed,
+                     const StreamingEstimatorOptions& options = {});
+
+  // Drains `stream` to completion and returns the per-window estimate sequence (a
+  // merged-tail re-fit replaces the last entry in place; see WindowEstimate).
+  std::vector<WindowEstimate> Run(TraceStream& stream);
+
+  // Valid after Run.
+  const StreamingStats& Stats() const { return stats_; }
+
+ private:
+  std::vector<double> init_rates_;
+  std::uint64_t seed_;
+  StreamingEstimatorOptions options_;
+  StreamingStats stats_;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_STREAM_STREAMING_ESTIMATOR_H_

@@ -1,0 +1,179 @@
+#include "qnet/stream/window_assembler.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "qnet/support/check.h"
+
+namespace qnet {
+
+WindowLogBuilder::WindowLogBuilder(int num_queues)
+    : num_queues_(num_queues), log_(num_queues) {}
+
+void WindowLogBuilder::Add(const TaskRecord& record) {
+  QNET_CHECK(!record.visits.empty(), "task record has no visits");
+  const int task = log_.AddTask(record.entry_time);
+  // Initial event: arrival observed by convention (t = 0); its departure is the same
+  // physical measurement as the first visit's arrival.
+  obs_.arrival_observed.push_back(1);
+  obs_.departure_observed.push_back(record.visits.front().arrival_observed ? 1 : 0);
+  bool all_arrivals_observed = true;
+  for (std::size_t i = 0; i < record.visits.size(); ++i) {
+    const TaskVisit& visit = record.visits[i];
+    log_.AddVisit(task, visit.state, visit.queue, visit.arrival, visit.departure);
+    obs_.arrival_observed.push_back(visit.arrival_observed ? 1 : 0);
+    // Internal departures sync to the successor's arrival flag (the consistency
+    // invariant); only the final visit keeps its own departure flag.
+    const bool departure_observed = i + 1 < record.visits.size()
+                                        ? record.visits[i + 1].arrival_observed
+                                        : visit.departure_observed;
+    obs_.departure_observed.push_back(departure_observed ? 1 : 0);
+    all_arrivals_observed = all_arrivals_observed && visit.arrival_observed;
+  }
+  if (all_arrivals_observed) {
+    obs_.observed_tasks.push_back(task);
+  }
+}
+
+std::pair<EventLog, Observation> WindowLogBuilder::Finish() {
+  log_.BuildQueueLinks();
+  EventLog log = std::move(log_);
+  Observation obs = std::move(obs_);
+  log_ = EventLog(num_queues_);
+  obs_ = Observation{};
+  obs.Validate(log);
+  return {std::move(log), std::move(obs)};
+}
+
+WindowAssembler::WindowAssembler(int num_queues, const WindowAssemblerOptions& options)
+    : options_(options), builder_(num_queues) {
+  QNET_CHECK(options_.window_duration > 0.0, "window duration must be positive");
+  QNET_CHECK(options_.allowed_lateness >= 0.0, "allowed lateness must be nonnegative");
+  window_end_ = options_.window_duration;
+}
+
+void WindowAssembler::Push(const TaskRecord& record) {
+  QNET_CHECK(!finished_, "Push after FinishStream");
+  ++stats_.tasks_ingested;
+  if (record.entry_time < window_start_) {
+    // Late: this record's window has already closed and been handed off.
+    if (options_.late_policy == LateRecordPolicy::kDrop) {
+      ++stats_.late_dropped;
+      return;
+    }
+    // kMergeIntoCurrent: falls through and joins the currently open window.
+  }
+  watermark_ = std::max(watermark_, record.entry_time);
+  pending_.push_back(record);
+  stats_.peak_buffered_tasks = std::max(
+      stats_.peak_buffered_tasks, pending_.size() + last_window_records_.size());
+  TryCloseWindows();
+}
+
+void WindowAssembler::TryCloseWindows() {
+  const std::size_t min_needed = std::max<std::size_t>(options_.min_tasks_per_window, 2);
+  // At end of stream the watermark hold-back is released: nothing later can arrive.
+  const double watermark = finished_ ? watermark_ : watermark_ - options_.allowed_lateness;
+  while (watermark >= window_end_) {
+    const auto in_window_end =
+        std::stable_partition(pending_.begin(), pending_.end(), [&](const TaskRecord& r) {
+          return r.entry_time < window_end_;
+        });
+    const auto count = static_cast<std::size_t>(in_window_end - pending_.begin());
+    if (count < min_needed) {
+      // Too small: the window's span extends into the next duration (batch semantics).
+      // Fast-forward over record-free durations without re-partitioning — nothing can
+      // change until window_end passes another pending entry or the watermark. The
+      // repeated addition (rather than one multiply) keeps window_end bit-identical to
+      // the batch estimator's one-duration-at-a-time grid.
+      double bound = watermark;
+      for (const TaskRecord& record : pending_) {
+        if (record.entry_time >= window_end_) {
+          bound = std::min(bound, record.entry_time);
+        }
+      }
+      do {
+        window_end_ += options_.window_duration;
+      } while (window_end_ <= bound);
+      continue;
+    }
+    std::vector<TaskRecord> records(std::make_move_iterator(pending_.begin()),
+                                    std::make_move_iterator(in_window_end));
+    pending_.erase(pending_.begin(), in_window_end);
+    CloseWindow(window_start_, window_end_, std::move(records), 0);
+    window_start_ = window_end_;
+    window_end_ += options_.window_duration;
+  }
+}
+
+void WindowAssembler::FinishStream() {
+  QNET_CHECK(!finished_, "FinishStream called twice");
+  finished_ = true;
+  TryCloseWindows();
+  if (pending_.empty()) {
+    return;
+  }
+  const std::size_t min_needed = std::max<std::size_t>(options_.min_tasks_per_window, 2);
+  const double t1 = std::max(window_end_, watermark_);
+  if (pending_.size() >= min_needed) {
+    CloseWindow(window_start_, t1, std::move(pending_), 0);
+  } else if (options_.merge_trailing_window && have_last_window_) {
+    // Trailing remainder too small for its own estimate: merge it into the previous
+    // window's span and re-emit that window (merged_tail_tasks marks the replacement).
+    const std::size_t tail = pending_.size();
+    std::vector<TaskRecord> merged = std::move(last_window_records_);
+    merged.insert(merged.end(), std::make_move_iterator(pending_.begin()),
+                  std::make_move_iterator(pending_.end()));
+    have_last_window_ = false;
+    CloseWindow(last_window_t0_, t1, std::move(merged), tail);
+  } else if (pending_.size() >= 2) {
+    // No previous window to merge into; a 2+-task remainder still gets an estimate.
+    CloseWindow(window_start_, t1, std::move(pending_), 0);
+  } else {
+    stats_.tail_dropped += pending_.size();
+  }
+  pending_.clear();
+}
+
+void WindowAssembler::CloseWindow(double t0, double t1, std::vector<TaskRecord> records,
+                                  std::size_t merged_tail_tasks) {
+  // Stable: records with equal entry times keep their arrival order, so an entry-ordered
+  // stream reproduces the batch task order exactly.
+  std::stable_sort(records.begin(), records.end(),
+                   [](const TaskRecord& a, const TaskRecord& b) {
+                     return a.entry_time < b.entry_time;
+                   });
+  for (const TaskRecord& record : records) {
+    builder_.Add(record);
+  }
+  ClosedWindow window;
+  window.t0 = t0;
+  window.t1 = t1;
+  window.num_tasks = records.size();
+  window.merged_tail_tasks = merged_tail_tasks;
+  auto [log, obs] = builder_.Finish();
+  window.log = std::move(log);
+  window.obs = std::move(obs);
+  closed_.push_back(std::move(window));
+  if (merged_tail_tasks == 0) {
+    // The merged re-close replaces the previous window; it is not a new closed window.
+    ++stats_.windows_closed;
+  }
+  // Every normally closed window becomes the trailing-merge target — including ones
+  // whose close was deferred until FinishStream released the lateness hold-back (only
+  // the merged re-close itself must not overwrite the retained records).
+  if (options_.merge_trailing_window && merged_tail_tasks == 0) {
+    last_window_records_ = std::move(records);
+    last_window_t0_ = t0;
+    have_last_window_ = true;
+  }
+}
+
+ClosedWindow WindowAssembler::PopClosed() {
+  QNET_CHECK(!closed_.empty(), "no closed window to pop");
+  ClosedWindow window = std::move(closed_.front());
+  closed_.pop_front();
+  return window;
+}
+
+}  // namespace qnet

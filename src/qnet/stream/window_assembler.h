@@ -1,0 +1,155 @@
+// Watermark-driven window assembly for streaming inference.
+//
+// The assembler consumes TaskRecords and partitions them into consecutive event-time
+// windows of `window_duration` by entry time — the same per-window approximation as the
+// batch online estimator (cross-window queueing interactions are cut at the boundary).
+// Memory is bounded by the widest window ever open, never by the trace length: records
+// are buffered only until their window closes, and each closed window's EventLog +
+// Observation is built from the buffered records and handed off.
+//
+// Watermark semantics: the watermark is max(entry time seen) - allowed_lateness. A window
+// [t0, t1) closes when the watermark reaches t1. With allowed_lateness == 0 and an
+// entry-ordered stream this reproduces the batch windower exactly (a window closes the
+// moment a record at or past its end arrives). allowed_lateness > 0 delays closing so
+// that records up to that much behind the newest entry still land in their window.
+//
+// Late-record policy (documented contract): a record is *late* when its entry time falls
+// before the currently open span's start — its window has already closed and been handed
+// off. LateRecordPolicy::kDrop counts and discards it (stats().late_dropped);
+// LateRecordPolicy::kMergeIntoCurrent folds it into the currently open window, trading a
+// small boundary error for not losing the task. Records that are merely out of order
+// within the open span are always handled exactly (windows are sorted on close).
+//
+// Small-window merging matches the batch estimator: a window with fewer than
+// max(min_tasks_per_window, 2) records is not closed; its span extends by whole
+// window_durations until enough records accumulate. At end of stream (FinishStream) a
+// trailing remainder with too few records is NOT dropped: it is merged into the previous
+// window's span and re-emitted as one final window (merged_tail_tasks > 0 marks the
+// replacement), or emitted alone when at least 2 records exist and no previous window
+// does. Only a 0/1-record remainder with no previous window is dropped (tail_dropped).
+
+#ifndef QNET_STREAM_WINDOW_ASSEMBLER_H_
+#define QNET_STREAM_WINDOW_ASSEMBLER_H_
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "qnet/model/event.h"
+#include "qnet/obs/observation.h"
+#include "qnet/stream/task_record.h"
+
+namespace qnet {
+
+// Builds one window's EventLog + Observation incrementally from TaskRecords added in
+// nondecreasing entry-time order. The observation flags are re-derived from the records
+// exactly as ExtractTaskWindow derives them from a batch log: initial events are always
+// arrival-observed, internal departure flags are synced to the successor's arrival flag,
+// and observed_tasks collects the tasks whose every visit arrival is observed.
+class WindowLogBuilder {
+ public:
+  explicit WindowLogBuilder(int num_queues);
+
+  void Add(const TaskRecord& record);
+
+  int NumTasks() const { return log_.NumTasks(); }
+
+  // Finalizes queue links, validates the observation, returns the pair, and resets the
+  // builder for the next window.
+  std::pair<EventLog, Observation> Finish();
+
+ private:
+  int num_queues_;
+  EventLog log_;
+  Observation obs_;
+};
+
+enum class LateRecordPolicy {
+  kDrop,
+  kMergeIntoCurrent,
+};
+
+struct WindowAssemblerOptions {
+  double window_duration = 60.0;
+  // Windows with fewer records than max(this, 2) are merged into the next window.
+  std::size_t min_tasks_per_window = 8;
+  // How far behind the newest entry time the watermark trails (event-time seconds).
+  double allowed_lateness = 0.0;
+  LateRecordPolicy late_policy = LateRecordPolicy::kDrop;
+  // Retain the last closed window's records so FinishStream can merge a too-small
+  // trailing remainder into it. Costs one extra window of memory.
+  bool merge_trailing_window = true;
+};
+
+struct ClosedWindow {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  std::size_t num_tasks = 0;
+  // > 0: this window REPLACES the previously emitted one — it is the previous window
+  // re-closed with `merged_tail_tasks` trailing records merged in (end of stream only).
+  std::size_t merged_tail_tasks = 0;
+  EventLog log;
+  Observation obs;
+
+  // The log is replaced on close; 2 is the smallest valid EventLog placeholder.
+  ClosedWindow() : log(2) {}
+};
+
+struct WindowAssemblerStats {
+  std::size_t tasks_ingested = 0;
+  std::size_t late_dropped = 0;
+  std::size_t tail_dropped = 0;
+  std::size_t windows_closed = 0;
+  // High-water mark of retained records (open-window buffer PLUS the previous window's
+  // records kept for the trailing merge) — the bounded-memory witness: independent of
+  // trace length, proportional to the widest window.
+  std::size_t peak_buffered_tasks = 0;
+};
+
+class WindowAssembler {
+ public:
+  WindowAssembler(int num_queues, const WindowAssemblerOptions& options = {});
+
+  // Ingests one record; may close zero or more windows (drain with PopClosed).
+  void Push(const TaskRecord& record);
+
+  // Signals end of stream: closes the final window under the trailing-merge policy
+  // above. Push must not be called afterwards.
+  void FinishStream();
+
+  bool HasClosed() const { return !closed_.empty(); }
+  ClosedWindow PopClosed();
+
+  std::size_t BufferedTasks() const { return pending_.size(); }
+  const WindowAssemblerStats& Stats() const { return stats_; }
+
+ private:
+  void TryCloseWindows();
+  // Sorts `records` by entry time (stably: ties keep arrival order), builds the window,
+  // and queues it.
+  void CloseWindow(double t0, double t1, std::vector<TaskRecord> records,
+                   std::size_t merged_tail_tasks);
+
+  WindowAssemblerOptions options_;
+  WindowLogBuilder builder_;
+
+  double window_start_ = 0.0;
+  double window_end_ = 0.0;
+  double watermark_ = 0.0;  // max entry time seen
+  bool finished_ = false;
+
+  std::vector<TaskRecord> pending_;
+  std::deque<ClosedWindow> closed_;
+
+  // Last closed window's inputs, retained for the trailing merge.
+  bool have_last_window_ = false;
+  double last_window_t0_ = 0.0;
+  std::vector<TaskRecord> last_window_records_;
+
+  WindowAssemblerStats stats_;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_STREAM_WINDOW_ASSEMBLER_H_

@@ -1,7 +1,9 @@
 // CSV serialization for event logs, observations, and result series, so experiments can be
 // archived and re-plotted outside the binaries.
 //
-// Event-log format, one row per event in (task, route-order):
+// Event-log format: a `# queues=N` header line recording the network size, a column
+// header, then one row per event in (task, route-order):
+//     # queues=N
 //     task,state,queue,arrival,departure,initial
 // Observation format, one row per event id:
 //     event,arrival_observed,departure_observed
@@ -21,9 +23,33 @@ namespace qnet {
 void WriteEventLog(std::ostream& os, const EventLog& log);
 void WriteEventLogFile(const std::string& path, const EventLog& log);
 
-// Reads a log written by WriteEventLog; num_queues must match the writer's network.
+// Reads a log written by WriteEventLog, taking the network size from the `# queues=N`
+// header (CHECK-fails on headerless legacy files).
+EventLog ReadEventLog(std::istream& is);
+EventLog ReadEventLogFile(const std::string& path);
+// Back-compat overloads for headerless files: num_queues supplies the network size (and
+// is checked against the header when one is present).
 EventLog ReadEventLog(std::istream& is, int num_queues);
 EventLog ReadEventLogFile(const std::string& path, int num_queues);
+
+// Splits one CSV line into `fields` (reused across calls — no per-call vector). The one
+// splitter shared by the batch readers here and the incremental CsvReplayStream, so the
+// two cannot diverge on format details.
+void SplitCsvLine(const std::string& line, std::vector<std::string>& fields);
+
+// Checked numeric field parsers: corrupt values raise Error (like every other corrupt-
+// input path) instead of leaking std::invalid_argument/std::out_of_range from stoi/stod.
+// `line` is quoted in the diagnostic. Shared by the batch readers and CsvReplayStream.
+int ParseCsvInt(const std::string& field, const std::string& line);
+long ParseCsvLong(const std::string& field, const std::string& line);
+double ParseCsvDouble(const std::string& field, const std::string& line);
+
+// Shared header step for event-log readers (ReadEventLog, CsvReplayStream): consumes the
+// optional '# queues=N' line plus the column-header line from `is`, reconciles N with the
+// caller-supplied num_queues (-1 = must come from the header, nonnegative = required to
+// match any header present), and returns the resolved queue count. Throws Error on
+// malformed headers.
+int ReadEventLogHeader(std::istream& is, int num_queues);
 
 void WriteObservation(std::ostream& os, const Observation& obs);
 Observation ReadObservation(std::istream& is, const EventLog& log);

@@ -45,6 +45,89 @@ TEST(ExtractTaskWindow, PreservesTimesLinksAndFlags) {
   window_obs.Validate(window);
 }
 
+TEST(ExtractTaskWindow, SingleTaskWindow) {
+  // Boundary invariant: a one-task window is a valid log — initial event anchored at 0,
+  // links rebuilt, observation consistent.
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {4.0, 3.0});
+  Rng rng(17);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 30), rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.5;
+  const Observation obs = scheme.Apply(truth, rng);
+
+  const auto [window, window_obs] = ExtractTaskWindow(truth, obs, {12});
+  ASSERT_EQ(window.NumTasks(), 1);
+  std::string why;
+  EXPECT_TRUE(window.IsFeasible(1e-9, &why)) << why;
+  EXPECT_DOUBLE_EQ(window.TaskEntryTime(0), truth.TaskEntryTime(12));
+  EXPECT_DOUBLE_EQ(window.TaskExitTime(0), truth.TaskExitTime(12));
+  const auto& chain = window.TaskEvents(0);
+  ASSERT_EQ(chain.size(), truth.TaskEvents(12).size());
+  // With every cross-task neighbor cut away, each event's rho/nu links stay within the
+  // task's own queue visits (no dangling ids).
+  for (const EventId e : chain) {
+    const Event& ev = window.At(e);
+    if (ev.rho != kNoEvent) {
+      EXPECT_EQ(window.At(ev.rho).task, 0);
+    }
+    if (ev.nu != kNoEvent) {
+      EXPECT_EQ(window.At(ev.nu).task, 0);
+    }
+  }
+  window_obs.Validate(window);
+}
+
+TEST(ExtractTaskWindow, RederivesDepartureFlagsAndKeepsFinalOnes) {
+  // Departure flags are the same physical measurement as the successor's arrival, so the
+  // window re-derives every internal departure flag from its successor arrival flag; only
+  // each task's *final* departure flag (nobody's arrival) carries over from the source.
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {4.0, 3.0});
+  Rng rng(19);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 40), rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.5;
+  scheme.observe_final_departure = false;  // exercises the unobserved-final-exit corner
+  const Observation obs = scheme.Apply(truth, rng);
+
+  const std::vector<int> tasks = {5, 6, 7, 20, 21};
+  const auto [window, window_obs] = ExtractTaskWindow(truth, obs, tasks);
+  for (int wk = 0; wk < window.NumTasks(); ++wk) {
+    const auto& chain = window.TaskEvents(wk);
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      const Event& ev = window.At(chain[i]);
+      EXPECT_EQ(window_obs.DepartureObserved(ev.pi), window_obs.ArrivalObserved(chain[i]))
+          << "task " << wk << " step " << i;
+    }
+    // Final departure: carried from the source, here never observed.
+    EXPECT_EQ(window_obs.DepartureObserved(chain.back()),
+              obs.DepartureObserved(truth.TaskEvents(tasks[static_cast<std::size_t>(wk)]).back()));
+    EXPECT_FALSE(window_obs.DepartureObserved(chain.back()));
+  }
+  window_obs.Validate(window);
+}
+
+TEST(ExtractTaskWindow, ReconstructsObservedTasks) {
+  // observed_tasks must be exactly the window-renumbered source observed tasks that made
+  // it into the window, in sorted order.
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {4.0, 3.0});
+  Rng rng(23);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 50), rng);
+  TaskSamplingScheme scheme;
+  const Observation obs = scheme.ApplyToTasks(truth, {2, 3, 9, 30, 31});
+
+  const std::vector<int> tasks = {3, 4, 9, 10, 30};
+  const auto [window, window_obs] = ExtractTaskWindow(truth, obs, tasks);
+  // Source observed tasks inside the window: 3 -> 0, 9 -> 2, 30 -> 4.
+  const std::vector<int> expected = {0, 2, 4};
+  EXPECT_EQ(window_obs.observed_tasks, expected);
+  for (const int wk : window_obs.observed_tasks) {
+    const auto& chain = window.TaskEvents(wk);
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      EXPECT_TRUE(window_obs.ArrivalObserved(chain[i]));
+    }
+  }
+}
+
 TEST(ExtractTaskWindow, RejectsUnsortedTasks) {
   const QueueingNetwork net = MakeTandemNetwork(2.0, {4.0});
   Rng rng(5);

@@ -1,0 +1,782 @@
+// Streaming inference engine: trace streams, watermark-driven window assembly, and the
+// pipelined windowed StEM estimator.
+//
+// The load-bearing assertions are bit-exactness ones: the streaming engine must
+// reproduce the batch windowed estimator exactly — same windows, same estimates — for
+// any sharded-sweep thread count and any pipelining, and the window logs built
+// incrementally from TaskRecords must equal the ones ExtractTaskWindow builds from the
+// batch log.
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "qnet/infer/online.h"
+#include "qnet/infer/stem.h"
+#include "qnet/model/builders.h"
+#include "qnet/obs/observation.h"
+#include "qnet/sim/fault.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/stream/live_stream.h"
+#include "qnet/stream/replay_stream.h"
+#include "qnet/stream/streaming_estimator.h"
+#include "qnet/stream/task_record.h"
+#include "qnet/stream/window_assembler.h"
+#include "qnet/support/check.h"
+#include "qnet/support/rng.h"
+#include "qnet/trace/csv.h"
+
+namespace qnet {
+namespace {
+
+struct Fixture {
+  EventLog truth;
+  Observation obs;
+
+  Fixture(double fraction = 0.5, std::size_t tasks = 400, std::uint64_t seed = 7)
+      : truth(MakeLog(tasks, seed)), obs(MakeObs(truth, fraction, seed)) {}
+
+  static EventLog MakeLog(std::size_t tasks, std::uint64_t seed) {
+    const QueueingNetwork net = MakeTandemNetwork(4.0, {8.0, 9.0});
+    Rng rng(seed);
+    return SimulateWorkload(net, PoissonArrivals(4.0, tasks), rng);
+  }
+  static Observation MakeObs(const EventLog& log, double fraction, std::uint64_t seed) {
+    Rng rng(seed + 1);
+    TaskSamplingScheme scheme;
+    scheme.fraction = fraction;
+    return scheme.Apply(log, rng);
+  }
+};
+
+void ExpectLogsIdentical(const EventLog& a, const EventLog& b) {
+  ASSERT_EQ(a.NumEvents(), b.NumEvents());
+  ASSERT_EQ(a.NumTasks(), b.NumTasks());
+  ASSERT_EQ(a.NumQueues(), b.NumQueues());
+  for (EventId e = 0; static_cast<std::size_t>(e) < a.NumEvents(); ++e) {
+    const Event& ea = a.At(e);
+    const Event& eb = b.At(e);
+    EXPECT_EQ(ea.task, eb.task);
+    EXPECT_EQ(ea.state, eb.state);
+    EXPECT_EQ(ea.queue, eb.queue);
+    EXPECT_EQ(ea.arrival, eb.arrival);      // bitwise: same doubles copied through
+    EXPECT_EQ(ea.departure, eb.departure);
+    EXPECT_EQ(ea.pi, eb.pi);
+    EXPECT_EQ(ea.tau, eb.tau);
+    EXPECT_EQ(ea.rho, eb.rho);
+    EXPECT_EQ(ea.nu, eb.nu);
+    EXPECT_EQ(ea.initial, eb.initial);
+  }
+}
+
+void ExpectEstimatesIdentical(const std::vector<WindowEstimate>& a,
+                              const std::vector<WindowEstimate>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    EXPECT_EQ(a[w].t0, b[w].t0) << "window " << w;
+    EXPECT_EQ(a[w].t1, b[w].t1) << "window " << w;
+    EXPECT_EQ(a[w].tasks, b[w].tasks) << "window " << w;
+    EXPECT_EQ(a[w].merged_tail_tasks, b[w].merged_tail_tasks) << "window " << w;
+    ASSERT_EQ(a[w].rates.size(), b[w].rates.size());
+    for (std::size_t q = 0; q < a[w].rates.size(); ++q) {
+      EXPECT_EQ(a[w].rates[q], b[w].rates[q]) << "window " << w << " q=" << q;
+    }
+    ASSERT_EQ(a[w].mean_wait.size(), b[w].mean_wait.size());
+    for (std::size_t q = 0; q < a[w].mean_wait.size(); ++q) {
+      EXPECT_EQ(a[w].mean_wait[q], b[w].mean_wait[q]) << "window " << w << " q=" << q;
+    }
+  }
+}
+
+// --- WindowLogBuilder ------------------------------------------------------------------
+
+TEST(WindowLogBuilder, MatchesExtractTaskWindow) {
+  const Fixture f;
+  const std::vector<int> tasks = {3, 4, 5, 6, 10, 11, 40, 41, 42};
+  const auto [batch_log, batch_obs] = ExtractTaskWindow(f.truth, f.obs, tasks);
+
+  WindowLogBuilder builder(f.truth.NumQueues());
+  for (const int task : tasks) {
+    builder.Add(MakeTaskRecord(f.truth, f.obs, task));
+  }
+  const auto [stream_log, stream_obs] = builder.Finish();
+
+  ExpectLogsIdentical(batch_log, stream_log);
+  EXPECT_EQ(batch_obs.arrival_observed, stream_obs.arrival_observed);
+  EXPECT_EQ(batch_obs.departure_observed, stream_obs.departure_observed);
+  EXPECT_EQ(batch_obs.observed_tasks, stream_obs.observed_tasks);
+}
+
+TEST(WindowLogBuilder, IsReusableAcrossWindows) {
+  const Fixture f;
+  WindowLogBuilder builder(f.truth.NumQueues());
+  builder.Add(MakeTaskRecord(f.truth, f.obs, 0));
+  builder.Add(MakeTaskRecord(f.truth, f.obs, 1));
+  const auto [first_log, first_obs] = builder.Finish();
+  EXPECT_EQ(first_log.NumTasks(), 2);
+
+  builder.Add(MakeTaskRecord(f.truth, f.obs, 2));
+  const auto [second_log, second_obs] = builder.Finish();
+  EXPECT_EQ(second_log.NumTasks(), 1);
+  EXPECT_EQ(second_log.TaskEntryTime(0), f.truth.TaskEntryTime(2));
+  second_obs.Validate(second_log);
+}
+
+// --- Replay streams --------------------------------------------------------------------
+
+TEST(LogReplayStream, YieldsEveryTaskInOrder) {
+  const Fixture f(0.5, 50);
+  LogReplayStream stream(f.truth, f.obs);
+  EXPECT_EQ(stream.NumQueues(), f.truth.NumQueues());
+  TaskRecord record;
+  int count = 0;
+  double last_entry = 0.0;
+  while (stream.Next(record)) {
+    EXPECT_EQ(record, MakeTaskRecord(f.truth, f.obs, count));
+    EXPECT_GE(record.entry_time, last_entry);
+    last_entry = record.entry_time;
+    ++count;
+  }
+  EXPECT_EQ(count, f.truth.NumTasks());
+}
+
+TEST(CsvReplayStream, MatchesLogReplayExactly) {
+  const Fixture f(0.4, 60);
+  std::stringstream log_csv;
+  std::stringstream obs_csv;
+  WriteEventLog(log_csv, f.truth);
+  WriteObservation(obs_csv, f.obs);
+
+  // num_queues comes from the '# queues=N' header.
+  CsvReplayStream csv_stream(log_csv, -1, &obs_csv);
+  EXPECT_EQ(csv_stream.NumQueues(), f.truth.NumQueues());
+  LogReplayStream log_stream(f.truth, f.obs);
+
+  TaskRecord from_csv;
+  TaskRecord from_log;
+  int tasks = 0;
+  while (log_stream.Next(from_log)) {
+    ASSERT_TRUE(csv_stream.Next(from_csv));
+    ASSERT_EQ(from_csv.visits.size(), from_log.visits.size()) << "task " << tasks;
+    // Times round-trip exactly (setprecision(17)); arrival flags match. Internal
+    // departure flags may differ in representation but are re-derived by the builder.
+    EXPECT_EQ(from_csv.entry_time, from_log.entry_time) << "task " << tasks;
+    for (std::size_t i = 0; i < from_log.visits.size(); ++i) {
+      EXPECT_EQ(from_csv.visits[i].queue, from_log.visits[i].queue);
+      EXPECT_EQ(from_csv.visits[i].state, from_log.visits[i].state);
+      EXPECT_EQ(from_csv.visits[i].arrival, from_log.visits[i].arrival);
+      EXPECT_EQ(from_csv.visits[i].departure, from_log.visits[i].departure);
+      EXPECT_EQ(from_csv.visits[i].arrival_observed, from_log.visits[i].arrival_observed);
+      EXPECT_EQ(from_csv.visits[i].departure_observed,
+                from_log.visits[i].departure_observed);
+    }
+    ++tasks;
+  }
+  EXPECT_FALSE(csv_stream.Next(from_csv));
+  EXPECT_EQ(tasks, f.truth.NumTasks());
+}
+
+TEST(CsvReplayStream, HeaderlessFilesNeedExplicitNumQueues) {
+  const Fixture f(1.0, 10);
+  std::stringstream with_header;
+  WriteEventLog(with_header, f.truth);
+  // Strip the '# queues=N' line to simulate a legacy file.
+  std::string all = with_header.str();
+  const std::string headerless = all.substr(all.find('\n') + 1);
+
+  std::stringstream no_header(headerless);
+  EXPECT_THROW(CsvReplayStream(no_header, -1), Error);
+  std::stringstream no_header2(headerless);
+  CsvReplayStream stream(no_header2, f.truth.NumQueues());
+  TaskRecord record;
+  EXPECT_TRUE(stream.Next(record));
+  EXPECT_EQ(record.entry_time, f.truth.TaskEntryTime(0));
+
+  // A wrong explicit count contradicting the header is rejected.
+  std::stringstream with_header2(all);
+  EXPECT_THROW(CsvReplayStream(with_header2, f.truth.NumQueues() + 1), Error);
+}
+
+// --- WindowAssembler -------------------------------------------------------------------
+
+TaskRecord TinyRecord(double entry, double service = 0.01) {
+  TaskRecord record;
+  record.entry_time = entry;
+  TaskVisit visit;
+  visit.state = 0;
+  visit.queue = 1;
+  visit.arrival = entry;
+  visit.departure = entry + service;
+  record.visits.push_back(visit);
+  return record;
+}
+
+TEST(WindowAssembler, ClosesWindowsAtWatermarkAndMergesSmallOnes) {
+  WindowAssemblerOptions options;
+  options.window_duration = 10.0;
+  options.min_tasks_per_window = 3;
+  WindowAssembler assembler(2, options);
+
+  // Window [0,10): 3 tasks; [10,20): only 2 tasks -> merges into [10,30).
+  for (const double t : {1.0, 2.0, 3.0, 11.0, 12.0}) {
+    assembler.Push(TinyRecord(t));
+  }
+  EXPECT_TRUE(assembler.HasClosed());  // [0,10) closed when the 11.0 record arrived
+  assembler.Push(TinyRecord(21.0));  // watermark 21 >= 20, but [10,20) has 2 < 3 tasks
+  assembler.Push(TinyRecord(25.0));
+  assembler.Push(TinyRecord(29.5));
+  assembler.Push(TinyRecord(31.0));  // watermark 31 >= 30: closes [10,30) with 5 tasks
+
+  std::vector<ClosedWindow> closed;
+  while (assembler.HasClosed()) {
+    closed.push_back(assembler.PopClosed());
+  }
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0].t0, 0.0);
+  EXPECT_EQ(closed[0].t1, 10.0);
+  EXPECT_EQ(closed[0].num_tasks, 3u);
+  EXPECT_EQ(closed[1].t0, 10.0);
+  EXPECT_EQ(closed[1].t1, 30.0);  // span extended over the too-small [10,20)
+  EXPECT_EQ(closed[1].num_tasks, 5u);
+
+  assembler.FinishStream();  // single remaining task (31.0), previous window exists
+  ASSERT_TRUE(assembler.HasClosed());
+  const ClosedWindow tail = assembler.PopClosed();
+  EXPECT_EQ(tail.merged_tail_tasks, 1u);
+  EXPECT_EQ(tail.t0, 10.0);  // replaces the previous window, span extended
+  EXPECT_EQ(tail.num_tasks, 6u);
+  EXPECT_EQ(assembler.Stats().tail_dropped, 0u);
+}
+
+TEST(WindowAssembler, FirstWindowClosesOnArrivalPastEnd) {
+  WindowAssemblerOptions options;
+  options.window_duration = 10.0;
+  options.min_tasks_per_window = 2;
+  WindowAssembler assembler(2, options);
+  assembler.Push(TinyRecord(1.0));
+  assembler.Push(TinyRecord(2.0));
+  EXPECT_FALSE(assembler.HasClosed());
+  assembler.Push(TinyRecord(10.5));
+  ASSERT_TRUE(assembler.HasClosed());
+  EXPECT_EQ(assembler.PopClosed().num_tasks, 2u);
+}
+
+TEST(WindowAssembler, LateRecordPolicies) {
+  WindowAssemblerOptions options;
+  options.window_duration = 10.0;
+  options.min_tasks_per_window = 2;
+  options.late_policy = LateRecordPolicy::kDrop;
+  {
+    WindowAssembler assembler(2, options);
+    assembler.Push(TinyRecord(1.0));
+    assembler.Push(TinyRecord(2.0));
+    assembler.Push(TinyRecord(11.0));  // closes [0,10)
+    ASSERT_TRUE(assembler.HasClosed());
+    assembler.PopClosed();
+    assembler.Push(TinyRecord(5.0));  // late: belongs to the closed [0,10)
+    EXPECT_EQ(assembler.Stats().late_dropped, 1u);
+    assembler.Push(TinyRecord(12.0));
+    assembler.FinishStream();
+    ASSERT_TRUE(assembler.HasClosed());
+    EXPECT_EQ(assembler.PopClosed().num_tasks, 2u);  // the late record is gone
+  }
+  options.late_policy = LateRecordPolicy::kMergeIntoCurrent;
+  {
+    WindowAssembler assembler(2, options);
+    assembler.Push(TinyRecord(1.0));
+    assembler.Push(TinyRecord(2.0));
+    assembler.Push(TinyRecord(11.0));
+    assembler.PopClosed();
+    assembler.Push(TinyRecord(5.0));  // late: folded into the open [10,...) window
+    assembler.Push(TinyRecord(12.0));
+    assembler.FinishStream();
+    EXPECT_EQ(assembler.Stats().late_dropped, 0u);
+    ASSERT_TRUE(assembler.HasClosed());
+    const ClosedWindow window = assembler.PopClosed();
+    EXPECT_EQ(window.num_tasks, 3u);
+    // The late record sorts first within the window's log.
+    EXPECT_EQ(window.log.TaskEntryTime(0), 5.0);
+  }
+}
+
+TEST(WindowAssembler, AllowedLatenessHoldsWindowsOpen) {
+  WindowAssemblerOptions options;
+  options.window_duration = 10.0;
+  options.min_tasks_per_window = 2;
+  options.allowed_lateness = 5.0;
+  WindowAssembler assembler(2, options);
+  assembler.Push(TinyRecord(1.0));
+  assembler.Push(TinyRecord(2.0));
+  assembler.Push(TinyRecord(11.0));  // watermark 11 - 5 = 6 < 10: stays open
+  EXPECT_FALSE(assembler.HasClosed());
+  assembler.Push(TinyRecord(9.0));  // within lateness: sorted into [0,10)
+  assembler.Push(TinyRecord(16.0));  // watermark 16 - 5 = 11 >= 10: closes
+  ASSERT_TRUE(assembler.HasClosed());
+  const ClosedWindow window = assembler.PopClosed();
+  EXPECT_EQ(window.num_tasks, 3u);
+  EXPECT_EQ(window.log.TaskEntryTime(2), 9.0);
+  EXPECT_EQ(assembler.Stats().late_dropped, 0u);
+}
+
+TEST(WindowAssembler, TailMergesIntoWindowClosedDuringFinish) {
+  // Regression: with allowed_lateness > 0 a window's close can be deferred until
+  // FinishStream releases the watermark hold-back. The trailing merge must target THAT
+  // window — the true last one — not an earlier close retained during Push.
+  WindowAssemblerOptions options;
+  options.window_duration = 10.0;
+  options.min_tasks_per_window = 2;
+  options.allowed_lateness = 5.0;
+  WindowAssembler assembler(2, options);
+  for (const double t : {1.0, 2.0, 11.0, 12.0, 21.0}) {
+    assembler.Push(TinyRecord(t));
+  }
+  // Watermark 21 - 5 = 16: only [0,10) has closed so far.
+  assembler.FinishStream();
+  std::vector<ClosedWindow> closed;
+  while (assembler.HasClosed()) {
+    closed.push_back(assembler.PopClosed());
+  }
+  ASSERT_EQ(closed.size(), 3u);
+  EXPECT_EQ(closed[0].t0, 0.0);
+  EXPECT_EQ(closed[0].num_tasks, 2u);
+  EXPECT_EQ(closed[1].t0, 10.0);  // deferred close, released by FinishStream
+  EXPECT_EQ(closed[1].t1, 20.0);
+  EXPECT_EQ(closed[1].num_tasks, 2u);
+  // The tail {21} merges into [10,20) — the window closed during FinishStream.
+  EXPECT_EQ(closed[2].merged_tail_tasks, 1u);
+  EXPECT_EQ(closed[2].t0, 10.0);
+  EXPECT_EQ(closed[2].num_tasks, 3u);
+  EXPECT_EQ(closed[2].log.TaskEntryTime(0), 11.0);
+  EXPECT_EQ(closed[2].log.TaskEntryTime(2), 21.0);
+  EXPECT_EQ(assembler.Stats().tail_dropped, 0u);
+}
+
+TEST(WindowAssembler, TailMergesWhenEveryWindowClosesAtFinish) {
+  // Regression: large lateness can defer every close to FinishStream; the 1-task tail
+  // must still find the previous window instead of being dropped.
+  WindowAssemblerOptions options;
+  options.window_duration = 10.0;
+  options.min_tasks_per_window = 2;
+  options.allowed_lateness = 25.0;
+  WindowAssembler assembler(2, options);
+  for (const double t : {1.0, 2.0, 21.0}) {
+    assembler.Push(TinyRecord(t));
+  }
+  EXPECT_FALSE(assembler.HasClosed());
+  assembler.FinishStream();
+  std::vector<ClosedWindow> closed;
+  while (assembler.HasClosed()) {
+    closed.push_back(assembler.PopClosed());
+  }
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0].num_tasks, 2u);
+  EXPECT_EQ(closed[1].merged_tail_tasks, 1u);
+  EXPECT_EQ(closed[1].num_tasks, 3u);
+  EXPECT_EQ(assembler.Stats().tail_dropped, 0u);
+}
+
+TEST(WindowAssembler, FastForwardsOverHugeIdleGaps) {
+  // Epoch-style timestamps far from t = 0 (or long idle gaps) must not cost one loop
+  // iteration per empty duration: ~28M empty 60 s windows precede these records.
+  WindowAssemblerOptions options;
+  options.window_duration = 60.0;
+  options.min_tasks_per_window = 2;
+  WindowAssembler assembler(2, options);
+  const double epoch = 1.7e9;
+  assembler.Push(TinyRecord(epoch + 1.0));
+  assembler.Push(TinyRecord(epoch + 2.0));
+  assembler.Push(TinyRecord(epoch + 70.0));
+  ASSERT_TRUE(assembler.HasClosed());
+  const ClosedWindow window = assembler.PopClosed();
+  EXPECT_EQ(window.num_tasks, 2u);
+  EXPECT_LE(window.t0, epoch + 1.0);
+  EXPECT_GT(window.t1, epoch + 2.0);
+  assembler.FinishStream();
+  ASSERT_TRUE(assembler.HasClosed());
+  EXPECT_EQ(assembler.PopClosed().merged_tail_tasks, 1u);
+}
+
+TEST(WindowAssembler, PeakBufferIsIndependentOfTraceLength) {
+  // Uniformly spaced entries: the buffer high-water mark is one windowful regardless of
+  // how long the stream runs — the bounded-memory contract.
+  WindowAssemblerOptions options;
+  options.window_duration = 10.0;
+  options.min_tasks_per_window = 2;
+  std::size_t peak_short = 0;
+  std::size_t peak_long = 0;
+  for (const std::size_t tasks : {200u, 2000u}) {
+    WindowAssembler assembler(2, options);
+    for (std::size_t k = 0; k < tasks; ++k) {
+      assembler.Push(TinyRecord(0.5 + static_cast<double>(k)));
+      while (assembler.HasClosed()) {
+        assembler.PopClosed();
+      }
+    }
+    assembler.FinishStream();
+    while (assembler.HasClosed()) {
+      assembler.PopClosed();
+    }
+    (tasks == 200u ? peak_short : peak_long) = assembler.Stats().peak_buffered_tasks;
+  }
+  EXPECT_EQ(peak_short, peak_long);
+  // One open windowful plus the previous window's records retained for the tail merge.
+  EXPECT_LE(peak_long, 22u);
+}
+
+// --- StreamingEstimator ----------------------------------------------------------------
+
+StreamingEstimatorOptions ShortStemOptions(double window_duration = 25.0) {
+  StreamingEstimatorOptions options;
+  options.window.window_duration = window_duration;
+  options.stem.iterations = 30;
+  options.stem.burn_in = 10;
+  options.stem.wait_sweeps = 5;
+  return options;
+}
+
+// Reference implementation: batch windowing via ExtractTaskWindow with the same grouping,
+// seeding, and trailing-merge rules the streaming engine promises. Pins the semantics the
+// assembler + estimator must reproduce bit-for-bit.
+std::vector<WindowEstimate> ReferenceWindowedStem(const EventLog& truth,
+                                                  const Observation& obs,
+                                                  std::vector<double> init_rates,
+                                                  std::uint64_t seed,
+                                                  const StreamingEstimatorOptions& options) {
+  const StemEstimator estimator(options.stem);
+  const std::size_t min_needed =
+      std::max<std::size_t>(options.window.min_tasks_per_window, 2);
+  std::vector<WindowEstimate> estimates;
+  std::vector<int> pending;
+  std::vector<int> last_window_tasks;
+  double window_start = 0.0;
+  double window_end = options.window.window_duration;
+  double last_window_t0 = 0.0;
+  std::vector<double> rates = std::move(init_rates);
+  std::vector<double> prev_input_rates = rates;
+  std::size_t window_index = 0;
+
+  const auto estimate_window = [&](const std::vector<int>& tasks, double t0, double t1,
+                                   const std::vector<double>& warm, std::uint64_t index,
+                                   std::size_t merged_tail) {
+    const auto [window, window_obs] = ExtractTaskWindow(truth, obs, tasks);
+    Rng rng(MixSeed(seed, index));
+    const StemResult result = estimator.Run(window, window_obs, warm, rng);
+    WindowEstimate est;
+    est.t0 = t0;
+    est.t1 = t1;
+    est.tasks = tasks.size();
+    est.merged_tail_tasks = merged_tail;
+    est.rates = result.rates;
+    est.mean_wait = result.mean_wait;
+    return est;
+  };
+
+  for (int task = 0; task < truth.NumTasks(); ++task) {
+    const double entry = truth.TaskEntryTime(task);
+    while (entry >= window_end) {
+      if (pending.size() >= min_needed) {
+        prev_input_rates = rates;
+        WindowEstimate est = estimate_window(pending, window_start, window_end, rates,
+                                             window_index, 0);
+        rates = est.rates;
+        estimates.push_back(std::move(est));
+        last_window_tasks = pending;
+        last_window_t0 = window_start;
+        ++window_index;
+        pending.clear();
+        window_start = window_end;
+      }
+      window_end += options.window.window_duration;
+    }
+    pending.push_back(task);
+  }
+  if (pending.size() >= min_needed) {
+    WindowEstimate est =
+        estimate_window(pending, window_start, window_end, rates, window_index, 0);
+    estimates.push_back(std::move(est));
+  } else if (!pending.empty() && !estimates.empty()) {
+    std::vector<int> merged = last_window_tasks;
+    merged.insert(merged.end(), pending.begin(), pending.end());
+    estimates.back() = estimate_window(merged, last_window_t0, window_end,
+                                       prev_input_rates, window_index - 1, pending.size());
+  } else if (pending.size() >= 2) {
+    WindowEstimate est =
+        estimate_window(pending, window_start, window_end, rates, window_index, 0);
+    estimates.push_back(std::move(est));
+  }
+  return estimates;
+}
+
+TEST(StreamingEstimator, MatchesBatchReferenceBitIdentically) {
+  const Fixture f;
+  const std::vector<double> init = {1.0, 1.0, 1.0};
+  const std::uint64_t seed = 99;
+  const StreamingEstimatorOptions options = ShortStemOptions();
+
+  const auto reference = ReferenceWindowedStem(f.truth, f.obs, init, seed, options);
+  LogReplayStream stream(f.truth, f.obs);
+  StreamingEstimator estimator(init, seed, options);
+  const auto streamed = estimator.Run(stream);
+
+  ASSERT_GE(reference.size(), 3u);
+  ExpectEstimatesIdentical(reference, streamed);
+}
+
+TEST(StreamingEstimator, BitIdenticalAcrossThreadCountsAndPipelining) {
+  // The acceptance bar: 1/2/4 sharded-sweep threads, pipelining on or off — the window
+  // estimate sequence is bit-identical; only wall-clock may change.
+  const Fixture f;
+  const std::vector<double> init = {1.0, 1.0, 1.0};
+  const std::uint64_t seed = 5;
+  StreamingEstimatorOptions options = ShortStemOptions();
+  options.stem.sharded_sweeps = true;
+  options.stem.sharded.shards = 2;
+
+  std::vector<std::vector<WindowEstimate>> runs;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    for (const bool pipeline : {false, true}) {
+      options.stem.sharded.threads = threads;
+      options.pipeline = pipeline;
+      LogReplayStream stream(f.truth, f.obs);
+      StreamingEstimator estimator(init, seed, options);
+      runs.push_back(estimator.Run(stream));
+    }
+  }
+  ASSERT_GE(runs.front().size(), 3u);
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    ExpectEstimatesIdentical(runs.front(), runs[i]);
+  }
+}
+
+TEST(StreamingEstimator, RunOnlineStemIsAThinAdapter) {
+  // RunOnlineStem(rng) == StreamingEstimator(seed = rng.NextU64()) over a replay stream.
+  const Fixture f;
+  OnlineStemOptions online;
+  online.window_duration = 25.0;
+  online.stem.iterations = 30;
+  online.stem.burn_in = 10;
+  online.stem.wait_sweeps = 0;
+
+  Rng rng(123);
+  const auto adapter = RunOnlineStem(f.truth, f.obs, {1.0, 1.0, 1.0}, rng, online);
+
+  Rng seed_rng(123);
+  StreamingEstimatorOptions options;
+  options.window.window_duration = online.window_duration;
+  options.window.min_tasks_per_window = online.min_tasks_per_window;
+  options.stem = online.stem;
+  LogReplayStream stream(f.truth, f.obs);
+  StreamingEstimator estimator({1.0, 1.0, 1.0}, seed_rng.NextU64(), options);
+  const auto streamed = estimator.Run(stream);
+
+  ExpectEstimatesIdentical(adapter, streamed);
+}
+
+TEST(StreamingEstimator, CsvReplayMatchesInMemoryReplay) {
+  const Fixture f;
+  const std::vector<double> init = {1.0, 1.0, 1.0};
+  const StreamingEstimatorOptions options = ShortStemOptions();
+
+  LogReplayStream memory_stream(f.truth, f.obs);
+  StreamingEstimator memory_estimator(init, 17, options);
+  const auto from_memory = memory_estimator.Run(memory_stream);
+
+  std::stringstream log_csv;
+  std::stringstream obs_csv;
+  WriteEventLog(log_csv, f.truth);
+  WriteObservation(obs_csv, f.obs);
+  CsvReplayStream csv_stream(log_csv, -1, &obs_csv);
+  StreamingEstimator csv_estimator(init, 17, options);
+  const auto from_csv = csv_estimator.Run(csv_stream);
+
+  ExpectEstimatesIdentical(from_memory, from_csv);
+}
+
+TEST(StreamingEstimator, TrailingWindowIsMergedNotDropped) {
+  // Regression for the batch-era data loss: a final window with fewer than
+  // min_tasks_per_window tasks used to vanish in the last flush. Now it merges into the
+  // previous window's span and the last estimate is re-fit over the union.
+  const QueueingNetwork net = MakeSingleQueueNetwork(4.0, 8.0);
+  Rng rng(31);
+  EventLog truth = SimulateWorkload(net, PoissonArrivals(4.0, 120), rng);
+  const Observation obs = Observation::FullyObserved(truth);
+
+  OnlineStemOptions options;
+  // Choose a duration so the last window holds only a couple of tasks: entries run to
+  // roughly 120/4 = 30s; a 12s window leaves a small remainder with high probability.
+  options.window_duration = 12.0;
+  options.min_tasks_per_window = 30;
+  options.stem.iterations = 20;
+  options.stem.burn_in = 5;
+  options.stem.wait_sweeps = 0;
+
+  Rng est_rng(7);
+  const auto estimates =
+      RunOnlineStem(truth, obs, {1.0, 1.0}, est_rng, options);
+  ASSERT_GE(estimates.size(), 1u);
+  std::size_t total_tasks = 0;
+  for (const auto& est : estimates) {
+    total_tasks += est.tasks;
+  }
+  const std::size_t merged = estimates.back().merged_tail_tasks;
+  // Every task is accounted for: either the tail made a full window (merged == 0 and the
+  // counts already sum) or it was merged into the final estimate.
+  EXPECT_EQ(total_tasks, static_cast<std::size_t>(truth.NumTasks()));
+  // The final estimate's span covers the last task's entry time.
+  EXPECT_GE(estimates.back().t1, truth.TaskEntryTime(truth.NumTasks() - 1));
+  if (merged > 0) {
+    EXPECT_LT(merged, std::max<std::size_t>(options.min_tasks_per_window, 2));
+  }
+}
+
+TEST(StreamingEstimator, TinyStreamWithNoFullWindowStillEstimates) {
+  // 3 tasks, all inside the first (never-closing) window: with no previous window to
+  // merge into, a >= 2-task remainder is emitted instead of silently dropped.
+  const QueueingNetwork net = MakeSingleQueueNetwork(2.0, 8.0);
+  Rng rng(3);
+  EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 3), rng);
+  const Observation obs = Observation::FullyObserved(truth);
+
+  OnlineStemOptions options;
+  options.window_duration = 1000.0;
+  options.min_tasks_per_window = 8;
+  options.stem.iterations = 10;
+  options.stem.burn_in = 2;
+  options.stem.wait_sweeps = 0;
+  Rng est_rng(9);
+  const auto estimates = RunOnlineStem(truth, obs, {1.0, 1.0}, est_rng, options);
+  ASSERT_EQ(estimates.size(), 1u);
+  EXPECT_EQ(estimates.front().tasks, 3u);
+}
+
+TEST(StreamingEstimator, ReportsThroughputStats) {
+  const Fixture f;
+  const StreamingEstimatorOptions options = ShortStemOptions();
+  LogReplayStream stream(f.truth, f.obs);
+  StreamingEstimator estimator({1.0, 1.0, 1.0}, 1, options);
+  const auto estimates = estimator.Run(stream);
+  const StreamingStats& stats = estimator.Stats();
+  EXPECT_EQ(stats.tasks_ingested, static_cast<std::size_t>(f.truth.NumTasks()));
+  EXPECT_EQ(stats.windows_estimated, estimates.size());
+  EXPECT_GT(stats.tasks_per_second, 0.0);
+  EXPECT_GT(stats.total_wall_seconds, 0.0);
+  EXPECT_EQ(stats.late_dropped, 0u);
+  EXPECT_GT(stats.peak_buffered_tasks, 0u);
+  EXPECT_LT(stats.peak_buffered_tasks, static_cast<std::size_t>(f.truth.NumTasks()));
+}
+
+// --- LiveSimStream ---------------------------------------------------------------------
+
+TEST(LiveSimStream, ProducesFeasibleEntryOrderedTasks) {
+  const QueueingNetwork net = MakeTandemNetwork(3.0, {6.0, 7.0});
+  LiveSimOptions options;
+  options.max_tasks = 200;
+  options.arrival_rate = 3.0;
+  LiveSimStream stream(net, options, 42);
+  EXPECT_EQ(stream.NumQueues(), net.NumQueues());
+
+  WindowLogBuilder builder(net.NumQueues());
+  TaskRecord record;
+  std::size_t count = 0;
+  double last_entry = 0.0;
+  while (stream.Next(record)) {
+    EXPECT_GT(record.entry_time, last_entry);
+    last_entry = record.entry_time;
+    ASSERT_FALSE(record.visits.empty());
+    EXPECT_EQ(record.visits.front().arrival, record.entry_time);
+    builder.Add(record);
+    ++count;
+  }
+  EXPECT_EQ(count, options.max_tasks);
+  const auto [log, obs] = builder.Finish();
+  std::string why;
+  EXPECT_TRUE(log.IsFeasible(1e-9, &why)) << why;
+  EXPECT_EQ(obs.observed_tasks.size(), static_cast<std::size_t>(log.NumTasks()));
+}
+
+TEST(LiveSimStream, DeterministicForAGivenSeed) {
+  const QueueingNetwork net = MakeTandemNetwork(3.0, {6.0, 7.0});
+  LiveSimOptions options;
+  options.max_tasks = 80;
+  options.arrival_rate = 3.0;
+  options.observed_fraction = 0.5;
+  LiveSimStream a(net, options, 9);
+  LiveSimStream b(net, options, 9);
+  TaskRecord ra;
+  TaskRecord rb;
+  while (a.Next(ra)) {
+    ASSERT_TRUE(b.Next(rb));
+    EXPECT_EQ(ra, rb);
+  }
+  EXPECT_FALSE(b.Next(rb));
+}
+
+TEST(LiveSimStream, HorizonBoundsTheStream) {
+  const QueueingNetwork net = MakeSingleQueueNetwork(5.0, 20.0);
+  LiveSimOptions options;
+  options.horizon = 10.0;
+  options.arrival_rate = 5.0;
+  LiveSimStream stream(net, options, 13);
+  TaskRecord record;
+  std::size_t count = 0;
+  while (stream.Next(record)) {
+    EXPECT_LE(record.entry_time, options.horizon);
+    ++count;
+  }
+  EXPECT_GT(count, 10u);  // ~50 expected
+}
+
+TEST(LiveSimStream, DrivesTheStreamingEstimator) {
+  // End-to-end: live simulator -> assembler -> windowed StEM recovers the service rate.
+  const QueueingNetwork net = MakeSingleQueueNetwork(4.0, 8.0);
+  LiveSimOptions sim_options;
+  sim_options.max_tasks = 600;
+  sim_options.arrival_rate = 4.0;
+  sim_options.observed_fraction = 0.5;
+  LiveSimStream stream(net, sim_options, 11);
+
+  StreamingEstimatorOptions options;
+  options.window.window_duration = 30.0;
+  options.stem.iterations = 40;
+  options.stem.burn_in = 15;
+  options.stem.wait_sweeps = 0;
+  options.pipeline = true;
+  StreamingEstimator estimator({1.0, 1.0}, 21, options);
+  const auto estimates = estimator.Run(stream);
+  ASSERT_GE(estimates.size(), 3u);
+  for (const auto& window : estimates) {
+    ASSERT_EQ(window.rates.size(), 2u);
+    EXPECT_NEAR(1.0 / window.rates[1], 1.0 / 8.0, 0.08) << "window at " << window.t0;
+  }
+  EXPECT_EQ(estimator.Stats().tasks_ingested, sim_options.max_tasks);
+}
+
+TEST(LiveSimStream, FaultScheduleShowsUpInWindowEstimates) {
+  // The queue slows 4x mid-stream; the streaming engine sees it live.
+  const QueueingNetwork net = MakeSingleQueueNetwork(2.0, 10.0);
+  FaultSchedule faults;
+  faults.AddSlowdown(1, 150.0, 1.0e9, 4.0);
+  LiveSimOptions sim_options;
+  sim_options.max_tasks = 600;
+  sim_options.arrival_rate = 2.0;
+  sim_options.faults = &faults;
+  sim_options.observed_fraction = 0.6;
+  LiveSimStream stream(net, sim_options, 11);
+
+  StreamingEstimatorOptions options;
+  options.window.window_duration = 75.0;
+  options.stem.iterations = 40;
+  options.stem.burn_in = 15;
+  options.stem.wait_sweeps = 0;
+  StreamingEstimator estimator({1.0, 1.0}, 23, options);
+  const auto estimates = estimator.Run(stream);
+  ASSERT_GE(estimates.size(), 3u);
+  const double early_service = 1.0 / estimates.front().rates[1];
+  const double late_service = 1.0 / estimates.back().rates[1];
+  EXPECT_NEAR(early_service, 0.1, 0.05);
+  EXPECT_GT(late_service, 2.0 * early_service);
+}
+
+}  // namespace
+}  // namespace qnet

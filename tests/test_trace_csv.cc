@@ -53,11 +53,77 @@ TEST(Csv, ObservationRoundTrips) {
   EXPECT_EQ(restored.departure_observed, obs.departure_observed);
 }
 
+TEST(Csv, QueuesHeaderMakesNumQueuesSelfDescribing) {
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {4.0, 3.0});
+  Rng rng(11);
+  const EventLog log = SimulateWorkload(net, PoissonArrivals(2.0, 20), rng);
+  std::stringstream buffer;
+  WriteEventLog(buffer, log);
+  EXPECT_EQ(buffer.str().rfind("# queues=3\n", 0), 0u);
+
+  // No out-of-band num_queues needed any more.
+  const EventLog restored = ReadEventLog(buffer);
+  EXPECT_EQ(restored.NumQueues(), log.NumQueues());
+  EXPECT_EQ(restored.NumEvents(), log.NumEvents());
+
+  // An explicit count is still accepted but must agree with the header.
+  std::stringstream again(buffer.str());
+  EXPECT_EQ(ReadEventLog(again, net.NumQueues()).NumQueues(), net.NumQueues());
+  std::stringstream mismatched(buffer.str());
+  EXPECT_THROW(ReadEventLog(mismatched, net.NumQueues() + 2), Error);
+}
+
+TEST(Csv, HeaderlessFilesStillReadWithExplicitNumQueues) {
+  const QueueingNetwork net = MakeSingleQueueNetwork(1.0, 2.0);
+  Rng rng(13);
+  const EventLog log = SimulateWorkload(net, PoissonArrivals(1.0, 8), rng);
+  std::stringstream buffer;
+  WriteEventLog(buffer, log);
+  // Strip the '# queues=N' line to simulate a pre-header legacy file.
+  const std::string text = buffer.str();
+  const std::string headerless = text.substr(text.find('\n') + 1);
+
+  std::stringstream legacy(headerless);
+  const EventLog restored = ReadEventLog(legacy, net.NumQueues());
+  EXPECT_EQ(restored.NumEvents(), log.NumEvents());
+
+  // Without the header the self-describing overload cannot work.
+  std::stringstream legacy2(headerless);
+  EXPECT_THROW(ReadEventLog(legacy2), Error);
+}
+
 TEST(Csv, RejectsCorruptStreams) {
   std::stringstream empty;
   EXPECT_THROW(ReadEventLog(empty, 2), Error);
   std::stringstream bad_header("nonsense\n1,2,3\n");
   EXPECT_THROW(ReadEventLog(bad_header, 2), Error);
+  // Malformed '# queues=' values raise Error too, not a raw std::stoi exception.
+  std::stringstream non_numeric("# queues=abc\ntask,state,queue,arrival,departure,initial\n");
+  EXPECT_THROW(ReadEventLog(non_numeric), Error);
+  std::stringstream empty_value("# queues=\ntask,state,queue,arrival,departure,initial\n");
+  EXPECT_THROW(ReadEventLog(empty_value), Error);
+  std::stringstream zero("# queues=0\ntask,state,queue,arrival,departure,initial\n");
+  EXPECT_THROW(ReadEventLog(zero), Error);
+  std::stringstream truncated("# queues=3\n");
+  EXPECT_THROW(ReadEventLog(truncated), Error);
+  // A trailing comma (lost initial flag) must not be absorbed as an empty flag field.
+  std::stringstream trailing_comma(
+      "# queues=2\ntask,state,queue,arrival,departure,initial\n0,-1,0,0,1.5,\n");
+  EXPECT_THROW(ReadEventLog(trailing_comma), Error);
+  // Corrupt numeric fields raise Error, not std::invalid_argument.
+  std::stringstream junk_number(
+      "# queues=2\ntask,state,queue,arrival,departure,initial\n0,-1,0,0,oops,1\n");
+  EXPECT_THROW(ReadEventLog(junk_number), Error);
+}
+
+TEST(Csv, ObservationRejectsMalformedFlags) {
+  const QueueingNetwork net = MakeSingleQueueNetwork(1.0, 2.0);
+  Rng rng(7);
+  const EventLog log = SimulateWorkload(net, PoissonArrivals(1.0, 3), rng);
+  std::stringstream trailing("event,arrival_observed,departure_observed\n0,1,\n");
+  EXPECT_THROW(ReadObservation(trailing, log), Error);
+  std::stringstream junk("event,arrival_observed,departure_observed\n0,yes,1\n");
+  EXPECT_THROW(ReadObservation(junk, log), Error);
 }
 
 TEST(Csv, SeriesWriterFormatsRows) {
