@@ -1,31 +1,33 @@
 // Capacity planning — the classical "what if?" question the paper contrasts with its
-// "what happened?" questions, answered here with the same estimated model:
+// "what happened?" questions, answered with the estimated model through the scenario
+// engine:
 //
 //   1. Estimate per-queue service rates from a sparse (10%) trace with StEM.
-//   2. Extrapolate: what happens to end-to-end latency if load doubles? Triples?
-//      Answered two ways — analytically (M/M/1 steady state per queue) and by re-simulating
-//      the *estimated* network under the hypothetical load.
-//   3. Report the load at which each queue saturates (the capacity ceiling).
+//   2. Build a what-if grid: load multipliers x server counts at the bottleneck tier.
+//   3. Evaluate every cell posterior-predictively (StEM iterates as parameter draws,
+//      DES runs per draw) with analytic M/M/1 / Erlang-C cross-checks, and report
+//      latency bands, utilizations, and the capacity ceiling per queue.
 //
-// Usage: capacity_planning [--fraction 0.1] [--seed 5]
+// Usage: capacity_planning [--fraction 0.1] [--seed 5] [--tasks 2000] [--report out.csv]
 
 #include <iostream>
-#include <memory>
 
-#include "qnet/dist/exponential.h"
-#include "qnet/infer/mm1.h"
 #include "qnet/infer/stem.h"
 #include "qnet/model/builders.h"
 #include "qnet/model/traffic.h"
 #include "qnet/obs/observation.h"
+#include "qnet/scenario/parameter_posterior.h"
+#include "qnet/scenario/scenario_engine.h"
+#include "qnet/scenario/scenario_spec.h"
 #include "qnet/sim/simulator.h"
 #include "qnet/support/flags.h"
-#include "qnet/support/math.h"
+#include "qnet/trace/scenario_report.h"
 #include "qnet/trace/table.h"
 
 int main(int argc, char** argv) {
   const qnet::Flags flags(argc, argv);
   const double fraction = flags.GetDouble("fraction", 0.1);
+  const auto tasks = static_cast<std::size_t>(flags.GetInt("tasks", 2000));
   qnet::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 5)));
 
   // The production system we pretend not to know: a 3-queue tandem pipeline.
@@ -56,63 +58,82 @@ int main(int argc, char** argv) {
   }
   rates_table.Print(std::cout);
 
-  // What-if sweep: scale the arrival rate, predict mean end-to-end response time.
-  std::cout << "\nWhat-if: mean end-to-end response time under scaled load\n";
-  qnet::TablePrinter whatif(
-      {"load multiplier", "lambda", "analytic (M/M/1 sum)", "simulated (est. model)",
-       "actual (true model)"});
-  for (double mult : {1.0, 1.5, 2.0, 2.5}) {
-    const double lambda = true_lambda * mult;
-    // Analytic prediction: sum of per-queue M/M/1 response times at the estimated rates.
-    double analytic = 0.0;
-    bool saturated = false;
-    for (int q = 1; q < truth_net.NumQueues(); ++q) {
-      const qnet::Mm1Metrics metrics =
-          qnet::AnalyzeMm1(lambda, estimate.rates[static_cast<std::size_t>(q)]);
-      if (!metrics.stable) {
-        saturated = true;
-        break;
-      }
-      analytic += metrics.mean_response;
+  // The StEM iterates double as posterior parameter draws, so every prediction below
+  // carries the estimation uncertainty of the sparse trace.
+  const qnet::ParameterPosterior posterior =
+      qnet::ParameterPosterior::FromStem(estimate, options.burn_in);
+
+  // What-if grid: load multiplier x server count at the slowest estimated tier.
+  int slow_queue = 1;
+  for (int q = 2; q < truth_net.NumQueues(); ++q) {
+    if (estimate.rates[static_cast<std::size_t>(q)] <
+        estimate.rates[static_cast<std::size_t>(slow_queue)]) {
+      slow_queue = q;
     }
-    // Simulation predictions under the estimated and under the true model.
-    const auto simulate_response = [&](const std::vector<double>& rates) {
-      qnet::QueueingNetwork net = qnet::MakeTandemNetwork(
-          lambda, {rates[1], rates[2], rates[3]});
-      qnet::Rng sim_rng(999);
-      const qnet::EventLog log =
-          qnet::SimulateWorkload(net, qnet::PoissonArrivals(lambda, 4000), sim_rng);
-      qnet::RunningStat response;
-      for (int k = log.NumTasks() / 5; k < log.NumTasks(); ++k) {
-        response.Add(log.TaskExitTime(k) - log.TaskEntryTime(k));
-      }
-      return response.Mean();
-    };
-    whatif.AddRow({qnet::FormatDouble(mult, 1), qnet::FormatDouble(lambda, 2),
-                   saturated ? "SATURATED" : qnet::FormatDouble(analytic, 3),
-                   qnet::FormatDouble(simulate_response(estimate.rates), 3),
-                   qnet::FormatDouble(simulate_response(true_rates), 3)});
+  }
+  qnet::ScenarioAxis load;
+  load.kind = qnet::AxisKind::kArrivalScale;
+  load.name = "load";
+  load.values = {1.0, 1.5, 2.0, 2.5};
+  qnet::ScenarioAxis servers;
+  servers.kind = qnet::AxisKind::kServerCount;
+  servers.name = "servers";
+  servers.queue = slow_queue;
+  servers.values = {1.0, 2.0};
+  const qnet::ScenarioGrid grid({load, servers});
+
+  qnet::ScenarioEngineOptions engine_options;
+  engine_options.max_draws = 8;
+  engine_options.tasks_per_draw = tasks;
+  engine_options.threads = 2;
+  qnet::ScenarioEngine engine(engine_options);
+  const qnet::ScenarioReport report =
+      engine.Evaluate(truth_net, posterior, grid,
+                      static_cast<std::uint64_t>(flags.GetInt("seed", 5)));
+
+  std::cout << "\nWhat-if grid (posterior-predictive, " << report.draws
+            << " draws/cell; servers axis upgrades \"" << truth_net.QueueName(slow_queue)
+            << "\"):\n";
+  qnet::TablePrinter whatif({"load", "servers", "mean latency [90% band]", "p95 latency",
+                             "analytic", "bottleneck"});
+  for (const qnet::CellResult& cell : report.cells) {
+    whatif.AddRow(
+        {qnet::FormatDouble(cell.axis_values[0], 1),
+         qnet::FormatDouble(cell.axis_values[1], 0),
+         qnet::FormatDouble(cell.mean_response.mean, 3) + "  [" +
+             qnet::FormatDouble(cell.mean_response.lo, 3) + ", " +
+             qnet::FormatDouble(cell.mean_response.hi, 3) + "]",
+         qnet::FormatDouble(cell.tail_response.mean, 3),
+         cell.analytic_stable ? qnet::FormatDouble(cell.analytic_mean_response, 3)
+                              : "SATURATED",
+         truth_net.QueueName(cell.bottleneck_queue)});
   }
   whatif.Print(std::cout);
 
-  // Capacity ceiling per queue: lambda at which utilization hits 1, from the traffic
-  // equations on the *estimated* model.
+  // Capacity ceiling per queue, read off the baseline cell: utilization scales linearly
+  // in lambda, so the ceiling is lambda / rho_q — with lambda the ESTIMATED arrival
+  // rate, since the baseline utilizations were simulated at the posterior draws (a real
+  // deployment has no true lambda to mix in).
+  const qnet::CellResult& baseline = report.cells.front();
+  const double est_lambda = estimate.rates[0];
   std::cout << "\nCapacity ceilings (arrival rate at which each queue saturates):\n";
-  qnet::QueueingNetwork estimated_net = qnet::MakeTandemNetwork(
-      estimate.rates[0], {estimate.rates[1], estimate.rates[2], estimate.rates[3]});
-  const qnet::TrafficAnalysis traffic = qnet::AnalyzeTraffic(estimated_net);
-  qnet::TablePrinter ceiling(
-      {"queue", "visits/task", "estimated ceiling", "true ceiling", "utilization now"});
+  qnet::TablePrinter ceiling({"queue", "utilization now", "estimated ceiling", "true ceiling"});
+  const qnet::TrafficAnalysis traffic = qnet::AnalyzeTraffic(truth_net);
   for (int q = 1; q < truth_net.NumQueues(); ++q) {
     const auto qi = static_cast<std::size_t>(q);
-    ceiling.AddRow({truth_net.QueueName(q), qnet::FormatDouble(traffic.queue_visits[qi], 2),
-                    qnet::FormatDouble(estimate.rates[qi] / traffic.queue_visits[qi], 2),
-                    qnet::FormatDouble(true_rates[qi], 2),
-                    qnet::FormatDouble(traffic.utilization[qi], 2)});
+    ceiling.AddRow({truth_net.QueueName(q),
+                    qnet::FormatDouble(baseline.utilization[qi].mean, 2),
+                    qnet::FormatDouble(est_lambda / baseline.utilization[qi].mean, 2),
+                    qnet::FormatDouble(true_rates[qi] / traffic.queue_visits[qi], 2)});
   }
   ceiling.Print(std::cout);
-  std::cout << "\nPredicted bottleneck: \""
-            << truth_net.QueueName(traffic.bottleneck_queue)
-            << "\" — the smallest ceiling; plan upgrades there first.\n";
+  std::cout << "\nPredicted bottleneck: \"" << truth_net.QueueName(baseline.bottleneck_queue)
+            << "\" — first in the utilization ranking; plan upgrades there first.\n";
+
+  const std::string report_path = flags.GetString("report", "");
+  if (!report_path.empty()) {
+    qnet::WriteScenarioReportFile(report_path, report);
+    std::cout << "\nWrote the full grid report to " << report_path << "\n";
+  }
   return 0;
 }

@@ -84,6 +84,18 @@ std::vector<double> PosteriorSummary::WaitQuantile(double q) const {
   return out;
 }
 
+std::vector<double> PosteriorSummary::RateDraw(std::size_t draw) const {
+  QNET_CHECK(draw < num_samples_, "draw index ", draw, " out of range (", num_samples_,
+             " accumulated sweeps)");
+  std::vector<double> rates(service_series_.size(), 0.0);
+  for (std::size_t q = 0; q < service_series_.size(); ++q) {
+    const double mean_service = service_series_[q][draw];
+    QNET_CHECK(mean_service > 0.0, "nonpositive mean service in draw ", draw, " queue ", q);
+    rates[q] = 1.0 / mean_service;
+  }
+  return rates;
+}
+
 const std::vector<double>& PosteriorSummary::ServiceSeries(int queue) const {
   QNET_CHECK(queue >= 0 && static_cast<std::size_t>(queue) < service_series_.size(),
              "bad queue id");

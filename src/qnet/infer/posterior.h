@@ -44,6 +44,18 @@ class PosteriorSummary {
   const std::vector<double>& ServiceSeries(int queue) const;
   const std::vector<double>& WaitSeries(int queue) const;
 
+  // --- Parameter draws -------------------------------------------------------------------
+  // Draw i is the rate vector implied by the i-th accumulated sweep: rates[q] is the
+  // reciprocal of that sweep's per-queue mean service time — the complete-data MLE
+  // theta-hat(E_i) of the imputed event set, with index 0 the arrival rate lambda (queue
+  // 0's "service" is the interarrival process). Draws are indexed in accumulation order
+  // (after Merge: chain-order, matching the parallel-chains pooling contract) and carry
+  // the usual MCMC autocorrelation — thin before treating them as independent. By
+  // construction 1/RateDraw(i) agrees with ServiceSeries(q)[i], so draw moments and
+  // quantiles are consistent with MeanService()/ServiceQuantile() on the reciprocal
+  // scale; tests pin this.
+  std::vector<double> RateDraw(std::size_t draw) const;
+
  private:
   std::size_t num_samples_ = 0;
   double tail_quantile_;

@@ -67,6 +67,15 @@ std::vector<double> QueueingNetwork::ExponentialRates() const {
   return rates;
 }
 
+bool QueueingNetwork::AllServicesExponential() const {
+  for (int q = 0; q < NumQueues(); ++q) {
+    if (dynamic_cast<const Exponential*>(&Service(q)) == nullptr) {
+      return false;
+    }
+  }
+  return true;
+}
+
 double QueueingNetwork::ArrivalRate() const {
   const auto* exp_dist = dynamic_cast<const Exponential*>(&Service(kArrivalQueue));
   QNET_CHECK(exp_dist != nullptr, "interarrival distribution is not exponential");

@@ -45,6 +45,11 @@ class QueueingNetwork {
   // distribution is Exponential — this is the M/M/1 fast path the paper's sampler needs.
   std::vector<double> ExponentialRates() const;
   double ArrivalRate() const;
+  // True when every queue (including the arrival queue) has an Exponential service
+  // distribution, i.e. ExponentialRates() would succeed. Lets rate-based fast paths
+  // (traffic analysis, the analytic scenario cross-checks) degrade gracefully instead of
+  // CHECK-failing on general-service networks.
+  bool AllServicesExponential() const;
 
   // Full validation: at least one real queue, FSM valid, service means positive.
   void Validate() const;

@@ -76,14 +76,20 @@ TrafficAnalysis AnalyzeTraffic(const QueueingNetwork& net) {
     }
   }
 
-  const std::vector<double> rates = net.ExponentialRates();
-  const double lambda = rates[0];
+  // Arrival rates and utilizations only need mean service times, so general-service
+  // networks are handled via rho_q = lambda_q E[S_q]. The all-exponential case keeps the
+  // historical rate-based arithmetic so existing pinned results stay bit-identical.
+  const bool exponential = net.AllServicesExponential();
+  const std::vector<double> rates = exponential ? net.ExponentialRates() : std::vector<double>{};
+  const double lambda = exponential ? rates[0] : 1.0 / net.Service(0).Mean();
   analysis.arrival_rates.assign(num_queues, 0.0);
   analysis.utilization.assign(num_queues, 0.0);
   double worst = -1.0;
   for (std::size_t q = 1; q < num_queues; ++q) {
     analysis.arrival_rates[q] = lambda * analysis.queue_visits[q];
-    analysis.utilization[q] = analysis.arrival_rates[q] / rates[q];
+    analysis.utilization[q] =
+        exponential ? analysis.arrival_rates[q] / rates[q]
+                    : analysis.arrival_rates[q] * net.Service(static_cast<int>(q)).Mean();
     if (analysis.utilization[q] > worst) {
       worst = analysis.utilization[q];
       analysis.bottleneck_queue = static_cast<int>(q);

@@ -24,14 +24,16 @@ struct TrafficAnalysis {
   std::vector<double> queue_visits;
   // Per-queue arrival rate lambda_q = lambda * queue_visits[q].
   std::vector<double> arrival_rates;
-  // Per-queue utilization rho_q = lambda_q / mu_q (requires exponential services).
+  // Per-queue utilization rho_q = lambda_q / mu_q for exponential services, and
+  // rho_q = lambda_q E[S_q] for general service distributions (same quantity; the
+  // exponential case keeps the historical rate-based arithmetic bit-identical).
   std::vector<double> utilization;
   // Queue with the highest utilization (>= 1 means predicted unstable).
   int bottleneck_queue = -1;
   bool stable = false;
 };
 
-// Solves the traffic equations for the network (FSM must be valid; services exponential).
+// Solves the traffic equations for the network (FSM must be valid; any service family).
 TrafficAnalysis AnalyzeTraffic(const QueueingNetwork& net);
 
 // Dense Gaussian elimination with partial pivoting: solves A x = b. Exposed because the

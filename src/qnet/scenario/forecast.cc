@@ -1,0 +1,46 @@
+#include "qnet/scenario/forecast.h"
+
+#include <utility>
+
+#include "qnet/scenario/parameter_posterior.h"
+#include "qnet/support/check.h"
+#include "qnet/support/rng.h"
+
+namespace qnet {
+
+WindowForecaster::WindowForecaster(const QueueingNetwork& base, ScenarioGrid grid,
+                                   const ScenarioEngineOptions& options, std::uint64_t seed)
+    : base_(base.Clone()), grid_(std::move(grid)), engine_(options), seed_(seed) {}
+
+const ScenarioReport& WindowForecaster::Forecast(const WindowEstimate& estimate) {
+  const bool replaces = estimate.merged_tail_tasks > 0;
+  std::uint64_t window = 0;
+  if (replaces) {
+    QNET_CHECK(windows_ > 0, "merged-tail forecast with no previous window");
+    window = windows_ - 1;
+  } else {
+    window = windows_++;
+  }
+  // The window's StEM lambda iterate (rates[0]) is anchored to absolute time — queue-0
+  // "services" telescope to the window's end time, so it decays as the stream ages.
+  // Forecast against the window's empirical arrival rate instead; the per-queue service
+  // rates are relative durations and carry over as-is.
+  std::vector<double> rates = estimate.rates;
+  QNET_CHECK(estimate.t1 > estimate.t0 && estimate.tasks > 0,
+             "window estimate has no span/tasks to derive an arrival rate from");
+  rates[0] = static_cast<double>(estimate.tasks) / (estimate.t1 - estimate.t0);
+  ScenarioReport report = engine_.Evaluate(
+      base_, ParameterPosterior::FromPoint(std::move(rates)), grid_, MixSeed(seed_, window));
+  if (replaces) {
+    reports_.back() = std::move(report);
+  } else {
+    reports_.push_back(std::move(report));
+  }
+  return reports_.back();
+}
+
+std::function<void(const WindowEstimate&)> WindowForecaster::Hook() {
+  return [this](const WindowEstimate& estimate) { Forecast(estimate); };
+}
+
+}  // namespace qnet

@@ -1,0 +1,237 @@
+#include "qnet/scenario/scenario_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "qnet/dist/exponential.h"
+#include "qnet/infer/mg1.h"
+#include "qnet/infer/mm1.h"
+#include "qnet/infer/thread_pool.h"
+#include "qnet/model/event.h"
+#include "qnet/model/traffic.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/sim/workload.h"
+#include "qnet/support/check.h"
+#include "qnet/support/math.h"
+#include "qnet/support/rng.h"
+#include "qnet/support/stopwatch.h"
+
+namespace qnet {
+
+namespace {
+
+// Per-(cell, draw) DES metrics before the across-draw reduction.
+struct DrawMetrics {
+  double mean_response = 0.0;
+  double tail_response = 0.0;
+  std::vector<double> utilization;
+  std::vector<double> queue_length;
+};
+
+DrawMetrics MeasureSimulation(const EventLog& log, const ScenarioEngineOptions& options) {
+  const int num_tasks = log.NumTasks();
+  const auto num_queues = static_cast<std::size_t>(log.NumQueues());
+  DrawMetrics metrics;
+
+  const int warm = static_cast<int>(static_cast<double>(num_tasks) * options.warmup_fraction);
+  QNET_CHECK(warm < num_tasks, "warmup fraction leaves no measured tasks");
+  std::vector<double> responses;
+  responses.reserve(static_cast<std::size_t>(num_tasks - warm));
+  double horizon = 0.0;
+  for (int k = 0; k < num_tasks; ++k) {
+    const double exit = log.TaskExitTime(k);
+    horizon = std::max(horizon, exit);
+    if (k >= warm) {
+      responses.push_back(exit - log.TaskEntryTime(k));
+    }
+  }
+  metrics.mean_response = Mean(responses);
+  metrics.tail_response = Quantile(responses, options.tail_quantile);
+
+  QNET_CHECK(horizon > 0.0, "degenerate simulation horizon");
+  const std::vector<double> busy = log.PerQueueServiceSum();
+  metrics.utilization.assign(num_queues, 0.0);
+  metrics.queue_length.assign(num_queues, 0.0);
+  for (std::size_t q = 1; q < num_queues; ++q) {
+    metrics.utilization[q] = busy[q] / horizon;
+    // Time-average number waiting: the integral of N_q(t) dt equals the sum of
+    // individual waiting durations (Little's law area argument).
+    double wait_sum = 0.0;
+    for (const EventId e : log.QueueOrder(static_cast<int>(q))) {
+      wait_sum += log.WaitTime(e);
+    }
+    metrics.queue_length[q] = wait_sum / horizon;
+  }
+  return metrics;
+}
+
+MetricBand ReduceBand(std::vector<double>& values, const ScenarioEngineOptions& options) {
+  MetricBand band;
+  band.mean = Mean(values);
+  band.lo = Quantile(values, options.band_lo);
+  band.hi = Quantile(values, options.band_hi);
+  return band;
+}
+
+CellResult EvaluateCell(const QueueingNetwork& base, const ParameterPosterior& posterior,
+                        const ScenarioGrid& grid, std::size_t cell_index,
+                        std::uint64_t seed, std::size_t draws,
+                        const ScenarioEngineOptions& options) {
+  const ScenarioCell cell = grid.Cell(cell_index);
+  const auto num_queues = static_cast<std::size_t>(base.NumQueues());
+
+  CellResult result;
+  result.cell = cell_index;
+  result.axis_values = cell.values;
+
+  std::vector<DrawMetrics> per_draw(draws);
+  for (std::size_t d = 0; d < draws; ++d) {
+    // Deterministic thinning spreads the used draws across the stored chain.
+    const std::size_t source = d * posterior.NumDraws() / draws;
+    const CellRealization real = grid.Realize(base, cell, posterior.Draw(source));
+    // The (cell, draw) stream is a pure function of lattice position — never of
+    // scheduling. CRN drops the cell salt so load sweeps share arrival/service draws.
+    const std::uint64_t salt_base =
+        options.common_random_numbers ? seed : MixSeed(seed, cell_index);
+    Rng rng(MixSeed(salt_base, d));
+    const EventLog log = SimulateWorkload(
+        real.net, PoissonArrivals(real.rates[0], options.tasks_per_draw), rng);
+    per_draw[d] = MeasureSimulation(log, options);
+  }
+
+  std::vector<double> column(draws, 0.0);
+  const auto reduce = [&](const auto& get) {
+    for (std::size_t d = 0; d < draws; ++d) {
+      column[d] = get(per_draw[d]);
+    }
+    return ReduceBand(column, options);
+  };
+  result.mean_response = reduce([](const DrawMetrics& m) { return m.mean_response; });
+  result.tail_response = reduce([](const DrawMetrics& m) { return m.tail_response; });
+  result.utilization.resize(num_queues);
+  result.queue_length.resize(num_queues);
+  for (std::size_t q = 1; q < num_queues; ++q) {
+    result.utilization[q] = reduce([q](const DrawMetrics& m) { return m.utilization[q]; });
+    result.queue_length[q] = reduce([q](const DrawMetrics& m) { return m.queue_length[q]; });
+  }
+
+  result.bottleneck_ranking.resize(num_queues - 1);
+  std::iota(result.bottleneck_ranking.begin(), result.bottleneck_ranking.end(), 1);
+  std::sort(result.bottleneck_ranking.begin(), result.bottleneck_ranking.end(),
+            [&](int a, int b) {
+              const double ua = result.utilization[static_cast<std::size_t>(a)].mean;
+              const double ub = result.utilization[static_cast<std::size_t>(b)].mean;
+              return ua != ub ? ua > ub : a < b;
+            });
+  result.bottleneck_queue = result.bottleneck_ranking.front();
+
+  if (options.analytic) {
+    const CellRealization mean_cell = grid.Realize(base, cell, posterior.MeanRates());
+    const AnalyticPrediction analytic =
+        AnalyzeCellAnalytic(mean_cell.net, mean_cell.servers, mean_cell.rates);
+    result.analytic_valid = true;
+    result.analytic_stable = analytic.stable;
+    result.analytic_mean_response = analytic.mean_response;
+  }
+  return result;
+}
+
+}  // namespace
+
+AnalyticPrediction AnalyzeCellAnalytic(const QueueingNetwork& net,
+                                       std::span<const int> servers,
+                                       std::span<const double> per_server_rates) {
+  const auto num_queues = static_cast<std::size_t>(net.NumQueues());
+  QNET_CHECK(servers.empty() || servers.size() == num_queues,
+             "servers span size mismatch");
+  QNET_CHECK(per_server_rates.empty() || per_server_rates.size() == num_queues,
+             "per-server rates span size mismatch");
+
+  const TrafficAnalysis traffic = AnalyzeTraffic(net);
+  AnalyticPrediction prediction;
+  prediction.stable = true;
+  prediction.utilization.assign(num_queues, 0.0);
+  double total = 0.0;
+  for (std::size_t q = 1; q < num_queues; ++q) {
+    const double lambda_q = traffic.arrival_rates[q];
+    const int c = servers.empty() ? 1 : servers[q];
+    QNET_CHECK(c >= 1, "queue ", q, " has server count ", c);
+    double mean_response = 0.0;
+    bool stable = false;
+    if (c > 1) {
+      QNET_CHECK(!per_server_rates.empty(),
+                 "multi-server analytic path needs per-server rates");
+      const MmcMetrics m = AnalyzeMmc(lambda_q, per_server_rates[q], c);
+      stable = m.stable;
+      mean_response = m.mean_response;
+      prediction.utilization[q] = m.utilization;
+    } else if (const auto* exp_dist =
+                   dynamic_cast<const Exponential*>(&net.Service(static_cast<int>(q)))) {
+      const Mm1Metrics m = AnalyzeMm1(lambda_q, exp_dist->rate());
+      stable = m.stable;
+      mean_response = m.mean_response;
+      prediction.utilization[q] = m.utilization;
+    } else {
+      const Mg1Metrics m = AnalyzeMg1(lambda_q, net.Service(static_cast<int>(q)));
+      stable = m.stable;
+      mean_response = m.mean_response;
+      prediction.utilization[q] = m.utilization;
+    }
+    if (!stable) {
+      prediction.stable = false;
+      continue;
+    }
+    total += traffic.queue_visits[q] * mean_response;
+  }
+  if (prediction.stable) {
+    prediction.mean_response = total;
+  }
+  return prediction;
+}
+
+ScenarioEngine::ScenarioEngine(ScenarioEngineOptions options) : options_(options) {
+  QNET_CHECK(options_.max_draws >= 1, "max_draws must be positive");
+  QNET_CHECK(options_.tasks_per_draw >= 2, "tasks_per_draw must be at least 2");
+  QNET_CHECK(options_.warmup_fraction >= 0.0 && options_.warmup_fraction < 1.0,
+             "warmup_fraction must be in [0, 1)");
+  QNET_CHECK(options_.band_lo >= 0.0 && options_.band_hi <= 1.0 &&
+                 options_.band_lo <= options_.band_hi,
+             "band quantiles must satisfy 0 <= lo <= hi <= 1");
+  QNET_CHECK(options_.tail_quantile > 0.0 && options_.tail_quantile < 1.0,
+             "tail_quantile must be in (0, 1)");
+}
+
+ScenarioReport ScenarioEngine::Evaluate(const QueueingNetwork& base,
+                                        const ParameterPosterior& posterior,
+                                        const ScenarioGrid& grid, std::uint64_t seed) {
+  QNET_CHECK(posterior.NumQueues() == base.NumQueues(),
+             "posterior has ", posterior.NumQueues(), " rates but the network has ",
+             base.NumQueues(), " queues");
+  Stopwatch watch;
+
+  ScenarioReport report;
+  report.num_queues = base.NumQueues();
+  report.draws = std::min(options_.max_draws, posterior.NumDraws());
+  report.tasks_per_draw = options_.tasks_per_draw;
+  report.seed = seed;
+  report.axis_names = grid.AxisNames();
+  report.cells.resize(grid.NumCells());
+
+  // Static cell -> thread sharding; each cell writes only its own slot, so the report is
+  // bit-identical for any thread count.
+  RunOnThreadPool(grid.NumCells(), options_.threads, [&](std::size_t i) {
+    report.cells[i] =
+        EvaluateCell(base, posterior, grid, i, seed, report.draws, options_);
+  });
+
+  stats_.wall_seconds = watch.ElapsedSeconds();
+  stats_.cells_per_second =
+      stats_.wall_seconds > 0.0
+          ? static_cast<double>(grid.NumCells()) / stats_.wall_seconds
+          : 0.0;
+  return report;
+}
+
+}  // namespace qnet

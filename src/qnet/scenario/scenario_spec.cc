@@ -1,0 +1,139 @@
+#include "qnet/scenario/scenario_spec.h"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "qnet/dist/exponential.h"
+#include "qnet/support/check.h"
+
+namespace qnet {
+
+ScenarioGrid::ScenarioGrid(std::vector<ScenarioAxis> axes) : axes_(std::move(axes)) {
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    const ScenarioAxis& axis = axes_[a];
+    QNET_CHECK(!axis.name.empty(), "axis ", a, " has no name");
+    QNET_CHECK(axis.name.find(',') == std::string::npos, "axis name '", axis.name,
+               "' contains a comma (reserved for report columns)");
+    QNET_CHECK(!axis.values.empty(), "axis '", axis.name, "' has no values");
+    for (std::size_t b = 0; b < a; ++b) {
+      QNET_CHECK(axes_[b].name != axis.name, "duplicate axis name '", axis.name, "'");
+    }
+    for (const double v : axis.values) {
+      QNET_CHECK(v > 0.0, "axis '", axis.name, "' has nonpositive value ", v);
+      if (axis.kind == AxisKind::kServerCount) {
+        QNET_CHECK(v == std::floor(v), "axis '", axis.name,
+                   "' is a server-count axis but has non-integral value ", v);
+      }
+    }
+    if (axis.kind == AxisKind::kServerCount || axis.kind == AxisKind::kRoutingScale) {
+      QNET_CHECK(axis.queue >= 1, "axis '", axis.name, "' needs a real target queue");
+    }
+    if (axis.kind == AxisKind::kRoutingScale) {
+      QNET_CHECK(axis.state >= 0, "axis '", axis.name, "' needs a target FSM state");
+    }
+    num_cells_ *= axis.values.size();
+  }
+}
+
+std::vector<std::string> ScenarioGrid::AxisNames() const {
+  std::vector<std::string> names;
+  names.reserve(axes_.size());
+  for (const ScenarioAxis& axis : axes_) {
+    names.push_back(axis.name);
+  }
+  return names;
+}
+
+ScenarioCell ScenarioGrid::Cell(std::size_t index) const {
+  QNET_CHECK(index < num_cells_, "cell index ", index, " out of range (", num_cells_,
+             " cells)");
+  ScenarioCell cell;
+  cell.index = index;
+  cell.coords.resize(axes_.size());
+  cell.values.resize(axes_.size());
+  std::size_t rest = index;
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    const std::size_t size = axes_[a].values.size();
+    cell.coords[a] = rest % size;
+    cell.values[a] = axes_[a].values[cell.coords[a]];
+    rest /= size;
+  }
+  return cell;
+}
+
+CellRealization ScenarioGrid::Realize(const QueueingNetwork& base, const ScenarioCell& cell,
+                                      std::span<const double> draw) const {
+  const auto num_queues = static_cast<std::size_t>(base.NumQueues());
+  QNET_CHECK(draw.size() == num_queues, "draw has ", draw.size(), " rates but network has ",
+             num_queues, " queues");
+  QNET_CHECK(cell.values.size() == axes_.size(), "cell/axes shape mismatch");
+
+  CellRealization real{std::vector<double>(draw.begin(), draw.end()),
+                       std::vector<int>(num_queues, 1), base.Clone()};
+  for (std::size_t q = 0; q < num_queues; ++q) {
+    QNET_CHECK(real.rates[q] > 0.0, "draw rate for queue ", q, " is not positive");
+  }
+
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    const ScenarioAxis& axis = axes_[a];
+    const double value = cell.values[a];
+    switch (axis.kind) {
+      case AxisKind::kArrivalScale:
+        real.rates[0] *= value;
+        break;
+      case AxisKind::kServiceScale:
+        QNET_CHECK(axis.queue == -1 ||
+                       (axis.queue >= 1 && axis.queue < base.NumQueues()),
+                   "axis '", axis.name, "' targets queue ", axis.queue,
+                   " outside the network");
+        if (axis.queue == -1) {
+          for (std::size_t q = 1; q < num_queues; ++q) {
+            real.rates[q] *= value;
+          }
+        } else {
+          real.rates[static_cast<std::size_t>(axis.queue)] *= value;
+        }
+        break;
+      case AxisKind::kServerCount:
+        QNET_CHECK(axis.queue >= 1 && axis.queue < base.NumQueues(), "axis '", axis.name,
+                   "' targets queue ", axis.queue, " outside the network");
+        real.servers[static_cast<std::size_t>(axis.queue)] = static_cast<int>(value);
+        break;
+      case AxisKind::kRoutingScale: {
+        QNET_CHECK(axis.queue >= 1 && axis.queue < base.NumQueues(), "axis '", axis.name,
+                   "' targets queue ", axis.queue, " outside the network");
+        Fsm& fsm = real.net.MutableFsm();
+        QNET_CHECK(axis.state >= 0 && axis.state < fsm.NumStates(), "axis '", axis.name,
+                   "' targets state ", axis.state, " outside the FSM");
+        std::vector<int> queues;
+        std::vector<double> weights;
+        for (int q = 1; q < base.NumQueues(); ++q) {
+          double w = fsm.Emission(axis.state, q);
+          if (q == axis.queue) {
+            QNET_CHECK(w > 0.0, "axis '", axis.name, "' scales emission (state ",
+                       axis.state, " -> queue ", q, ") which is zero");
+            w *= value;
+          }
+          if (w > 0.0) {
+            queues.push_back(q);
+            weights.push_back(w);
+          }
+        }
+        fsm.SetWeightedEmission(axis.state, queues, weights);
+        break;
+      }
+    }
+  }
+
+  // Materialize services at the pooled per-queue rates (arrival queue always 1 server).
+  real.net.SetService(0, std::make_unique<Exponential>(real.rates[0]));
+  for (std::size_t q = 1; q < num_queues; ++q) {
+    real.net.SetService(static_cast<int>(q),
+                        std::make_unique<Exponential>(
+                            static_cast<double>(real.servers[q]) * real.rates[q]));
+  }
+  return real;
+}
+
+}  // namespace qnet

@@ -52,6 +52,9 @@ std::vector<WindowEstimate> StreamingEstimator::Run(TraceStream& stream) {
       estimates.push_back(std::move(estimate));
       ++stats_.windows_estimated;
     }
+    if (options_.on_window) {
+      options_.on_window(estimates.back());
+    }
   };
 
   const auto process = [&](ClosedWindow&& window) {

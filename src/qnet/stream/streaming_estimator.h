@@ -24,6 +24,7 @@
 #define QNET_STREAM_STREAMING_ESTIMATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "qnet/infer/stem.h"
@@ -48,6 +49,13 @@ struct StreamingEstimatorOptions {
   StemOptions stem;
   // Overlap window N's StEM sweeps with window N+1's ingestion.
   bool pipeline = false;
+  // Invoked on the ingest thread as each window's estimate completes, in window order —
+  // the continuous-forecasting hook (see scenario/forecast.h). A merged-tail re-fit
+  // invokes it once more with merged_tail_tasks > 0; such an estimate REPLACES the
+  // previous window's, and consumers should replace their derived state the same way.
+  // Runs inside Run()'s pipeline join, so a slow hook adds to sweep lag, never changes
+  // results (the estimate sequence stays bit-identical with or without a hook).
+  std::function<void(const WindowEstimate&)> on_window;
 };
 
 struct StreamingStats {

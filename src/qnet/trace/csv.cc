@@ -56,6 +56,14 @@ double ParseCsvDouble(const std::string& field, const std::string& line) {
                         [](const std::string& s, std::size_t* pos) { return std::stod(s, pos); });
 }
 
+std::uint64_t ParseCsvU64(const std::string& field, const std::string& line) {
+  QNET_CHECK(field.empty() || field[0] != '-', "bad numeric field '", field,
+             "' in row: ", line);
+  return ParseCsvNumber(field, line, [](const std::string& s, std::size_t* pos) {
+    return std::stoull(s, pos);
+  });
+}
+
 void WriteEventLog(std::ostream& os, const EventLog& log) {
   os << "# queues=" << log.NumQueues() << '\n';
   os << "task,state,queue,arrival,departure,initial\n";

@@ -11,6 +11,7 @@
 #ifndef QNET_TRACE_CSV_H_
 #define QNET_TRACE_CSV_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -43,6 +44,9 @@ void SplitCsvLine(const std::string& line, std::vector<std::string>& fields);
 int ParseCsvInt(const std::string& field, const std::string& line);
 long ParseCsvLong(const std::string& field, const std::string& line);
 double ParseCsvDouble(const std::string& field, const std::string& line);
+// Unsigned 64-bit (e.g. RNG seeds). Rejects negative input explicitly — std::stoull
+// would silently wrap it.
+std::uint64_t ParseCsvU64(const std::string& field, const std::string& line);
 
 // Shared header step for event-log readers (ReadEventLog, CsvReplayStream): consumes the
 // optional '# queues=N' line plus the column-header line from `is`, reconciles N with the

@@ -1,0 +1,37 @@
+// CSV serialization for scenario-grid reports, so capacity-planning sweeps can be
+// archived, diffed across fits, and re-plotted outside the binaries.
+//
+// Format (matching the event-log `#`-header convention): `#`-prefixed metadata lines
+// pinning the report shape, a column header, then one row per cell in cell-index order:
+//     # queues=N
+//     # axes=<name>,<name>,...          (empty after '=' for an axis-free baseline grid)
+//     # cells=M
+//     # draws=D
+//     # tasks_per_draw=T
+//     # seed=S
+//     cell,<axes...>,mean_resp,mean_resp_lo,mean_resp_hi,tail_resp,tail_resp_lo,
+//     tail_resp_hi,bottleneck,ranking,analytic_valid,analytic_stable,analytic_mean_resp,
+//     util_q1,util_q1_lo,util_q1_hi,qlen_q1,qlen_q1_lo,qlen_q1_hi,util_q2,...
+// `ranking` is the bottleneck ranking as ';'-joined queue ids. Doubles are written with
+// 17 significant digits, so write -> read round-trips bit-exactly.
+
+#ifndef QNET_TRACE_SCENARIO_REPORT_H_
+#define QNET_TRACE_SCENARIO_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "qnet/scenario/scenario_engine.h"
+
+namespace qnet {
+
+void WriteScenarioReport(std::ostream& os, const ScenarioReport& report);
+void WriteScenarioReportFile(const std::string& path, const ScenarioReport& report);
+
+// Reads a report written by WriteScenarioReport; throws Error on malformed input.
+ScenarioReport ReadScenarioReport(std::istream& is);
+ScenarioReport ReadScenarioReportFile(const std::string& path);
+
+}  // namespace qnet
+
+#endif  // QNET_TRACE_SCENARIO_REPORT_H_

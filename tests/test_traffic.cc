@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "qnet/dist/gamma.h"
 #include "qnet/model/builders.h"
 #include "qnet/sim/simulator.h"
 #include "qnet/support/check.h"
@@ -65,6 +66,20 @@ TEST(Traffic, PaperSectionFiveOneUtilizations) {
   }
   EXPECT_EQ(analysis.bottleneck_queue, 1);
   EXPECT_FALSE(analysis.stable);
+}
+
+TEST(Traffic, GeneralServiceUtilizationUsesMeanServiceTimes) {
+  // Non-exponential services no longer CHECK-fail: rho_q = lambda_q E[S_q], and the
+  // exponential special case stays bit-identical to the historical rate arithmetic.
+  QueueingNetwork net = MakeTandemNetwork(2.0, {5.0, 4.0});
+  const TrafficAnalysis exponential = AnalyzeTraffic(net);
+  net.SetService(2, std::make_unique<GammaDist>(4.0, 16.0));  // mean 0.25 = 1/4, like before
+  const TrafficAnalysis general = AnalyzeTraffic(net);
+  ASSERT_FALSE(net.AllServicesExponential());
+  EXPECT_NEAR(general.utilization[1], exponential.utilization[1], 1e-12);
+  EXPECT_NEAR(general.utilization[2], exponential.utilization[2], 1e-12);
+  EXPECT_EQ(general.bottleneck_queue, exponential.bottleneck_queue);
+  EXPECT_NEAR(general.arrival_rates[2], 2.0, 1e-12);
 }
 
 TEST(Traffic, MatchesSimulatedVisitCounts) {
