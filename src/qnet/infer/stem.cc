@@ -7,13 +7,24 @@
 
 namespace qnet {
 
-std::vector<double> StemEstimator::MStep(const EventLog& log, double service_sum_floor) {
+std::vector<double> StemEstimator::MStep(const EventLog& log, double service_sum_floor,
+                                         double arrival_time_origin) {
   const std::vector<double> sums = log.PerQueueServiceSum();
   const std::vector<std::size_t> counts = log.PerQueueCount();
   std::vector<double> rates(sums.size(), 0.0);
   for (std::size_t q = 0; q < sums.size(); ++q) {
     QNET_CHECK(counts[q] > 0, "queue ", q, " has no events; cannot estimate its rate");
-    rates[q] = static_cast<double>(counts[q]) / std::max(sums[q], service_sum_floor);
+    // Queue 0's sum telescopes to the imputed last entry time; re-anchoring it to the
+    // window origin makes lambda window-local. origin 0.0 subtracts exactly nothing.
+    // A window whose (imputed) entries all sit at or before the origin — e.g. a lane's
+    // share consisting solely of late-merged records — has no window-local arrival span;
+    // fall back to the absolute anchor rather than dividing by the floor (which would
+    // explode lambda to ~n/1e-9).
+    double sum = sums[q];
+    if (q == 0 && sums[q] - arrival_time_origin > 0.0) {
+      sum = sums[q] - arrival_time_origin;
+    }
+    rates[q] = static_cast<double>(counts[q]) / std::max(sum, service_sum_floor);
   }
   return rates;
 }
@@ -51,7 +62,8 @@ StemResult StemEstimator::Run(const EventLog& truth, const Observation& obs,
       gibbs.Sweep(rng);
     }
     // M-step: complete-data MLE on the imputed log.
-    std::vector<double> new_rates = MStep(gibbs.State(), options_.service_sum_floor);
+    std::vector<double> new_rates =
+        MStep(gibbs.State(), options_.service_sum_floor, options_.arrival_time_origin);
     if (!options_.estimate_arrival_rate) {
       new_rates[0] = rates[0];
     }

@@ -35,6 +35,16 @@ struct StemOptions {
   // Floor applied to per-queue service-time sums in the M-step (guards divide-by-zero when
   // a queue's imputed services collapse to ~0 early on).
   double service_sum_floor = 1e-9;
+  // Time origin of the arrival process for the M-step's lambda estimate. Queue-0
+  // "services" are the interarrival gaps with the FIRST gap measured from absolute time
+  // 0, so their sum telescopes to the (imputed) last entry time and the lambda iterate on
+  // a window [t0, t1) far into a stream comes out as ~n/t1 — decaying with stream age
+  // rather than tracking the window's load (the PR-4 forecaster wart). Setting this to
+  // the window's t0 measures that first gap from t0 instead, making the iterate the
+  // window-local MLE n/(last entry - t0). The default 0.0 preserves the historical
+  // absolute-time estimate bit-exactly; StreamingEstimatorOptions::window_local_arrival_rate
+  // plumbs the per-window t0 in for streaming fits.
+  double arrival_time_origin = 0.0;
   GibbsOptions gibbs;
   InitializerOptions init;
   // Run the E-step (and waiting-time) sweeps through the colored sharded scheduler
@@ -71,8 +81,10 @@ class StemEstimator {
   StemResult Run(const EventLog& truth, const Observation& obs,
                  std::vector<double> init_rates, Rng& rng) const;
 
-  // Complete-data MLE of all rates from an event log: mu_q = n_q / sum s_e.
-  static std::vector<double> MStep(const EventLog& log, double service_sum_floor = 1e-9);
+  // Complete-data MLE of all rates from an event log: mu_q = n_q / sum s_e. The arrival
+  // rate (queue 0) measures its service sum from `arrival_time_origin` (see StemOptions).
+  static std::vector<double> MStep(const EventLog& log, double service_sum_floor = 1e-9,
+                                   double arrival_time_origin = 0.0);
 
  private:
   StemOptions options_;

@@ -21,14 +21,18 @@ const ScenarioReport& WindowForecaster::Forecast(const WindowEstimate& estimate)
   } else {
     window = windows_++;
   }
-  // The window's StEM lambda iterate (rates[0]) is anchored to absolute time — queue-0
-  // "services" telescope to the window's end time, so it decays as the stream ages.
-  // Forecast against the window's empirical arrival rate instead; the per-queue service
-  // rates are relative durations and carry over as-is.
   std::vector<double> rates = estimate.rates;
-  QNET_CHECK(estimate.t1 > estimate.t0 && estimate.tasks > 0,
-             "window estimate has no span/tasks to derive an arrival rate from");
-  rates[0] = static_cast<double>(estimate.tasks) / (estimate.t1 - estimate.t0);
+  if (!estimate.window_local_arrival_rate) {
+    // Legacy absolute-time lambda iterate: queue-0 "services" telescope to the window's
+    // end time, so rates[0] decays as the stream ages. Fall back to the window's
+    // empirical arrival rate. Estimators run with
+    // StreamingEstimatorOptions::window_local_arrival_rate deliver a window-anchored
+    // fitted lambda, which is used as-is (it also reflects latent arrivals the empirical
+    // count misses).
+    QNET_CHECK(estimate.t1 > estimate.t0 && estimate.tasks > 0,
+               "window estimate has no span/tasks to derive an arrival rate from");
+    rates[0] = static_cast<double>(estimate.tasks) / (estimate.t1 - estimate.t0);
+  }
   ScenarioReport report = engine_.Evaluate(
       base_, ParameterPosterior::FromPoint(std::move(rates)), grid_, MixSeed(seed_, window));
   if (replaces) {

@@ -30,10 +30,11 @@ class WindowForecaster {
   WindowForecaster(const QueueingNetwork& base, ScenarioGrid grid,
                    const ScenarioEngineOptions& options, std::uint64_t seed);
 
-  // Evaluates the grid at the window's point rates — service rates from the estimate,
-  // arrival rate from the window's empirical tasks / (t1 - t0) (the StEM lambda iterate
-  // is anchored to absolute time and decays over the stream) — and appends (or, for a
-  // merged-tail re-fit, replaces) the report. Returns the report just produced.
+  // Evaluates the grid at the window's point rates and appends (or, for a merged-tail
+  // re-fit, replaces) the report. Returns the report just produced. Estimates fitted
+  // with window-local lambda anchoring (WindowEstimate::window_local_arrival_rate) are
+  // used verbatim; legacy absolute-anchored estimates substitute the window's empirical
+  // tasks / (t1 - t0) for the decayed lambda iterate.
   const ScenarioReport& Forecast(const WindowEstimate& estimate);
 
   // Adapter for StreamingEstimatorOptions::on_window (captures `this`; the forecaster

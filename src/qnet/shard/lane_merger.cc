@@ -1,0 +1,168 @@
+#include "qnet/shard/lane_merger.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "qnet/support/check.h"
+
+namespace qnet {
+
+LaneMerger::LaneMerger(std::size_t lanes, int num_queues, bool window_local_arrival_rate)
+    : lanes_(lanes), num_queues_(num_queues), window_local_(window_local_arrival_rate) {
+  QNET_CHECK(lanes_ > 0, "LaneMerger needs a positive lane count");
+  QNET_CHECK(num_queues_ >= 2, "LaneMerger needs at least the arrival queue plus one");
+}
+
+void LaneMerger::ExpectWindow(const WindowSpanTracker::SpanDecision& decision) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PendingWindow window;
+  window.decision = decision;
+  window.fits.resize(lanes_);
+  window.answered.assign(lanes_, 0);
+  board_.push_back(std::move(window));
+}
+
+void LaneMerger::Post(std::size_t lane, LaneWindowFit fit) {
+  bool completed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    QNET_CHECK(lane < lanes_, "bad lane ", lane);
+    for (PendingWindow& window : board_) {
+      if (window.answered[lane]) {
+        continue;
+      }
+      window.answered[lane] = 1;
+      window.fits[lane] = std::move(fit);
+      ++window.answers;
+      if (window.answers == lanes_) {
+        max_merge_lag_seconds_ =
+            std::max(max_merge_lag_seconds_, window.since_expected.ElapsedSeconds());
+        complete_windows_.fetch_add(1, std::memory_order_release);
+        completed = true;
+      }
+      break;
+    }
+  }
+  if (completed) {
+    ready_.notify_all();
+  }
+}
+
+bool LaneMerger::Pop(PooledWindow& out, bool block) {
+  if (!block && complete_windows_.load(std::memory_order_acquire) == 0) {
+    return false;  // lock-free fast path for the router's per-record polling
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (block) {
+    ready_.wait(lock, [&] {
+      return aborted_.load(std::memory_order_relaxed) || board_.empty() ||
+             board_.front().answers == lanes_;
+    });
+  }
+  if (board_.empty() || board_.front().answers < lanes_) {
+    return false;
+  }
+  const PendingWindow window = std::move(board_.front());
+  board_.pop_front();
+  complete_windows_.fetch_sub(1, std::memory_order_release);
+  lock.unlock();
+  out.estimate = Pool(window);
+  out.window_index = window.decision.window_index;
+  out.replaces_previous = window.decision.merged_tail_tasks > 0;
+  return true;
+}
+
+void LaneMerger::Abort() {
+  aborted_.store(true, std::memory_order_release);
+  ready_.notify_all();
+}
+
+bool LaneMerger::Aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+double LaneMerger::MaxMergeLagSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_merge_lag_seconds_;
+}
+
+WindowEstimate LaneMerger::Pool(const PendingWindow& window) const {
+  const WindowSpanTracker::SpanDecision& decision = window.decision;
+  WindowEstimate estimate;
+  estimate.t0 = decision.t0;
+  estimate.t1 = decision.t1;
+  estimate.tasks = decision.count;
+  estimate.merged_tail_tasks = decision.merged_tail_tasks;
+  estimate.window_local_arrival_rate = window_local_;
+
+  // Single contributing lane: verbatim copy (see header — the bit-exactness anchor).
+  const LaneWindowFit* only = nullptr;
+  std::size_t contributing = 0;
+  for (const LaneWindowFit& fit : window.fits) {
+    if (fit.tasks > 0) {
+      ++contributing;
+      only = &fit;
+    }
+  }
+  if (contributing == 1 && only->fitted) {
+    estimate.rates = only->rates;
+    estimate.mean_wait = only->mean_wait;
+    return estimate;
+  }
+
+  // Lambda anchor of the empirical fallback for unfittable lanes: the same origin their
+  // fit would have used.
+  const double origin = window_local_ ? decision.t0 : 0.0;
+  const double span = std::max(decision.t1 - origin, 1e-12);
+
+  estimate.rates.assign(static_cast<std::size_t>(num_queues_), 0.0);
+  double weight_sum = 0.0;
+  bool any_wait = false;
+  double lambda = 0.0;
+  // Lane-index order: the pooled value is a pure function of the fits.
+  for (const LaneWindowFit& fit : window.fits) {
+    if (fit.tasks == 0) {
+      continue;  // empty lane window: contributes nothing
+    }
+    const double weight = static_cast<double>(fit.tasks);
+    if (!fit.fitted) {
+      // Skipped fit: the lane's share of the arrival process is still real load.
+      lambda += weight / span;
+      continue;
+    }
+    lambda += fit.rates[0];
+    weight_sum += weight;
+    for (std::size_t q = 1; q < fit.rates.size(); ++q) {
+      estimate.rates[q] += weight * fit.rates[q];
+    }
+    if (!fit.mean_wait.empty()) {
+      any_wait = true;
+    }
+  }
+  // Every lane sat this window out (each sub-log missed some queue): there is no
+  // service-rate estimate to pool, and emitting zeros would silently poison every
+  // downstream consumer (the plain estimator fails loudly on such a window, inside
+  // StEM's M-step). Reduce the lane count or widen the windows.
+  QNET_CHECK(weight_sum > 0.0, "window [", decision.t0, ", ", decision.t1,
+             ") has no fittable lane sub-log (every lane's share missed a queue)");
+  estimate.rates[0] = lambda;
+  for (std::size_t q = 1; q < estimate.rates.size(); ++q) {
+    estimate.rates[q] /= weight_sum;
+  }
+  if (any_wait && weight_sum > 0.0) {
+    estimate.mean_wait.assign(static_cast<std::size_t>(num_queues_), 0.0);
+    for (const LaneWindowFit& fit : window.fits) {
+      if (fit.tasks == 0 || !fit.fitted || fit.mean_wait.empty()) {
+        continue;
+      }
+      const double weight = static_cast<double>(fit.tasks);
+      for (std::size_t q = 0; q < fit.mean_wait.size(); ++q) {
+        estimate.mean_wait[q] += weight * fit.mean_wait[q];
+      }
+    }
+    for (double& wait : estimate.mean_wait) {
+      wait /= weight_sum;
+    }
+  }
+  return estimate;
+}
+
+}  // namespace qnet

@@ -1,0 +1,112 @@
+// Pooling of per-lane window fits into one WindowEstimate per global window.
+//
+// The merger is the fleet's watermark coordinator on the estimation side: the router
+// announces every span decision in emission order (ExpectWindow), each lane answers it
+// with its lane-local fit (Post), and a window's pooled estimate is released only when
+// ALL K lanes have answered — the pooled stream therefore advances as the minimum over
+// lane progress, and no window is emitted before every lane has closed it. A lane with
+// zero records in the window answers immediately with an empty fit, so idle lanes never
+// stall the fleet.
+//
+// Pooling discipline (the chain-order Merge discipline of parallel_chains, applied to
+// lanes): contributions are combined in lane-index order — a pure function of the fits,
+// never of which lane answered first — with documented weights:
+//   * lambda (rates[0]) SUMS across lanes: each lane observes an independent
+//     hash-thinned sub-stream, so the fleet arrival rate is the sum of lane rates. A
+//     lane whose sub-log could not be fitted (a queue with no events) contributes its
+//     empirical n_lane / (t1 - origin) instead.
+//   * service rates (rates[q>0]) and mean waits average across fitted lanes, weighted by
+//     lane task counts: every lane estimates the same per-queue parameters, with
+//     precision proportional to its share of the data.
+//   * a window with exactly one contributing lane copies that lane's fit verbatim —
+//     bit-exact, which is what makes a single-lane fleet reproduce the plain
+//     StreamingEstimator (no 1.0-weighted arithmetic is allowed to perturb bits).
+// Per-lane fits on disjoint sub-streams are the mean-field-flavored decomposition the
+// fleet trades for horizontal scaling: pooled estimates are bit-identical across every
+// execution arrangement for a FIXED lane count, and statistically consistent (not
+// bit-identical) across different lane counts. See docs/architecture.md.
+
+#ifndef QNET_SHARD_LANE_MERGER_H_
+#define QNET_SHARD_LANE_MERGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "qnet/stream/streaming_estimator.h"
+#include "qnet/stream/window_assembler.h"
+#include "qnet/support/stopwatch.h"
+
+namespace qnet {
+
+// One lane's answer to one close token.
+struct LaneWindowFit {
+  std::size_t tasks = 0;  // lane-local record count in the window
+  bool fitted = false;    // a StEM run produced rates/mean_wait
+  bool skipped = false;   // records present but the sub-log missed a queue: no fit
+  std::vector<double> rates;
+  std::vector<double> mean_wait;
+};
+
+struct PooledWindow {
+  WindowEstimate estimate;
+  std::size_t window_index = 0;
+  bool replaces_previous = false;  // merged-tail re-close: replaces the last estimate
+};
+
+class LaneMerger {
+ public:
+  LaneMerger(std::size_t lanes, int num_queues, bool window_local_arrival_rate);
+
+  // Router thread, in emission order: announce a decision every lane will answer.
+  void ExpectWindow(const WindowSpanTracker::SpanDecision& decision);
+
+  // Lane threads: deliver lane `lane`'s fit for its oldest unanswered window. Lanes
+  // process close tokens in order, so per-lane delivery order is emission order.
+  void Post(std::size_t lane, LaneWindowFit fit);
+
+  // Router thread: pops the next pooled window in emission order. With block=false,
+  // returns false when the oldest window is still incomplete (or none is pending); with
+  // block=true, waits until it completes, returning false only when nothing is pending
+  // or the fleet aborted.
+  bool Pop(PooledWindow& out, bool block);
+
+  // A lane died: wake any blocked Pop so the fleet can unwind (the lane's exception is
+  // surfaced by its PipelineSlot).
+  void Abort();
+  bool Aborted() const;
+
+  // Longest span between a window's close broadcast and its last lane fit.
+  double MaxMergeLagSeconds() const;
+
+ private:
+  struct PendingWindow {
+    WindowSpanTracker::SpanDecision decision;
+    Stopwatch since_expected;
+    std::vector<LaneWindowFit> fits;
+    std::vector<char> answered;
+    std::size_t answers = 0;
+  };
+
+  WindowEstimate Pool(const PendingWindow& window) const;
+
+  const std::size_t lanes_;
+  const int num_queues_;
+  const bool window_local_;
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<PendingWindow> board_;  // emission order
+  // Windows complete in emission order (every lane answers its tokens in order), so a
+  // plain counter is an exact lock-free fast path for the router's per-record polling.
+  std::atomic<std::size_t> complete_windows_{0};
+  std::atomic<bool> aborted_{false};
+  double max_merge_lag_seconds_ = 0.0;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_SHARD_LANE_MERGER_H_

@@ -1,0 +1,24 @@
+#include "qnet/shard/lane_router.h"
+
+#include <utility>
+
+#include "qnet/support/check.h"
+#include "qnet/support/task_hash.h"
+
+namespace qnet {
+
+LaneRouter::LaneRouter(LaneRouterOptions options)
+    : options_(std::move(options)), counts_(options_.lanes, 0) {
+  QNET_CHECK(options_.lanes > 0, "LaneRouter needs a positive lane count");
+}
+
+std::size_t LaneRouter::Route(const TaskRecord& record) {
+  const std::size_t lane = options_.lane_of ? options_.lane_of(record)
+                                            : TaskLane(TaskHash(record), options_.lanes);
+  QNET_CHECK(lane < options_.lanes, "partitioner returned lane ", lane, " of ",
+             options_.lanes);
+  ++counts_[lane];
+  return lane;
+}
+
+}  // namespace qnet

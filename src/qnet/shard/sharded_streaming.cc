@@ -1,0 +1,323 @@
+#include "qnet/shard/sharded_streaming.h"
+
+#include <algorithm>
+#include <atomic>
+#include <iterator>
+#include <memory>
+#include <utility>
+
+#include "qnet/infer/stem.h"
+#include "qnet/infer/thread_pool.h"
+#include "qnet/shard/lane_merger.h"
+#include "qnet/shard/lane_queue.h"
+#include "qnet/shard/lane_router.h"
+#include "qnet/stream/window_assembler.h"
+#include "qnet/support/check.h"
+#include "qnet/support/stopwatch.h"
+
+namespace qnet {
+namespace {
+
+// One lane: bounded ingest queue + record buffer + per-window log build + warm-started
+// StEM fit chain. RunLoop consumes the queue until the finish token; everything the
+// worker does is a pure function of its item sequence, which the router makes a pure
+// function of the stream.
+class LaneWorker {
+ public:
+  LaneWorker(std::size_t lane, int num_queues, const ShardedStreamingOptions& options,
+             std::vector<double> init_rates, std::uint64_t seed, LaneMerger* merger)
+      : lane_(lane),
+        num_queues_(num_queues),
+        options_(options),
+        merger_(merger),
+        queue_(options.lane_queue_capacity),
+        chain_(std::move(init_rates), seed, options.stream.window_local_arrival_rate,
+               /*salted=*/options.lanes > 1, /*lane=*/lane) {}
+
+  LaneQueue& Queue() { return queue_; }
+  // Event-time progress of the worker, sampled by the router for lag stats.
+  double ConsumedWatermark() const { return watermark_.load(std::memory_order_relaxed); }
+  LaneStats& Stats() { return stats_; }
+
+  void RunLoop() {
+    try {
+      // Batched pops mirror the router's batched pushes: one lock per ~64 items. The
+      // batch elements keep their record capacity across reuse.
+      std::vector<LaneItem> batch;
+      for (;;) {
+        const std::size_t count = queue_.PopMany(batch, 64);
+        for (std::size_t at = 0; at < count; ++at) {
+          LaneItem& item = batch[at];
+          if (item.kind == LaneItem::Kind::kFinish) {
+            return;  // nothing follows a finish token
+          }
+          if (item.kind == LaneItem::Kind::kRecord) {
+            ++stats_.tasks_routed;
+            // max: a late-merged record can sit behind the close-token advance below.
+            watermark_.store(
+                std::max(watermark_.load(std::memory_order_relaxed),
+                         item.record.entry_time),
+                std::memory_order_relaxed);
+            buffer_.push_back(item.record);
+            stats_.peak_buffered_tasks = std::max(
+                stats_.peak_buffered_tasks, buffer_.size() + last_window_.size());
+            continue;
+          }
+          ProcessClose(item.close);
+        }
+      }
+      // Leftover buffered records are the globally dropped tail; the router accounts
+      // them fleet-wide from the tracker.
+    } catch (...) {
+      // Unblock the router and wake the merger before surfacing the error through the
+      // PipelineSlot (Run rethrows it from Wait()).
+      queue_.CloseConsumer();
+      merger_->Abort();
+      throw;
+    }
+  }
+
+ private:
+  void ProcessClose(const WindowSpanTracker::SpanDecision& decision) {
+    ++stats_.windows_closed;
+    // The lane-local application of the global membership rule — the SAME helper the
+    // assembler materializes with, applied to this lane's sub-sequence.
+    std::vector<TaskRecord> records =
+        TakeDecisionRecords(decision, buffer_, last_window_);
+
+    LaneWindowFit fit;
+    fit.tasks = records.size();
+    if (records.empty()) {
+      ++stats_.empty_windows;
+    } else {
+      WindowLogBuilder builder(num_queues_);
+      for (const TaskRecord& record : records) {
+        builder.Add(record);
+      }
+      auto [log, obs] = builder.Finish();
+      // A hash-thinned sub-window can miss a queue entirely; StEM cannot estimate a
+      // rate with no events, so the lane sits this window out (the merger still counts
+      // its tasks toward lambda).
+      bool every_queue_present = true;
+      for (const std::size_t count : log.PerQueueCount()) {
+        if (count == 0) {
+          every_queue_present = false;
+          break;
+        }
+      }
+      if (!every_queue_present) {
+        fit.skipped = true;
+        ++stats_.skipped_fits;
+      } else {
+        WindowFitChain::Plan plan = chain_.PlanFit(
+            decision.window_index, decision.merged_tail_tasks > 0, decision.t0);
+        StemOptions stem = options_.stream.stem;
+        stem.arrival_time_origin = plan.arrival_time_origin;
+        const StemEstimator estimator(stem);
+        Rng rng(plan.seed);
+        Stopwatch fitting;
+        const StemResult result =
+            estimator.Run(log, obs, std::move(plan.warm_start), rng);
+        stats_.fit_seconds += fitting.ElapsedSeconds();
+        chain_.Complete(result.rates);
+        fit.fitted = true;
+        fit.rates = result.rates;
+        fit.mean_wait = result.mean_wait;
+      }
+    }
+    // Mirror the assembler: every normal close becomes the trailing-merge target (even
+    // an empty one — the global merged-tail re-close targets the last GLOBAL window, and
+    // this lane's share of it may well be empty).
+    if (decision.merged_tail_tasks == 0 && options_.stream.window.merge_trailing_window) {
+      last_window_ = std::move(records);
+    }
+    // Processing the close token IS event-time progress: an idle lane that answers
+    // every token is fully caught up to t1 even though it consumed no records (the lag
+    // stat must not report it as trailing by the whole stream).
+    watermark_.store(std::max(watermark_.load(std::memory_order_relaxed), decision.t1),
+                     std::memory_order_relaxed);
+    merger_->Post(lane_, std::move(fit));
+  }
+
+  const std::size_t lane_;
+  const int num_queues_;
+  const ShardedStreamingOptions& options_;
+  LaneMerger* merger_;
+  LaneQueue queue_;
+  WindowFitChain chain_;
+  std::vector<TaskRecord> buffer_;
+  std::vector<TaskRecord> last_window_;
+  std::atomic<double> watermark_{0.0};
+  LaneStats stats_;
+};
+
+}  // namespace
+
+ShardedStreamingEstimator::ShardedStreamingEstimator(std::vector<double> init_rates,
+                                                     std::uint64_t seed,
+                                                     const ShardedStreamingOptions& options)
+    : init_rates_(std::move(init_rates)), seed_(seed), options_(options) {
+  QNET_CHECK(options_.lanes > 0, "fleet needs at least one lane");
+}
+
+std::vector<WindowEstimate> ShardedStreamingEstimator::Run(TraceStream& stream) {
+  stats_ = FleetStats{};
+  const std::size_t lanes = options_.lanes;
+  Stopwatch total;
+
+  WindowSpanTracker tracker(options_.stream.window);
+  LaneRouterOptions router_options;
+  router_options.lanes = lanes;
+  router_options.lane_of = options_.lane_of;
+  LaneRouter router(std::move(router_options));
+  LaneMerger merger(lanes, stream.NumQueues(),
+                    options_.stream.window_local_arrival_rate);
+
+  std::vector<std::unique_ptr<LaneWorker>> workers;
+  workers.reserve(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    workers.push_back(std::make_unique<LaneWorker>(lane, stream.NumQueues(), options_,
+                                                   init_rates_, seed_, &merger));
+  }
+  std::vector<PipelineSlot> slots(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    slots[lane].Submit([worker = workers[lane].get()] { worker->RunLoop(); });
+  }
+
+  std::vector<double> max_watermark_lag(lanes, 0.0);
+  std::vector<WindowEstimate> estimates;
+
+  // Per-lane record batches: one queue lock per `router_batch` records. Slots are
+  // recycled by copy-assignment, so the steady-state routing path allocates nothing.
+  const std::size_t batch_size = std::max<std::size_t>(options_.router_batch, 1);
+  struct RouterBatch {
+    std::vector<LaneItem> items;
+    std::size_t count = 0;
+  };
+  std::vector<RouterBatch> batches(lanes);
+  for (RouterBatch& batch : batches) {
+    batch.items.resize(batch_size);
+  }
+  const auto flush_lane = [&](std::size_t lane) {
+    RouterBatch& batch = batches[lane];
+    if (batch.count > 0) {
+      stats_.router_blocked_seconds +=
+          workers[lane]->Queue().PushMany(batch.items.data(), batch.count);
+      batch.count = 0;
+    }
+  };
+  const auto flush_all = [&] {
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      flush_lane(lane);
+    }
+  };
+
+  const auto emit = [&](PooledWindow&& pooled) {
+    if (pooled.replaces_previous) {
+      QNET_CHECK(!estimates.empty(), "merged-tail window with no previous estimate");
+      estimates.back() = std::move(pooled.estimate);
+    } else {
+      estimates.push_back(std::move(pooled.estimate));
+      ++stats_.windows_estimated;
+    }
+    if (options_.stream.on_window) {
+      options_.stream.on_window(estimates.back());
+    }
+  };
+
+  const auto broadcast_decisions = [&] {
+    while (tracker.HasClosed()) {
+      // Every routed record ahead of the token must reach its lane first.
+      flush_all();
+      const WindowSpanTracker::SpanDecision decision = tracker.PopClosed();
+      merger.ExpectWindow(decision);
+      LaneItem token;
+      token.kind = LaneItem::Kind::kClose;
+      token.close = decision;
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        stats_.router_blocked_seconds += workers[lane]->Queue().Push(token);
+        max_watermark_lag[lane] =
+            std::max(max_watermark_lag[lane],
+                     tracker.Watermark() - workers[lane]->ConsumedWatermark());
+      }
+    }
+  };
+
+  const auto broadcast_finish = [&] {
+    flush_all();
+    LaneItem token;
+    token.kind = LaneItem::Kind::kFinish;
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      workers[lane]->Queue().Push(token);
+    }
+  };
+
+  TaskRecord record;
+  try {
+    while (stream.Next(record)) {
+      ++stats_.tasks_ingested;
+      const WindowSpanTracker::PushVerdict verdict = tracker.Push(record.entry_time);
+      if (verdict == WindowSpanTracker::PushVerdict::kLateDropped) {
+        ++stats_.late_dropped;
+        continue;
+      }
+      const std::size_t lane = router.Route(record);
+      RouterBatch& batch = batches[lane];
+      LaneItem& slot = batch.items[batch.count++];
+      slot.kind = LaneItem::Kind::kRecord;
+      slot.record = record;
+      if (batch.count == batch_size) {
+        flush_lane(lane);
+      }
+      broadcast_decisions();
+      PooledWindow pooled;
+      while (merger.Pop(pooled, /*block=*/false)) {
+        emit(std::move(pooled));
+      }
+      if (merger.Aborted()) {
+        break;
+      }
+    }
+    if (!merger.Aborted()) {
+      tracker.Finish();
+      broadcast_decisions();
+      stats_.tail_dropped = tracker.TailDropped();
+    }
+  } catch (...) {
+    // Stream or bookkeeping failure on the router thread: release the lanes so the
+    // slots' destructors can join, then surface the original error.
+    broadcast_finish();
+    throw;
+  }
+
+  broadcast_finish();
+  PooledWindow pooled;
+  while (merger.Pop(pooled, /*block=*/true)) {
+    emit(std::move(pooled));
+  }
+  for (PipelineSlot& slot : slots) {
+    slot.Wait();  // rethrows the first lane failure
+  }
+
+  stats_.lanes = lanes;
+  stats_.total_wall_seconds = total.ElapsedSeconds();
+  stats_.tasks_per_second =
+      stats_.total_wall_seconds > 0.0
+          ? static_cast<double>(stats_.tasks_ingested) / stats_.total_wall_seconds
+          : 0.0;
+  stats_.max_merge_lag_seconds = merger.MaxMergeLagSeconds();
+  stats_.lane.resize(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    stats_.lane[lane] = workers[lane]->Stats();
+    stats_.lane[lane].peak_queue_depth = workers[lane]->Queue().PeakDepth();
+    stats_.lane[lane].max_watermark_lag = std::max(0.0, max_watermark_lag[lane]);
+    stats_.lane[lane].tasks_per_second =
+        stats_.total_wall_seconds > 0.0
+            ? static_cast<double>(stats_.lane[lane].tasks_routed) /
+                  stats_.total_wall_seconds
+            : 0.0;
+  }
+  return estimates;
+}
+
+}  // namespace qnet

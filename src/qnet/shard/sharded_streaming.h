@@ -1,0 +1,93 @@
+// Sharded streaming front-end: hash-partitioned multi-lane windowed inference with
+// deterministic pooled estimates.
+//
+// One ingest (router) thread pulls TaskRecords from any TraceStream and hash-partitions
+// them across K lanes (LaneRouter over support/task_hash.h). Each lane is an independent
+// worker — bounded ingest queue, per-window log assembly, and a warm-started windowed
+// StEM fit chain (the same WindowFitChain the plain StreamingEstimator uses) — running
+// on its own PipelineSlot thread (infer/thread_pool.h). A LaneMerger pools the K
+// per-window fits into one WindowEstimate per global window.
+//
+// Window coordination: the router runs the WindowSpanTracker (the exact decision core of
+// WindowAssembler) over the GLOBAL entry-time sequence, so window spans, counts, and
+// emission indices are bit-identical to a single assembler's for ANY lane count. Close
+// decisions travel in band through every lane's queue — no lane can close window w
+// before it has consumed every record the router placed ahead of the token — and the
+// merger releases window w only when all K lanes have answered it: the pooled stream
+// advances as the min over lane progress (an idle lane answers immediately and never
+// stalls the fleet).
+//
+// Determinism contract: lane l's fit of window w is seeded MixSeed(MixSeed(base, w), l)
+// (for K >= 2; a single-lane fleet elides the lane salt so K = 1 reproduces the plain
+// StreamingEstimator bit-exactly). Seeds, warm starts, window membership, and pooling
+// order are pure functions of (stream contents, options, base seed, K) — never of
+// thread scheduling, queue timing, sharded-sweep thread counts under each lane, or
+// pipelining. Pooled estimates are therefore bit-identical across every execution
+// arrangement for a FIXED K. Across DIFFERENT K the estimates are statistically
+// consistent but not bit-identical: each lane fits its own hash-thinned sub-stream (the
+// mean-field-flavored decomposition that buys horizontal scaling), so K, like the chain
+// count in parallel_chains, is part of the estimator's statistical definition. The
+// merge weighting (lambda sums; service rates and waits task-count-weighted) is
+// documented in shard/lane_merger.h.
+
+#ifndef QNET_SHARD_SHARDED_STREAMING_H_
+#define QNET_SHARD_SHARDED_STREAMING_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "qnet/shard/fleet_stats.h"
+#include "qnet/stream/streaming_estimator.h"
+#include "qnet/stream/task_record.h"
+
+namespace qnet {
+
+struct ShardedStreamingOptions {
+  // Number of hash lanes K (the estimation decomposition width; see file comment).
+  std::size_t lanes = 1;
+  // Bounded per-lane ingest queue capacity (records + tokens). A full queue blocks the
+  // router — backpressure, reported in FleetStats::router_blocked_seconds.
+  std::size_t lane_queue_capacity = 1024;
+  // Records are handed to a lane in batches of up to this size (one lock + one wake per
+  // batch instead of per record). Window-close tokens flush every lane's batch first, so
+  // item order — and therefore every estimate — is bit-identical for any value; this is
+  // a pure wall-clock knob.
+  std::size_t router_batch = 32;
+  // Optional partition override (default TaskLane(TaskHash(record), lanes)); must be a
+  // pure function of the record. See shard/lane_router.h.
+  std::function<std::size_t(const TaskRecord&)> lane_of;
+  // Window, StEM, lambda-anchoring and on_window options, shared by every lane.
+  // `stream.pipeline` is accepted but inert: lane workers always overlap their fits
+  // with the router's ingestion (the fleet subsumes pipelining); estimates are
+  // bit-identical either way. `stream.on_window` fires on the Run() caller's thread
+  // with the POOLED estimates, in window order — WindowForecaster rides the merged
+  // stream unchanged.
+  StreamingEstimatorOptions stream;
+};
+
+class ShardedStreamingEstimator {
+ public:
+  // `init_rates` warm-starts every lane's first window (index 0 = lambda); `seed` drives
+  // the per-(window, lane) MixSeed discipline above.
+  ShardedStreamingEstimator(std::vector<double> init_rates, std::uint64_t seed,
+                            const ShardedStreamingOptions& options = {});
+
+  // Drains `stream` to completion and returns the pooled per-window estimate sequence
+  // (a merged-tail re-fit replaces the last entry in place, exactly like the plain
+  // estimator).
+  std::vector<WindowEstimate> Run(TraceStream& stream);
+
+  // Valid after Run.
+  const FleetStats& Stats() const { return stats_; }
+
+ private:
+  std::vector<double> init_rates_;
+  std::uint64_t seed_;
+  ShardedStreamingOptions options_;
+  FleetStats stats_;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_SHARD_SHARDED_STREAMING_H_

@@ -9,6 +9,23 @@
 
 namespace qnet {
 
+WindowFitChain::Plan WindowFitChain::PlanFit(std::size_t window_index, bool merged_tail,
+                                             double t0) {
+  Plan plan;
+  const std::uint64_t window_seed = MixSeed(seed_, window_index);
+  plan.seed = salted_ ? MixSeed(window_seed, lane_) : window_seed;
+  if (merged_tail) {
+    // The re-fit replaces the previous window's estimate, so it must start from the same
+    // rates that window's first fit did.
+    plan.warm_start = prev_input_rates_;
+  } else {
+    plan.warm_start = rates_;
+    prev_input_rates_ = rates_;
+  }
+  plan.arrival_time_origin = window_local_ ? t0 : 0.0;
+  return plan;
+}
+
 StreamingEstimator::StreamingEstimator(std::vector<double> init_rates, std::uint64_t seed,
                                        const StreamingEstimatorOptions& options)
     : init_rates_(std::move(init_rates)), seed_(seed), options_(options) {}
@@ -17,14 +34,9 @@ std::vector<WindowEstimate> StreamingEstimator::Run(TraceStream& stream) {
   stats_ = StreamingStats{};
   Stopwatch total;
   WindowAssembler assembler(stream.NumQueues(), options_.window);
-  const StemEstimator estimator(options_.stem);
 
   std::vector<WindowEstimate> estimates;
-  std::vector<double> rates = init_rates_;
-  // Warm-start input of the most recently launched window — a merged-tail re-fit of that
-  // window must start from the same rates its first fit did.
-  std::vector<double> prev_input_rates = init_rates_;
-  std::size_t window_index = 0;
+  WindowFitChain chain(init_rates_, seed_, options_.window_local_arrival_rate);
 
   PipelineSlot slot;
   bool inflight_active = false;
@@ -43,7 +55,7 @@ std::vector<WindowEstimate> StreamingEstimator::Run(TraceStream& stream) {
     WindowEstimate estimate = std::move(inflight_meta);
     estimate.rates = inflight_result.rates;
     estimate.mean_wait = inflight_result.mean_wait;
-    rates = inflight_result.rates;
+    chain.Complete(inflight_result.rates);
     if (estimate.merged_tail_tasks > 0) {
       // The merged-tail re-fit replaces the last estimate — same window, not a new one.
       QNET_CHECK(!estimates.empty(), "merged-tail window with no previous estimate");
@@ -65,30 +77,22 @@ std::vector<WindowEstimate> StreamingEstimator::Run(TraceStream& stream) {
     stats_.max_sweep_lag_seconds =
         std::max(stats_.max_sweep_lag_seconds, waited.ElapsedSeconds());
 
-    const bool merged = window.merged_tail_tasks > 0;
-    std::vector<double> warm_start;
-    std::uint64_t window_seed = 0;
-    if (merged) {
-      QNET_DCHECK(window_index > 0, "merged tail before any window");
-      warm_start = prev_input_rates;
-      window_seed = MixSeed(seed_, window_index - 1);
-    } else {
-      warm_start = rates;
-      prev_input_rates = rates;
-      window_seed = MixSeed(seed_, window_index);
-      ++window_index;
-    }
+    WindowFitChain::Plan plan =
+        chain.PlanFit(window.window_index, window.merged_tail_tasks > 0, window.t0);
     inflight_meta = WindowEstimate{};
     inflight_meta.t0 = window.t0;
     inflight_meta.t1 = window.t1;
     inflight_meta.tasks = window.num_tasks;
     inflight_meta.merged_tail_tasks = window.merged_tail_tasks;
+    inflight_meta.window_local_arrival_rate = options_.window_local_arrival_rate;
     inflight_active = true;
-    auto work = [&estimator, &result = inflight_result, log = std::move(window.log),
-                 obs = std::move(window.obs), warm = std::move(warm_start),
-                 window_seed]() mutable {
-      Rng rng(window_seed);
-      result = estimator.Run(log, obs, std::move(warm), rng);
+    auto work = [stem = options_.stem, &result = inflight_result, log = std::move(window.log),
+                 obs = std::move(window.obs), plan = std::move(plan)]() mutable {
+      StemOptions window_stem = stem;
+      window_stem.arrival_time_origin = plan.arrival_time_origin;
+      const StemEstimator estimator(window_stem);
+      Rng rng(plan.seed);
+      result = estimator.Run(log, obs, std::move(plan.warm_start), rng);
     };
     if (options_.pipeline) {
       slot.Submit(std::move(work));

@@ -12,7 +12,9 @@
 // emission index, never of ingestion timing. Combined with the assembler's
 // order-preserving close and StEM's sharded-sweep contract, the estimate sequence is
 // bit-identical for any pipeline setting and any sharded-sweep thread count; only
-// wall-clock changes.
+// wall-clock changes. The warm-start chain and seed discipline live in WindowFitChain,
+// which the sharded streaming front-end (shard/sharded_streaming.h) shares per lane —
+// a single-lane fleet therefore reproduces this estimator bit-exactly.
 //
 // Pipelining: with `pipeline` set, window N's StEM sweeps run on a PipelineSlot
 // background thread while the caller's Run loop keeps ingesting window N+1 from the
@@ -40,6 +42,11 @@ struct WindowEstimate {
   // > 0: this estimate replaced a previously reported one — the trailing remainder of
   // the stream (this many tasks) was merged into the last window and it was re-fit.
   std::size_t merged_tail_tasks = 0;
+  // True when rates[0] is the window-local arrival rate (anchored to t0; see
+  // StreamingEstimatorOptions::window_local_arrival_rate). False: the historical
+  // absolute-time lambda iterate, which decays over a long stream — consumers such as
+  // WindowForecaster substitute an empirical rate in that case.
+  bool window_local_arrival_rate = false;
   std::vector<double> rates;      // index 0 = lambda
   std::vector<double> mean_wait;  // posterior mean per queue (may be empty)
 };
@@ -49,6 +56,11 @@ struct StreamingEstimatorOptions {
   StemOptions stem;
   // Overlap window N's StEM sweeps with window N+1's ingestion.
   bool pipeline = false;
+  // Anchor each window's StEM lambda iterate to the window start (StemOptions::
+  // arrival_time_origin = t0), so rates[0] estimates the window's own arrival rate
+  // instead of the absolute-time-anchored iterate that decays as the stream ages.
+  // Default off: the historical estimates are preserved bit-exactly.
+  bool window_local_arrival_rate = false;
   // Invoked on the ingest thread as each window's estimate completes, in window order —
   // the continuous-forecasting hook (see scenario/forecast.h). A merged-tail re-fit
   // invokes it once more with merged_tail_tasks > 0; such an estimate REPLACES the
@@ -68,6 +80,53 @@ struct StreamingStats {
   double tasks_per_second = 0.0;  // end-to-end sustained ingest rate
   // Longest a closed window waited before its StEM run started (pipeline backpressure).
   double max_sweep_lag_seconds = 0.0;
+};
+
+// Warm-started per-window fit bookkeeping shared by StreamingEstimator and the sharded
+// streaming fleet's lanes: which rates a window's fit starts from (the previous window's
+// result; a merged-tail re-fit restarts from the SAME input its first fit consumed),
+// which seed it consumes, and which lambda anchoring it applies.
+//
+// Seed discipline: window w's fit is seeded
+//   MixSeed(base, w)                  — plain estimator / single-lane fleet, and
+//   MixSeed(MixSeed(base, w), lane)   — lane `lane` of a multi-lane fleet (salted),
+// a pure function of (base, window index, lane), never of timing or scheduling. The
+// single-lane fleet elides the lane salt so K = 1 reproduces the plain estimator
+// bit-exactly.
+class WindowFitChain {
+ public:
+  struct Plan {
+    std::vector<double> warm_start;    // rates the fit starts from (index 0 = lambda)
+    std::uint64_t seed = 0;            // seeds the fit's Rng
+    double arrival_time_origin = 0.0;  // StemOptions::arrival_time_origin for the fit
+  };
+
+  WindowFitChain(std::vector<double> init_rates, std::uint64_t seed,
+                 bool window_local_arrival_rate, bool salted = false,
+                 std::uint64_t lane = 0)
+      : seed_(seed),
+        window_local_(window_local_arrival_rate),
+        salted_(salted),
+        lane_(lane),
+        rates_(init_rates),
+        prev_input_rates_(std::move(init_rates)) {}
+
+  // Plans the fit of the window with emission index `window_index` starting at t0 and
+  // advances the warm-start bookkeeping; call Complete with the fitted rates before
+  // planning the next window. A merged-tail re-fit passes the REPLACED window's index
+  // (exactly what WindowSpanTracker emits) and restarts from that window's input.
+  Plan PlanFit(std::size_t window_index, bool merged_tail, double t0);
+  void Complete(const std::vector<double>& fitted_rates) { rates_ = fitted_rates; }
+
+  bool WindowLocalArrivalRate() const { return window_local_; }
+
+ private:
+  std::uint64_t seed_;
+  bool window_local_;
+  bool salted_;
+  std::uint64_t lane_;
+  std::vector<double> rates_;             // most recent fit result (next warm start)
+  std::vector<double> prev_input_rates_;  // warm input of the most recent planned fit
 };
 
 class StreamingEstimator {

@@ -45,40 +45,40 @@ std::pair<EventLog, Observation> WindowLogBuilder::Finish() {
   return {std::move(log), std::move(obs)};
 }
 
-WindowAssembler::WindowAssembler(int num_queues, const WindowAssemblerOptions& options)
-    : options_(options), builder_(num_queues) {
+// --- WindowSpanTracker -------------------------------------------------------------------
+
+WindowSpanTracker::WindowSpanTracker(const WindowAssemblerOptions& options)
+    : options_(options) {
   QNET_CHECK(options_.window_duration > 0.0, "window duration must be positive");
   QNET_CHECK(options_.allowed_lateness >= 0.0, "allowed lateness must be nonnegative");
   window_end_ = options_.window_duration;
 }
 
-void WindowAssembler::Push(const TaskRecord& record) {
-  QNET_CHECK(!finished_, "Push after FinishStream");
-  ++stats_.tasks_ingested;
-  if (record.entry_time < window_start_) {
+WindowSpanTracker::PushVerdict WindowSpanTracker::Push(double entry_time) {
+  QNET_CHECK(!finished_, "Push after Finish");
+  PushVerdict verdict = PushVerdict::kBuffered;
+  if (entry_time < window_start_) {
     // Late: this record's window has already closed and been handed off.
     if (options_.late_policy == LateRecordPolicy::kDrop) {
-      ++stats_.late_dropped;
-      return;
+      return PushVerdict::kLateDropped;
     }
-    // kMergeIntoCurrent: falls through and joins the currently open window.
+    // kMergeIntoCurrent: joins the currently open window (entry < t1 holds trivially).
+    verdict = PushVerdict::kLateMerged;
   }
-  watermark_ = std::max(watermark_, record.entry_time);
-  pending_.push_back(record);
-  stats_.peak_buffered_tasks = std::max(
-      stats_.peak_buffered_tasks, pending_.size() + last_window_records_.size());
+  watermark_ = std::max(watermark_, entry_time);
+  pending_.push_back(entry_time);
   TryCloseWindows();
+  return verdict;
 }
 
-void WindowAssembler::TryCloseWindows() {
+void WindowSpanTracker::TryCloseWindows() {
   const std::size_t min_needed = std::max<std::size_t>(options_.min_tasks_per_window, 2);
   // At end of stream the watermark hold-back is released: nothing later can arrive.
   const double watermark = finished_ ? watermark_ : watermark_ - options_.allowed_lateness;
   while (watermark >= window_end_) {
     const auto in_window_end =
-        std::stable_partition(pending_.begin(), pending_.end(), [&](const TaskRecord& r) {
-          return r.entry_time < window_end_;
-        });
+        std::stable_partition(pending_.begin(), pending_.end(),
+                              [&](double entry) { return entry < window_end_; });
     const auto count = static_cast<std::size_t>(in_window_end - pending_.begin());
     if (count < min_needed) {
       // Too small: the window's span extends into the next duration (batch semantics).
@@ -87,9 +87,9 @@ void WindowAssembler::TryCloseWindows() {
       // repeated addition (rather than one multiply) keeps window_end bit-identical to
       // the batch estimator's one-duration-at-a-time grid.
       double bound = watermark;
-      for (const TaskRecord& record : pending_) {
-        if (record.entry_time >= window_end_) {
-          bound = std::min(bound, record.entry_time);
+      for (const double entry : pending_) {
+        if (entry >= window_end_) {
+          bound = std::min(bound, entry);
         }
       }
       do {
@@ -97,17 +97,15 @@ void WindowAssembler::TryCloseWindows() {
       } while (window_end_ <= bound);
       continue;
     }
-    std::vector<TaskRecord> records(std::make_move_iterator(pending_.begin()),
-                                    std::make_move_iterator(in_window_end));
     pending_.erase(pending_.begin(), in_window_end);
-    CloseWindow(window_start_, window_end_, std::move(records), 0);
+    QueueDecision(window_start_, window_end_, count, 0, /*take_all=*/false);
     window_start_ = window_end_;
     window_end_ += options_.window_duration;
   }
 }
 
-void WindowAssembler::FinishStream() {
-  QNET_CHECK(!finished_, "FinishStream called twice");
+void WindowSpanTracker::Finish() {
+  QNET_CHECK(!finished_, "Finish called twice");
   finished_ = true;
   TryCloseWindows();
   if (pending_.empty()) {
@@ -116,56 +114,140 @@ void WindowAssembler::FinishStream() {
   const std::size_t min_needed = std::max<std::size_t>(options_.min_tasks_per_window, 2);
   const double t1 = std::max(window_end_, watermark_);
   if (pending_.size() >= min_needed) {
-    CloseWindow(window_start_, t1, std::move(pending_), 0);
+    QueueDecision(window_start_, t1, pending_.size(), 0, /*take_all=*/true);
   } else if (options_.merge_trailing_window && have_last_window_) {
     // Trailing remainder too small for its own estimate: merge it into the previous
     // window's span and re-emit that window (merged_tail_tasks marks the replacement).
     const std::size_t tail = pending_.size();
-    std::vector<TaskRecord> merged = std::move(last_window_records_);
-    merged.insert(merged.end(), std::make_move_iterator(pending_.begin()),
-                  std::make_move_iterator(pending_.end()));
+    const std::size_t merged_count = last_window_count_ + tail;
     have_last_window_ = false;
-    CloseWindow(last_window_t0_, t1, std::move(merged), tail);
+    QueueDecision(last_window_t0_, t1, merged_count, tail, /*take_all=*/true);
   } else if (pending_.size() >= 2) {
     // No previous window to merge into; a 2+-task remainder still gets an estimate.
-    CloseWindow(window_start_, t1, std::move(pending_), 0);
+    QueueDecision(window_start_, t1, pending_.size(), 0, /*take_all=*/true);
   } else {
-    stats_.tail_dropped += pending_.size();
+    tail_dropped_ += pending_.size();
   }
   pending_.clear();
 }
 
-void WindowAssembler::CloseWindow(double t0, double t1, std::vector<TaskRecord> records,
-                                  std::size_t merged_tail_tasks) {
-  // Stable: records with equal entry times keep their arrival order, so an entry-ordered
-  // stream reproduces the batch task order exactly.
+void WindowSpanTracker::QueueDecision(double t0, double t1, std::size_t count,
+                                      std::size_t merged_tail, bool take_all) {
+  SpanDecision decision;
+  decision.t0 = t0;
+  decision.t1 = t1;
+  decision.count = count;
+  decision.merged_tail_tasks = merged_tail;
+  decision.take_all = take_all;
+  if (merged_tail > 0) {
+    // The merged re-close replaces the previous window: same emission index.
+    QNET_DCHECK(next_window_index_ > 0, "merged tail before any window");
+    decision.window_index = next_window_index_ - 1;
+  } else {
+    decision.window_index = next_window_index_++;
+    // Every normally closed window becomes the trailing-merge target — including ones
+    // whose close was deferred until Finish released the lateness hold-back.
+    if (options_.merge_trailing_window) {
+      last_window_t0_ = t0;
+      last_window_count_ = count;
+      have_last_window_ = true;
+    }
+  }
+  closed_.push_back(decision);
+}
+
+WindowSpanTracker::SpanDecision WindowSpanTracker::PopClosed() {
+  QNET_CHECK(!closed_.empty(), "no closed span decision to pop");
+  const SpanDecision decision = closed_.front();
+  closed_.pop_front();
+  return decision;
+}
+
+// --- WindowAssembler ---------------------------------------------------------------------
+
+WindowAssembler::WindowAssembler(int num_queues, const WindowAssemblerOptions& options)
+    : options_(options), tracker_(options), builder_(num_queues) {}
+
+void WindowAssembler::Push(const TaskRecord& record) {
+  ++stats_.tasks_ingested;
+  const WindowSpanTracker::PushVerdict verdict = tracker_.Push(record.entry_time);
+  if (verdict == WindowSpanTracker::PushVerdict::kLateDropped) {
+    ++stats_.late_dropped;
+    return;
+  }
+  pending_.push_back(record);
+  stats_.peak_buffered_tasks = std::max(
+      stats_.peak_buffered_tasks, pending_.size() + last_window_records_.size());
+  while (tracker_.HasClosed()) {
+    MaterializeDecision(tracker_.PopClosed());
+  }
+}
+
+void WindowAssembler::FinishStream() {
+  tracker_.Finish();
+  while (tracker_.HasClosed()) {
+    MaterializeDecision(tracker_.PopClosed());
+  }
+  // Whatever the decisions did not consume is the dropped tail (0 or 1 records with no
+  // window to merge into).
+  QNET_DCHECK(pending_.size() == tracker_.TailDropped(), "tracker/assembler tail mismatch");
+  stats_.tail_dropped += pending_.size();
+  pending_.clear();
+}
+
+std::vector<TaskRecord> TakeDecisionRecords(const WindowSpanTracker::SpanDecision& decision,
+                                            std::vector<TaskRecord>& pending,
+                                            std::vector<TaskRecord>& last_window) {
+  // Select the records the decision's membership rule names. Stable: records with equal
+  // entry times keep their arrival order, so an entry-ordered stream reproduces the
+  // batch task order exactly.
+  const auto in_window_end =
+      decision.take_all
+          ? pending.end()
+          : std::stable_partition(pending.begin(), pending.end(),
+                                  [&](const TaskRecord& record) {
+                                    return record.entry_time < decision.t1;
+                                  });
+  std::vector<TaskRecord> records;
+  if (decision.merged_tail_tasks > 0) {
+    // The merged re-close replaces the previous window: its records come first.
+    records = std::move(last_window);
+    last_window.clear();
+  }
+  records.insert(records.end(), std::make_move_iterator(pending.begin()),
+                 std::make_move_iterator(in_window_end));
+  pending.erase(pending.begin(), in_window_end);
   std::stable_sort(records.begin(), records.end(),
                    [](const TaskRecord& a, const TaskRecord& b) {
                      return a.entry_time < b.entry_time;
                    });
+  return records;
+}
+
+void WindowAssembler::MaterializeDecision(const WindowSpanTracker::SpanDecision& decision) {
+  std::vector<TaskRecord> records =
+      TakeDecisionRecords(decision, pending_, last_window_records_);
+  QNET_DCHECK(records.size() == decision.count, "decision count ", decision.count,
+              " != materialized records ", records.size());
   for (const TaskRecord& record : records) {
     builder_.Add(record);
   }
   ClosedWindow window;
-  window.t0 = t0;
-  window.t1 = t1;
+  window.t0 = decision.t0;
+  window.t1 = decision.t1;
   window.num_tasks = records.size();
-  window.merged_tail_tasks = merged_tail_tasks;
+  window.merged_tail_tasks = decision.merged_tail_tasks;
+  window.window_index = decision.window_index;
   auto [log, obs] = builder_.Finish();
   window.log = std::move(log);
   window.obs = std::move(obs);
   closed_.push_back(std::move(window));
-  if (merged_tail_tasks == 0) {
+  if (decision.merged_tail_tasks == 0) {
     // The merged re-close replaces the previous window; it is not a new closed window.
     ++stats_.windows_closed;
-  }
-  // Every normally closed window becomes the trailing-merge target — including ones
-  // whose close was deferred until FinishStream released the lateness hold-back (only
-  // the merged re-close itself must not overwrite the retained records).
-  if (options_.merge_trailing_window && merged_tail_tasks == 0) {
-    last_window_records_ = std::move(records);
-    last_window_t0_ = t0;
-    have_last_window_ = true;
+    if (options_.merge_trailing_window) {
+      last_window_records_ = std::move(records);
+    }
   }
 }
 

@@ -82,6 +82,89 @@ struct WindowAssemblerOptions {
   bool merge_trailing_window = true;
 };
 
+// The decision core of WindowAssembler: consumes entry times only and produces exactly
+// the close/extend/late/merge decisions the assembler makes — window spans, per-span
+// record counts, emission indices, and the trailing-merge/tail-drop outcome — without
+// buffering records or building logs. WindowAssembler delegates to this class, and the
+// sharded streaming front-end (shard/) runs its own instance on the ingest thread, so a
+// K-lane fleet's window boundaries are structurally guaranteed to be bit-identical to a
+// single assembler's for ANY lane count: span decisions are a pure function of the
+// global entry-time sequence and the options, never of the partition.
+class WindowSpanTracker {
+ public:
+  // What Push decided about one record.
+  enum class PushVerdict {
+    kBuffered,      // belongs to the open span (or a later one)
+    kLateDropped,   // late under LateRecordPolicy::kDrop: discard, do not route
+    kLateMerged,    // late under kMergeIntoCurrent: folds into the open span
+  };
+
+  // One closed window, by membership rule rather than materialized records: the window
+  // holds every record pushed so far (and not consumed by an earlier decision) with
+  // entry_time < t1. For a merged-tail decision the previous decision's records are
+  // prepended (the re-close replaces that window).
+  struct SpanDecision {
+    double t0 = 0.0;
+    double t1 = 0.0;
+    std::size_t count = 0;             // records in the span, globally
+    std::size_t merged_tail_tasks = 0; // > 0: re-close of the previous window (replaces it)
+    // Emission index of the window (seeds MixSeed(base, window_index) downstream); a
+    // merged-tail re-close reuses the replaced window's index.
+    std::size_t window_index = 0;
+    // End-of-stream decisions consume EVERY remaining record, including one whose entry
+    // time equals t1 == watermark (the `entry < t1` membership rule would exclude it).
+    bool take_all = false;
+  };
+
+  explicit WindowSpanTracker(const WindowAssemblerOptions& options);
+
+  // Ingests one entry time; may queue zero or more decisions (drain with PopClosed).
+  PushVerdict Push(double entry_time);
+  // End of stream: releases the lateness hold-back and resolves the trailing remainder
+  // (close, merged-tail re-close, or tail drop). Push must not be called afterwards.
+  void Finish();
+
+  bool HasClosed() const { return !closed_.empty(); }
+  SpanDecision PopClosed();
+
+  // Raw max-entry-time watermark (no lateness subtracted).
+  double Watermark() const { return watermark_; }
+  std::size_t PendingCount() const { return pending_.size(); }
+  // Records dropped at Finish (0/1-record remainder with nothing to merge into).
+  std::size_t TailDropped() const { return tail_dropped_; }
+
+ private:
+  void TryCloseWindows();
+  void QueueDecision(double t0, double t1, std::size_t count, std::size_t merged_tail,
+                     bool take_all);
+
+  WindowAssemblerOptions options_;
+  double window_start_ = 0.0;
+  double window_end_ = 0.0;
+  double watermark_ = 0.0;  // max entry time seen
+  bool finished_ = false;
+
+  std::vector<double> pending_;  // entry times of not-yet-closed records, push order
+  std::deque<SpanDecision> closed_;
+
+  std::size_t next_window_index_ = 0;
+  // Last normally closed window, retained as the trailing-merge target.
+  bool have_last_window_ = false;
+  double last_window_t0_ = 0.0;
+  std::size_t last_window_count_ = 0;
+  std::size_t tail_dropped_ = 0;
+};
+
+// Selects and removes from `pending` the records `decision` names — stable partition by
+// entry < t1, or every remaining record for take_all — prepending and consuming
+// `last_window` for a merged-tail re-close, and returns them sorted by entry time
+// (stably: ties keep arrival order), ready for WindowLogBuilder. Shared by
+// WindowAssembler and the sharded fleet's lane workers (shard/) so the two close paths
+// cannot drift: a lane applies the identical membership rule to its sub-sequence.
+std::vector<TaskRecord> TakeDecisionRecords(const WindowSpanTracker::SpanDecision& decision,
+                                            std::vector<TaskRecord>& pending,
+                                            std::vector<TaskRecord>& last_window);
+
 struct ClosedWindow {
   double t0 = 0.0;
   double t1 = 0.0;
@@ -89,6 +172,9 @@ struct ClosedWindow {
   // > 0: this window REPLACES the previously emitted one — it is the previous window
   // re-closed with `merged_tail_tasks` trailing records merged in (end of stream only).
   std::size_t merged_tail_tasks = 0;
+  // Emission index from the span tracker (a merged-tail re-close reuses the replaced
+  // window's index) — the per-window seed salt of the streaming estimators.
+  std::size_t window_index = 0;
   EventLog log;
   Observation obs;
 
@@ -125,26 +211,19 @@ class WindowAssembler {
   const WindowAssemblerStats& Stats() const { return stats_; }
 
  private:
-  void TryCloseWindows();
-  // Sorts `records` by entry time (stably: ties keep arrival order), builds the window,
-  // and queues it.
-  void CloseWindow(double t0, double t1, std::vector<TaskRecord> records,
-                   std::size_t merged_tail_tasks);
+  // Materializes one tracker decision: selects the buffered records the decision's
+  // membership rule names, sorts them by entry time (stably: ties keep arrival order),
+  // builds the window, and queues it.
+  void MaterializeDecision(const WindowSpanTracker::SpanDecision& decision);
 
   WindowAssemblerOptions options_;
+  WindowSpanTracker tracker_;  // all close/extend/late/merge decisions live here
   WindowLogBuilder builder_;
-
-  double window_start_ = 0.0;
-  double window_end_ = 0.0;
-  double watermark_ = 0.0;  // max entry time seen
-  bool finished_ = false;
 
   std::vector<TaskRecord> pending_;
   std::deque<ClosedWindow> closed_;
 
-  // Last closed window's inputs, retained for the trailing merge.
-  bool have_last_window_ = false;
-  double last_window_t0_ = 0.0;
+  // Last closed window's records, retained for the trailing merge.
   std::vector<TaskRecord> last_window_records_;
 
   WindowAssemblerStats stats_;

@@ -1,0 +1,68 @@
+#include "qnet/support/task_hash.h"
+
+#include <bit>
+
+#include "qnet/stream/task_record.h"
+#include "qnet/support/check.h"
+
+namespace qnet {
+namespace {
+
+// Canonical 64-bit encoding of a double: IEEE-754 bits, with -0.0 folded into +0.0 so the
+// two representations of zero (a distinction no queueing time carries) hash identically.
+std::uint64_t DoubleBits(double x) {
+  if (x == 0.0) {
+    x = 0.0;
+  }
+  return std::bit_cast<std::uint64_t>(x);
+}
+
+}  // namespace
+
+std::uint64_t HashCombine(std::uint64_t h, std::uint64_t value) {
+  // MixSeed's step: one SplitMix64 pass over h offset by (value + 1) golden-ratio
+  // increments. Bijective in h for fixed value, and a strong finalizer, so every combined
+  // field avalanches through all later steps.
+  std::uint64_t x = h + (value + 1) * 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t TaskHash(const TaskRecord& record) {
+  std::uint64_t h = 0x71ee2bd356ad5e3fULL;  // arbitrary fixed domain tag
+  h = HashCombine(h, DoubleBits(record.entry_time));
+  h = HashCombine(h, static_cast<std::uint64_t>(record.visits.size()));
+  for (const TaskVisit& visit : record.visits) {
+    // queue/state packed into one word: both are small nonnegative int32s in practice,
+    // and -1 sentinels widen to well-defined 0xffffffff.
+    const std::uint64_t ids =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(visit.queue)) << 32) |
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(visit.state));
+    h = HashCombine(h, ids);
+    h = HashCombine(h, DoubleBits(visit.arrival));
+    h = HashCombine(h, DoubleBits(visit.departure));
+  }
+  return h;
+}
+
+std::size_t TaskLane(std::uint64_t hash, std::size_t lanes) {
+  QNET_CHECK(lanes > 0, "TaskLane needs a positive lane count");
+  const std::uint64_t n = static_cast<std::uint64_t>(lanes);
+#if defined(__SIZEOF_INT128__)
+  return static_cast<std::size_t>(
+      (static_cast<unsigned __int128>(hash) * static_cast<unsigned __int128>(n)) >> 64);
+#else
+  // Portable 64x64 -> high-64 multiply (compilers without __int128, e.g. MSVC x86):
+  // identical result, so external partitioners agree regardless of toolchain.
+  const std::uint64_t hash_lo = hash & 0xffffffffULL;
+  const std::uint64_t hash_hi = hash >> 32;
+  const std::uint64_t n_lo = n & 0xffffffffULL;
+  const std::uint64_t n_hi = n >> 32;
+  const std::uint64_t mid1 = hash_hi * n_lo + ((hash_lo * n_lo) >> 32);
+  const std::uint64_t mid2 = hash_lo * n_hi + (mid1 & 0xffffffffULL);
+  return static_cast<std::size_t>(hash_hi * n_hi + (mid1 >> 32) + (mid2 >> 32));
+#endif
+}
+
+}  // namespace qnet

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <iomanip>
+#include <istream>
 
 #include "qnet/support/check.h"
 
@@ -62,6 +63,17 @@ std::uint64_t ParseCsvU64(const std::string& field, const std::string& line) {
   return ParseCsvNumber(field, line, [](const std::string& s, std::size_t* pos) {
     return std::stoull(s, pos);
   });
+}
+
+std::string ReadCsvMetaLine(std::istream& is, const std::string& key,
+                            const std::string& what) {
+  std::string line;
+  QNET_CHECK(static_cast<bool>(std::getline(is, line)), "truncated ", what, ": missing ",
+             key, " header");
+  const std::string prefix = "# " + key + "=";
+  QNET_CHECK(line.rfind(prefix, 0) == 0, "bad ", what, " header line: ", line,
+             " (expected ", prefix, "...)");
+  return line.substr(prefix.size());
 }
 
 void WriteEventLog(std::ostream& os, const EventLog& log) {

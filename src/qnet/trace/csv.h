@@ -48,6 +48,12 @@ double ParseCsvDouble(const std::string& field, const std::string& line);
 // would silently wrap it.
 std::uint64_t ParseCsvU64(const std::string& field, const std::string& line);
 
+// Consumes one '# key=value' metadata header line and returns the text after '='.
+// `what` names the file kind in diagnostics (e.g. "scenario report"). The one header
+// parser shared by every '#'-headed CSV in trace/, so the format cannot drift.
+std::string ReadCsvMetaLine(std::istream& is, const std::string& key,
+                            const std::string& what);
+
 // Shared header step for event-log readers (ReadEventLog, CsvReplayStream): consumes the
 // optional '# queues=N' line plus the column-header line from `is`, reconciles N with the
 // caller-supplied num_queues (-1 = must come from the header, nonnegative = required to

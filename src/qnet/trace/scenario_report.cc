@@ -16,17 +16,6 @@ void WriteBand(std::ostream& os, const MetricBand& band) {
   os << ',' << band.mean << ',' << band.lo << ',' << band.hi;
 }
 
-// Consumes one '# key=' metadata line and returns the text after '='.
-std::string ReadMetaLine(std::istream& is, const std::string& key) {
-  std::string line;
-  QNET_CHECK(static_cast<bool>(std::getline(is, line)), "truncated scenario report: missing ",
-             key, " header");
-  const std::string prefix = "# " + key + "=";
-  QNET_CHECK(line.rfind(prefix, 0) == 0, "bad scenario-report header line: ", line,
-             " (expected ", prefix, "...)");
-  return line.substr(prefix.size());
-}
-
 MetricBand ReadBand(const std::vector<std::string>& fields, std::size_t& at,
                     const std::string& line) {
   MetricBand band;
@@ -99,19 +88,19 @@ void WriteScenarioReportFile(const std::string& path, const ScenarioReport& repo
 
 ScenarioReport ReadScenarioReport(std::istream& is) {
   ScenarioReport report;
-  report.num_queues = ParseCsvInt(ReadMetaLine(is, "queues"), "# queues");
+  report.num_queues = ParseCsvInt(ReadCsvMetaLine(is, "queues", "scenario report"), "# queues");
   QNET_CHECK(report.num_queues >= 2, "bad queue count in scenario report");
-  const std::string axes = ReadMetaLine(is, "axes");
+  const std::string axes = ReadCsvMetaLine(is, "axes", "scenario report");
   if (!axes.empty()) {
     SplitCsvLine(axes, report.axis_names);
   }
   const std::size_t num_cells =
-      static_cast<std::size_t>(ParseCsvLong(ReadMetaLine(is, "cells"), "# cells"));
+      static_cast<std::size_t>(ParseCsvLong(ReadCsvMetaLine(is, "cells", "scenario report"), "# cells"));
   report.draws =
-      static_cast<std::size_t>(ParseCsvLong(ReadMetaLine(is, "draws"), "# draws"));
+      static_cast<std::size_t>(ParseCsvLong(ReadCsvMetaLine(is, "draws", "scenario report"), "# draws"));
   report.tasks_per_draw = static_cast<std::size_t>(
-      ParseCsvLong(ReadMetaLine(is, "tasks_per_draw"), "# tasks_per_draw"));
-  report.seed = ParseCsvU64(ReadMetaLine(is, "seed"), "# seed");
+      ParseCsvLong(ReadCsvMetaLine(is, "tasks_per_draw", "scenario report"), "# tasks_per_draw"));
+  report.seed = ParseCsvU64(ReadCsvMetaLine(is, "seed", "scenario report"), "# seed");
 
   std::string line;
   QNET_CHECK(static_cast<bool>(std::getline(is, line)), "missing scenario-report header");

@@ -1,0 +1,93 @@
+#include "qnet/trace/window_csv.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "qnet/support/check.h"
+#include "qnet/trace/csv.h"
+
+namespace qnet {
+
+void WriteWindowEstimates(std::ostream& os, const std::vector<WindowEstimate>& estimates,
+                          int num_queues) {
+  QNET_CHECK(num_queues >= 2, "window-estimate CSV needs at least 2 queues");
+  os << "# queues=" << num_queues << '\n';
+  os << "# windows=" << estimates.size() << '\n';
+  // 17 significant digits round-trip doubles bit-exactly; restore the caller's
+  // precision afterwards.
+  const std::streamsize caller_precision = os.precision(17);
+  for (const WindowEstimate& estimate : estimates) {
+    QNET_CHECK(estimate.rates.size() == static_cast<std::size_t>(num_queues),
+               "estimate rate vector does not match num_queues");
+    QNET_CHECK(estimate.mean_wait.empty() ||
+                   estimate.mean_wait.size() == static_cast<std::size_t>(num_queues),
+               "estimate mean_wait vector does not match num_queues");
+    os << estimate.t0 << ',' << estimate.t1 << ',' << estimate.tasks << ','
+       << estimate.merged_tail_tasks << ','
+       << (estimate.window_local_arrival_rate ? 1 : 0);
+    for (const double rate : estimate.rates) {
+      os << ',' << rate;
+    }
+    for (const double wait : estimate.mean_wait) {
+      os << ',' << wait;
+    }
+    os << '\n';
+  }
+  os.precision(caller_precision);
+}
+
+void WriteWindowEstimatesFile(const std::string& path,
+                              const std::vector<WindowEstimate>& estimates,
+                              int num_queues) {
+  std::ofstream os(path);
+  QNET_CHECK(os.good(), "cannot open ", path, " for writing");
+  WriteWindowEstimates(os, estimates, num_queues);
+}
+
+std::vector<WindowEstimate> ReadWindowEstimates(std::istream& is) {
+  const int num_queues =
+      ParseCsvInt(ReadCsvMetaLine(is, "queues", "window-estimate CSV"), "queues header");
+  QNET_CHECK(num_queues >= 2, "window-estimate CSV has ", num_queues, " queues");
+  const long windows = ParseCsvLong(
+      ReadCsvMetaLine(is, "windows", "window-estimate CSV"), "windows header");
+  QNET_CHECK(windows >= 0, "negative window count");
+
+  std::vector<WindowEstimate> estimates;
+  estimates.reserve(static_cast<std::size_t>(windows));
+  const std::size_t queues = static_cast<std::size_t>(num_queues);
+  std::string line;
+  std::vector<std::string> fields;
+  while (static_cast<long>(estimates.size()) < windows) {
+    QNET_CHECK(static_cast<bool>(std::getline(is, line)),
+               "truncated window-estimate CSV: expected ", windows, " rows, got ",
+               estimates.size());
+    if (line.empty()) {
+      continue;
+    }
+    SplitCsvLine(line, fields);
+    QNET_CHECK(fields.size() == 5 + queues || fields.size() == 5 + 2 * queues,
+               "bad window-estimate row (", fields.size(), " fields): ", line);
+    WindowEstimate estimate;
+    estimate.t0 = ParseCsvDouble(fields[0], line);
+    estimate.t1 = ParseCsvDouble(fields[1], line);
+    estimate.tasks = static_cast<std::size_t>(ParseCsvLong(fields[2], line));
+    estimate.merged_tail_tasks = static_cast<std::size_t>(ParseCsvLong(fields[3], line));
+    estimate.window_local_arrival_rate = ParseCsvInt(fields[4], line) != 0;
+    estimate.rates.resize(queues);
+    for (std::size_t q = 0; q < queues; ++q) {
+      estimate.rates[q] = ParseCsvDouble(fields[5 + q], line);
+    }
+    if (fields.size() == 5 + 2 * queues) {
+      estimate.mean_wait.resize(queues);
+      for (std::size_t q = 0; q < queues; ++q) {
+        estimate.mean_wait[q] = ParseCsvDouble(fields[5 + queues + q], line);
+      }
+    }
+    estimates.push_back(std::move(estimate));
+  }
+  return estimates;
+}
+
+}  // namespace qnet

@@ -1,0 +1,34 @@
+// CSV round-tripping of per-window estimate sequences (WindowEstimate) — the merged
+// output stream of StreamingEstimator and the sharded streaming fleet. Lets a monitor
+// persist its rate trajectory (and a downstream process replay it) bit-exactly: doubles
+// are written with 17 significant digits and parsed back to the same bits.
+//
+// Format:
+//   # queues=Q
+//   # windows=N
+//   t0,t1,tasks,merged_tail_tasks,window_local_lambda,rate_q0..rate_q{Q-1}[,wait_q0..]
+// The mean-wait columns are present only for estimates that carry them (wait_sweeps > 0);
+// presence is per row, signaled by the column count.
+
+#ifndef QNET_TRACE_WINDOW_CSV_H_
+#define QNET_TRACE_WINDOW_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "qnet/stream/streaming_estimator.h"
+
+namespace qnet {
+
+void WriteWindowEstimates(std::ostream& os, const std::vector<WindowEstimate>& estimates,
+                          int num_queues);
+void WriteWindowEstimatesFile(const std::string& path,
+                              const std::vector<WindowEstimate>& estimates, int num_queues);
+
+// Inverse of WriteWindowEstimates; throws qnet::Error on malformed input.
+std::vector<WindowEstimate> ReadWindowEstimates(std::istream& is);
+
+}  // namespace qnet
+
+#endif  // QNET_TRACE_WINDOW_CSV_H_

@@ -1,0 +1,37 @@
+// Test helper: a TraceStream replaying an explicit record list (late-record,
+// time-shifted, and hand-built stream scenarios). Shared by the stream and shard suites.
+
+#ifndef QNET_TESTS_SUPPORT_VECTOR_STREAM_H_
+#define QNET_TESTS_SUPPORT_VECTOR_STREAM_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "qnet/stream/task_record.h"
+
+namespace qnet_testing {
+
+class VectorStream : public qnet::TraceStream {
+ public:
+  VectorStream(std::vector<qnet::TaskRecord> records, int num_queues)
+      : records_(std::move(records)), num_queues_(num_queues) {}
+
+  bool Next(qnet::TaskRecord& out) override {
+    if (at_ >= records_.size()) {
+      return false;
+    }
+    out = records_[at_++];
+    return true;
+  }
+  int NumQueues() const override { return num_queues_; }
+
+ private:
+  std::vector<qnet::TaskRecord> records_;
+  std::size_t at_ = 0;
+  int num_queues_;
+};
+
+}  // namespace qnet_testing
+
+#endif  // QNET_TESTS_SUPPORT_VECTOR_STREAM_H_

@@ -395,6 +395,38 @@ TEST(WindowForecaster, HooksIntoStreamingEstimatorDeterministically) {
   }
 }
 
+TEST(WindowForecaster, UsesWindowLocalLambdaWhenTheEstimateCarriesIt) {
+  const QueueingNetwork net = MakeTandemNetwork(4.0, {10.0, 20.0});
+  ScenarioEngineOptions forecast_options;
+  forecast_options.max_draws = 1;
+  forecast_options.tasks_per_draw = 100;
+  const ScenarioGrid grid({LoadAxis({1.0, 2.0})});
+
+  WindowEstimate estimate;
+  estimate.t0 = 100.0;
+  estimate.t1 = 125.0;
+  estimate.tasks = 100;  // empirical rate 4.0
+  estimate.rates = {4.0, 10.0, 20.0};
+
+  // Legacy estimate (flag off): the forecaster substitutes the empirical rate, so an
+  // estimate whose fitted lambda EQUALS the empirical rate forecasts identically with
+  // the flag on — the two code paths meet bit-exactly.
+  WindowForecaster legacy(net, grid, forecast_options, /*seed=*/7);
+  const ScenarioReport by_empirical = legacy.Forecast(estimate);
+  estimate.window_local_arrival_rate = true;
+  WindowForecaster anchored(net, grid, forecast_options, /*seed=*/7);
+  const ScenarioReport by_fitted = anchored.Forecast(estimate);
+  EXPECT_EQ(by_empirical, by_fitted);
+
+  // A window-local fitted lambda different from the empirical count (e.g. reflecting
+  // latent arrivals) now changes the forecast — the workaround no longer overrides it.
+  estimate.rates[0] = 6.0;
+  WindowForecaster hotter(net, grid, forecast_options, /*seed=*/7);
+  const ScenarioReport by_hotter = hotter.Forecast(estimate);
+  EXPECT_GT(by_hotter.cells[0].utilization[1].mean,
+            1.2 * by_fitted.cells[0].utilization[1].mean);
+}
+
 TEST(ScenarioEngine, GuardsOptionAndShapeMisuse) {
   ScenarioEngineOptions bad;
   bad.max_draws = 0;

@@ -1,0 +1,534 @@
+// Sharded streaming front-end: lane routing, watermark coordination, and deterministic
+// pooled estimates.
+//
+// The load-bearing assertions are bit-exactness ones, mirroring the repo's established
+// threading contracts: (i) a single-lane fleet reproduces the plain StreamingEstimator
+// bit-exactly; (ii) for a FIXED lane count K the pooled estimate sequence is
+// bit-identical across sharded-sweep thread counts, pipelining, queue capacities
+// (backpressure), and repeated runs; (iii) window spans, counts, and emission indices
+// are bit-identical across DIFFERENT lane counts (the span tracker is global). Across
+// lane counts the pooled fits themselves are statistically consistent, not bit-equal —
+// each lane fits its own hash-thinned sub-stream by design — which a tolerance test
+// pins.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/vector_stream.h"
+#include "qnet/model/builders.h"
+#include "qnet/obs/observation.h"
+#include "qnet/shard/lane_router.h"
+#include "qnet/shard/sharded_streaming.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/stream/replay_stream.h"
+#include "qnet/stream/streaming_estimator.h"
+#include "qnet/stream/window_assembler.h"
+#include "qnet/support/check.h"
+#include "qnet/support/rng.h"
+#include "qnet/support/task_hash.h"
+#include "qnet/trace/window_csv.h"
+
+namespace qnet {
+namespace {
+
+struct Fixture {
+  EventLog truth;
+  Observation obs;
+
+  Fixture(double fraction = 0.5, std::size_t tasks = 400, std::uint64_t seed = 7)
+      : truth(MakeLog(tasks, seed)), obs(MakeObs(truth, fraction, seed)) {}
+
+  static EventLog MakeLog(std::size_t tasks, std::uint64_t seed) {
+    const QueueingNetwork net = MakeTandemNetwork(4.0, {8.0, 9.0});
+    Rng rng(seed);
+    return SimulateWorkload(net, PoissonArrivals(4.0, tasks), rng);
+  }
+  static Observation MakeObs(const EventLog& log, double fraction, std::uint64_t seed) {
+    Rng rng(seed + 1);
+    TaskSamplingScheme scheme;
+    scheme.fraction = fraction;
+    return scheme.Apply(log, rng);
+  }
+};
+
+void ExpectEstimatesIdentical(const std::vector<WindowEstimate>& a,
+                              const std::vector<WindowEstimate>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    EXPECT_EQ(a[w].t0, b[w].t0) << "window " << w;
+    EXPECT_EQ(a[w].t1, b[w].t1) << "window " << w;
+    EXPECT_EQ(a[w].tasks, b[w].tasks) << "window " << w;
+    EXPECT_EQ(a[w].merged_tail_tasks, b[w].merged_tail_tasks) << "window " << w;
+    EXPECT_EQ(a[w].window_local_arrival_rate, b[w].window_local_arrival_rate)
+        << "window " << w;
+    ASSERT_EQ(a[w].rates.size(), b[w].rates.size());
+    for (std::size_t q = 0; q < a[w].rates.size(); ++q) {
+      EXPECT_EQ(a[w].rates[q], b[w].rates[q]) << "window " << w << " q=" << q;
+    }
+    ASSERT_EQ(a[w].mean_wait.size(), b[w].mean_wait.size());
+    for (std::size_t q = 0; q < a[w].mean_wait.size(); ++q) {
+      EXPECT_EQ(a[w].mean_wait[q], b[w].mean_wait[q]) << "window " << w << " q=" << q;
+    }
+  }
+}
+
+StreamingEstimatorOptions ShortStemOptions(double window_duration = 25.0) {
+  StreamingEstimatorOptions options;
+  options.window.window_duration = window_duration;
+  options.stem.iterations = 30;
+  options.stem.burn_in = 10;
+  options.stem.wait_sweeps = 5;
+  return options;
+}
+
+std::vector<WindowEstimate> RunFleet(const Fixture& f, const ShardedStreamingOptions& options,
+                                     std::uint64_t seed, FleetStats* stats = nullptr) {
+  LogReplayStream stream(f.truth, f.obs);
+  ShardedStreamingEstimator fleet({1.0, 1.0, 1.0}, seed, options);
+  auto estimates = fleet.Run(stream);
+  if (stats != nullptr) {
+    *stats = fleet.Stats();
+  }
+  return estimates;
+}
+
+// --- Single-lane equivalence -------------------------------------------------------------
+
+TEST(ShardedStreaming, SingleLaneMatchesStreamingEstimatorBitExactly) {
+  const Fixture f;
+  for (const bool window_local : {false, true}) {
+    StreamingEstimatorOptions stream_options = ShortStemOptions();
+    stream_options.window_local_arrival_rate = window_local;
+
+    LogReplayStream plain_stream(f.truth, f.obs);
+    StreamingEstimator plain({1.0, 1.0, 1.0}, 99, stream_options);
+    const auto reference = plain.Run(plain_stream);
+    ASSERT_GE(reference.size(), 3u);
+
+    ShardedStreamingOptions fleet_options;
+    fleet_options.lanes = 1;
+    fleet_options.stream = stream_options;
+    const auto pooled = RunFleet(f, fleet_options, 99);
+    ExpectEstimatesIdentical(reference, pooled);
+  }
+}
+
+TEST(ShardedStreaming, SingleLaneEquivalenceHoldsUnderShardedSweepsAndPipelining) {
+  const Fixture f;
+  StreamingEstimatorOptions stream_options = ShortStemOptions();
+  stream_options.stem.sharded_sweeps = true;
+  stream_options.stem.sharded.shards = 2;
+  stream_options.stem.sharded.threads = 2;
+  stream_options.pipeline = true;
+
+  LogReplayStream plain_stream(f.truth, f.obs);
+  StreamingEstimator plain({1.0, 1.0, 1.0}, 5, stream_options);
+  const auto reference = plain.Run(plain_stream);
+
+  ShardedStreamingOptions fleet_options;
+  fleet_options.lanes = 1;
+  fleet_options.stream = stream_options;
+  const auto pooled = RunFleet(f, fleet_options, 5);
+  ExpectEstimatesIdentical(reference, pooled);
+}
+
+// --- Fixed-K determinism across every execution arrangement ------------------------------
+
+TEST(ShardedStreaming, PooledEstimatesBitIdenticalAcrossThreadsAndPipelining) {
+  // The acceptance grid: K in {1,2,4} lanes x {1,2,4} sharded-sweep threads per lane x
+  // pipelining on/off. For each K the pooled sequence must be bit-identical across the
+  // whole (threads, pipelining) sub-grid; only wall-clock may change.
+  const Fixture f;
+  for (const std::size_t lanes : {1u, 2u, 4u}) {
+    std::vector<std::vector<WindowEstimate>> runs;
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      for (const bool pipeline : {false, true}) {
+        ShardedStreamingOptions options;
+        options.lanes = lanes;
+        options.stream = ShortStemOptions();
+        options.stream.stem.sharded_sweeps = true;
+        options.stream.stem.sharded.shards = 2;
+        options.stream.stem.sharded.threads = threads;
+        options.stream.pipeline = pipeline;
+        runs.push_back(RunFleet(f, options, 42));
+      }
+    }
+    ASSERT_GE(runs.front().size(), 3u) << "lanes=" << lanes;
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+      ExpectEstimatesIdentical(runs.front(), runs[i]);
+    }
+  }
+}
+
+TEST(ShardedStreaming, BackpressureTinyQueueIsBitIdentical) {
+  const Fixture f;
+  ShardedStreamingOptions options;
+  options.lanes = 2;
+  options.stream = ShortStemOptions();
+
+  const auto roomy = RunFleet(f, options, 7);
+  options.lane_queue_capacity = 2;
+  options.router_batch = 1;
+  FleetStats stats;
+  const auto cramped = RunFleet(f, options, 7, &stats);
+  ExpectEstimatesIdentical(roomy, cramped);
+  for (const LaneStats& lane : stats.lane) {
+    EXPECT_LE(lane.peak_queue_depth, 2u);
+  }
+  // A batch larger than the queue itself must also be bit-identical (PushMany splits).
+  options.lane_queue_capacity = 4;
+  options.router_batch = 64;
+  const auto oversized_batch = RunFleet(f, options, 7);
+  ExpectEstimatesIdentical(roomy, oversized_batch);
+}
+
+// --- Cross-K contracts -------------------------------------------------------------------
+
+TEST(ShardedStreaming, WindowSpansCountsAndIndicesIdenticalAcrossLaneCounts) {
+  // The span tracker runs on the global stream, so window boundaries are a pure function
+  // of the trace and the options — bit-identical for ANY lane count.
+  const Fixture f;
+  std::vector<std::vector<WindowEstimate>> runs;
+  for (const std::size_t lanes : {1u, 2u, 4u}) {
+    ShardedStreamingOptions options;
+    options.lanes = lanes;
+    options.stream = ShortStemOptions();
+    runs.push_back(RunFleet(f, options, 11));
+  }
+  ASSERT_GE(runs.front().size(), 3u);
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    ASSERT_EQ(runs.front().size(), runs[i].size());
+    for (std::size_t w = 0; w < runs.front().size(); ++w) {
+      EXPECT_EQ(runs.front()[w].t0, runs[i][w].t0);
+      EXPECT_EQ(runs.front()[w].t1, runs[i][w].t1);
+      EXPECT_EQ(runs.front()[w].tasks, runs[i][w].tasks);
+      EXPECT_EQ(runs.front()[w].merged_tail_tasks, runs[i][w].merged_tail_tasks);
+    }
+  }
+}
+
+TEST(ShardedStreaming, PooledRatesStatisticallyConsistentAcrossLaneCounts) {
+  // Different K fit different hash-thinned sub-streams, so pooled fits are not bit-equal
+  // across K — but they estimate the same network and must agree on a well-observed
+  // trace. The decomposition is accurate in light traffic and biases service estimates
+  // up as utilization grows (a lane's sub-log attributes cross-lane queueing delay to
+  // service; see docs/architecture.md), so this pins the light-traffic regime: rho = 0.1
+  // per stage, where waits are ~1% of service.
+  QueueingNetwork net = MakeTandemNetwork(4.0, {40.0, 45.0});
+  Rng sim_rng(3);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(4.0, 800), sim_rng);
+  Fixture f;
+  f.truth = truth;
+  f.obs = Observation::FullyObserved(truth);
+
+  std::vector<std::vector<WindowEstimate>> runs;
+  for (const std::size_t lanes : {1u, 2u, 4u}) {
+    ShardedStreamingOptions options;
+    options.lanes = lanes;
+    options.stream = ShortStemOptions(50.0);
+    options.stream.window_local_arrival_rate = true;
+    runs.push_back(RunFleet(f, options, 17));
+  }
+  ASSERT_GE(runs.front().size(), 2u);
+  for (const auto& run : runs) {
+    ASSERT_EQ(run.size(), runs.front().size());
+    for (std::size_t w = 0; w < run.size(); ++w) {
+      // True rates: lambda 4, mu1 40, mu2 45. Window-local anchoring keeps the pooled
+      // lambda tracking the true arrival rate for every K.
+      EXPECT_NEAR(run[w].rates[0], 4.0, 1.0) << "window " << w;
+      EXPECT_NEAR(1.0 / run[w].rates[1], 1.0 / 40.0, 0.006) << "window " << w;
+      EXPECT_NEAR(1.0 / run[w].rates[2], 1.0 / 45.0, 0.006) << "window " << w;
+      // Cross-K agreement on service rates (disjoint shares of the same windows).
+      EXPECT_NEAR(1.0 / run[w].rates[1], 1.0 / runs.front()[w].rates[1], 0.003);
+      EXPECT_NEAR(1.0 / run[w].rates[2], 1.0 / runs.front()[w].rates[2], 0.003);
+    }
+  }
+}
+
+// --- Lane coordination -------------------------------------------------------------------
+
+TEST(ShardedStreaming, EmptyLanesNeverStallTheFleet) {
+  // Force every record onto lane 0 of a 2-lane fleet: lane 1 is empty in EVERY window
+  // and must still answer every close token immediately.
+  const Fixture f;
+  ShardedStreamingOptions options;
+  options.lanes = 2;
+  options.stream = ShortStemOptions();
+  options.lane_of = [](const TaskRecord&) { return std::size_t{0}; };
+
+  FleetStats stats;
+  const auto pooled = RunFleet(f, options, 23, &stats);
+  ASSERT_GE(pooled.size(), 3u);
+  EXPECT_EQ(stats.lane[1].tasks_routed, 0u);
+  EXPECT_GT(stats.lane[1].windows_closed, 0u);
+  EXPECT_EQ(stats.lane[1].empty_windows, stats.lane[1].windows_closed);
+  EXPECT_EQ(stats.lane[0].tasks_routed, stats.tasks_ingested);
+  for (const WindowEstimate& estimate : pooled) {
+    ASSERT_EQ(estimate.rates.size(), 3u);
+    for (const double rate : estimate.rates) {
+      EXPECT_TRUE(std::isfinite(rate));
+      EXPECT_GT(rate, 0.0);
+    }
+  }
+  // Determinism with the forced routing.
+  const auto again = RunFleet(f, options, 23);
+  ExpectEstimatesIdentical(pooled, again);
+}
+
+TaskRecord TinyRecord(double entry, double service = 0.01) {
+  TaskRecord record;
+  record.entry_time = entry;
+  TaskVisit visit;
+  visit.state = 0;
+  visit.queue = 1;
+  visit.arrival = entry;
+  visit.departure = entry + service;
+  record.visits.push_back(visit);
+  return record;
+}
+
+TEST(ShardedStreaming, LateRecordPoliciesMatchAssemblerSemantics) {
+  // A record behind the closed span: dropped (and counted) under kDrop, folded into the
+  // open window under kMergeIntoCurrent — with every task accounted for in the pooled
+  // windows either way.
+  std::vector<TaskRecord> records;
+  for (const double t : {1.0, 2.0, 3.0, 11.0, 12.0, 13.0}) {
+    records.push_back(TinyRecord(t));
+  }
+  records.push_back(TinyRecord(21.0));  // closes [10,20) under a 10s window
+  records.push_back(TinyRecord(5.0));   // late: its window [0,10) has closed
+  records.push_back(TinyRecord(22.0));
+  records.push_back(TinyRecord(23.0));
+
+  for (const LateRecordPolicy policy :
+       {LateRecordPolicy::kDrop, LateRecordPolicy::kMergeIntoCurrent}) {
+    ShardedStreamingOptions options;
+    options.lanes = 2;
+    options.stream.window.window_duration = 10.0;
+    options.stream.window.min_tasks_per_window = 3;
+    options.stream.window.late_policy = policy;
+    options.stream.stem.iterations = 10;
+    options.stream.stem.burn_in = 2;
+    options.stream.stem.wait_sweeps = 0;
+
+    qnet_testing::VectorStream stream(records, 2);
+    ShardedStreamingEstimator fleet({1.0, 1.0}, 31, options);
+    const auto pooled = fleet.Run(stream);
+    const FleetStats& stats = fleet.Stats();
+    EXPECT_EQ(stats.tasks_ingested, records.size());
+    std::size_t pooled_tasks = 0;
+    for (const WindowEstimate& estimate : pooled) {
+      pooled_tasks += estimate.tasks;
+    }
+    if (policy == LateRecordPolicy::kDrop) {
+      EXPECT_EQ(stats.late_dropped, 1u);
+      EXPECT_EQ(pooled_tasks, records.size() - 1);
+    } else {
+      EXPECT_EQ(stats.late_dropped, 0u);
+      EXPECT_EQ(pooled_tasks, records.size());
+    }
+  }
+}
+
+TEST(ShardedStreaming, WindowWithNoFittableLaneFailsLoudly) {
+  // Every record visits only queue 1 of a 3-queue network, so every lane's sub-log
+  // misses queue 2 and no lane can fit any window — the fleet must fail like the plain
+  // estimator does (inside StEM's M-step), not silently emit zero service rates.
+  std::vector<TaskRecord> records;
+  for (int i = 0; i < 12; ++i) {
+    records.push_back(TinyRecord(1.0 + i));
+  }
+  ShardedStreamingOptions options;
+  options.lanes = 2;
+  options.stream.window.window_duration = 5.0;
+  options.stream.window.min_tasks_per_window = 2;
+  options.stream.stem.iterations = 5;
+  options.stream.stem.burn_in = 1;
+  options.stream.stem.wait_sweeps = 0;
+  qnet_testing::VectorStream stream(records, 3);  // queue 2 exists but is never visited
+  ShardedStreamingEstimator fleet({1.0, 1.0, 1.0}, 1, options);
+  EXPECT_THROW(fleet.Run(stream), Error);
+}
+
+TEST(ShardedStreaming, TrailingTailMergeReplacesLastPooledEstimate) {
+  // A too-small trailing remainder merges into the previous window and the pooled
+  // estimate sequence replaces its last entry, exactly like the plain estimator; the
+  // on_window hook sees the windows in order plus the replacement.
+  const Fixture f;
+  ShardedStreamingOptions options;
+  options.lanes = 2;
+  // 27s windows over a ~100s trace leave a high-probability small tail.
+  options.stream = ShortStemOptions(27.0);
+  options.stream.window.min_tasks_per_window = 60;
+
+  std::vector<WindowEstimate> seen;
+  options.stream.on_window = [&seen](const WindowEstimate& estimate) {
+    seen.push_back(estimate);
+  };
+  FleetStats stats;
+  const auto pooled = RunFleet(f, options, 13, &stats);
+  ASSERT_GE(pooled.size(), 2u);
+
+  std::size_t total_tasks = 0;
+  for (const WindowEstimate& estimate : pooled) {
+    total_tasks += estimate.tasks;
+  }
+  EXPECT_EQ(total_tasks + stats.tail_dropped,
+            static_cast<std::size_t>(f.truth.NumTasks()));
+  // Hook calls: one per emitted window, plus one more if the tail was merged.
+  const bool merged = pooled.back().merged_tail_tasks > 0;
+  EXPECT_EQ(seen.size(), pooled.size() + (merged ? 1u : 0u));
+  // The final hook call is the final estimate.
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.back().t0, pooled.back().t0);
+  EXPECT_EQ(seen.back().tasks, pooled.back().tasks);
+}
+
+TEST(ShardedStreaming, FleetStatsAccountTasksAndWindows) {
+  const Fixture f;
+  ShardedStreamingOptions options;
+  options.lanes = 4;
+  options.stream = ShortStemOptions();
+  FleetStats stats;
+  const auto pooled = RunFleet(f, options, 2, &stats);
+
+  EXPECT_EQ(stats.lanes, 4u);
+  EXPECT_EQ(stats.tasks_ingested, static_cast<std::size_t>(f.truth.NumTasks()));
+  EXPECT_EQ(stats.windows_estimated, pooled.size());
+  EXPECT_GT(stats.tasks_per_second, 0.0);
+  std::size_t routed = 0;
+  for (const LaneStats& lane : stats.lane) {
+    routed += lane.tasks_routed;
+    EXPECT_EQ(lane.windows_closed, stats.lane.front().windows_closed);
+    EXPECT_GT(lane.peak_queue_depth, 0u);
+  }
+  EXPECT_EQ(routed, stats.tasks_ingested - stats.late_dropped);
+  // The hash spreads a 400-task trace over 4 lanes without collapsing onto one.
+  for (const LaneStats& lane : stats.lane) {
+    EXPECT_GT(lane.tasks_routed, 40u);
+  }
+}
+
+// --- Span tracker ------------------------------------------------------------------------
+
+TEST(WindowSpanTracker, MatchesAssemblerDecisionsOnABurstyStream) {
+  // Property check: a standalone tracker fed the same entry times as a WindowAssembler
+  // produces exactly the windows the assembler closes (spans, counts, emission order),
+  // including deferred closes, small-window extension, and the trailing merge.
+  WindowAssemblerOptions options;
+  options.window_duration = 10.0;
+  options.min_tasks_per_window = 3;
+  options.allowed_lateness = 2.0;
+  options.late_policy = LateRecordPolicy::kMergeIntoCurrent;
+
+  Rng rng(77);
+  std::vector<TaskRecord> records;
+  double t = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    // Bursty: occasional long gaps, occasional mild disorder within the lateness bound.
+    t += rng.Exponential(rng.Bernoulli(0.1) ? 0.05 : 1.5);
+    const double jitter = rng.Bernoulli(0.3) ? -rng.Uniform(0.0, 1.5) : 0.0;
+    records.push_back(TinyRecord(std::max(0.0, t + jitter)));
+  }
+
+  WindowAssembler assembler(2, options);
+  WindowSpanTracker tracker(options);
+  std::vector<ClosedWindow> windows;
+  std::vector<WindowSpanTracker::SpanDecision> decisions;
+  const auto drain = [&] {
+    while (assembler.HasClosed()) {
+      windows.push_back(assembler.PopClosed());
+    }
+    while (tracker.HasClosed()) {
+      decisions.push_back(tracker.PopClosed());
+    }
+  };
+  for (const TaskRecord& record : records) {
+    assembler.Push(record);
+    tracker.Push(record.entry_time);
+    drain();
+  }
+  assembler.FinishStream();
+  tracker.Finish();
+  drain();
+
+  ASSERT_GE(windows.size(), 5u);
+  ASSERT_EQ(windows.size(), decisions.size());
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    EXPECT_EQ(windows[w].t0, decisions[w].t0) << "window " << w;
+    EXPECT_EQ(windows[w].t1, decisions[w].t1) << "window " << w;
+    EXPECT_EQ(windows[w].num_tasks, decisions[w].count) << "window " << w;
+    EXPECT_EQ(windows[w].merged_tail_tasks, decisions[w].merged_tail_tasks);
+    EXPECT_EQ(windows[w].window_index, decisions[w].window_index);
+  }
+  EXPECT_EQ(assembler.Stats().tail_dropped, tracker.TailDropped());
+}
+
+// --- Lane router -------------------------------------------------------------------------
+
+TEST(LaneRouter, HashRoutingIsStableAndCounted) {
+  const Fixture f(1.0, 100);
+  LaneRouterOptions options;
+  options.lanes = 4;
+  LaneRouter router(options);
+  LaneRouter router_again(options);
+  LogReplayStream stream(f.truth, f.obs);
+  TaskRecord record;
+  std::size_t total = 0;
+  while (stream.Next(record)) {
+    const std::size_t lane = router.Route(record);
+    EXPECT_LT(lane, 4u);
+    EXPECT_EQ(lane, router_again.Route(record));
+    EXPECT_EQ(lane, TaskLane(TaskHash(record), 4));
+    ++total;
+  }
+  std::size_t counted = 0;
+  for (const std::size_t count : router.LaneCounts()) {
+    counted += count;
+  }
+  EXPECT_EQ(counted, total);
+}
+
+TEST(LaneRouter, RejectsOutOfRangePartitioner) {
+  LaneRouterOptions options;
+  options.lanes = 2;
+  options.lane_of = [](const TaskRecord&) { return std::size_t{5}; };
+  LaneRouter router(options);
+  EXPECT_THROW(router.Route(TinyRecord(1.0)), Error);
+}
+
+// --- Window-estimate CSV -----------------------------------------------------------------
+
+TEST(WindowCsv, RoundTripsBitExactly) {
+  const Fixture f;
+  ShardedStreamingOptions options;
+  options.lanes = 2;
+  options.stream = ShortStemOptions();
+  options.stream.window_local_arrival_rate = true;
+  const auto pooled = RunFleet(f, options, 3);
+  ASSERT_GE(pooled.size(), 2u);
+
+  std::stringstream ss;
+  WriteWindowEstimates(ss, pooled, 3);
+  const auto parsed = ReadWindowEstimates(ss);
+  ExpectEstimatesIdentical(pooled, parsed);
+}
+
+TEST(WindowCsv, RejectsCorruptInput) {
+  std::stringstream missing_header("1,2,3\n");
+  EXPECT_THROW(ReadWindowEstimates(missing_header), Error);
+
+  std::stringstream truncated("# queues=2\n# windows=2\n0,10,5,0,0,1.5,2.5\n");
+  EXPECT_THROW(ReadWindowEstimates(truncated), Error);
+
+  std::stringstream bad_row("# queues=2\n# windows=1\n0,10,5\n");
+  EXPECT_THROW(ReadWindowEstimates(bad_row), Error);
+}
+
+}  // namespace
+}  // namespace qnet

@@ -34,6 +34,34 @@ TEST(MStep, MatchesCompleteDataMle) {
   EXPECT_NEAR(mle[2], 3.0, 0.45);
 }
 
+TEST(MStep, ArrivalTimeOriginAnchorsLambdaWindowLocally) {
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {4.0, 3.0});
+  Rng rng(3);
+  const EventLog log = SimulateWorkload(net, PoissonArrivals(2.0, 300), rng);
+  const auto absolute = StemEstimator::MStep(log);
+  // Explicit zero origin is the default, bit for bit.
+  const auto explicit_zero = StemEstimator::MStep(log, 1e-9, 0.0);
+  ASSERT_EQ(absolute.size(), explicit_zero.size());
+  for (std::size_t q = 0; q < absolute.size(); ++q) {
+    EXPECT_EQ(absolute[q], explicit_zero[q]) << "queue " << q;
+  }
+  // The queue-0 service sum telescopes to the last entry time, so re-anchoring the
+  // origin rescales lambda to n / (last_entry - origin) and touches nothing else.
+  const double last_entry = log.TaskEntryTime(log.NumTasks() - 1);
+  const double origin = 0.25 * last_entry;
+  const auto anchored = StemEstimator::MStep(log, 1e-9, origin);
+  EXPECT_NEAR(anchored[0],
+              static_cast<double>(log.NumTasks()) / (last_entry - origin), 1e-9);
+  for (std::size_t q = 1; q < absolute.size(); ++q) {
+    EXPECT_EQ(anchored[q], absolute[q]) << "queue " << q;
+  }
+  // An origin at/after the last entry leaves no window-local span (e.g. a lane's share
+  // of a window consisting solely of late-merged records): fall back to the absolute
+  // anchor instead of exploding lambda against the service_sum_floor.
+  const auto degenerate = StemEstimator::MStep(log, 1e-9, 2.0 * last_entry);
+  EXPECT_EQ(degenerate[0], absolute[0]);
+}
+
 TEST(Stem, FullObservationReducesToCompleteDataMle) {
   const QueueingNetwork net = MakeTandemNetwork(2.0, {4.0, 3.0});
   Rng rng(5);

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "support/vector_stream.h"
 #include "qnet/infer/online.h"
 #include "qnet/infer/stem.h"
 #include "qnet/model/builders.h"
@@ -664,6 +665,83 @@ TEST(StreamingEstimator, ReportsThroughputStats) {
   EXPECT_EQ(stats.late_dropped, 0u);
   EXPECT_GT(stats.peak_buffered_tasks, 0u);
   EXPECT_LT(stats.peak_buffered_tasks, static_cast<std::size_t>(f.truth.NumTasks()));
+}
+
+// --- Window-local arrival-rate anchoring -------------------------------------------------
+
+TEST(StreamingEstimator, WindowLocalAnchoringFixesLambdaDecay) {
+  // Regression for the PR-4 forecaster wart: the StEM lambda iterate divides the task
+  // count by the ABSOLUTE last entry time, so on a stream whose windows sit far from
+  // t = 0 it decays toward zero. Window-local anchoring divides by the window's own
+  // span instead. Default off preserves the historical behavior.
+  const QueueingNetwork net = MakeSingleQueueNetwork(4.0, 10.0);
+  Rng rng(19);
+  EventLog truth = SimulateWorkload(net, PoissonArrivals(4.0, 1200), rng);
+  const Observation obs = Observation::FullyObserved(truth);
+  // Shift the whole trace 1000 s into the future (an epoch-style collector timestamp).
+  const double shift = 1000.0;
+  std::vector<TaskRecord> records;
+  for (int task = 0; task < truth.NumTasks(); ++task) {
+    TaskRecord record = MakeTaskRecord(truth, obs, task);
+    record.entry_time += shift;
+    for (TaskVisit& visit : record.visits) {
+      visit.arrival += shift;
+      visit.departure += shift;
+    }
+    records.push_back(std::move(record));
+  }
+
+  StreamingEstimatorOptions options;
+  options.window.window_duration = 50.0;
+  options.stem.iterations = 30;
+  options.stem.burn_in = 10;
+  options.stem.wait_sweeps = 0;
+
+  qnet_testing::VectorStream legacy_stream(records, 2);
+  StreamingEstimator legacy({1.0, 1.0}, 3, options);
+  const auto unanchored = legacy.Run(legacy_stream);
+
+  options.window_local_arrival_rate = true;
+  qnet_testing::VectorStream anchored_stream(records, 2);
+  StreamingEstimator anchored({1.0, 1.0}, 3, options);
+  const auto window_local = anchored.Run(anchored_stream);
+
+  ASSERT_GE(window_local.size(), 3u);
+  ASSERT_EQ(window_local.size(), unanchored.size());
+  // Skip window 0: its span starts at the t = 0 grid origin, where the two anchorings
+  // coincide. Every later window sits ~1000 s from the origin.
+  for (std::size_t w = 1; w < window_local.size(); ++w) {
+    EXPECT_FALSE(unanchored[w].window_local_arrival_rate);
+    EXPECT_TRUE(window_local[w].window_local_arrival_rate);
+    // Decayed: the absolute anchor divides ~200 tasks by ~1000+ s.
+    EXPECT_LT(unanchored[w].rates[0], 1.0) << "window " << w;
+    // Window-local: tracks the true arrival rate of 4/s.
+    EXPECT_NEAR(window_local[w].rates[0], 4.0, 1.0) << "window " << w;
+    // The empirical rate the forecaster falls back to agrees with the anchored fit —
+    // except on the final window, whose span may extend past the last arrival (grid
+    // alignment / tail merge), deflating the empirical count-per-span.
+    if (w + 1 < window_local.size()) {
+      const double empirical = static_cast<double>(window_local[w].tasks) /
+                               (window_local[w].t1 - window_local[w].t0);
+      EXPECT_NEAR(window_local[w].rates[0], empirical, 0.75) << "window " << w;
+    }
+  }
+}
+
+TEST(StreamingEstimator, ExplicitZeroOriginIsBitIdenticalToDefault) {
+  // The anchoring plumbing must not perturb the default path: origin 0.0 subtracts
+  // exactly nothing from the M-step's queue-0 sum.
+  const Fixture f;
+  StreamingEstimatorOptions options = ShortStemOptions();
+  LogReplayStream default_stream(f.truth, f.obs);
+  StreamingEstimator default_estimator({1.0, 1.0, 1.0}, 29, options);
+  const auto by_default = default_estimator.Run(default_stream);
+
+  options.stem.arrival_time_origin = 0.0;  // explicit no-op
+  LogReplayStream explicit_stream(f.truth, f.obs);
+  StreamingEstimator explicit_estimator({1.0, 1.0, 1.0}, 29, options);
+  const auto by_explicit = explicit_estimator.Run(explicit_stream);
+  ExpectEstimatesIdentical(by_default, by_explicit);
 }
 
 // --- LiveSimStream ---------------------------------------------------------------------
