@@ -1,0 +1,145 @@
+// Mean-field fast-path benchmarks (google-benchmark).
+//
+// Workflow (tracked in CI as BENCH_meanfield.json):
+//   ./build/perf_meanfield --benchmark_format=json > BENCH_meanfield.json
+// Headline metrics and gates:
+//   BM_MeanFieldFit items_per_second     — tasks/s through the O(events) variational fit
+//                                          on a 500-task window; allocs_per_fit MUST be
+//                                          exactly 0 (CI gates it), and items_per_second
+//                                          must be >= 50x BM_WindowedStemFit's (the
+//                                          sampler-free speedup the degraded mode and
+//                                          warm starts are built on).
+//   BM_WindowedStemFit items_per_second  — the same window through a bench-sized StEM
+//                                          run (the denominator of the 50x gate).
+//   BM_WarmStartedStemWindow/{0,1}       — end-to-end streaming A/B: replay -> assembler
+//                                          -> per-window StEM, cold-started full-length
+//                                          (Arg 0) vs mean-field warm starts + early
+//                                          stop (Arg 1). CI gates Arg 1 >= 1.5x Arg 0
+//                                          items_per_second within the same run;
+//                                          fit_iterations_total witnesses the savings.
+
+#include <benchmark/benchmark.h>
+
+// Counting allocator (defines global operator new/delete; one TU per binary).
+#include "../tests/support/counting_allocator.h"
+
+#include "qnet/infer/meanfield.h"
+#include "qnet/infer/stem.h"
+#include "qnet/model/builders.h"
+#include "qnet/obs/observation.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/stream/replay_stream.h"
+#include "qnet/stream/streaming_estimator.h"
+#include "qnet/support/rng.h"
+
+namespace {
+
+using qnet_testing::AllocationCount;
+
+constexpr std::size_t kWindowTasks = 500;
+
+struct Fixture {
+  qnet::EventLog truth;
+  qnet::Observation obs;
+};
+
+// One 500-task window of the tandem fixture used across the streaming tests.
+Fixture MakeWindowFixture() {
+  const qnet::QueueingNetwork net = qnet::MakeTandemNetwork(4.0, {8.0, 9.0});
+  qnet::Rng rng(12345);
+  qnet::EventLog truth =
+      qnet::SimulateWorkload(net, qnet::PoissonArrivals(4.0, kWindowTasks), rng);
+  qnet::TaskSamplingScheme scheme;
+  scheme.fraction = 0.25;
+  qnet::Observation obs = scheme.Apply(truth, rng);
+  return Fixture{std::move(truth), std::move(obs)};
+}
+
+// The sampler-free fit: one pass, zero allocations once the scratch is warm.
+void BM_MeanFieldFit(benchmark::State& state) {
+  const Fixture fixture = MakeWindowFixture();
+  qnet::MeanFieldEstimator estimator;
+  qnet::MeanFieldFit fit;
+  estimator.Fit(fixture.truth, fixture.obs, 0.0, fit);  // warm-up sizes the vectors
+
+  std::size_t fits = 0;
+  const std::size_t before = AllocationCount();
+  for (auto _ : state) {
+    estimator.Fit(fixture.truth, fixture.obs, 0.0, fit);
+    benchmark::DoNotOptimize(fit.rates.data());
+    ++fits;
+  }
+  const std::size_t allocations = AllocationCount() - before;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kWindowTasks));
+  state.counters["allocs_per_fit"] =
+      static_cast<double>(allocations) / static_cast<double>(fits);
+  state.counters["observed_responses"] = static_cast<double>(fit.observed_responses);
+}
+BENCHMARK(BM_MeanFieldFit)->Unit(benchmark::kMicrosecond);
+
+// The sampler it replaces on the same window: bench-sized StEM (the BM_StreamEstimate
+// per-window configuration). Denominator of the 50x CI gate.
+void BM_WindowedStemFit(benchmark::State& state) {
+  const Fixture fixture = MakeWindowFixture();
+  qnet::StemOptions options;
+  options.iterations = 12;
+  options.burn_in = 4;
+  options.wait_sweeps = 0;
+  const qnet::StemEstimator estimator(options);
+  const std::vector<double> init(
+      static_cast<std::size_t>(fixture.truth.NumQueues()), 1.0);
+  for (auto _ : state) {
+    qnet::Rng rng(17);
+    const qnet::StemResult result =
+        estimator.Run(fixture.truth, fixture.obs, init, rng);
+    benchmark::DoNotOptimize(result.rates.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kWindowTasks));
+}
+BENCHMARK(BM_WindowedStemFit)->Unit(benchmark::kMillisecond);
+
+// End-to-end A/B: the warm-start + early-stop fast path against the cold-started
+// full-length baseline on the identical 2000-task replay. Arg 0 = off, Arg 1 = warm.
+void BM_WarmStartedStemWindow(benchmark::State& state) {
+  const qnet::QueueingNetwork net = qnet::MakeTandemNetwork(4.0, {8.0, 9.0});
+  qnet::Rng rng(777);
+  const qnet::EventLog truth =
+      qnet::SimulateWorkload(net, qnet::PoissonArrivals(4.0, 2000), rng);
+  qnet::TaskSamplingScheme scheme;
+  scheme.fraction = 0.25;
+  const qnet::Observation obs = scheme.Apply(truth, rng);
+
+  qnet::StreamingEstimatorOptions options;
+  options.window.window_duration = 12.5;  // ~50 tasks per window at rate 4
+  options.window.min_tasks_per_window = 8;
+  options.stem.iterations = 20;
+  options.stem.burn_in = 4;
+  options.stem.wait_sweeps = 0;
+  if (state.range(0) != 0) {
+    options.fast_path = qnet::FastPathMode::kWarmStart;
+    options.stem.convergence_tol = 0.05;
+    options.stem.convergence_patience = 2;
+  }
+  const std::vector<double> init(static_cast<std::size_t>(truth.NumQueues()), 1.0);
+
+  std::size_t windows = 0;
+  std::size_t fit_iterations = 0;
+  for (auto _ : state) {
+    qnet::LogReplayStream stream(truth, obs);
+    qnet::StreamingEstimator estimator(init, 17, options);
+    const auto estimates = estimator.Run(stream);
+    benchmark::DoNotOptimize(estimates.size());
+    windows = estimates.size();
+    fit_iterations = estimator.Stats().fit_iterations_total;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2000);
+  state.counters["warm"] = static_cast<double>(state.range(0));
+  state.counters["windows"] = static_cast<double>(windows);
+  state.counters["fit_iterations_total"] = static_cast<double>(fit_iterations);
+}
+BENCHMARK(BM_WarmStartedStemWindow)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+}  // namespace

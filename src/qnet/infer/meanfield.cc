@@ -1,0 +1,152 @@
+#include "qnet/infer/meanfield.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace qnet {
+
+void MeanFieldEstimator::Fit(const EventLog& truth, const Observation& obs,
+                             double arrival_time_origin, MeanFieldFit& out) {
+  const std::size_t num_queues = static_cast<std::size_t>(truth.NumQueues());
+  count_.assign(num_queues, 0);
+  resp_sum_.assign(num_queues, 0.0);
+  resp_count_.assign(num_queues, 0);
+  out.rates.assign(num_queues, options_.fallback_rate);
+  out.mean_wait.assign(num_queues, 0.0);
+  out.fitted.assign(num_queues, 0);
+  out.observed_responses = 0;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double last_entry = 0.0;  // latest observed system entry time
+  double t_min = kInf;      // earliest / latest observed time in the window: the busy
+  double t_max = -kInf;     // span lambda_q is measured against
+  const EventId num_events = static_cast<EventId>(truth.NumEvents());
+  for (EventId e = 0; e < num_events; ++e) {
+    const Event& ev = truth.AtUnchecked(e);
+    if (ev.initial) {
+      // An initial event's departure IS the task's system entry time; its observation bit
+      // mirrors the first visit's arrival bit.
+      if (obs.DepartureObserved(e)) {
+        last_entry = std::max(last_entry, ev.departure);
+        t_min = std::min(t_min, ev.departure);
+        t_max = std::max(t_max, ev.departure);
+      }
+      continue;
+    }
+    const std::size_t q = static_cast<std::size_t>(ev.queue);
+    ++count_[q];
+    const bool arrival_seen = obs.ArrivalObserved(e);
+    const bool departure_seen = obs.DepartureObserved(e);
+    if (arrival_seen) {
+      t_min = std::min(t_min, ev.arrival);
+      t_max = std::max(t_max, ev.arrival);
+    }
+    if (departure_seen) {
+      t_min = std::min(t_min, ev.departure);
+      t_max = std::max(t_max, ev.departure);
+    }
+    if (arrival_seen && departure_seen) {
+      resp_sum_[q] += ev.departure - ev.arrival;
+      ++resp_count_[q];
+      ++out.observed_responses;
+    }
+  }
+
+  // Busy span: independent of the lambda anchoring so the service-side fit is identical
+  // bits whether the caller anchors lambda absolutely or window-locally.
+  const double span = t_max > t_min ? std::max(t_max - t_min, options_.min_span)
+                                    : options_.min_span;
+
+  const double n_tasks = static_cast<double>(truth.NumTasks());
+  if (truth.NumTasks() > 0) {
+    out.fitted[0] = 1;
+    if (last_entry - arrival_time_origin > 0.0) {
+      out.rates[0] = n_tasks / (last_entry - arrival_time_origin);
+    } else if (last_entry > 0.0) {
+      // Degenerate origin (at/after the last entry): absolute anchor, like the M-step.
+      out.rates[0] = n_tasks / last_entry;
+    }
+  }
+
+  for (std::size_t q = 1; q < num_queues; ++q) {
+    if (count_[q] == 0) {
+      continue;  // fallback rate; fitted stays 0 so the caller can substitute its chain
+    }
+    out.fitted[q] = 1;
+    const double lambda_q = static_cast<double>(count_[q]) / span;
+    if (resp_count_[q] > 0) {
+      const double rbar = std::max(
+          resp_sum_[q] / static_cast<double>(resp_count_[q]), options_.min_span);
+      // Invert R = 1/(mu - lambda): strictly above lambda_q, so always stable.
+      const double mu = lambda_q + 1.0 / rbar;
+      out.rates[q] = mu;
+      out.mean_wait[q] = std::max(rbar - 1.0 / mu, 0.0);
+    } else {
+      // Events but no measured response: only lambda_q is pinned; place mu on the right
+      // scale via the assumed utilization (warm starts only need scale-correctness).
+      const double mu = lambda_q / options_.assumed_utilization;
+      out.rates[q] = mu;
+      out.mean_wait[q] = MeanFieldWait(lambda_q, mu, options_.max_utilization);
+    }
+  }
+}
+
+double MeanFieldWait(double lambda, double mu, double max_utilization) {
+  if (mu <= 0.0 || lambda <= 0.0) {
+    return 0.0;
+  }
+  const double lam = std::min(lambda, max_utilization * mu);
+  return lam / (mu * (mu - lam));
+}
+
+PooledCorrection CorrectCrossLaneShare(double pooled_rate, double pooled_wait,
+                                       double lambda_q) {
+  PooledCorrection out{pooled_rate, pooled_wait};
+  if (pooled_rate <= 0.0 || lambda_q < 0.0) {
+    return out;
+  }
+  const double response = 1.0 / pooled_rate + std::max(pooled_wait, 0.0);
+  if (!(response > 0.0)) {
+    return out;
+  }
+  out.rate = lambda_q + 1.0 / response;
+  out.wait = response - 1.0 / out.rate;
+  return out;
+}
+
+double ModelCrossLaneServiceRate(double pooled_rate, double lambda_q,
+                                 std::span<const double> lane_shares,
+                                 std::span<const double> lane_weights,
+                                 std::size_t iterations, double min_service_fraction) {
+  if (pooled_rate <= 0.0 || lambda_q <= 0.0 || lane_shares.empty() ||
+      lane_shares.size() != lane_weights.size()) {
+    return pooled_rate;
+  }
+  double weight_sum = 0.0;
+  for (const double w : lane_weights) {
+    weight_sum += std::max(w, 0.0);
+  }
+  if (weight_sum <= 0.0) {
+    return pooled_rate;
+  }
+  const double biased_service = 1.0 / pooled_rate;
+  double service = biased_service;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    const double mu = 1.0 / service;
+    double lane_wait = 0.0;
+    for (std::size_t l = 0; l < lane_shares.size(); ++l) {
+      const double share = std::clamp(lane_shares[l], 0.0, 1.0);
+      lane_wait += std::max(lane_weights[l], 0.0) / weight_sum *
+                   MeanFieldWait(share * lambda_q, mu);
+    }
+    const double cross_share = std::max(MeanFieldWait(lambda_q, mu) - lane_wait, 0.0);
+    const double target =
+        std::clamp(biased_service - cross_share, min_service_fraction * biased_service,
+                   biased_service);
+    // Damped: near saturation the undamped map overshoots and oscillates.
+    service = 0.5 * (service + target);
+  }
+  return 1.0 / service;
+}
+
+}  // namespace qnet

@@ -1,0 +1,136 @@
+// Mean-field (variational) window fits — the sampler-free fast path.
+//
+// Following Perez & Casale's mean-field/variational treatment of partially observed
+// queueing networks (arXiv:1807.08673), each queue is decoupled into an independent
+// M/M/1 node whose stationary response time R = 1/(mu - lambda) closes the moment
+// equations. The estimator inverts that closure from directly measurable quantities in
+// ONE deterministic pass over a window's events:
+//
+//   lambda     = n_tasks / (last observed entry - origin)         (same anchor as StEM)
+//   lambda_q   = n_q / busy span                                  (counts are structure,
+//                                                                  known exactly)
+//   mu_q       = lambda_q + 1 / Rbar_q                            (R = 1/(mu - lambda))
+//   W_q        = Rbar_q - 1/mu_q                                  (R = W + S)
+//
+// where Rbar_q averages the responses of events whose arrival AND departure are both
+// observed (task-level sampling observes complete tasks, so every sampled task
+// contributes its full per-queue responses). No Gibbs sweeps, no RNG, no latent-time
+// imputation: the fit is a pure function of the observed times and the structure, and
+// is O(events) with zero allocations per fit once the scratch vectors are warm.
+//
+// Compared to StEM the estimate is biased by the M/M/1 closure (exact for Poisson-fed
+// exponential queues, approximate otherwise) and noisier at low observation fractions
+// (it reads only directly measured responses, never imputes). Its three consumers
+// tolerate that: warm starts only need scale-correct rates, degraded-mode estimates are
+// flagged as such, and the cross-lane bias correction needs moments, not samples.
+//
+// Cross-lane bias correction (shard/lane_merger.h): a lane fitting its hash-thinned
+// sub-log attributes the queueing caused by OTHER lanes' tasks to service, inflating the
+// pooled service time S_b by the unexplained waiting share. Responses are physical
+// times, so the decomposition error cancels in the sum S_b + W_b: the pooled mean
+// response R = S_b + W_b is invariant under lane thinning. CorrectCrossLaneShare
+// re-inverts the mean-field closure from that invariant — mu = lambda_q + 1/R — which
+// needs no model of the thinned waiting process at all. When a pooled fit carries no
+// waiting-time estimate the model-based fallback ModelCrossLaneServiceRate solves the
+// fixed point S_b = S + W(lambda_q, 1/S) - sum_l w_l W(p_l lambda_q, 1/S) instead.
+
+#ifndef QNET_INFER_MEANFIELD_H_
+#define QNET_INFER_MEANFIELD_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "qnet/model/event.h"
+#include "qnet/obs/observation.h"
+
+namespace qnet {
+
+struct MeanFieldOptions {
+  // Rate assigned to queues with no events in the window (the caller typically
+  // substitutes its warm-start chain's previous rates for such queues).
+  double fallback_rate = 1.0;
+  // A queue with events but no fully-observed response pins only lambda_q; assume this
+  // utilization to place mu_q = lambda_q / assumed_utilization on the right scale.
+  double assumed_utilization = 0.5;
+  // Floor on time spans (guards single-event windows).
+  double min_span = 1e-9;
+  // Utilization clamp for the M/M/1 waiting-time formula (keeps predicted waits finite
+  // when a measured lambda_q crowds mu_q).
+  double max_utilization = 0.95;
+};
+
+struct MeanFieldFit {
+  std::vector<double> rates;      // index 0 = lambda
+  std::vector<double> mean_wait;  // index 0 = 0
+  // Per queue: nonzero when the window had events at this queue (rates[q] is estimated
+  // from this window rather than the fallback).
+  std::vector<char> fitted;
+  // Events whose response was directly measured (arrival and departure both observed).
+  std::size_t observed_responses = 0;
+  bool AllQueuesFitted() const {
+    for (std::size_t q = 1; q < fitted.size(); ++q) {
+      if (fitted[q] == 0) {
+        return false;
+      }
+    }
+    return !fitted.empty();
+  }
+};
+
+class MeanFieldEstimator {
+ public:
+  explicit MeanFieldEstimator(MeanFieldOptions options = {}) : options_(options) {}
+
+  // Single-pass deterministic fit. `truth` provides structure + observed times
+  // (unobserved times are never read); `arrival_time_origin` anchors lambda exactly like
+  // StemOptions::arrival_time_origin (0.0 = absolute, window t0 = window-local). The
+  // out-param is assign()ed in place so a reused `out` (and a reused estimator) makes
+  // the fit allocation-free.
+  void Fit(const EventLog& truth, const Observation& obs, double arrival_time_origin,
+           MeanFieldFit& out);
+
+  const MeanFieldOptions& Options() const { return options_; }
+
+ private:
+  MeanFieldOptions options_;
+  // Scratch, sized to the log's queue count on first use.
+  std::vector<std::size_t> count_;
+  std::vector<double> resp_sum_;
+  std::vector<std::size_t> resp_count_;
+};
+
+// Stationary M/M/1 mean waiting time W = lambda / (mu (mu - lambda)), with utilization
+// clamped to max_utilization so overloaded inputs return a large finite wait instead of
+// a negative or infinite one.
+double MeanFieldWait(double lambda, double mu, double max_utilization = 0.95);
+
+struct PooledCorrection {
+  double rate = 0.0;
+  double wait = 0.0;
+};
+
+// Corrects a pooled per-queue (service rate, mean wait) pair for cross-lane bias using
+// the response invariant R = 1/pooled_rate + pooled_wait (see file comment):
+// rate = lambda_q + 1/R, wait = R - 1/rate. lambda_q is the queue's TRUE event arrival
+// rate (total count across lanes / window span). Degenerate inputs (nonpositive rate or
+// response) are returned unchanged.
+PooledCorrection CorrectCrossLaneShare(double pooled_rate, double pooled_wait,
+                                       double lambda_q);
+
+// Model-based fallback when the pooled fit has no waiting-time estimate: solves the
+// damped fixed point S_b = S + W(lambda_q, 1/S) - sum_l w_l W(p_l lambda_q, 1/S) for
+// the true mean service S, where p_l = lane_shares[l] is lane l's share of the queue's
+// events and w_l = lane_weights[l] its weight in the pool (normalized internally). The
+// bracketed term is the mean-field estimate of the cross-lane waiting share a lane
+// cannot explain from its own sub-log. Deterministic: fixed iteration count, result
+// clamped to [pooled_rate, pooled_rate / min_service_fraction].
+double ModelCrossLaneServiceRate(double pooled_rate, double lambda_q,
+                                 std::span<const double> lane_shares,
+                                 std::span<const double> lane_weights,
+                                 std::size_t iterations = 24,
+                                 double min_service_fraction = 0.05);
+
+}  // namespace qnet
+
+#endif  // QNET_INFER_MEANFIELD_H_

@@ -1,6 +1,7 @@
 #include "qnet/infer/stem.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "qnet/infer/estimators.h"
 #include "qnet/support/check.h"
@@ -50,6 +51,10 @@ StemResult StemEstimator::Run(const EventLog& truth, const Observation& obs,
   std::vector<double> rates = std::move(init_rates);
   std::vector<double> rate_accum(num_queues, 0.0);
   std::size_t accum_count = 0;
+  // Early-stop state: previous post-burn-in running mean and the consecutive-stable
+  // streak. Pure functions of the rate trace (see StemOptions::convergence_tol).
+  std::vector<double> prev_mean(num_queues, 0.0);
+  std::size_t stable_streak = 0;
 
   StemResult result;
   result.latent_arrivals = gibbs.NumLatentArrivals();
@@ -74,8 +79,27 @@ StemResult StemEstimator::Run(const EventLog& truth, const Observation& obs,
         rate_accum[q] += rates[q];
       }
       ++accum_count;
+      if (options_.convergence_tol > 0.0) {
+        double max_rel_change = 0.0;
+        for (std::size_t q = 0; q < num_queues; ++q) {
+          const double mean = rate_accum[q] / static_cast<double>(accum_count);
+          if (accum_count >= 2) {
+            const double rel = std::abs(mean - prev_mean[q]) /
+                               std::max(std::abs(prev_mean[q]), 1e-12);
+            max_rel_change = std::max(max_rel_change, rel);
+          }
+          prev_mean[q] = mean;
+        }
+        if (accum_count >= 2) {
+          stable_streak = max_rel_change <= options_.convergence_tol ? stable_streak + 1 : 0;
+          if (stable_streak >= options_.convergence_patience) {
+            break;
+          }
+        }
+      }
     }
   }
+  result.iterations_run = result.rate_trace.size();
 
   result.rates.resize(num_queues);
   for (std::size_t q = 0; q < num_queues; ++q) {

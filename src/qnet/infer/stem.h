@@ -45,6 +45,18 @@ struct StemOptions {
   // absolute-time estimate bit-exactly; StreamingEstimatorOptions::window_local_arrival_rate
   // plumbs the per-window t0 in for streaming fits.
   double arrival_time_origin = 0.0;
+  // Deterministic early stop on the StEM point estimate (the post-burn-in running mean
+  // of the rate iterates). After each post-burn-in iteration the running mean is
+  // compared against its previous value; once the max relative change across queues
+  // stays <= convergence_tol for convergence_patience consecutive iterations, the loop
+  // stops and StemResult::iterations_run records how many iterations actually ran. The
+  // rule is a pure function of the rate trace — an early-stopped run's rate_trace is
+  // bit-for-bit a prefix of the full run's, and its estimate is the average of that
+  // prefix. 0 disables (the default), preserving the fixed-iteration behavior exactly.
+  // Warm starts near the fixed point (e.g. mean-field seeds; see infer/meanfield.h)
+  // make this the streaming fast path's headline win.
+  double convergence_tol = 0.0;
+  std::size_t convergence_patience = 3;
   GibbsOptions gibbs;
   InitializerOptions init;
   // Run the E-step (and waiting-time) sweeps through the colored sharded scheduler
@@ -67,6 +79,9 @@ struct StemResult {
   std::optional<EventLog> final_state;
 
   std::size_t latent_arrivals = 0;
+  // StEM iterations actually executed (== rate_trace.size()); less than
+  // StemOptions::iterations when the convergence_tol early stop fired.
+  std::size_t iterations_run = 0;
 };
 
 class StemEstimator {

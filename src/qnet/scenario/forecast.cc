@@ -21,6 +21,9 @@ const ScenarioReport& WindowForecaster::Forecast(const WindowEstimate& estimate)
   } else {
     window = windows_++;
   }
+  if (estimate.degraded) {
+    ++degraded_forecasts_;
+  }
   std::vector<double> rates = estimate.rates;
   if (!estimate.window_local_arrival_rate) {
     // Legacy absolute-time lambda iterate: queue-0 "services" telescope to the window's

@@ -44,12 +44,20 @@ class WindowForecaster {
   // One report per estimated window, in window order.
   const std::vector<ScenarioReport>& Reports() const { return reports_; }
 
+  // Forecasts evaluated from a degraded (mean-field-only) estimate — see
+  // WindowEstimate::degraded. Degraded estimates are consumed like any other (the grid
+  // only needs point rates, which the mean-field fit supplies), but an operator reading
+  // a forecast stream under overload should know how many of its points came from the
+  // sampler-free path; a merged-tail replacement re-counts its emission.
+  std::size_t DegradedForecasts() const { return degraded_forecasts_; }
+
  private:
   QueueingNetwork base_;
   ScenarioGrid grid_;
   ScenarioEngine engine_;
   std::uint64_t seed_;
   std::size_t windows_ = 0;
+  std::size_t degraded_forecasts_ = 0;
   std::vector<ScenarioReport> reports_;
 };
 

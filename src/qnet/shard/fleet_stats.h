@@ -21,6 +21,11 @@ struct LaneStats {
   // Windows whose lane-local sub-log was missing a queue entirely, so no StEM fit ran
   // (the lane's tasks still count toward the pooled estimate's lambda, empirically).
   std::size_t skipped_fits = 0;
+  // Lane fits answered with a mean-field-only (degraded) fit — over the degrade task
+  // budget, in all-variational mode, or a missing-queue fallback under kDegrade.
+  std::size_t degraded_fits = 0;
+  // Sum of StEM iterations this lane's fits actually ran (early-stop savings witness).
+  std::size_t fit_iterations_total = 0;
   // High-water mark of records buffered in the lane (open-window buffer plus the
   // previous window retained for the trailing merge) — each lane's bounded-memory
   // witness, mirroring WindowAssemblerStats::peak_buffered_tasks.
@@ -51,6 +56,11 @@ struct FleetStats {
   // Longest a closed window waited between its close broadcast and the last lane
   // delivering its fit — the fleet's analog of StreamingStats::max_sweep_lag_seconds.
   double max_merge_lag_seconds = 0.0;
+  // Pooled estimates emitted with degraded = true (some contributing lane fit was
+  // mean-field-only; a merged-tail re-fit counts again).
+  std::size_t degraded_windows = 0;
+  // Sum of pooled WindowEstimate::fit_iterations across emitted estimates.
+  std::size_t fit_iterations_total = 0;
   std::vector<LaneStats> lane;
 };
 

@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <utility>
 
+#include "qnet/infer/meanfield.h"
 #include "qnet/support/check.h"
 
 namespace qnet {
 
-LaneMerger::LaneMerger(std::size_t lanes, int num_queues, bool window_local_arrival_rate)
-    : lanes_(lanes), num_queues_(num_queues), window_local_(window_local_arrival_rate) {
+LaneMerger::LaneMerger(std::size_t lanes, int num_queues, bool window_local_arrival_rate,
+                       bool cross_lane_bias_correction)
+    : lanes_(lanes),
+      num_queues_(num_queues),
+      window_local_(window_local_arrival_rate),
+      bias_correction_(cross_lane_bias_correction) {
   QNET_CHECK(lanes_ > 0, "LaneMerger needs a positive lane count");
   QNET_CHECK(num_queues_ >= 2, "LaneMerger needs at least the arrival queue plus one");
 }
@@ -105,6 +110,10 @@ WindowEstimate LaneMerger::Pool(const PendingWindow& window) const {
   if (contributing == 1 && only->fitted) {
     estimate.rates = only->rates;
     estimate.mean_wait = only->mean_wait;
+    estimate.degraded = only->degraded;
+    estimate.fit_iterations = only->fit_iterations;
+    // One lane held every record, so no other lane's tasks queued here: nothing to
+    // correct (and K = 1 must stay bit-exact).
     return estimate;
   }
 
@@ -130,6 +139,8 @@ WindowEstimate LaneMerger::Pool(const PendingWindow& window) const {
     }
     lambda += fit.rates[0];
     weight_sum += weight;
+    estimate.degraded = estimate.degraded || fit.degraded;
+    estimate.fit_iterations += fit.fit_iterations;
     for (std::size_t q = 1; q < fit.rates.size(); ++q) {
       estimate.rates[q] += weight * fit.rates[q];
     }
@@ -160,6 +171,51 @@ WindowEstimate LaneMerger::Pool(const PendingWindow& window) const {
     }
     for (double& wait : estimate.mean_wait) {
       wait /= weight_sum;
+    }
+  }
+
+  if (bias_correction_) {
+    // Each lane fitted a hash-thinned sub-log, attributing the queueing caused by the
+    // OTHER lanes' tasks to service — the pooled service estimate inflates with
+    // utilization. Re-invert per queue from the TRUE event arrival rate lambda_q (exact:
+    // counts are structure) via the response invariant when waits were pooled, or the
+    // thinned-wait model fallback otherwise. See infer/meanfield.h.
+    const double window_span = std::max(decision.t1 - decision.t0, 1e-12);
+    std::vector<double> lane_shares;
+    std::vector<double> lane_weights;
+    lane_shares.reserve(window.fits.size());
+    lane_weights.reserve(window.fits.size());
+    for (std::size_t q = 1; q < estimate.rates.size(); ++q) {
+      std::size_t total_count = 0;
+      for (const LaneWindowFit& fit : window.fits) {
+        if (fit.queue_counts.size() > q) {
+          total_count += fit.queue_counts[q];
+        }
+      }
+      if (total_count == 0) {
+        continue;
+      }
+      const double lambda_q = static_cast<double>(total_count) / window_span;
+      if (!estimate.mean_wait.empty()) {
+        const PooledCorrection corrected =
+            CorrectCrossLaneShare(estimate.rates[q], estimate.mean_wait[q], lambda_q);
+        estimate.rates[q] = corrected.rate;
+        estimate.mean_wait[q] = corrected.wait;
+      } else {
+        lane_shares.clear();
+        lane_weights.clear();
+        for (const LaneWindowFit& fit : window.fits) {
+          if (fit.tasks == 0 || !fit.fitted || fit.queue_counts.size() <= q) {
+            continue;
+          }
+          lane_shares.push_back(static_cast<double>(fit.queue_counts[q]) /
+                                static_cast<double>(total_count));
+          lane_weights.push_back(static_cast<double>(fit.tasks));
+        }
+        estimate.rates[q] =
+            ModelCrossLaneServiceRate(estimate.rates[q], lambda_q, lane_shares,
+                                      lane_weights);
+      }
     }
   }
   return estimate;

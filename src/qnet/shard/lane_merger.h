@@ -45,10 +45,18 @@ namespace qnet {
 // One lane's answer to one close token.
 struct LaneWindowFit {
   std::size_t tasks = 0;  // lane-local record count in the window
-  bool fitted = false;    // a StEM run produced rates/mean_wait
+  bool fitted = false;    // a fit produced rates/mean_wait
   bool skipped = false;   // records present but the sub-log missed a queue: no fit
+  // The fit is mean-field-only (degraded); the pooled estimate ORs this flag.
+  bool degraded = false;
+  // StEM iterations the lane's fit actually ran (0 for degraded fits); pooled by SUM.
+  std::size_t fit_iterations = 0;
   std::vector<double> rates;
   std::vector<double> mean_wait;
+  // Per-queue event counts of the lane's sub-log (empty for empty lane windows). The
+  // bias correction reconstructs each queue's TRUE event arrival rate from these sums —
+  // counts are structure, exact regardless of how the lane fitted (or skipped).
+  std::vector<std::size_t> queue_counts;
 };
 
 struct PooledWindow {
@@ -59,7 +67,16 @@ struct PooledWindow {
 
 class LaneMerger {
  public:
-  LaneMerger(std::size_t lanes, int num_queues, bool window_local_arrival_rate);
+  // With cross_lane_bias_correction, multi-lane pooled service rates and waits are
+  // re-inverted through the mean-field response invariant (infer/meanfield.h:
+  // CorrectCrossLaneShare; model fallback when the pool carries no waits): a lane
+  // attributes the queueing caused by other lanes' tasks to service, so the pooled
+  // service estimate inflates with utilization — the PR-5 documented bias. The
+  // single-contributing-lane verbatim path is never corrected, so K = 1 stays
+  // bit-exact with the plain estimator, and the flag defaults off (pooled estimates
+  // preserved bit-exactly).
+  LaneMerger(std::size_t lanes, int num_queues, bool window_local_arrival_rate,
+             bool cross_lane_bias_correction = false);
 
   // Router thread, in emission order: announce a decision every lane will answer.
   void ExpectWindow(const WindowSpanTracker::SpanDecision& decision);
@@ -96,6 +113,7 @@ class LaneMerger {
   const std::size_t lanes_;
   const int num_queues_;
   const bool window_local_;
+  const bool bias_correction_;
 
   mutable std::mutex mu_;
   std::condition_variable ready_;

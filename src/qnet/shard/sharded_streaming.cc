@@ -32,7 +32,8 @@ class LaneWorker {
         merger_(merger),
         queue_(options.lane_queue_capacity),
         chain_(std::move(init_rates), seed, options.stream.window_local_arrival_rate,
-               /*salted=*/options.lanes > 1, /*lane=*/lane) {}
+               /*salted=*/options.lanes > 1, /*lane=*/lane),
+        mean_field_(options.stream.mean_field) {}
 
   LaneQueue& Queue() { return queue_; }
   // Event-time progress of the worker, sampled by the router for lag stats.
@@ -95,34 +96,70 @@ class LaneWorker {
         builder.Add(record);
       }
       auto [log, obs] = builder.Finish();
+      // The sub-log's per-queue counts feed the merger's bias correction (lambda_q is
+      // reconstructed from the summed counts — exact, fit or no fit).
+      fit.queue_counts = log.PerQueueCount();
       // A hash-thinned sub-window can miss a queue entirely; StEM cannot estimate a
-      // rate with no events, so the lane sits this window out (the merger still counts
-      // its tasks toward lambda).
+      // rate with no events.
       bool every_queue_present = true;
-      for (const std::size_t count : log.PerQueueCount()) {
+      for (const std::size_t count : fit.queue_counts) {
         if (count == 0) {
           every_queue_present = false;
           break;
         }
       }
-      if (!every_queue_present) {
+      const FastPathMode mode = options_.stream.fast_path;
+      // Degradation triggers on the GLOBAL window task count (decision.count), a pure
+      // function of the stream — the same windows degrade at any lane count, keeping
+      // the fixed-K bit-equality and cross-K consistency contracts. Under the degrade
+      // policies a missing-queue sub-log also degrades (mean-field fallback with chain
+      // rates for the absent queues) instead of sitting the window out.
+      const bool degrade_policy =
+          mode == FastPathMode::kDegrade || mode == FastPathMode::kMeanFieldOnly;
+      const bool mean_field_only =
+          mode == FastPathMode::kMeanFieldOnly ||
+          (mode == FastPathMode::kDegrade &&
+           decision.count > options_.stream.degrade_task_budget) ||
+          (degrade_policy && !every_queue_present);
+      if (!every_queue_present && !degrade_policy) {
         fit.skipped = true;
         ++stats_.skipped_fits;
       } else {
         WindowFitChain::Plan plan = chain_.PlanFit(
             decision.window_index, decision.merged_tail_tasks > 0, decision.t0);
-        StemOptions stem = options_.stream.stem;
-        stem.arrival_time_origin = plan.arrival_time_origin;
-        const StemEstimator estimator(stem);
-        Rng rng(plan.seed);
-        Stopwatch fitting;
-        const StemResult result =
-            estimator.Run(log, obs, std::move(plan.warm_start), rng);
-        stats_.fit_seconds += fitting.ElapsedSeconds();
-        chain_.Complete(result.rates);
-        fit.fitted = true;
-        fit.rates = result.rates;
-        fit.mean_wait = result.mean_wait;
+        if (mode != FastPathMode::kOff) {
+          // Mean-field fit of the sub-log: the warm start (queues without events keep
+          // the chain's previous rates) and, when degraded, the estimate itself.
+          mean_field_.Fit(log, obs, plan.arrival_time_origin, mf_fit_);
+          for (std::size_t q = 0; q < plan.warm_start.size(); ++q) {
+            if (mf_fit_.fitted[q] != 0) {
+              plan.warm_start[q] = mf_fit_.rates[q];
+            }
+          }
+        }
+        if (mean_field_only) {
+          chain_.Complete(plan.warm_start);
+          fit.fitted = true;
+          fit.degraded = true;
+          ++stats_.degraded_fits;
+          fit.rates = std::move(plan.warm_start);
+          fit.mean_wait = mf_fit_.mean_wait;
+        } else {
+          StemOptions stem = options_.stream.stem;
+          stem.arrival_time_origin = plan.arrival_time_origin;
+          const StemEstimator estimator(stem);
+          Rng rng(plan.seed);
+          Stopwatch fitting;
+          const StemResult result =
+              estimator.Run(log, obs, std::move(plan.warm_start), rng);
+          stats_.fit_seconds += fitting.ElapsedSeconds();
+          stats_.fit_iterations_total += result.iterations_run;
+          chain_.Complete(result.rates);
+          fit.fitted = true;
+          fit.fit_iterations = result.iterations_run;
+          fit.rates = result.rates;
+          fit.mean_wait = result.mean_wait;
+        }
       }
     }
     // Mirror the assembler: every normal close becomes the trailing-merge target (even
@@ -145,6 +182,8 @@ class LaneWorker {
   LaneMerger* merger_;
   LaneQueue queue_;
   WindowFitChain chain_;
+  MeanFieldEstimator mean_field_;
+  MeanFieldFit mf_fit_;
   std::vector<TaskRecord> buffer_;
   std::vector<TaskRecord> last_window_;
   std::atomic<double> watermark_{0.0};
@@ -171,7 +210,8 @@ std::vector<WindowEstimate> ShardedStreamingEstimator::Run(TraceStream& stream) 
   router_options.lane_of = options_.lane_of;
   LaneRouter router(std::move(router_options));
   LaneMerger merger(lanes, stream.NumQueues(),
-                    options_.stream.window_local_arrival_rate);
+                    options_.stream.window_local_arrival_rate,
+                    options_.cross_lane_bias_correction);
 
   std::vector<std::unique_ptr<LaneWorker>> workers;
   workers.reserve(lanes);
@@ -213,6 +253,10 @@ std::vector<WindowEstimate> ShardedStreamingEstimator::Run(TraceStream& stream) 
   };
 
   const auto emit = [&](PooledWindow&& pooled) {
+    if (pooled.estimate.degraded) {
+      ++stats_.degraded_windows;
+    }
+    stats_.fit_iterations_total += pooled.estimate.fit_iterations;
     if (pooled.replaces_previous) {
       QNET_CHECK(!estimates.empty(), "merged-tail window with no previous estimate");
       estimates.back() = std::move(pooled.estimate);

@@ -57,12 +57,22 @@ struct ShardedStreamingOptions {
   // Optional partition override (default TaskLane(TaskHash(record), lanes)); must be a
   // pure function of the record. See shard/lane_router.h.
   std::function<std::size_t(const TaskRecord&)> lane_of;
+  // Correct the pooled per-queue service rates and waits for the cross-lane waiting
+  // share (the documented utilization-coupled bias of lane decomposition) using the
+  // mean-field response invariant — see shard/lane_merger.h and infer/meanfield.h.
+  // Deterministic (a pure function of the lane fits), but default off: the historical
+  // pooled estimates are preserved bit-exactly. The single-contributing-lane verbatim
+  // path is never corrected, so K = 1 reproduces the plain estimator either way.
+  bool cross_lane_bias_correction = false;
   // Window, StEM, lambda-anchoring and on_window options, shared by every lane.
   // `stream.pipeline` is accepted but inert: lane workers always overlap their fits
   // with the router's ingestion (the fleet subsumes pipelining); estimates are
   // bit-identical either way. `stream.on_window` fires on the Run() caller's thread
   // with the POOLED estimates, in window order — WindowForecaster rides the merged
-  // stream unchanged.
+  // stream unchanged. `stream.fast_path` applies per lane: kDegrade triggers on the
+  // GLOBAL window task count (the same windows degrade at any K), and under
+  // kDegrade/kMeanFieldOnly a lane whose sub-log misses a queue answers with a
+  // mean-field fallback fit instead of sitting the window out.
   StreamingEstimatorOptions stream;
 };
 

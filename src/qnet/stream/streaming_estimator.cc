@@ -42,20 +42,18 @@ std::vector<WindowEstimate> StreamingEstimator::Run(TraceStream& stream) {
   bool inflight_active = false;
   WindowEstimate inflight_meta;
   StemResult inflight_result;
+  MeanFieldEstimator mean_field(options_.mean_field);
+  MeanFieldFit mf_fit;
 
-  // Joins the in-flight window's StEM run (no-op without pipelining — the result is
-  // already there), folds its result into the estimate sequence, and advances the
-  // warm-start chain.
-  const auto complete_inflight = [&] {
-    if (!inflight_active) {
-      return;
+  // Folds a finished estimate into the sequence, advances the warm-start chain, and
+  // fires the forecasting hook — shared by the StEM completion path and the degraded
+  // (mean-field-only) path, which never enters the pipeline.
+  const auto emit = [&](WindowEstimate&& estimate) {
+    chain.Complete(estimate.rates);
+    stats_.fit_iterations_total += estimate.fit_iterations;
+    if (estimate.degraded) {
+      ++stats_.degraded_windows;
     }
-    slot.Wait();
-    inflight_active = false;
-    WindowEstimate estimate = std::move(inflight_meta);
-    estimate.rates = inflight_result.rates;
-    estimate.mean_wait = inflight_result.mean_wait;
-    chain.Complete(inflight_result.rates);
     if (estimate.merged_tail_tasks > 0) {
       // The merged-tail re-fit replaces the last estimate — same window, not a new one.
       QNET_CHECK(!estimates.empty(), "merged-tail window with no previous estimate");
@@ -69,6 +67,21 @@ std::vector<WindowEstimate> StreamingEstimator::Run(TraceStream& stream) {
     }
   };
 
+  // Joins the in-flight window's StEM run (no-op without pipelining — the result is
+  // already there) and folds its result in.
+  const auto complete_inflight = [&] {
+    if (!inflight_active) {
+      return;
+    }
+    slot.Wait();
+    inflight_active = false;
+    WindowEstimate estimate = std::move(inflight_meta);
+    estimate.rates = inflight_result.rates;
+    estimate.mean_wait = inflight_result.mean_wait;
+    estimate.fit_iterations = inflight_result.iterations_run;
+    emit(std::move(estimate));
+  };
+
   const auto process = [&](ClosedWindow&& window) {
     // Warm starts serialize StEM runs: the previous window must finish first. The time
     // spent blocked here is the sweep lag — how far estimation trails ingestion.
@@ -79,12 +92,38 @@ std::vector<WindowEstimate> StreamingEstimator::Run(TraceStream& stream) {
 
     WindowFitChain::Plan plan =
         chain.PlanFit(window.window_index, window.merged_tail_tasks > 0, window.t0);
-    inflight_meta = WindowEstimate{};
-    inflight_meta.t0 = window.t0;
-    inflight_meta.t1 = window.t1;
-    inflight_meta.tasks = window.num_tasks;
-    inflight_meta.merged_tail_tasks = window.merged_tail_tasks;
-    inflight_meta.window_local_arrival_rate = options_.window_local_arrival_rate;
+    const bool fast = options_.fast_path != FastPathMode::kOff;
+    const bool mean_field_only =
+        options_.fast_path == FastPathMode::kMeanFieldOnly ||
+        (options_.fast_path == FastPathMode::kDegrade &&
+         window.num_tasks > options_.degrade_task_budget);
+    if (fast) {
+      // The mean-field fit is O(events) and deterministic — cheap enough to run on the
+      // ingest thread, and required before the log moves into the pipeline closure.
+      // Queues without events this window keep the chain's previous rates.
+      mean_field.Fit(window.log, window.obs, plan.arrival_time_origin, mf_fit);
+      for (std::size_t q = 0; q < plan.warm_start.size(); ++q) {
+        if (mf_fit.fitted[q] != 0) {
+          plan.warm_start[q] = mf_fit.rates[q];
+        }
+      }
+    }
+    WindowEstimate meta;
+    meta.t0 = window.t0;
+    meta.t1 = window.t1;
+    meta.tasks = window.num_tasks;
+    meta.merged_tail_tasks = window.merged_tail_tasks;
+    meta.window_local_arrival_rate = options_.window_local_arrival_rate;
+    meta.degraded = mean_field_only;
+    if (mean_field_only) {
+      // Sampler-free estimate: the mean-field rates (with chain fallback already
+      // substituted into the plan's warm start) are the estimate itself.
+      meta.rates = std::move(plan.warm_start);
+      meta.mean_wait = mf_fit.mean_wait;
+      emit(std::move(meta));
+      return;
+    }
+    inflight_meta = std::move(meta);
     inflight_active = true;
     auto work = [stem = options_.stem, &result = inflight_result, log = std::move(window.log),
                  obs = std::move(window.obs), plan = std::move(plan)]() mutable {

@@ -27,13 +27,33 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
+#include "qnet/infer/meanfield.h"
 #include "qnet/infer/stem.h"
 #include "qnet/stream/task_record.h"
 #include "qnet/stream/window_assembler.h"
 
 namespace qnet {
+
+// Sampler-free fast-path policy (see infer/meanfield.h for the estimator itself).
+enum class FastPathMode {
+  // StEM only — the historical behavior, preserved bit-exactly.
+  kOff,
+  // Seed each window's StEM from that window's own mean-field fit (instead of only the
+  // previous window's rates); pair with StemOptions::convergence_tol for the early-stop
+  // throughput win. Estimates remain StEM estimates.
+  kWarmStart,
+  // kWarmStart, plus: a window whose task count exceeds degrade_task_budget emits the
+  // mean-field fit directly (degraded = true) instead of running StEM. The trigger is
+  // the window's task count — a pure function of the stream, never of wall-clock lag —
+  // so degraded runs keep the bit-equality determinism contract.
+  kDegrade,
+  // Every window emits its mean-field fit; no sampler runs at all (the all-variational
+  // mode; also what degraded windows produce).
+  kMeanFieldOnly,
+};
 
 struct WindowEstimate {
   double t0 = 0.0;
@@ -47,6 +67,12 @@ struct WindowEstimate {
   // absolute-time lambda iterate, which decays over a long stream — consumers such as
   // WindowForecaster substitute an empirical rate in that case.
   bool window_local_arrival_rate = false;
+  // True when this estimate is a mean-field fit rather than a StEM fit (degraded under
+  // kDegrade's task budget, or every window under kMeanFieldOnly).
+  bool degraded = false;
+  // StEM iterations this window's fit actually ran (0 for degraded/mean-field-only
+  // estimates); with convergence_tol set, the early-stop savings show up here.
+  std::size_t fit_iterations = 0;
   std::vector<double> rates;      // index 0 = lambda
   std::vector<double> mean_wait;  // posterior mean per queue (may be empty)
 };
@@ -68,6 +94,12 @@ struct StreamingEstimatorOptions {
   // Runs inside Run()'s pipeline join, so a slow hook adds to sweep lag, never changes
   // results (the estimate sequence stays bit-identical with or without a hook).
   std::function<void(const WindowEstimate&)> on_window;
+  // Mean-field fast path (see FastPathMode). kOff preserves the StEM-only estimate
+  // sequence bit-exactly.
+  FastPathMode fast_path = FastPathMode::kOff;
+  // kDegrade: windows with MORE tasks than this emit the mean-field fit directly.
+  std::size_t degrade_task_budget = std::numeric_limits<std::size_t>::max();
+  MeanFieldOptions mean_field;
 };
 
 struct StreamingStats {
@@ -80,6 +112,11 @@ struct StreamingStats {
   double tasks_per_second = 0.0;  // end-to-end sustained ingest rate
   // Longest a closed window waited before its StEM run started (pipeline backpressure).
   double max_sweep_lag_seconds = 0.0;
+  // Windows that emitted a mean-field-only estimate (degraded = true).
+  std::size_t degraded_windows = 0;
+  // Sum of WindowEstimate::fit_iterations — with convergence_tol set, compare against
+  // windows_estimated * StemOptions::iterations for the early-stop savings.
+  std::size_t fit_iterations_total = 0;
 };
 
 // Warm-started per-window fit bookkeeping shared by StreamingEstimator and the sharded

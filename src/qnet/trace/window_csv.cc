@@ -26,7 +26,8 @@ void WriteWindowEstimates(std::ostream& os, const std::vector<WindowEstimate>& e
                "estimate mean_wait vector does not match num_queues");
     os << estimate.t0 << ',' << estimate.t1 << ',' << estimate.tasks << ','
        << estimate.merged_tail_tasks << ','
-       << (estimate.window_local_arrival_rate ? 1 : 0);
+       << (estimate.window_local_arrival_rate ? 1 : 0) << ','
+       << (estimate.degraded ? 1 : 0) << ',' << estimate.fit_iterations;
     for (const double rate : estimate.rates) {
       os << ',' << rate;
     }
@@ -67,7 +68,7 @@ std::vector<WindowEstimate> ReadWindowEstimates(std::istream& is) {
       continue;
     }
     SplitCsvLine(line, fields);
-    QNET_CHECK(fields.size() == 5 + queues || fields.size() == 5 + 2 * queues,
+    QNET_CHECK(fields.size() == 7 + queues || fields.size() == 7 + 2 * queues,
                "bad window-estimate row (", fields.size(), " fields): ", line);
     WindowEstimate estimate;
     estimate.t0 = ParseCsvDouble(fields[0], line);
@@ -75,14 +76,18 @@ std::vector<WindowEstimate> ReadWindowEstimates(std::istream& is) {
     estimate.tasks = static_cast<std::size_t>(ParseCsvLong(fields[2], line));
     estimate.merged_tail_tasks = static_cast<std::size_t>(ParseCsvLong(fields[3], line));
     estimate.window_local_arrival_rate = ParseCsvInt(fields[4], line) != 0;
+    estimate.degraded = ParseCsvInt(fields[5], line) != 0;
+    const long fit_iterations = ParseCsvLong(fields[6], line);
+    QNET_CHECK(fit_iterations >= 0, "negative fit_iterations: ", line);
+    estimate.fit_iterations = static_cast<std::size_t>(fit_iterations);
     estimate.rates.resize(queues);
     for (std::size_t q = 0; q < queues; ++q) {
-      estimate.rates[q] = ParseCsvDouble(fields[5 + q], line);
+      estimate.rates[q] = ParseCsvDouble(fields[7 + q], line);
     }
-    if (fields.size() == 5 + 2 * queues) {
+    if (fields.size() == 7 + 2 * queues) {
       estimate.mean_wait.resize(queues);
       for (std::size_t q = 0; q < queues; ++q) {
-        estimate.mean_wait[q] = ParseCsvDouble(fields[5 + queues + q], line);
+        estimate.mean_wait[q] = ParseCsvDouble(fields[7 + queues + q], line);
       }
     }
     estimates.push_back(std::move(estimate));

@@ -6,9 +6,10 @@
 // Format:
 //   # queues=Q
 //   # windows=N
-//   t0,t1,tasks,merged_tail_tasks,window_local_lambda,rate_q0..rate_q{Q-1}[,wait_q0..]
-// The mean-wait columns are present only for estimates that carry them (wait_sweeps > 0);
-// presence is per row, signaled by the column count.
+//   t0,t1,tasks,merged_tail_tasks,window_local_lambda,degraded,fit_iterations,
+//       rate_q0..rate_q{Q-1}[,wait_q0..]
+// The mean-wait columns are present only for estimates that carry them (wait_sweeps > 0
+// or a mean-field fit); presence is per row, signaled by the column count.
 
 #ifndef QNET_TRACE_WINDOW_CSV_H_
 #define QNET_TRACE_WINDOW_CSV_H_

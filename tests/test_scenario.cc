@@ -427,6 +427,38 @@ TEST(WindowForecaster, UsesWindowLocalLambdaWhenTheEstimateCarriesIt) {
             1.2 * by_fitted.cells[0].utilization[1].mean);
 }
 
+TEST(WindowForecaster, ConsumesDegradedEstimatesAndCountsThem) {
+  // Under overload degradation the estimator hands the forecaster mean-field-only
+  // estimates; the grid only needs point rates, so forecasting proceeds — but the
+  // operator-facing counter must record how many forecast points were sampler-free.
+  const QueueingNetwork net = MakeTandemNetwork(4.0, {10.0, 20.0});
+  ScenarioEngineOptions forecast_options;
+  forecast_options.max_draws = 1;
+  forecast_options.tasks_per_draw = 100;
+  const ScenarioGrid grid({LoadAxis({1.0, 2.0})});
+
+  WindowEstimate estimate;
+  estimate.t0 = 0.0;
+  estimate.t1 = 25.0;
+  estimate.tasks = 100;
+  estimate.rates = {4.0, 10.0, 20.0};
+  estimate.window_local_arrival_rate = true;
+  estimate.degraded = true;
+  estimate.fit_iterations = 0;
+
+  WindowForecaster forecaster(net, grid, forecast_options, /*seed=*/11);
+  const ScenarioReport& report = forecaster.Forecast(estimate);
+  EXPECT_EQ(report.cells.size(), 2u);
+  EXPECT_EQ(forecaster.DegradedForecasts(), 1u);
+
+  // A degraded estimate forecasts identically to an undegraded one with the same rates:
+  // the flag is bookkeeping, not a modeling input.
+  WindowForecaster plain(net, grid, forecast_options, /*seed=*/11);
+  estimate.degraded = false;
+  EXPECT_EQ(plain.Forecast(estimate), forecaster.Reports().front());
+  EXPECT_EQ(plain.DegradedForecasts(), 0u);
+}
+
 TEST(ScenarioEngine, GuardsOptionAndShapeMisuse) {
   ScenarioEngineOptions bad;
   bad.max_draws = 0;

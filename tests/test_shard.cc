@@ -66,6 +66,8 @@ void ExpectEstimatesIdentical(const std::vector<WindowEstimate>& a,
     EXPECT_EQ(a[w].merged_tail_tasks, b[w].merged_tail_tasks) << "window " << w;
     EXPECT_EQ(a[w].window_local_arrival_rate, b[w].window_local_arrival_rate)
         << "window " << w;
+    EXPECT_EQ(a[w].degraded, b[w].degraded) << "window " << w;
+    EXPECT_EQ(a[w].fit_iterations, b[w].fit_iterations) << "window " << w;
     ASSERT_EQ(a[w].rates.size(), b[w].rates.size());
     for (std::size_t q = 0; q < a[w].rates.size(); ++q) {
       EXPECT_EQ(a[w].rates[q], b[w].rates[q]) << "window " << w << " q=" << q;
@@ -355,6 +357,47 @@ TEST(ShardedStreaming, WindowWithNoFittableLaneFailsLoudly) {
   EXPECT_THROW(fleet.Run(stream), Error);
 }
 
+TEST(ShardedStreaming, UnfittableWindowsDegradeInsteadOfThrowingUnderFastPath) {
+  // The same never-visits-queue-2 stream as WindowWithNoFittableLaneFailsLoudly: under
+  // the degrade policy the lanes answer with mean-field fallback fits instead of
+  // throwing — queue 2 keeps each lane's warm-chain rate (the init here) and the pooled
+  // estimates are flagged degraded.
+  std::vector<TaskRecord> records;
+  for (int i = 0; i < 12; ++i) {
+    records.push_back(TinyRecord(1.0 + i));
+  }
+  for (const FastPathMode mode : {FastPathMode::kDegrade, FastPathMode::kMeanFieldOnly}) {
+    ShardedStreamingOptions options;
+    options.lanes = 2;
+    options.stream.window.window_duration = 5.0;
+    options.stream.window.min_tasks_per_window = 2;
+    options.stream.stem.iterations = 5;
+    options.stream.stem.burn_in = 1;
+    options.stream.stem.wait_sweeps = 0;
+    options.stream.fast_path = mode;
+
+    qnet_testing::VectorStream stream(records, 3);
+    ShardedStreamingEstimator fleet({1.0, 1.0, 1.0}, 1, options);
+    const auto pooled = fleet.Run(stream);
+    ASSERT_GE(pooled.size(), 1u);
+    for (const WindowEstimate& estimate : pooled) {
+      EXPECT_TRUE(estimate.degraded);
+      EXPECT_EQ(estimate.fit_iterations, 0u);
+      ASSERT_EQ(estimate.rates.size(), 3u);
+      EXPECT_GT(estimate.rates[1], 0.0);
+      EXPECT_EQ(estimate.rates[2], 1.0);  // warm chain = init; never fitted
+    }
+    const FleetStats& stats = fleet.Stats();
+    EXPECT_EQ(stats.degraded_windows, pooled.size());
+    std::size_t lane_degraded = 0;
+    for (const LaneStats& lane : stats.lane) {
+      lane_degraded += lane.degraded_fits;
+      EXPECT_EQ(lane.fit_iterations_total, 0u);
+    }
+    EXPECT_GE(lane_degraded, pooled.size());
+  }
+}
+
 TEST(ShardedStreaming, TrailingTailMergeReplacesLastPooledEstimate) {
   // A too-small trailing remainder merges into the previous window and the pooled
   // estimate sequence replaces its last entry, exactly like the plain estimator; the
@@ -502,6 +545,143 @@ TEST(LaneRouter, RejectsOutOfRangePartitioner) {
   EXPECT_THROW(router.Route(TinyRecord(1.0)), Error);
 }
 
+// --- Mean-field fast path across the fleet -----------------------------------------------
+
+TEST(ShardedStreaming, SingleLaneFastPathMatchesStreamingEstimatorBitExactly) {
+  // The K = 1 anchor extends to every fast-path mode: a single-lane fleet is the plain
+  // estimator, bit for bit.
+  const Fixture f;
+  for (const FastPathMode mode :
+       {FastPathMode::kWarmStart, FastPathMode::kDegrade, FastPathMode::kMeanFieldOnly}) {
+    StreamingEstimatorOptions stream_options = ShortStemOptions();
+    stream_options.fast_path = mode;
+    stream_options.degrade_task_budget = 100;
+    stream_options.stem.convergence_tol = 0.05;
+
+    LogReplayStream plain_stream(f.truth, f.obs);
+    StreamingEstimator plain({1.0, 1.0, 1.0}, 83, stream_options);
+    const auto reference = plain.Run(plain_stream);
+    ASSERT_GE(reference.size(), 3u);
+
+    ShardedStreamingOptions fleet_options;
+    fleet_options.lanes = 1;
+    fleet_options.stream = stream_options;
+    const auto pooled = RunFleet(f, fleet_options, 83);
+    ExpectEstimatesIdentical(reference, pooled);
+  }
+}
+
+TEST(ShardedStreaming, FastPathPooledEstimatesBitIdenticalAcrossThreadsAndPipelining) {
+  // The fleet's determinism contract holds verbatim in degraded and all-variational
+  // modes: for a FIXED lane count, sharded-sweep threads and pipelining never change a
+  // bit. Across lane counts the degraded flags still agree, because the degrade trigger
+  // is the GLOBAL window task count, not any lane-local share.
+  const Fixture f;
+  for (const FastPathMode mode : {FastPathMode::kDegrade, FastPathMode::kMeanFieldOnly}) {
+    std::vector<std::vector<WindowEstimate>> per_lane_count;
+    for (const std::size_t lanes : {1u, 2u, 4u}) {
+      std::vector<std::vector<WindowEstimate>> runs;
+      for (const std::size_t threads : {1u, 2u}) {
+        for (const bool pipeline : {false, true}) {
+          ShardedStreamingOptions options;
+          options.lanes = lanes;
+          options.stream = ShortStemOptions();
+          options.stream.fast_path = mode;
+          options.stream.degrade_task_budget = 100;
+          options.stream.stem.sharded_sweeps = true;
+          options.stream.stem.sharded.shards = 2;
+          options.stream.stem.sharded.threads = threads;
+          options.stream.pipeline = pipeline;
+          runs.push_back(RunFleet(f, options, 21));
+        }
+      }
+      ASSERT_GE(runs.front().size(), 3u);
+      for (std::size_t i = 1; i < runs.size(); ++i) {
+        ExpectEstimatesIdentical(runs.front(), runs[i]);
+      }
+      per_lane_count.push_back(std::move(runs.front()));
+    }
+    ASSERT_EQ(per_lane_count[0].size(), per_lane_count[1].size());
+    ASSERT_EQ(per_lane_count[0].size(), per_lane_count[2].size());
+    std::size_t degraded = 0;
+    for (std::size_t w = 0; w < per_lane_count[0].size(); ++w) {
+      EXPECT_EQ(per_lane_count[0][w].degraded, per_lane_count[1][w].degraded)
+          << "window " << w;
+      EXPECT_EQ(per_lane_count[0][w].degraded, per_lane_count[2][w].degraded)
+          << "window " << w;
+      degraded += per_lane_count[0][w].degraded ? 1 : 0;
+    }
+    if (mode == FastPathMode::kMeanFieldOnly) {
+      EXPECT_EQ(degraded, per_lane_count[0].size());
+    } else {
+      EXPECT_GT(degraded, 0u);
+      EXPECT_LT(degraded, per_lane_count[0].size());
+    }
+  }
+}
+
+// --- Cross-lane bias correction ----------------------------------------------------------
+
+TEST(ShardedStreaming, BiasCorrectionIsANoOpAtSingleLane) {
+  // K = 1 pools verbatim (one contributing lane per window), so flipping the correction
+  // on must not move a bit — the plain-estimator anchor survives the new option.
+  const Fixture f;
+  ShardedStreamingOptions options;
+  options.lanes = 1;
+  options.stream = ShortStemOptions();
+  options.stream.window_local_arrival_rate = true;
+  const auto plain = RunFleet(f, options, 43);
+  options.cross_lane_bias_correction = true;
+  const auto corrected = RunFleet(f, options, 43);
+  ASSERT_GE(plain.size(), 3u);
+  ExpectEstimatesIdentical(plain, corrected);
+}
+
+TEST(ShardedStreaming, BiasCorrectionRecoversSingleLaneServiceAtHighUtilization) {
+  // The accuracy claim behind the correction. At rho = 0.7 a lane's hash-thinned
+  // sub-stream hides most queueing: waits caused by OTHER lanes' tasks are attributed to
+  // service, so the uncorrected K = 4 pooled service time lands at a multiple of the
+  // true one. The response invariant S_b + W_b = R survives the thinning, and the
+  // corrected pool re-inverts it to match the single-lane fleet closely.
+  const double lambda = 2.0;
+  const double rho = 0.7;
+  const QueueingNetwork net = MakeSingleQueueNetwork(lambda, lambda / rho);
+  Rng rng(71);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(lambda, 1200), rng);
+  const Observation obs = Observation::FullyObserved(truth);
+
+  const auto run = [&](std::size_t lanes, bool correct) {
+    ShardedStreamingOptions options;
+    options.lanes = lanes;
+    options.stream = ShortStemOptions(60.0);
+    options.stream.window_local_arrival_rate = true;
+    options.cross_lane_bias_correction = correct;
+    LogReplayStream stream(truth, obs);
+    ShardedStreamingEstimator fleet({1.0, 1.0}, 53, options);
+    return fleet.Run(stream);
+  };
+  const auto mean_service = [](const std::vector<WindowEstimate>& estimates) {
+    double sum = 0.0;
+    for (const WindowEstimate& estimate : estimates) {
+      sum += 1.0 / estimate.rates[1];
+    }
+    return sum / static_cast<double>(estimates.size());
+  };
+
+  const auto reference = run(1, false);
+  ASSERT_GE(reference.size(), 5u);
+  const double ref_service = mean_service(reference);
+  EXPECT_NEAR(ref_service, rho / lambda, 0.15 * rho / lambda);  // sanity: near 1/mu
+
+  const double corrected = mean_service(run(4, true));
+  const double uncorrected = mean_service(run(4, false));
+
+  EXPECT_NEAR(corrected, ref_service, 0.10 * ref_service);
+  // The uncorrected pool is not just slightly worse — it misses by a multiple.
+  EXPECT_GT(uncorrected, 1.5 * ref_service);
+  EXPECT_GT(std::abs(uncorrected - ref_service), 3.0 * std::abs(corrected - ref_service));
+}
+
 // --- Window-estimate CSV -----------------------------------------------------------------
 
 TEST(WindowCsv, RoundTripsBitExactly) {
@@ -519,15 +699,49 @@ TEST(WindowCsv, RoundTripsBitExactly) {
   ExpectEstimatesIdentical(pooled, parsed);
 }
 
+TEST(WindowCsv, RoundTripsDegradedFlagsAndFitIterations) {
+  // Degraded-mode output survives persistence: the flag and the iteration count are
+  // first-class columns, not derived.
+  const Fixture f;
+  ShardedStreamingOptions options;
+  options.lanes = 2;
+  options.stream = ShortStemOptions();
+  options.stream.fast_path = FastPathMode::kDegrade;
+  options.stream.degrade_task_budget = 100;
+  const auto pooled = RunFleet(f, options, 9);
+  ASSERT_GE(pooled.size(), 2u);
+  bool any_degraded = false;
+  bool any_sampled = false;
+  for (const WindowEstimate& estimate : pooled) {
+    any_degraded = any_degraded || estimate.degraded;
+    any_sampled = any_sampled || !estimate.degraded;
+  }
+  EXPECT_TRUE(any_degraded);
+  EXPECT_TRUE(any_sampled);
+
+  std::stringstream ss;
+  WriteWindowEstimates(ss, pooled, 3);
+  ExpectEstimatesIdentical(pooled, ReadWindowEstimates(ss));
+}
+
 TEST(WindowCsv, RejectsCorruptInput) {
   std::stringstream missing_header("1,2,3\n");
   EXPECT_THROW(ReadWindowEstimates(missing_header), Error);
 
+  // A pre-fast-path row (no degraded/fit_iterations columns) no longer field-counts.
   std::stringstream truncated("# queues=2\n# windows=2\n0,10,5,0,0,1.5,2.5\n");
   EXPECT_THROW(ReadWindowEstimates(truncated), Error);
 
   std::stringstream bad_row("# queues=2\n# windows=1\n0,10,5\n");
   EXPECT_THROW(ReadWindowEstimates(bad_row), Error);
+
+  std::stringstream negative_iters(
+      "# queues=2\n# windows=1\n0,10,5,0,0,0,-3,1.5,2.5\n");
+  EXPECT_THROW(ReadWindowEstimates(negative_iters), Error);
+
+  std::stringstream bad_degraded(
+      "# queues=2\n# windows=1\n0,10,5,0,0,x,0,1.5,2.5\n");
+  EXPECT_THROW(ReadWindowEstimates(bad_degraded), Error);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 
 #include "qnet/infer/stem.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -183,6 +184,142 @@ TEST(Stem, RateTraceHasExpectedShape) {
         StemEstimator(bad).Run(truth, obs, {1.0, 1.0}, rng);
       },
       Error);
+}
+
+// Recomputes the early-stop point from a rate trace alone: the stop rule is a pure
+// function of the trace, so this must reproduce StemResult::iterations_run exactly.
+std::size_t StopPointFromTrace(const std::vector<std::vector<double>>& trace,
+                               std::size_t burn_in, double tol, std::size_t patience) {
+  const std::size_t num_queues = trace.empty() ? 0 : trace[0].size();
+  std::vector<double> accum(num_queues, 0.0);
+  std::vector<double> prev_mean(num_queues, 0.0);
+  std::size_t accum_count = 0;
+  std::size_t streak = 0;
+  for (std::size_t iter = 0; iter < trace.size(); ++iter) {
+    if (iter < burn_in) {
+      continue;
+    }
+    for (std::size_t q = 0; q < num_queues; ++q) {
+      accum[q] += trace[iter][q];
+    }
+    ++accum_count;
+    double max_rel = 0.0;
+    for (std::size_t q = 0; q < num_queues; ++q) {
+      const double mean = accum[q] / static_cast<double>(accum_count);
+      if (accum_count >= 2) {
+        max_rel = std::max(max_rel, std::abs(mean - prev_mean[q]) /
+                                        std::max(std::abs(prev_mean[q]), 1e-12));
+      }
+      prev_mean[q] = mean;
+    }
+    if (accum_count >= 2) {
+      streak = max_rel <= tol ? streak + 1 : 0;
+      if (streak >= patience) {
+        return iter + 1;
+      }
+    }
+  }
+  return trace.size();
+}
+
+TEST(Stem, ZeroConvergenceTolIsBitExactFullRun) {
+  // tol = 0 (the default) must leave the sampler path untouched: same seed, same bits,
+  // full iteration count reported.
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {5.0, 4.0});
+  Rng sim_rng(29);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 200), sim_rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.4;
+  const Observation obs = scheme.Apply(truth, sim_rng);
+  StemOptions options;
+  options.iterations = 20;
+  options.burn_in = 5;
+  options.wait_sweeps = 0;
+  ASSERT_EQ(options.convergence_tol, 0.0);
+
+  Rng rng_a(31);
+  const StemResult a = StemEstimator(options).Run(truth, obs, {1.0, 1.0, 1.0}, rng_a);
+  Rng rng_b(31);
+  const StemResult b = StemEstimator(options).Run(truth, obs, {1.0, 1.0, 1.0}, rng_b);
+  EXPECT_EQ(a.rates, b.rates);
+  EXPECT_EQ(a.rate_trace, b.rate_trace);
+  EXPECT_EQ(a.iterations_run, 20u);
+  EXPECT_EQ(b.iterations_run, 20u);
+}
+
+TEST(Stem, EarlyStopTraceIsBitExactPrefixOfFullRun) {
+  // The stop decision reads only the already-produced trace, never the RNG, so the
+  // early-stopped run replays the full run's iterations bit-for-bit up to its stop
+  // point, and its averaged rates equal the prefix average exactly.
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {5.0, 4.0});
+  Rng sim_rng(37);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 300), sim_rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.4;
+  const Observation obs = scheme.Apply(truth, sim_rng);
+
+  StemOptions full_options;
+  full_options.iterations = 60;
+  full_options.burn_in = 8;
+  full_options.wait_sweeps = 0;
+  Rng full_rng(41);
+  const StemResult full =
+      StemEstimator(full_options).Run(truth, obs, {1.0, 1.0, 1.0}, full_rng);
+  ASSERT_EQ(full.iterations_run, 60u);
+
+  StemOptions stopped_options = full_options;
+  stopped_options.convergence_tol = 0.02;
+  stopped_options.convergence_patience = 3;
+  Rng stopped_rng(41);
+  const StemResult stopped =
+      StemEstimator(stopped_options).Run(truth, obs, {1.0, 1.0, 1.0}, stopped_rng);
+
+  ASSERT_EQ(stopped.iterations_run, stopped.rate_trace.size());
+  ASSERT_LT(stopped.iterations_run, 60u) << "tolerance chosen to trigger an early stop";
+  ASSERT_GE(stopped.iterations_run,
+            full_options.burn_in + stopped_options.convergence_patience + 1);
+  for (std::size_t iter = 0; iter < stopped.iterations_run; ++iter) {
+    EXPECT_EQ(stopped.rate_trace[iter], full.rate_trace[iter]) << "iteration " << iter;
+  }
+  // Averaged rates = exact average of the post-burn-in prefix, in accumulation order.
+  std::vector<double> expect_rates(3, 0.0);
+  const std::size_t kept = stopped.iterations_run - full_options.burn_in;
+  for (std::size_t iter = full_options.burn_in; iter < stopped.iterations_run; ++iter) {
+    for (std::size_t q = 0; q < 3; ++q) {
+      expect_rates[q] += stopped.rate_trace[iter][q];
+    }
+  }
+  for (std::size_t q = 0; q < 3; ++q) {
+    EXPECT_EQ(stopped.rates[q], expect_rates[q] / static_cast<double>(kept));
+  }
+  // And the estimate stays close to the full run's (that is the point of stopping).
+  for (std::size_t q = 1; q < 3; ++q) {
+    EXPECT_NEAR(stopped.rates[q], full.rates[q], 0.15 * full.rates[q]);
+  }
+}
+
+TEST(Stem, EarlyStopRuleIsPureFunctionOfTrace) {
+  const QueueingNetwork net = MakeSingleQueueNetwork(2.0, 6.0);
+  Rng sim_rng(43);
+  const EventLog truth = SimulateWorkload(net, PoissonArrivals(2.0, 200), sim_rng);
+  TaskSamplingScheme scheme;
+  scheme.fraction = 0.5;
+  const Observation obs = scheme.Apply(truth, sim_rng);
+
+  for (const double tol : {0.05, 0.01}) {
+    StemOptions options;
+    options.iterations = 50;
+    options.burn_in = 5;
+    options.wait_sweeps = 0;
+    options.convergence_tol = tol;
+    options.convergence_patience = 2;
+    Rng rng(47);
+    const StemResult result = StemEstimator(options).Run(truth, obs, {1.0, 1.0}, rng);
+    EXPECT_EQ(result.iterations_run,
+              StopPointFromTrace(result.rate_trace, options.burn_in, tol,
+                                 options.convergence_patience))
+        << "tol=" << tol;
+  }
 }
 
 TEST(Stem, VarianceNoWorseThanObservedMeanBaseline) {

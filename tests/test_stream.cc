@@ -79,6 +79,8 @@ void ExpectEstimatesIdentical(const std::vector<WindowEstimate>& a,
     EXPECT_EQ(a[w].t1, b[w].t1) << "window " << w;
     EXPECT_EQ(a[w].tasks, b[w].tasks) << "window " << w;
     EXPECT_EQ(a[w].merged_tail_tasks, b[w].merged_tail_tasks) << "window " << w;
+    EXPECT_EQ(a[w].degraded, b[w].degraded) << "window " << w;
+    EXPECT_EQ(a[w].fit_iterations, b[w].fit_iterations) << "window " << w;
     ASSERT_EQ(a[w].rates.size(), b[w].rates.size());
     for (std::size_t q = 0; q < a[w].rates.size(); ++q) {
       EXPECT_EQ(a[w].rates[q], b[w].rates[q]) << "window " << w << " q=" << q;
@@ -470,6 +472,7 @@ std::vector<WindowEstimate> ReferenceWindowedStem(const EventLog& truth,
     est.merged_tail_tasks = merged_tail;
     est.rates = result.rates;
     est.mean_wait = result.mean_wait;
+    est.fit_iterations = result.iterations_run;
     return est;
   };
 
@@ -742,6 +745,149 @@ TEST(StreamingEstimator, ExplicitZeroOriginIsBitIdenticalToDefault) {
   StreamingEstimator explicit_estimator({1.0, 1.0, 1.0}, 29, options);
   const auto by_explicit = explicit_estimator.Run(explicit_stream);
   ExpectEstimatesIdentical(by_default, by_explicit);
+}
+
+// --- Mean-field fast path ----------------------------------------------------------------
+
+TEST(StreamingEstimator, FastPathOffIsBitIdenticalToDefault) {
+  // Carrying fast-path configuration with the mode off must not perturb the sampler
+  // path by a bit: mean_field options and the degrade budget are dormant under kOff.
+  const Fixture f;
+  LogReplayStream default_stream(f.truth, f.obs);
+  StreamingEstimator default_estimator({1.0, 1.0, 1.0}, 61, ShortStemOptions());
+  const auto by_default = default_estimator.Run(default_stream);
+
+  StreamingEstimatorOptions options = ShortStemOptions();
+  options.fast_path = FastPathMode::kOff;
+  options.degrade_task_budget = 10;  // dormant without kDegrade
+  options.mean_field.fallback_rate = 123.0;
+  LogReplayStream explicit_stream(f.truth, f.obs);
+  StreamingEstimator explicit_estimator({1.0, 1.0, 1.0}, 61, options);
+  const auto by_explicit = explicit_estimator.Run(explicit_stream);
+
+  ExpectEstimatesIdentical(by_default, by_explicit);
+  EXPECT_EQ(explicit_estimator.Stats().degraded_windows, 0u);
+  for (const WindowEstimate& estimate : by_default) {
+    EXPECT_FALSE(estimate.degraded);
+    EXPECT_EQ(estimate.fit_iterations, 30u);  // full StEM run per window
+  }
+}
+
+TEST(StreamingEstimator, WarmStartFastPathSavesIterationsDeterministically) {
+  const Fixture f;
+  const std::vector<double> init = {1.0, 1.0, 1.0};
+
+  StreamingEstimatorOptions off = ShortStemOptions();
+  LogReplayStream off_stream(f.truth, f.obs);
+  StreamingEstimator off_estimator(init, 67, off);
+  const auto baseline = off_estimator.Run(off_stream);
+  ASSERT_GE(baseline.size(), 3u);
+
+  StreamingEstimatorOptions warm = ShortStemOptions();
+  warm.fast_path = FastPathMode::kWarmStart;
+  warm.stem.convergence_tol = 0.05;
+  warm.stem.convergence_patience = 2;
+
+  // Bit-identical across pipelining and sharded thread counts, like the sampler path.
+  std::vector<std::vector<WindowEstimate>> runs;
+  std::size_t iterations_total = 0;
+  for (const std::size_t threads : {1u, 2u}) {
+    for (const bool pipeline : {false, true}) {
+      StreamingEstimatorOptions options = warm;
+      options.stem.sharded_sweeps = true;
+      options.stem.sharded.shards = 2;
+      options.stem.sharded.threads = threads;
+      options.pipeline = pipeline;
+      LogReplayStream stream(f.truth, f.obs);
+      StreamingEstimator estimator(init, 67, options);
+      runs.push_back(estimator.Run(stream));
+      iterations_total = estimator.Stats().fit_iterations_total;
+    }
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    ExpectEstimatesIdentical(runs.front(), runs[i]);
+  }
+
+  // Early stop must actually bite (that is the throughput win) ...
+  EXPECT_LT(iterations_total, baseline.size() * 30u);
+  EXPECT_GT(iterations_total, 0u);
+  for (const WindowEstimate& estimate : runs.front()) {
+    EXPECT_FALSE(estimate.degraded);
+    EXPECT_GE(estimate.fit_iterations, warm.stem.burn_in + 3u);
+  }
+  // ... while the estimates stay close to the cold-started full-length run.
+  ASSERT_EQ(runs.front().size(), baseline.size());
+  for (std::size_t w = 0; w < baseline.size(); ++w) {
+    for (std::size_t q = 1; q < 3; ++q) {
+      EXPECT_NEAR(runs.front()[w].rates[q], baseline[w].rates[q],
+                  0.2 * baseline[w].rates[q])
+          << "window " << w << " q=" << q;
+    }
+  }
+}
+
+TEST(StreamingEstimator, MeanFieldOnlyModeIsSamplerFreeAndBitIdentical) {
+  const Fixture f;
+  const std::vector<double> init = {1.0, 1.0, 1.0};
+  StreamingEstimatorOptions options = ShortStemOptions();
+  options.fast_path = FastPathMode::kMeanFieldOnly;
+
+  std::vector<std::vector<WindowEstimate>> runs;
+  std::size_t degraded = 0;
+  for (const bool pipeline : {false, true}) {
+    for (const std::uint64_t seed : {71u, 73u}) {
+      options.pipeline = pipeline;
+      LogReplayStream stream(f.truth, f.obs);
+      StreamingEstimator estimator(init, seed, options);
+      runs.push_back(estimator.Run(stream));
+      degraded = estimator.Stats().degraded_windows;
+    }
+  }
+  // Sampler-free: the seed is never consumed, so even DIFFERENT seeds are bit-identical.
+  ASSERT_GE(runs.front().size(), 3u);
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    ExpectEstimatesIdentical(runs.front(), runs[i]);
+  }
+  EXPECT_GE(degraded, runs.front().size());
+  for (const WindowEstimate& estimate : runs.front()) {
+    EXPECT_TRUE(estimate.degraded);
+    EXPECT_EQ(estimate.fit_iterations, 0u);
+    ASSERT_EQ(estimate.rates.size(), 3u);
+    ASSERT_EQ(estimate.mean_wait.size(), 3u);
+    // Mean-field service estimates land on the right scale (truth: mu = 8, 9).
+    EXPECT_NEAR(1.0 / estimate.rates[1], 1.0 / 8.0, 0.5 / 8.0);
+    EXPECT_NEAR(1.0 / estimate.rates[2], 1.0 / 9.0, 0.5 / 9.0);
+  }
+}
+
+TEST(StreamingEstimator, DegradeModeTriggersOnWindowTaskCount) {
+  const Fixture f;
+  const std::vector<double> init = {1.0, 1.0, 1.0};
+  StreamingEstimatorOptions options = ShortStemOptions();
+  options.fast_path = FastPathMode::kDegrade;
+  options.degrade_task_budget = 100;
+
+  LogReplayStream stream(f.truth, f.obs);
+  StreamingEstimator estimator(init, 79, options);
+  const auto estimates = estimator.Run(stream);
+  ASSERT_GE(estimates.size(), 3u);
+
+  std::size_t degraded = 0;
+  for (const WindowEstimate& estimate : estimates) {
+    // The trigger is the window's task count — reproducible from the estimate itself.
+    EXPECT_EQ(estimate.degraded, estimate.tasks > options.degrade_task_budget);
+    EXPECT_EQ(estimate.fit_iterations == 0, estimate.degraded);
+    degraded += estimate.degraded ? 1 : 0;
+  }
+  EXPECT_GT(degraded, 0u) << "budget chosen so the busiest windows degrade";
+  EXPECT_LT(degraded, estimates.size()) << "budget chosen so quiet windows still sample";
+  EXPECT_EQ(estimator.Stats().degraded_windows, degraded);
+
+  // Deterministic: same stream, same options, same bits (with pipelining flipped).
+  options.pipeline = !options.pipeline;
+  LogReplayStream again_stream(f.truth, f.obs);
+  StreamingEstimator again(init, 79, options);
+  ExpectEstimatesIdentical(estimates, again.Run(again_stream));
 }
 
 // --- LiveSimStream ---------------------------------------------------------------------
