@@ -7,13 +7,15 @@
 //   BM_ScenarioCells/T items_per_second   — cells/s through the full posterior-predictive
 //                                           evaluation (realize -> DES -> reduce) at T
 //                                           worker threads;
-//   BM_ScenarioCells/T cells_per_ms_per_thread — the CI-gated floor: must stay > 1 on
-//                                           the bench fixture at every thread count (the
-//                                           1-core CI box cannot show T-scaling, so the
-//                                           gate divides by T);
-//   BM_ScenarioAllocations allocs_per_cell — operator-new calls per evaluated cell
-//                                           (cells allocate by design — per-draw logs and
-//                                           network clones — but the cost must stay flat).
+//   BM_ScenarioCells/T cells_per_ms_per_thread — the CI-gated floor: must stay > 48 on
+//                                           the bench fixture at every thread count (3x
+//                                           the ~16 cells/ms the clone-based engine
+//                                           managed; the 1-core CI box cannot show
+//                                           T-scaling, so the gate divides by T);
+//   BM_ScenarioAllocations allocs_per_cell — operator-new calls per evaluated cell on
+//                                           warm workspaces. CI-gated < 32 (from ~970
+//                                           pre-overlay): the overlay/arena engine only
+//                                           allocates the report's own result vectors.
 
 #include <benchmark/benchmark.h>
 

@@ -1,13 +1,28 @@
 // Microbenchmarks: discrete-event simulator and workload-generation throughput.
+//
+// Workflow (tracked in CI as BENCH_sim.json):
+//   ./build/perf_sim --benchmark_format=json > BENCH_sim.json
+// Headline metrics:
+//   BM_SimulateThreeTier/N items_per_second — simulated visits/s through the batch
+//                                             entry points (EventLog materialized);
+//   BM_SimulateWarmArena/N  allocs_per_task — operator-new calls per simulated task on a
+//                                             warm SimScratch. The CI-gated floor: must
+//                                             stay exactly 0 (the arena contract).
 
 #include <benchmark/benchmark.h>
 
+// Counting allocator (defines global operator new/delete; one TU per binary).
+#include "../tests/support/counting_allocator.h"
+
 #include "qnet/model/builders.h"
+#include "qnet/sim/sim_scratch.h"
 #include "qnet/sim/simulator.h"
 #include "qnet/support/rng.h"
 #include "qnet/webapp/movievote.h"
 
 namespace {
+
+using qnet_testing::AllocationCount;
 
 void BM_SimulateThreeTier(benchmark::State& state) {
   qnet::ThreeTierConfig config;
@@ -24,6 +39,31 @@ void BM_SimulateThreeTier(benchmark::State& state) {
                           static_cast<std::int64_t>(tasks * 4));
 }
 BENCHMARK(BM_SimulateThreeTier)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateWarmArena(benchmark::State& state) {
+  // The allocation-free fast path: same tandem DES, but into a reused SimScratch with no
+  // EventLog export. After the warm-up run every iteration is heap-silent, which the
+  // allocs_per_task counter pins in CI.
+  const qnet::QueueingNetwork net = qnet::MakeTandemNetwork(2.0, {5.0, 4.0});
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  const qnet::PoissonArrivals workload(2.0, tasks);
+  qnet::SimScratch scratch;
+  qnet::Rng rng(37);
+  qnet::SimulateWorkloadIntoScratch(net, workload, scratch, rng);  // warm-up
+  std::size_t simulated = 0;
+  const std::size_t before = AllocationCount();
+  for (auto _ : state) {
+    qnet::SimulateWorkloadIntoScratch(net, workload, scratch, rng);
+    benchmark::DoNotOptimize(scratch.step_departure.data());
+    simulated += tasks;
+  }
+  const std::size_t after = AllocationCount();
+  state.SetItemsProcessed(static_cast<std::int64_t>(simulated));
+  state.counters["allocs_per_task"] =
+      simulated > 0 ? static_cast<double>(after - before) / static_cast<double>(simulated)
+                    : 0.0;
+}
+BENCHMARK(BM_SimulateWarmArena)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
 
 void BM_SimulateMovieVote(benchmark::State& state) {
   const qnet::webapp::MovieVoteConfig config;

@@ -21,12 +21,28 @@ std::size_t EventLog::Check(EventId e) const {
   return static_cast<std::size_t>(e);
 }
 
+void EventLog::Reset(int num_queues) {
+  QNET_CHECK(num_queues >= 2, "need the arrival queue plus at least one real queue");
+  if (num_queues != num_queues_) {
+    num_queues_ = num_queues;
+    queue_order_.resize(static_cast<std::size_t>(num_queues));
+  }
+  events_.clear();
+  for (auto& order : queue_order_) {
+    order.clear();
+  }
+  // Per-task chains are recycled lazily: AddTask clears a retained slot when it reuses it.
+  num_tasks_ = 0;
+  links_built_ = false;
+}
+
 int EventLog::AddTask(double entry_time) {
   QNET_CHECK(!links_built_, "log is frozen after BuildQueueLinks");
   QNET_CHECK(entry_time >= 0.0, "entry time must be nonnegative: ", entry_time);
   const int task = NumTasks();
   if (task > 0) {
-    const auto& prev_initial = events_[static_cast<std::size_t>(task_events_.back().front())];
+    const auto& prev_initial =
+        events_[static_cast<std::size_t>(task_events_[static_cast<std::size_t>(task) - 1].front())];
     QNET_CHECK(entry_time >= prev_initial.departure,
                "tasks must be added in entry-time order; entry=", entry_time,
                " previous=", prev_initial.departure);
@@ -39,7 +55,14 @@ int EventLog::AddTask(double entry_time) {
   ev.initial = true;
   const EventId id = static_cast<EventId>(events_.size());
   events_.push_back(ev);
-  task_events_.push_back({id});
+  if (static_cast<std::size_t>(task) < task_events_.size()) {
+    auto& chain = task_events_[static_cast<std::size_t>(task)];
+    chain.clear();
+    chain.push_back(id);
+  } else {
+    task_events_.push_back({id});
+  }
+  num_tasks_ = task + 1;
   return task;
 }
 
@@ -76,8 +99,16 @@ void EventLog::BuildQueueLinks() {
     queue_order_[static_cast<std::size_t>(events_[Check(e)].queue)].push_back(e);
   }
   for (auto& order : queue_order_) {
-    std::stable_sort(order.begin(), order.end(), [this](EventId a, EventId b) {
-      return events_[Check(a)].arrival < events_[Check(b)].arrival;
+    // (arrival, id) ordering on id-ordered input == stable sort by arrival, and std::sort
+    // (unlike std::stable_sort) allocates no temporary buffer — required for the warm
+    // zero-allocation EventLog rebuild path.
+    std::sort(order.begin(), order.end(), [this](EventId a, EventId b) {
+      const double aa = events_[Check(a)].arrival;
+      const double ab = events_[Check(b)].arrival;
+      if (aa != ab) {
+        return aa < ab;
+      }
+      return a < b;
     });
     EventId prev = kNoEvent;
     for (EventId e : order) {

@@ -107,6 +107,11 @@ class EventLog {
 
   // --- Construction ------------------------------------------------------------------
 
+  // Returns the log to its freshly-constructed state while keeping every backing buffer's
+  // capacity (events, per-task chains, per-queue orders), so rebuilding a same-shaped log
+  // allocates nothing once warm. The DES scratch path (sim/sim_scratch.h) relies on this.
+  void Reset(int num_queues);
+
   // Creates the next task together with its initial event departing at entry_time; returns
   // the task id. Tasks must be added in nondecreasing entry-time order (this pins the
   // arrival order at queue 0, where all initial events arrive at t = 0).
@@ -132,7 +137,7 @@ class EventLog {
   // --- Shape -------------------------------------------------------------------------
 
   std::size_t NumEvents() const { return events_.size(); }
-  int NumTasks() const { return static_cast<int>(task_events_.size()); }
+  int NumTasks() const { return num_tasks_; }
   int NumQueues() const { return num_queues_; }
   const Event& At(EventId e) const;
   const std::vector<EventId>& TaskEvents(int task) const;     // initial event first
@@ -232,6 +237,9 @@ class EventLog {
 
   int num_queues_;
   bool links_built_ = false;
+  // Number of live tasks; task_events_ may hold more (capacity-preserving) slots after a
+  // Reset, so NumTasks() never reads task_events_.size().
+  int num_tasks_ = 0;
   std::vector<Event> events_;
   std::vector<std::vector<EventId>> task_events_;
   std::vector<std::vector<EventId>> queue_order_;

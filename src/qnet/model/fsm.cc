@@ -87,22 +87,29 @@ void Fsm::SetWeightedEmission(int state, const std::vector<int>& queues,
 }
 
 std::vector<RouteStep> Fsm::SampleRoute(Rng& rng, std::size_t max_steps) const {
-  QNET_CHECK(initial_state_ >= 0, "initial state not set");
   std::vector<RouteStep> route;
+  AppendSampledRoute(rng, route, max_steps);
+  return route;
+}
+
+std::size_t Fsm::AppendSampledRoute(Rng& rng, std::vector<RouteStep>& out,
+                                    std::size_t max_steps) const {
+  QNET_CHECK(initial_state_ >= 0, "initial state not set");
+  const std::size_t base = out.size();
   int state = initial_state_;
-  while (route.size() < max_steps) {
+  while (out.size() - base < max_steps) {
     const auto& emission = emissions_[static_cast<std::size_t>(state)];
     const int queue = static_cast<int>(rng.Categorical(emission));
-    route.push_back(RouteStep{state, queue});
+    out.push_back(RouteStep{state, queue});
     const auto& row = transitions_[static_cast<std::size_t>(state)];
     const int next = static_cast<int>(rng.Categorical(row));
     if (next == FinalColumn()) {
-      return route;
+      return out.size() - base;
     }
     state = next;
   }
   QNET_CHECK(false, "FSM route exceeded ", max_steps, " steps; final state unreachable?");
-  return route;
+  return 0;
 }
 
 double Fsm::LogProbRoute(const std::vector<RouteStep>& route) const {

@@ -8,6 +8,7 @@
 #ifndef QNET_MODEL_FSM_H_
 #define QNET_MODEL_FSM_H_
 
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -57,9 +58,29 @@ class Fsm {
   void SetWeightedEmission(int state, const std::vector<int>& queues,
                            const std::vector<double>& weights);
 
+  // Raw probability rows, for overlay-style consumers that sample routes with edited
+  // emission rows while keeping the transition structure (see scenario/CellOverlay).
+  // The transition row has NumStates()+1 columns with the final state last; the emission
+  // row has NumQueues() columns (column 0 is always zero). Inline (debug-checked bounds):
+  // route sampling reads one of each per step.
+  std::span<const double> TransitionRow(int state) const {
+    QNET_DCHECK(state >= 0 && state < NumStates(), "bad state id ", state);
+    return transitions_[static_cast<std::size_t>(state)];
+  }
+  std::span<const double> EmissionRow(int state) const {
+    QNET_DCHECK(state >= 0 && state < NumStates(), "bad state id ", state);
+    return emissions_[static_cast<std::size_t>(state)];
+  }
+
   // Samples a route (sequence of (state, queue) steps) from the FSM. CHECK-fails if the
   // route exceeds max_steps, which indicates an FSM that cannot reach the final state.
   std::vector<RouteStep> SampleRoute(Rng& rng, std::size_t max_steps = 1u << 20) const;
+
+  // Allocation-reusing core of SampleRoute: appends the sampled steps to `out` (which
+  // keeps its existing contents and capacity) and returns the number of steps appended.
+  // Consumes the RNG draw-for-draw identically to SampleRoute.
+  std::size_t AppendSampledRoute(Rng& rng, std::vector<RouteStep>& out,
+                                 std::size_t max_steps = 1u << 20) const;
 
   // Log probability of a complete route, including the final transition to kFinalState.
   double LogProbRoute(const std::vector<RouteStep>& route) const;

@@ -11,6 +11,7 @@
 #include "qnet/infer/thread_pool.h"
 #include "qnet/model/event.h"
 #include "qnet/model/traffic.h"
+#include "qnet/sim/sim_scratch.h"
 #include "qnet/sim/simulator.h"
 #include "qnet/sim/workload.h"
 #include "qnet/support/check.h"
@@ -20,101 +21,152 @@
 
 namespace qnet {
 
-namespace {
-
-// Per-(cell, draw) DES metrics before the across-draw reduction.
-struct DrawMetrics {
-  double mean_response = 0.0;
-  double tail_response = 0.0;
-  std::vector<double> utilization;
-  std::vector<double> queue_length;
+// Everything one worker needs to evaluate cells without allocating: the DES arena, the
+// cell overlay, and flat draw-metric matrices for the across-draw reduction. Owned by the
+// engine (one per worker thread) and persistent across Evaluate calls.
+struct ScenarioCellWorkspace {
+  SimScratch scratch;
+  CellOverlay overlay;
+  ScenarioCell cell;
+  // Per-draw metrics: scalars indexed [draw], per-queue matrices [draw * num_queues + q].
+  std::vector<double> draw_mean;
+  std::vector<double> draw_tail;
+  std::vector<double> draw_util;
+  std::vector<double> draw_qlen;
+  std::vector<double> column;     // across-draw reduction buffer
+  std::vector<double> responses;  // post-warmup per-task latencies of one draw
+  std::vector<double> queue_visits;  // analytic-path workspace
 };
 
-DrawMetrics MeasureSimulation(const EventLog& log, const ScenarioEngineOptions& options) {
-  const int num_tasks = log.NumTasks();
-  const auto num_queues = static_cast<std::size_t>(log.NumQueues());
-  DrawMetrics metrics;
+namespace {
 
-  const int warm = static_cast<int>(static_cast<double>(num_tasks) * options.warmup_fraction);
-  QNET_CHECK(warm < num_tasks, "warmup fraction leaves no measured tasks");
-  std::vector<double> responses;
-  responses.reserve(static_cast<std::size_t>(num_tasks - warm));
-  double horizon = 0.0;
-  for (int k = 0; k < num_tasks; ++k) {
-    const double exit = log.TaskExitTime(k);
-    horizon = std::max(horizon, exit);
-    if (k >= warm) {
-      responses.push_back(exit - log.TaskEntryTime(k));
-    }
-  }
-  metrics.mean_response = Mean(responses);
-  metrics.tail_response = Quantile(responses, options.tail_quantile);
+// Analytic-path inputs that are identical for every cell: no axis edits the FSM's
+// transition structure, so the expected state visits solve once per Evaluate, and the
+// posterior mean rates are a pure function of the posterior.
+struct AnalyticContext {
+  std::vector<double> state_visits;
+  std::vector<double> mean_rates;
+};
 
-  QNET_CHECK(horizon > 0.0, "degenerate simulation horizon");
-  const std::vector<double> busy = log.PerQueueServiceSum();
-  metrics.utilization.assign(num_queues, 0.0);
-  metrics.queue_length.assign(num_queues, 0.0);
-  for (std::size_t q = 1; q < num_queues; ++q) {
-    metrics.utilization[q] = busy[q] / horizon;
-    // Time-average number waiting: the integral of N_q(t) dt equals the sum of
-    // individual waiting durations (Little's law area argument).
-    double wait_sum = 0.0;
-    for (const EventId e : log.QueueOrder(static_cast<int>(q))) {
-      wait_sum += log.WaitTime(e);
+// Samples one route per staged entry time, drawing queues from the overlay's effective
+// emission rows and successors from the base FSM's transition rows — the exact
+// Categorical sequence Fsm::SampleRoute consumes on the realized clone.
+void SampleOverlayRoutes(const Fsm& fsm, const CellOverlay& overlay, SimScratch& scratch,
+                         Rng& rng) {
+  constexpr std::size_t kMaxSteps = 1u << 20;
+  scratch.route_steps.clear();
+  scratch.route_offsets.clear();
+  scratch.route_offsets.push_back(0);
+  const int initial = fsm.InitialState();
+  QNET_CHECK(initial >= 0, "initial state not set");
+  const int final_column = fsm.NumStates();
+  const std::size_t num_tasks = scratch.entry_times.size();
+  for (std::size_t k = 0; k < num_tasks; ++k) {
+    int state = initial;
+    for (std::size_t steps = 0;; ++steps) {
+      QNET_CHECK(steps < kMaxSteps, "FSM route exceeded ", kMaxSteps,
+                 " steps; final state unreachable?");
+      const int queue = static_cast<int>(rng.Categorical(overlay.EmissionRow(fsm, state)));
+      scratch.route_steps.push_back(RouteStep{state, queue});
+      const int next = static_cast<int>(rng.Categorical(fsm.TransitionRow(state)));
+      if (next == final_column) {
+        break;
+      }
+      state = next;
     }
-    metrics.queue_length[q] = wait_sum / horizon;
+    scratch.route_offsets.push_back(scratch.route_steps.size());
   }
-  return metrics;
 }
 
-MetricBand ReduceBand(std::vector<double>& values, const ScenarioEngineOptions& options) {
+// Reduces one completed scratch run into workspace draw slot d. Float-order-identical to
+// the historical EventLog-based MeasureSimulation: responses accumulate in task order
+// (mean before sort), busy/wait sums come from the arena's order-preserving reducers.
+void MeasureScratch(ScenarioCellWorkspace& ws, std::size_t d, std::size_t num_queues,
+                    const ScenarioEngineOptions& options) {
+  const int num_tasks = ws.scratch.NumTasks();
+  const int warm = static_cast<int>(static_cast<double>(num_tasks) * options.warmup_fraction);
+  QNET_CHECK(warm < num_tasks, "warmup fraction leaves no measured tasks");
+  ws.responses.clear();
+  double horizon = 0.0;
+  for (int k = 0; k < num_tasks; ++k) {
+    const double exit = ws.scratch.ExitTime(k);
+    horizon = std::max(horizon, exit);
+    if (k >= warm) {
+      ws.responses.push_back(exit - ws.scratch.entry_times[static_cast<std::size_t>(k)]);
+    }
+  }
+  ws.draw_mean[d] = Mean(ws.responses);
+  std::sort(ws.responses.begin(), ws.responses.end());
+  ws.draw_tail[d] = QuantileSorted(ws.responses, options.tail_quantile);
+
+  QNET_CHECK(horizon > 0.0, "degenerate simulation horizon");
+  for (std::size_t q = 1; q < num_queues; ++q) {
+    ws.draw_util[d * num_queues + q] = ws.scratch.queue_busy_sum[q] / horizon;
+    // Time-average number waiting: the integral of N_q(t) dt equals the sum of
+    // individual waiting durations (Little's law area argument).
+    ws.draw_qlen[d * num_queues + q] = ws.scratch.queue_wait_sum[q] / horizon;
+  }
+}
+
+MetricBand ReduceBandInPlace(std::vector<double>& values, const ScenarioEngineOptions& options) {
   MetricBand band;
   band.mean = Mean(values);
-  band.lo = Quantile(values, options.band_lo);
-  band.hi = Quantile(values, options.band_hi);
+  std::sort(values.begin(), values.end());
+  band.lo = QuantileSorted(values, options.band_lo);
+  band.hi = QuantileSorted(values, options.band_hi);
   return band;
 }
 
-CellResult EvaluateCell(const QueueingNetwork& base, const ParameterPosterior& posterior,
-                        const ScenarioGrid& grid, std::size_t cell_index,
-                        std::uint64_t seed, std::size_t draws,
-                        const ScenarioEngineOptions& options) {
-  const ScenarioCell cell = grid.Cell(cell_index);
+void EvaluateCellInto(const QueueingNetwork& base, const ParameterPosterior& posterior,
+                      const ScenarioGrid& grid, std::size_t cell_index,
+                      std::uint64_t seed, std::size_t draws,
+                      const ScenarioEngineOptions& options,
+                      const AnalyticContext* analytic_ctx, ScenarioCellWorkspace& ws,
+                      CellResult& result) {
+  grid.Cell(cell_index, ws.cell);
+  const Fsm& fsm = base.GetFsm();
   const auto num_queues = static_cast<std::size_t>(base.NumQueues());
 
-  CellResult result;
   result.cell = cell_index;
-  result.axis_values = cell.values;
+  result.axis_values = ws.cell.values;
 
-  std::vector<DrawMetrics> per_draw(draws);
+  ws.draw_mean.resize(draws);
+  ws.draw_tail.resize(draws);
+  ws.draw_util.assign(draws * num_queues, 0.0);
+  ws.draw_qlen.assign(draws * num_queues, 0.0);
+
   for (std::size_t d = 0; d < draws; ++d) {
     // Deterministic thinning spreads the used draws across the stored chain.
     const std::size_t source = d * posterior.NumDraws() / draws;
-    const CellRealization real = grid.Realize(base, cell, posterior.Draw(source));
+    grid.RealizeOverlay(base, ws.cell, posterior.Draw(source), ws.overlay);
     // The (cell, draw) stream is a pure function of lattice position — never of
     // scheduling. CRN drops the cell salt so load sweeps share arrival/service draws.
     const std::uint64_t salt_base =
         options.common_random_numbers ? seed : MixSeed(seed, cell_index);
     Rng rng(MixSeed(salt_base, d));
-    const EventLog log = SimulateWorkload(
-        real.net, PoissonArrivals(real.rates[0], options.tasks_per_draw), rng);
-    per_draw[d] = MeasureSimulation(log, options);
+    // Draw order matches the clone path exactly: all arrivals, then all routes
+    // task-by-task, then services in heap-pop order.
+    PoissonArrivals(ws.overlay.ArrivalRate(), options.tasks_per_draw)
+        .GenerateInto(ws.scratch.entry_times, rng);
+    SampleOverlayRoutes(fsm, ws.overlay, ws.scratch, rng);
+    RunStagedDesExponential(ws.overlay.PooledRates(), ws.scratch, rng);
+    MeasureScratch(ws, d, num_queues, options);
   }
 
-  std::vector<double> column(draws, 0.0);
+  ws.column.resize(draws);
   const auto reduce = [&](const auto& get) {
     for (std::size_t d = 0; d < draws; ++d) {
-      column[d] = get(per_draw[d]);
+      ws.column[d] = get(d);
     }
-    return ReduceBand(column, options);
+    return ReduceBandInPlace(ws.column, options);
   };
-  result.mean_response = reduce([](const DrawMetrics& m) { return m.mean_response; });
-  result.tail_response = reduce([](const DrawMetrics& m) { return m.tail_response; });
-  result.utilization.resize(num_queues);
-  result.queue_length.resize(num_queues);
+  result.mean_response = reduce([&](std::size_t d) { return ws.draw_mean[d]; });
+  result.tail_response = reduce([&](std::size_t d) { return ws.draw_tail[d]; });
+  result.utilization.assign(num_queues, MetricBand{});
+  result.queue_length.assign(num_queues, MetricBand{});
   for (std::size_t q = 1; q < num_queues; ++q) {
-    result.utilization[q] = reduce([q](const DrawMetrics& m) { return m.utilization[q]; });
-    result.queue_length[q] = reduce([q](const DrawMetrics& m) { return m.queue_length[q]; });
+    result.utilization[q] = reduce([&](std::size_t d) { return ws.draw_util[d * num_queues + q]; });
+    result.queue_length[q] = reduce([&](std::size_t d) { return ws.draw_qlen[d * num_queues + q]; });
   }
 
   result.bottleneck_ranking.resize(num_queues - 1);
@@ -127,15 +179,56 @@ CellResult EvaluateCell(const QueueingNetwork& base, const ParameterPosterior& p
             });
   result.bottleneck_queue = result.bottleneck_ranking.front();
 
-  if (options.analytic) {
-    const CellRealization mean_cell = grid.Realize(base, cell, posterior.MeanRates());
-    const AnalyticPrediction analytic =
-        AnalyzeCellAnalytic(mean_cell.net, mean_cell.servers, mean_cell.rates);
+  if (analytic_ctx != nullptr) {
+    // Overlay equivalent of Realize + AnalyzeCellAnalytic at the posterior-mean rates:
+    // queue visits from the overlay's emission rows against the hoisted state visits,
+    // then per-queue M/M/1 / Erlang-C — the M/G/1 branch can never fire on a realized
+    // cell (services are Exponential by construction).
+    grid.RealizeOverlay(base, ws.cell, analytic_ctx->mean_rates, ws.overlay);
+    ws.queue_visits.assign(num_queues, 0.0);
+    ws.queue_visits[0] = 1.0;  // every task visits the virtual arrival queue once
+    const auto num_states = static_cast<std::size_t>(fsm.NumStates());
+    for (std::size_t s = 0; s < num_states; ++s) {
+      const std::span<const double> emission =
+          ws.overlay.EmissionRow(fsm, static_cast<int>(s));
+      for (std::size_t q = 1; q < num_queues; ++q) {
+        ws.queue_visits[q] += analytic_ctx->state_visits[s] * emission[q];
+      }
+    }
+    const double lambda = ws.overlay.ArrivalRate();
+    bool stable = true;
+    double total = 0.0;
+    for (std::size_t q = 1; q < num_queues; ++q) {
+      const double lambda_q = lambda * ws.queue_visits[q];
+      const int c = ws.overlay.Servers()[q];
+      QNET_CHECK(c >= 1, "queue ", q, " has server count ", c);
+      double mean_response = 0.0;
+      bool queue_stable = false;
+      if (c > 1) {
+        const MmcMetrics m = AnalyzeMmc(lambda_q, ws.overlay.Rates()[q], c);
+        queue_stable = m.stable;
+        mean_response = m.mean_response;
+      } else {
+        // The realized single-server service is Exponential(1 * rate) == rate bitwise.
+        const Mm1Metrics m = AnalyzeMm1(lambda_q, ws.overlay.Rates()[q]);
+        queue_stable = m.stable;
+        mean_response = m.mean_response;
+      }
+      if (!queue_stable) {
+        stable = false;
+        continue;
+      }
+      total += ws.queue_visits[q] * mean_response;
+    }
     result.analytic_valid = true;
-    result.analytic_stable = analytic.stable;
-    result.analytic_mean_response = analytic.mean_response;
+    result.analytic_stable = stable;
+    result.analytic_mean_response =
+        stable ? total : std::numeric_limits<double>::quiet_NaN();
+  } else {
+    result.analytic_valid = false;
+    result.analytic_stable = false;
+    result.analytic_mean_response = std::numeric_limits<double>::quiet_NaN();
   }
-  return result;
 }
 
 }  // namespace
@@ -203,6 +296,10 @@ ScenarioEngine::ScenarioEngine(ScenarioEngineOptions options) : options_(options
              "tail_quantile must be in (0, 1)");
 }
 
+// Out-of-line so the unique_ptr<ScenarioCellWorkspace> members destroy against the
+// complete type defined above.
+ScenarioEngine::~ScenarioEngine() = default;
+
 ScenarioReport ScenarioEngine::Evaluate(const QueueingNetwork& base,
                                         const ParameterPosterior& posterior,
                                         const ScenarioGrid& grid, std::uint64_t seed) {
@@ -219,11 +316,41 @@ ScenarioReport ScenarioEngine::Evaluate(const QueueingNetwork& base,
   report.axis_names = grid.AxisNames();
   report.cells.resize(grid.NumCells());
 
+  // Cell-invariant analytic inputs, hoisted: the state-visit solve only sees FSM
+  // transitions (routing axes edit emissions, never transitions), so one solve — the
+  // exact AnalyzeTraffic construction — serves every cell bit-identically.
+  AnalyticContext analytic_ctx;
+  if (options_.analytic) {
+    const Fsm& fsm = base.GetFsm();
+    fsm.Validate();
+    const auto num_states = static_cast<std::size_t>(fsm.NumStates());
+    std::vector<std::vector<double>> system(num_states,
+                                            std::vector<double>(num_states, 0.0));
+    std::vector<double> rhs(num_states, 0.0);
+    rhs[static_cast<std::size_t>(fsm.InitialState())] = 1.0;
+    for (std::size_t i = 0; i < num_states; ++i) {
+      for (std::size_t j = 0; j < num_states; ++j) {
+        const double p_ji = fsm.Transition(static_cast<int>(j), static_cast<int>(i));
+        system[i][j] = (i == j ? 1.0 : 0.0) - p_ji;
+      }
+    }
+    analytic_ctx.state_visits = SolveLinearSystem(std::move(system), std::move(rhs));
+    analytic_ctx.mean_rates = posterior.MeanRates();
+  }
+
+  // One persistent workspace per worker; the static RunOnThreadPool partition maps
+  // cell i to worker i % threads, so each workspace is touched by exactly one thread.
+  const std::size_t num_workers = std::max<std::size_t>(1, options_.threads);
+  while (workspaces_.size() < num_workers) {
+    workspaces_.push_back(std::make_unique<ScenarioCellWorkspace>());
+  }
+
   // Static cell -> thread sharding; each cell writes only its own slot, so the report is
   // bit-identical for any thread count.
   RunOnThreadPool(grid.NumCells(), options_.threads, [&](std::size_t i) {
-    report.cells[i] =
-        EvaluateCell(base, posterior, grid, i, seed, report.draws, options_);
+    EvaluateCellInto(base, posterior, grid, i, seed, report.draws, options_,
+                     options_.analytic ? &analytic_ctx : nullptr,
+                     *workspaces_[i % num_workers], report.cells[i]);
   });
 
   stats_.wall_seconds = watch.ElapsedSeconds();

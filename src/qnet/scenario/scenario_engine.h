@@ -29,6 +29,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -38,6 +39,10 @@
 #include "qnet/scenario/scenario_spec.h"
 
 namespace qnet {
+
+// Per-worker reusable buffers (SimScratch arena, cell overlay, draw-metric matrices);
+// defined in scenario_engine.cc.
+struct ScenarioCellWorkspace;
 
 // Posterior-predictive band over draws: mean plus [lo, hi] draw quantiles.
 struct MetricBand {
@@ -137,9 +142,17 @@ class ScenarioEngine {
   };
 
   explicit ScenarioEngine(ScenarioEngineOptions options = {});
+  ~ScenarioEngine();
 
   // Evaluates every grid cell against `base`'s topology and the posterior draws.
   // `base` supplies queue names and the routing FSM; service rates come from the draws.
+  //
+  // Clone-free fast path: each (cell, draw) is realized as a CellOverlay over the shared
+  // immutable base (no network clones), simulated through a per-worker SimScratch arena,
+  // and reduced with single-pass post-warmup reducers — bit-identical to the historical
+  // clone-per-cell evaluation for every seed/thread-count/CRN combination (pinned by the
+  // golden-report tests). Workspaces persist across Evaluate calls, so repeated
+  // same-shaped evaluations allocate only the report itself.
   ScenarioReport Evaluate(const QueueingNetwork& base, const ParameterPosterior& posterior,
                           const ScenarioGrid& grid, std::uint64_t seed);
 
@@ -149,6 +162,9 @@ class ScenarioEngine {
  private:
   ScenarioEngineOptions options_;
   Stats stats_;
+  // One workspace per worker thread, indexed by (cell index % threads) — the static
+  // RunOnThreadPool partition guarantees exclusive ownership per worker.
+  std::vector<std::unique_ptr<ScenarioCellWorkspace>> workspaces_;
 };
 
 }  // namespace qnet

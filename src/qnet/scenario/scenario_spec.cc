@@ -46,9 +46,14 @@ std::vector<std::string> ScenarioGrid::AxisNames() const {
 }
 
 ScenarioCell ScenarioGrid::Cell(std::size_t index) const {
+  ScenarioCell cell;
+  Cell(index, cell);
+  return cell;
+}
+
+void ScenarioGrid::Cell(std::size_t index, ScenarioCell& cell) const {
   QNET_CHECK(index < num_cells_, "cell index ", index, " out of range (", num_cells_,
              " cells)");
-  ScenarioCell cell;
   cell.index = index;
   cell.coords.resize(axes_.size());
   cell.values.resize(axes_.size());
@@ -59,7 +64,6 @@ ScenarioCell ScenarioGrid::Cell(std::size_t index) const {
     cell.values[a] = axes_[a].values[cell.coords[a]];
     rest /= size;
   }
-  return cell;
 }
 
 CellRealization ScenarioGrid::Realize(const QueueingNetwork& base, const ScenarioCell& cell,
@@ -134,6 +138,103 @@ CellRealization ScenarioGrid::Realize(const QueueingNetwork& base, const Scenari
                             static_cast<double>(real.servers[q]) * real.rates[q]));
   }
   return real;
+}
+
+void ScenarioGrid::RealizeOverlay(const QueueingNetwork& base, const ScenarioCell& cell,
+                                  std::span<const double> draw, CellOverlay& overlay) const {
+  // Mirrors Realize() transform-for-transform (same multiplication order, same
+  // normalization arithmetic) so overlay-driven cells stay bit-identical to clone-driven
+  // ones. Any change here must be made in Realize too.
+  const auto num_queues = static_cast<std::size_t>(base.NumQueues());
+  QNET_CHECK(draw.size() == num_queues, "draw has ", draw.size(), " rates but network has ",
+             num_queues, " queues");
+  QNET_CHECK(cell.values.size() == axes_.size(), "cell/axes shape mismatch");
+
+  overlay.num_queues_ = base.NumQueues();
+  overlay.rates_.assign(draw.begin(), draw.end());
+  overlay.servers_.assign(num_queues, 1);
+  overlay.edited_index_.clear();
+  overlay.edited_rows_.clear();
+  for (std::size_t q = 0; q < num_queues; ++q) {
+    QNET_CHECK(overlay.rates_[q] > 0.0, "draw rate for queue ", q, " is not positive");
+  }
+
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    const ScenarioAxis& axis = axes_[a];
+    const double value = cell.values[a];
+    switch (axis.kind) {
+      case AxisKind::kArrivalScale:
+        overlay.rates_[0] *= value;
+        break;
+      case AxisKind::kServiceScale:
+        QNET_CHECK(axis.queue == -1 ||
+                       (axis.queue >= 1 && axis.queue < base.NumQueues()),
+                   "axis '", axis.name, "' targets queue ", axis.queue,
+                   " outside the network");
+        if (axis.queue == -1) {
+          for (std::size_t q = 1; q < num_queues; ++q) {
+            overlay.rates_[q] *= value;
+          }
+        } else {
+          overlay.rates_[static_cast<std::size_t>(axis.queue)] *= value;
+        }
+        break;
+      case AxisKind::kServerCount:
+        QNET_CHECK(axis.queue >= 1 && axis.queue < base.NumQueues(), "axis '", axis.name,
+                   "' targets queue ", axis.queue, " outside the network");
+        overlay.servers_[static_cast<std::size_t>(axis.queue)] = static_cast<int>(value);
+        break;
+      case AxisKind::kRoutingScale: {
+        QNET_CHECK(axis.queue >= 1 && axis.queue < base.NumQueues(), "axis '", axis.name,
+                   "' targets queue ", axis.queue, " outside the network");
+        const Fsm& fsm = base.GetFsm();
+        QNET_CHECK(axis.state >= 0 && axis.state < fsm.NumStates(), "axis '", axis.name,
+                   "' targets state ", axis.state, " outside the FSM");
+        if (overlay.edited_index_.empty()) {
+          overlay.edited_index_.assign(static_cast<std::size_t>(fsm.NumStates()), -1);
+        }
+        // Read the current effective row (a second routing axis on the same state must
+        // see the first edit's normalized weights, exactly like sequential
+        // SetWeightedEmission calls on the clone).
+        const std::span<const double> row = overlay.EmissionRow(fsm, axis.state);
+        // Scale the target, then normalize over the positive entries. The total is
+        // accumulated in ascending-queue order — the same float-addition sequence as
+        // SetWeightedEmission summing the weights vector Realize builds in q order.
+        overlay.scratch_row_.assign(num_queues, 0.0);
+        double total = 0.0;
+        for (int q = 1; q < base.NumQueues(); ++q) {
+          double w = row[static_cast<std::size_t>(q)];
+          if (q == axis.queue) {
+            QNET_CHECK(w > 0.0, "axis '", axis.name, "' scales emission (state ",
+                       axis.state, " -> queue ", q, ") which is zero");
+            w *= value;
+          }
+          if (w > 0.0) {
+            overlay.scratch_row_[static_cast<std::size_t>(q)] = w;
+            total += w;
+          }
+        }
+        auto& slot = overlay.edited_index_[static_cast<std::size_t>(axis.state)];
+        if (slot < 0) {
+          slot = static_cast<int>(overlay.edited_rows_.size() / num_queues);
+          overlay.edited_rows_.resize(overlay.edited_rows_.size() + num_queues, 0.0);
+        }
+        double* out =
+            overlay.edited_rows_.data() + static_cast<std::size_t>(slot) * num_queues;
+        for (std::size_t q = 0; q < num_queues; ++q) {
+          const double w = overlay.scratch_row_[q];
+          out[q] = w > 0.0 ? w / total : 0.0;
+        }
+        break;
+      }
+    }
+  }
+
+  overlay.pooled_.resize(num_queues);
+  overlay.pooled_[0] = overlay.rates_[0];
+  for (std::size_t q = 1; q < num_queues; ++q) {
+    overlay.pooled_[q] = static_cast<double>(overlay.servers_[q]) * overlay.rates_[q];
+  }
 }
 
 }  // namespace qnet

@@ -65,6 +65,50 @@ struct CellRealization {
   QueueingNetwork net;
 };
 
+// The clone-free counterpart of CellRealization: the same transformed rates and server
+// counts plus the cell's edited FSM emission rows, held as a lightweight overlay over one
+// shared immutable base network instead of a per-cell deep clone. ScenarioGrid::
+// RealizeOverlay mirrors Realize()'s arithmetic operation-for-operation, so a DES (or
+// analytic cross-check) driven off the overlay is bit-identical to one driven off the
+// realized clone. Reusable: every buffer keeps its capacity across RealizeOverlay calls.
+class CellOverlay {
+ public:
+  // Per-server rates post-transform; index 0 = lambda (== CellRealization::rates).
+  std::span<const double> Rates() const { return rates_; }
+  // Per-queue server counts (== CellRealization::servers).
+  std::span<const int> Servers() const { return servers_; }
+  // Pooled DES service rates: [0] = lambda, [q] = servers[q] * rates[q] — exactly the
+  // Exponential rates Realize() installs on the cloned network.
+  std::span<const double> PooledRates() const { return pooled_; }
+  double ArrivalRate() const { return rates_[0]; }
+
+  // Effective emission row of `state` under this cell's routing edits: the edited,
+  // renormalized row when the cell touched it, `fsm`'s own row otherwise. `fsm` must be
+  // the base network's FSM the overlay was realized against.
+  std::span<const double> EmissionRow(const Fsm& fsm, int state) const {
+    const auto s = static_cast<std::size_t>(state);
+    if (s < edited_index_.size() && edited_index_[s] >= 0) {
+      return {edited_rows_.data() +
+                  static_cast<std::size_t>(edited_index_[s]) * static_cast<std::size_t>(num_queues_),
+              static_cast<std::size_t>(num_queues_)};
+    }
+    return fsm.EmissionRow(state);
+  }
+
+ private:
+  friend class ScenarioGrid;
+
+  std::vector<double> rates_;
+  std::vector<int> servers_;
+  std::vector<double> pooled_;
+  int num_queues_ = 0;
+  // Per-state index into edited_rows_ (-1: base row). Sized lazily on the first routing
+  // edit, so routing-free grids never touch the FSM.
+  std::vector<int> edited_index_;
+  std::vector<double> edited_rows_;  // flat, num_queues_ columns per edited state
+  std::vector<double> scratch_row_;  // RealizeOverlay workspace
+};
+
 class ScenarioGrid {
  public:
   // Validates the axes: nonempty values, positive, unique nonempty names, integral
@@ -78,6 +122,8 @@ class ScenarioGrid {
 
   // Decodes a flat index into lattice coordinates; axis 0 varies fastest.
   ScenarioCell Cell(std::size_t index) const;
+  // Allocation-reusing overload: refills `cell` in place (capacity kept).
+  void Cell(std::size_t index, ScenarioCell& cell) const;
 
   // Applies the cell's transforms to a posterior rate draw (index 0 = lambda) against
   // `base`'s topology: returns per-server rates, server counts, and a clone of `base`
@@ -85,6 +131,12 @@ class ScenarioGrid {
   // CHECK-fails when an axis targets a queue/state outside the base network.
   CellRealization Realize(const QueueingNetwork& base, const ScenarioCell& cell,
                           std::span<const double> draw) const;
+
+  // Clone-free equivalent of Realize: fills `overlay` (buffers reused) with rates,
+  // server counts, pooled DES rates, and edited emission rows that are bit-identical to
+  // what Realize would have produced/installed — without copying the network.
+  void RealizeOverlay(const QueueingNetwork& base, const ScenarioCell& cell,
+                      std::span<const double> draw, CellOverlay& overlay) const;
 
  private:
   std::vector<ScenarioAxis> axes_;

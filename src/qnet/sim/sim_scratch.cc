@@ -1,0 +1,153 @@
+#include "qnet/sim/sim_scratch.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace qnet {
+namespace {
+
+// The DES inner loop, shared by the virtual-dispatch and exponential fast paths. The
+// service sampler is the only thing that differs; everything else — validation, heap
+// discipline, frontier recursion, reducer accumulation orders — is common, so the two
+// paths cannot diverge on the generative model.
+template <typename ServiceSampler>
+void RunDesCore(int num_queues, SimScratch& scratch, const ServiceSampler& sample_service,
+                const FaultSchedule* faults) {
+  const std::size_t num_tasks = scratch.entry_times.size();
+  QNET_CHECK(scratch.route_offsets.size() == num_tasks + 1 && scratch.route_offsets[0] == 0,
+             "scratch route offsets not staged for ", num_tasks, " tasks");
+  QNET_CHECK(scratch.route_offsets.back() == scratch.route_steps.size(),
+             "scratch route offsets inconsistent with route steps");
+  // Per-element validation is debug-only: the staging functions above are the only
+  // producers of these buffers and construct them sorted/non-empty by construction, and
+  // the O(n) loop is measurable against the ~16-cells/ms scenario budget.
+  for (std::size_t k = 0; k < num_tasks; ++k) {
+    QNET_DCHECK(scratch.entry_times[k] > 0.0, "entry times must be positive");
+    QNET_DCHECK(k == 0 || scratch.entry_times[k] >= scratch.entry_times[k - 1],
+                "entry times must be nondecreasing");
+    QNET_DCHECK(scratch.route_offsets[k + 1] > scratch.route_offsets[k],
+                "task ", k, " has an empty route");
+  }
+
+  scratch.step_begin.resize(scratch.route_steps.size());
+  scratch.step_departure.resize(scratch.route_steps.size());
+  scratch.queue_wait_sum.assign(static_cast<std::size_t>(num_queues), 0.0);
+  scratch.queue_busy_sum.assign(static_cast<std::size_t>(num_queues), 0.0);
+  scratch.frontier.assign(static_cast<std::size_t>(num_queues), 0.0);
+
+  // Recycled min-heap holding only in-flight continuation events. Initial arrivals come
+  // straight off entry_times: the list is sorted and ties break by ascending task, which
+  // is exactly their (time, task, step=0) order, so merging the sorted list against the
+  // heap top yields the same global-minimum pop sequence as a heap seeded with every
+  // arrival — (time, task, step) is a strict total order, no two pending events ever
+  // compare equal — while keeping the heap at O(tasks in service) instead of O(tasks).
+  // Pop order (hence service-draw consumption) matches the legacy std::priority_queue
+  // bit-for-bit.
+  scratch.heap.clear();
+  // Hard bound — each task has at most one pending event — so the in-flight high-water
+  // mark (which varies with stochastic congestion) can never outgrow a warm arena.
+  scratch.heap.reserve(num_tasks);
+  std::size_t next_entry = 0;
+  while (next_entry < num_tasks || !scratch.heap.empty()) {
+    DesArrival next;
+    if (next_entry < num_tasks &&
+        (scratch.heap.empty() ||
+         scratch.heap.front() > DesArrival{scratch.entry_times[next_entry],
+                                           static_cast<int>(next_entry), 0})) {
+      next = DesArrival{scratch.entry_times[next_entry], static_cast<int>(next_entry), 0};
+      ++next_entry;
+    } else {
+      std::pop_heap(scratch.heap.begin(), scratch.heap.end(), std::greater<>{});
+      next = scratch.heap.back();
+      scratch.heap.pop_back();
+    }
+    const auto k = static_cast<std::size_t>(next.task);
+    const std::size_t idx = scratch.route_offsets[k] + next.step;
+    const auto q = static_cast<std::size_t>(scratch.route_steps[idx].queue);
+    const double begin = std::max(next.time, scratch.frontier[q]);
+    double service = sample_service(static_cast<int>(q));
+    if (faults != nullptr) {
+      service *= faults->ServiceFactor(static_cast<int>(q), begin);
+    }
+    const double departure = begin + service;
+    scratch.frontier[q] = departure;
+    scratch.step_begin[idx] = begin;
+    scratch.step_departure[idx] = departure;
+    // Pop order restricted to one queue is its arrival order, so this accumulates each
+    // queue's waits in the same order as walking EventLog::QueueOrder(q).
+    scratch.queue_wait_sum[q] += begin - next.time;
+    if (next.step + 1 < scratch.route_offsets[k + 1] - scratch.route_offsets[k]) {
+      scratch.heap.push_back(DesArrival{departure, next.task, next.step + 1});
+      std::push_heap(scratch.heap.begin(), scratch.heap.end(), std::greater<>{});
+    }
+  }
+
+  // Busy time in (task, step) order — PerQueueServiceSum's event-id order restricted to
+  // real queues (initial events only touch queue 0).
+  for (std::size_t k = 0; k < num_tasks; ++k) {
+    for (std::size_t idx = scratch.route_offsets[k]; idx < scratch.route_offsets[k + 1]; ++idx) {
+      const auto q = static_cast<std::size_t>(scratch.route_steps[idx].queue);
+      scratch.queue_busy_sum[q] += scratch.step_departure[idx] - scratch.step_begin[idx];
+    }
+  }
+}
+
+}  // namespace
+
+void SampleRoutesIntoScratch(const Fsm& fsm, SimScratch& scratch, Rng& rng) {
+  scratch.route_steps.clear();
+  scratch.route_offsets.clear();
+  scratch.route_offsets.push_back(0);
+  const std::size_t num_tasks = scratch.entry_times.size();
+  for (std::size_t k = 0; k < num_tasks; ++k) {
+    fsm.AppendSampledRoute(rng, scratch.route_steps);
+    scratch.route_offsets.push_back(scratch.route_steps.size());
+  }
+}
+
+void RunStagedDes(const QueueingNetwork& net, SimScratch& scratch, Rng& rng,
+                  const SimOptions& options) {
+  RunDesCore(
+      net.NumQueues(), scratch,
+      [&net, &rng](int queue) { return net.Service(queue).Sample(rng); }, options.faults);
+}
+
+void RunStagedDesExponential(std::span<const double> pooled_rates, SimScratch& scratch,
+                             Rng& rng, const FaultSchedule* faults) {
+  RunDesCore(
+      static_cast<int>(pooled_rates.size()), scratch,
+      [pooled_rates, &rng](int queue) {
+        return rng.Exponential(pooled_rates[static_cast<std::size_t>(queue)]);
+      },
+      faults);
+}
+
+void SimulateIntoScratch(const QueueingNetwork& net, SimScratch& scratch, Rng& rng,
+                         const SimOptions& options) {
+  SampleRoutesIntoScratch(net.GetFsm(), scratch, rng);
+  RunStagedDes(net, scratch, rng, options);
+}
+
+void SimulateWorkloadIntoScratch(const QueueingNetwork& net, const ArrivalProcess& workload,
+                                 SimScratch& scratch, Rng& rng, const SimOptions& options) {
+  workload.GenerateInto(scratch.entry_times, rng);
+  SimulateIntoScratch(net, scratch, rng, options);
+}
+
+void ScratchToEventLog(const SimScratch& scratch, int num_queues, EventLog& log) {
+  log.Reset(num_queues);
+  const int num_tasks = scratch.NumTasks();
+  for (int k = 0; k < num_tasks; ++k) {
+    log.AddTask(scratch.entry_times[static_cast<std::size_t>(k)]);
+    const std::span<const RouteStep> route = scratch.Route(k);
+    const std::size_t base = scratch.route_offsets[static_cast<std::size_t>(k)];
+    for (std::size_t j = 0; j < route.size(); ++j) {
+      log.AddVisit(k, route[j].state, route[j].queue, scratch.StepArrival(k, j),
+                   scratch.step_departure[base + j]);
+    }
+  }
+  log.BuildQueueLinks();
+  QNET_DCHECK(log.IsFeasible(1e-6), "staged simulator produced an infeasible log");
+}
+
+}  // namespace qnet

@@ -2,6 +2,7 @@
 
 #include <queue>
 
+#include "qnet/sim/sim_scratch.h"
 #include "qnet/support/check.h"
 
 namespace qnet {
@@ -65,19 +66,37 @@ EventLog SimulateWithRoutes(const QueueingNetwork& net, const std::vector<double
   return log;
 }
 
+namespace {
+
+// Shared per-thread arena for the allocating convenience entry points below: repeated
+// same-shaped calls only pay the EventLog's own (fresh-object) allocations, not the route
+// / visit-time / heap churn. Callers that want the full zero-allocation warm path use a
+// SimScratch + EventLog they own (see sim_scratch.h).
+SimScratch& ThreadLocalSimScratch() {
+  thread_local SimScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
 EventLog Simulate(const QueueingNetwork& net, const std::vector<double>& entry_times,
                   Rng& rng, const SimOptions& options) {
-  std::vector<std::vector<RouteStep>> routes;
-  routes.reserve(entry_times.size());
-  for (std::size_t k = 0; k < entry_times.size(); ++k) {
-    routes.push_back(net.GetFsm().SampleRoute(rng));
-  }
-  return SimulateWithRoutes(net, entry_times, routes, rng, options);
+  SimScratch& scratch = ThreadLocalSimScratch();
+  scratch.entry_times.assign(entry_times.begin(), entry_times.end());
+  SimulateIntoScratch(net, scratch, rng, options);
+  EventLog log(net.NumQueues());
+  ScratchToEventLog(scratch, net.NumQueues(), log);
+  return log;
 }
 
 EventLog SimulateWorkload(const QueueingNetwork& net, const ArrivalProcess& workload,
                           Rng& rng, const SimOptions& options) {
-  return Simulate(net, workload.Generate(rng), rng, options);
+  SimScratch& scratch = ThreadLocalSimScratch();
+  workload.GenerateInto(scratch.entry_times, rng);
+  SimulateIntoScratch(net, scratch, rng, options);
+  EventLog log(net.NumQueues());
+  ScratchToEventLog(scratch, net.NumQueues(), log);
+  return log;
 }
 
 }  // namespace qnet

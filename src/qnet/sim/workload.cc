@@ -8,20 +8,25 @@
 
 namespace qnet {
 
+std::vector<double> ArrivalProcess::Generate(Rng& rng) const {
+  std::vector<double> times;
+  GenerateInto(times, rng);
+  return times;
+}
+
 PoissonArrivals::PoissonArrivals(double rate, std::size_t num_tasks)
     : rate_(rate), num_tasks_(num_tasks) {
   QNET_CHECK(rate > 0.0, "Poisson rate must be positive");
 }
 
-std::vector<double> PoissonArrivals::Generate(Rng& rng) const {
-  std::vector<double> times;
-  times.reserve(num_tasks_);
+void PoissonArrivals::GenerateInto(std::vector<double>& out, Rng& rng) const {
+  out.clear();
+  out.reserve(num_tasks_);
   double t = 0.0;
   for (std::size_t i = 0; i < num_tasks_; ++i) {
     t += rng.Exponential(rate_);
-    times.push_back(t);
+    out.push_back(t);
   }
-  return times;
 }
 
 std::string PoissonArrivals::Describe() const {
@@ -41,11 +46,11 @@ LinearRampArrivals::LinearRampArrivals(double rate0, double rate1, double horizo
   QNET_CHECK(horizon > 0.0, "horizon must be positive");
 }
 
-std::vector<double> LinearRampArrivals::Generate(Rng& rng) const {
+void LinearRampArrivals::GenerateInto(std::vector<double>& out, Rng& rng) const {
   // Thinning with the envelope rate max(rate0, rate1).
   const double envelope = std::max(rate0_, rate1_);
-  std::vector<double> times;
-  times.reserve(static_cast<std::size_t>(ExpectedTasks() * 1.2) + 16);
+  out.clear();
+  out.reserve(static_cast<std::size_t>(ExpectedTasks() * 1.2) + 16);
   double t = 0.0;
   for (;;) {
     t += rng.Exponential(envelope);
@@ -54,10 +59,9 @@ std::vector<double> LinearRampArrivals::Generate(Rng& rng) const {
     }
     const double rate_t = rate0_ + (rate1_ - rate0_) * (t / horizon_);
     if (rng.Uniform() * envelope < rate_t) {
-      times.push_back(t);
+      out.push_back(t);
     }
   }
-  return times;
 }
 
 double LinearRampArrivals::ExpectedTasks() const {
@@ -88,8 +92,8 @@ PiecewiseConstantArrivals::PiecewiseConstantArrivals(std::vector<double> breaks,
   }
 }
 
-std::vector<double> PiecewiseConstantArrivals::Generate(Rng& rng) const {
-  std::vector<double> times;
+void PiecewiseConstantArrivals::GenerateInto(std::vector<double>& out, Rng& rng) const {
+  out.clear();
   for (std::size_t seg = 0; seg < rates_.size(); ++seg) {
     const double rate = rates_[seg];
     if (rate <= 0.0) {
@@ -101,10 +105,9 @@ std::vector<double> PiecewiseConstantArrivals::Generate(Rng& rng) const {
       if (t >= breaks_[seg + 1]) {
         break;
       }
-      times.push_back(t);
+      out.push_back(t);
     }
   }
-  return times;
 }
 
 std::string PiecewiseConstantArrivals::Describe() const {
@@ -126,9 +129,9 @@ TraceArrivals::TraceArrivals(std::vector<double> times) : times_(std::move(times
   }
 }
 
-std::vector<double> TraceArrivals::Generate(Rng& rng) const {
+void TraceArrivals::GenerateInto(std::vector<double>& out, Rng& rng) const {
   (void)rng;
-  return times_;
+  out.assign(times_.begin(), times_.end());
 }
 
 std::string TraceArrivals::Describe() const {

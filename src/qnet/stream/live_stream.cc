@@ -32,21 +32,29 @@ LiveSimStream::InFlightTask& LiveSimStream::TaskSlot(int task) {
 
 void LiveSimStream::SpawnTask() {
   const int task = next_spawn_++;
-  InFlightTask slot;
+  inflight_.emplace_back();
+  InFlightTask& slot = inflight_.back();
   slot.record.entry_time = next_entry_time_;
-  slot.route = net_->GetFsm().SampleRoute(rng_);
+  // Same draw order as the historical SampleRoute call (route Categoricals on rng_, then
+  // the observation coin on obs_rng_), but into the reused scratch buffer.
+  route_scratch_.clear();
+  const std::size_t route_len = net_->GetFsm().AppendSampledRoute(rng_, route_scratch_);
   const bool observed = obs_rng_.Bernoulli(options_.observed_fraction);
-  slot.record.visits.reserve(slot.route.size());
-  for (std::size_t i = 0; i < slot.route.size(); ++i) {
+  if (!visit_pool_.empty()) {
+    slot.record.visits = std::move(visit_pool_.back());
+    visit_pool_.pop_back();
+  }
+  slot.record.visits.clear();
+  slot.record.visits.reserve(route_len);
+  for (std::size_t i = 0; i < route_len; ++i) {
     TaskVisit visit;
-    visit.state = slot.route[i].state;
-    visit.queue = slot.route[i].queue;
+    visit.state = route_scratch_[i].state;
+    visit.queue = route_scratch_[i].queue;
     visit.arrival_observed = observed;
     visit.departure_observed =
-        observed && (i + 1 < slot.route.size() || options_.observe_final_departure);
+        observed && (i + 1 < route_len || options_.observe_final_departure);
     slot.record.visits.push_back(visit);
   }
-  inflight_.push_back(std::move(slot));
   heap_.push(DesArrival{next_entry_time_, task, 0});
 
   if (options_.max_tasks > 0 && static_cast<std::size_t>(next_spawn_) >= options_.max_tasks) {
@@ -72,14 +80,13 @@ bool LiveSimStream::Step() {
   const DesArrival next = heap_.top();
   heap_.pop();
   InFlightTask& slot = TaskSlot(next.task);
-  const RouteStep& step = slot.route[next.step];
-  const double departure =
-      frontier_.ProcessArrival(*net_, step.queue, next.time, rng_, options_.faults);
   TaskVisit& visit = slot.record.visits[next.step];
+  const double departure =
+      frontier_.ProcessArrival(*net_, visit.queue, next.time, rng_, options_.faults);
   visit.arrival = next.time;
   visit.departure = departure;
   ++slot.completed_steps;
-  if (next.step + 1 < slot.route.size()) {
+  if (next.step + 1 < slot.record.visits.size()) {
     heap_.push(DesArrival{departure, next.task, next.step + 1});
   } else {
     slot.done = true;
@@ -94,7 +101,16 @@ bool LiveSimStream::Next(TaskRecord& out) {
       return false;
     }
   }
-  out = std::move(inflight_.front().record);
+  // Swap the caller's previous visit buffer into the pool instead of freeing it: a
+  // steady-state ingest loop reusing one TaskRecord recycles capacity task-over-task.
+  TaskRecord& front = inflight_.front().record;
+  out.entry_time = front.entry_time;
+  out.visits.swap(front.visits);
+  constexpr std::size_t kVisitPoolCap = 256;
+  if (visit_pool_.size() < kVisitPoolCap) {
+    front.visits.clear();
+    visit_pool_.push_back(std::move(front.visits));
+  }
   inflight_.pop_front();
   ++next_emit_;
   return true;

@@ -62,9 +62,10 @@ class LiveSimStream : public TraceStream {
   std::size_t TasksInFlight() const { return inflight_.size(); }
 
  private:
+  // The route lives only inside record.visits (state/queue per step) — duplicating it as
+  // a RouteStep vector doubled the per-task allocation load on the ingest path.
   struct InFlightTask {
     TaskRecord record;
-    std::vector<RouteStep> route;
     std::size_t completed_steps = 0;
     bool done = false;
   };
@@ -89,6 +90,11 @@ class LiveSimStream : public TraceStream {
   // In-flight tasks, front() == task next_emit_ (tasks complete out of order but are
   // emitted in order).
   std::deque<InFlightTask> inflight_;
+  // SpawnTask samples routes here (AppendSampledRoute, capacity reused) before mirroring
+  // them into record.visits, and refills visit vectors from visit_pool_ — steady-state
+  // ingest recycles buffers with the emitting consumer instead of allocating per task.
+  std::vector<RouteStep> route_scratch_;
+  std::vector<std::vector<TaskVisit>> visit_pool_;
   int next_emit_ = 0;
   int next_spawn_ = 0;
   bool spawning_done_ = false;

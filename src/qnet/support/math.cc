@@ -105,19 +105,24 @@ double Variance(std::span<const double> xs) {
 
 double Quantile(std::span<const double> xs, double q) {
   QNET_CHECK(!xs.empty(), "Quantile of empty sample");
-  QNET_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range: ", q);
   std::vector<double> v(xs.begin(), xs.end());
   std::sort(v.begin(), v.end());
-  if (v.size() == 1) {
-    return v[0];
+  return QuantileSorted(v, q);
+}
+
+double QuantileSorted(std::span<const double> sorted, double q) {
+  QNET_CHECK(!sorted.empty(), "Quantile of empty sample");
+  QNET_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range: ", q);
+  if (sorted.size() == 1) {
+    return sorted[0];
   }
-  const double pos = q * static_cast<double>(v.size() - 1);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
-  if (lo + 1 >= v.size()) {
-    return v.back();
+  if (lo + 1 >= sorted.size()) {
+    return sorted.back();
   }
   const double frac = pos - static_cast<double>(lo);
-  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
 }
 
 double Median(std::span<const double> xs) { return Quantile(xs, 0.5); }

@@ -54,6 +54,10 @@ double Variance(std::span<const double> xs);
 
 // Linear-interpolation quantile of an unsorted sample; q in [0, 1].
 double Quantile(std::span<const double> xs, double q);
+// Same interpolation on an already-sorted sample; allocation-free (Quantile copies and
+// sorts, then delegates here — so sorting in place once and calling this repeatedly is
+// bit-identical to repeated Quantile calls).
+double QuantileSorted(std::span<const double> sorted, double q);
 double Median(std::span<const double> xs);
 
 // Digamma (psi) function, valid for x > 0; asymptotic series with upward recurrence.

@@ -18,7 +18,6 @@ std::uint64_t SplitMix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
@@ -39,27 +38,6 @@ Rng::Rng(std::uint64_t seed) {
   }
 }
 
-std::uint64_t Rng::NextU64() {
-  const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = Rotl(state_[3], 45);
-  return result;
-}
-
-double Rng::Uniform() {
-  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::Uniform(double lo, double hi) {
-  QNET_DCHECK(lo <= hi, "Uniform bounds reversed");
-  return lo + (hi - lo) * Uniform();
-}
-
 std::uint64_t Rng::UniformInt(std::uint64_t n) {
   QNET_CHECK(n > 0, "UniformInt requires n > 0");
   const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
@@ -69,13 +47,6 @@ std::uint64_t Rng::UniformInt(std::uint64_t n) {
       return r % n;
     }
   }
-}
-
-bool Rng::Bernoulli(double p) { return Uniform() < p; }
-
-double Rng::Exponential(double rate) {
-  QNET_CHECK(rate > 0.0, "Exponential rate must be positive: ", rate);
-  return -std::log1p(-Uniform()) / rate;
 }
 
 double Rng::TruncatedExponential(double rate, double lo, double hi) {
@@ -152,24 +123,6 @@ std::uint64_t Rng::Poisson(double mean) {
   // Normal approximation with continuity correction; adequate for workload generation.
   const double draw = Normal(mean, std::sqrt(mean));
   return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
-}
-
-std::size_t Rng::Categorical(std::span<const double> weights) {
-  QNET_CHECK(!weights.empty(), "Categorical over empty support");
-  double total = 0.0;
-  for (double w : weights) {
-    QNET_CHECK(w >= 0.0, "negative categorical weight: ", w);
-    total += w;
-  }
-  QNET_CHECK(total > 0.0, "categorical weights sum to zero");
-  double u = Uniform() * total;
-  for (std::size_t i = 0; i < weights.size(); ++i) {
-    u -= weights[i];
-    if (u < 0.0) {
-      return i;
-    }
-  }
-  return weights.size() - 1;  // Floating-point slack lands on the last bin.
 }
 
 std::size_t Rng::CategoricalFromLogs(std::span<const double> log_weights) {

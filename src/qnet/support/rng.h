@@ -6,12 +6,21 @@
 #define QNET_SUPPORT_RNG_H_
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "qnet/support/check.h"
+
 namespace qnet {
 
+// The core generator and the samplers on the DES/Gibbs hot paths (NextU64, Uniform,
+// Exponential, Categorical, Bernoulli) are defined inline below the class: every
+// simulated event costs a handful of these draws, and keeping them header-visible lets
+// the per-event state updates fold into the caller's loop instead of paying a cross-TU
+// call per sample. The arithmetic is identical to the historical out-of-line bodies, so
+// all pinned streams are unchanged.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL);
@@ -68,10 +77,58 @@ class Rng {
   Rng Fork();
 
  private:
+  static std::uint64_t Rotl64(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
   std::array<std::uint64_t, 4> state_;
   bool have_cached_normal_ = false;
   double cached_normal_ = 0.0;
 };
+
+inline std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = Rotl64(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl64(state_[3], 45);
+  return result;
+}
+
+inline double Rng::Uniform() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+inline double Rng::Uniform(double lo, double hi) {
+  QNET_DCHECK(lo <= hi, "Uniform bounds reversed");
+  return lo + (hi - lo) * Uniform();
+}
+
+inline bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+inline double Rng::Exponential(double rate) {
+  QNET_CHECK(rate > 0.0, "Exponential rate must be positive: ", rate);
+  return -std::log1p(-Uniform()) / rate;
+}
+
+inline std::size_t Rng::Categorical(std::span<const double> weights) {
+  QNET_CHECK(!weights.empty(), "Categorical over empty support");
+  double total = 0.0;
+  for (double w : weights) {
+    QNET_CHECK(w >= 0.0, "negative categorical weight: ", w);
+    total += w;
+  }
+  QNET_CHECK(total > 0.0, "categorical weights sum to zero");
+  double u = Uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u < 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;  // Floating-point slack lands on the last bin.
+}
 
 // Deterministically combines a seed with a salt (one SplitMix64 step over a golden-ratio
 // offset of the pair). Distinct salts yield distinct, well-mixed seeds for the same base

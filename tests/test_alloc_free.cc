@@ -15,6 +15,7 @@
 #include "qnet/infer/initializer.h"
 #include "qnet/model/builders.h"
 #include "qnet/obs/observation.h"
+#include "qnet/sim/sim_scratch.h"
 #include "qnet/sim/simulator.h"
 #include "qnet/support/rng.h"
 
@@ -147,6 +148,40 @@ TEST(AllocFree, ShardedSweepWithWorkersDoesNotAllocate) {
   const std::size_t before = AllocationCount();
   for (int sweep = 0; sweep < 20; ++sweep) {
     sampler.Sweep(rng);
+  }
+  EXPECT_EQ(AllocationCount(), before);
+}
+
+TEST(AllocFree, WarmSimulationScratchDoesNotAllocate) {
+  // The DES arena contract: once a SimScratch has seen one run of a given shape, further
+  // runs (workload generation, route sampling, the staged event loop) touch the heap
+  // zero times. Tandem routes have a fixed length, so capacity never needs to grow.
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {4.0, 3.0});
+  const PoissonArrivals workload(2.0, 256);
+  SimScratch scratch;
+  Rng rng(5);
+  SimulateWorkloadIntoScratch(net, workload, scratch, rng);  // warm-up
+  const std::size_t before = AllocationCount();
+  for (int i = 0; i < 10; ++i) {
+    SimulateWorkloadIntoScratch(net, workload, scratch, rng);
+  }
+  EXPECT_EQ(AllocationCount(), before);
+}
+
+TEST(AllocFree, WarmScratchToEventLogDoesNotAllocate) {
+  // EventLog::Reset keeps every buffer's capacity (events, per-task chains, per-queue
+  // orders), so exporting a warm arena into a reused log is also allocation-free.
+  const QueueingNetwork net = MakeTandemNetwork(2.0, {4.0, 3.0});
+  const PoissonArrivals workload(2.0, 256);
+  SimScratch scratch;
+  EventLog log(net.NumQueues());
+  Rng rng(5);
+  SimulateWorkloadIntoScratch(net, workload, scratch, rng);
+  ScratchToEventLog(scratch, net.NumQueues(), log);  // warm-up
+  const std::size_t before = AllocationCount();
+  for (int i = 0; i < 10; ++i) {
+    SimulateWorkloadIntoScratch(net, workload, scratch, rng);
+    ScratchToEventLog(scratch, net.NumQueues(), log);
   }
   EXPECT_EQ(AllocationCount(), before);
 }

@@ -6,9 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <numeric>
 #include <sstream>
+#include <string>
 
 #include "qnet/dist/gamma.h"
 #include "qnet/infer/mg1.h"
@@ -457,6 +461,215 @@ TEST(WindowForecaster, ConsumesDegradedEstimatesAndCountsThem) {
   estimate.degraded = false;
   EXPECT_EQ(plain.Forecast(estimate), forecaster.Reports().front());
   EXPECT_EQ(plain.DegradedForecasts(), 0u);
+}
+
+// ---------------------------------------------------------------------------------------
+// Clone-free fast-path pins. The overlay/arena engine must reproduce the historical
+// clone-per-cell evaluation bit-for-bit: against golden reports generated by the pre-PR
+// engine, against an in-test reference evaluator built from the public clone APIs, warm
+// (reused workspaces) against cold, and across thread counts.
+
+ScenarioReport EvaluateThreeTierGoldenFixture(std::size_t threads) {
+  ThreeTierConfig config;
+  config.tier_sizes = {2, 1};
+  const QueueingNetwork base = MakeThreeTierNetwork(config);
+  StemResult stem;
+  stem.rate_trace = {{10.0, 5.0, 5.0, 12.0}, {9.5, 5.2, 4.9, 11.5}};
+  ScenarioAxis route;
+  route.kind = AxisKind::kRoutingScale;
+  route.name = "shift";
+  route.queue = 1;
+  route.state = 0;
+  route.values = {1.0, 3.0};
+  ScenarioAxis servers;
+  servers.kind = AxisKind::kServerCount;
+  servers.name = "servers";
+  servers.queue = 3;
+  servers.values = {1.0, 2.0};
+  ScenarioAxis load;
+  load.kind = AxisKind::kArrivalScale;
+  load.name = "load";
+  load.values = {0.8, 1.2};
+  ScenarioEngineOptions options;
+  options.max_draws = 2;
+  options.tasks_per_draw = 128;
+  options.common_random_numbers = true;
+  options.threads = threads;
+  ScenarioEngine engine(options);
+  return engine.Evaluate(base, ParameterPosterior::FromStem(stem, 0),
+                         ScenarioGrid({route, servers, load}), /*seed=*/7);
+}
+
+TEST(ScenarioEngineGolden, TandemReportMatchesPreOverlayGolden) {
+  const ScenarioReport golden = ReadScenarioReportFile(
+      std::string(QNET_TEST_DATA_DIR) + "/scenario_golden_tandem.csv");
+  EXPECT_EQ(EvaluateTandem(1), golden);
+}
+
+TEST(ScenarioEngineGolden, ThreeTierReportMatchesPreOverlayGoldenAcrossThreads) {
+  // Exercises every axis kind (routing edit, server count, load) plus CRN against the
+  // pre-overlay engine's output, for each thread count the TSan job runs under.
+  const ScenarioReport golden = ReadScenarioReportFile(
+      std::string(QNET_TEST_DATA_DIR) + "/scenario_golden_threetier.csv");
+  EXPECT_EQ(EvaluateThreeTierGoldenFixture(1), golden);
+  EXPECT_EQ(EvaluateThreeTierGoldenFixture(2), golden);
+  EXPECT_EQ(EvaluateThreeTierGoldenFixture(4), golden);
+}
+
+// Reference evaluation of one cell through the public clone APIs — a line-for-line
+// transcription of the historical EvaluateCell, kept as an executable specification of
+// what the overlay fast path must reproduce.
+CellResult ReferenceEvaluateCell(const QueueingNetwork& base,
+                                 const ParameterPosterior& posterior,
+                                 const ScenarioGrid& grid, std::size_t cell_index,
+                                 std::uint64_t seed, std::size_t draws,
+                                 const ScenarioEngineOptions& options) {
+  const ScenarioCell cell = grid.Cell(cell_index);
+  const auto num_queues = static_cast<std::size_t>(base.NumQueues());
+
+  CellResult result;
+  result.cell = cell_index;
+  result.axis_values = cell.values;
+
+  std::vector<double> means(draws), tails(draws);
+  std::vector<std::vector<double>> utils(draws), qlens(draws);
+  for (std::size_t d = 0; d < draws; ++d) {
+    const std::size_t source = d * posterior.NumDraws() / draws;
+    const CellRealization real = grid.Realize(base, cell, posterior.Draw(source));
+    const std::uint64_t salt_base =
+        options.common_random_numbers ? seed : MixSeed(seed, cell_index);
+    Rng rng(MixSeed(salt_base, d));
+    const EventLog log = SimulateWorkload(
+        real.net, PoissonArrivals(real.rates[0], options.tasks_per_draw), rng);
+
+    const int num_tasks = log.NumTasks();
+    const int warm = static_cast<int>(static_cast<double>(num_tasks) * options.warmup_fraction);
+    std::vector<double> responses;
+    double horizon = 0.0;
+    for (int k = 0; k < num_tasks; ++k) {
+      const double exit = log.TaskExitTime(k);
+      horizon = std::max(horizon, exit);
+      if (k >= warm) {
+        responses.push_back(exit - log.TaskEntryTime(k));
+      }
+    }
+    means[d] = Mean(responses);
+    tails[d] = Quantile(responses, options.tail_quantile);
+    const std::vector<double> busy = log.PerQueueServiceSum();
+    utils[d].assign(num_queues, 0.0);
+    qlens[d].assign(num_queues, 0.0);
+    for (std::size_t q = 1; q < num_queues; ++q) {
+      utils[d][q] = busy[q] / horizon;
+      double wait_sum = 0.0;
+      for (const EventId e : log.QueueOrder(static_cast<int>(q))) {
+        wait_sum += log.WaitTime(e);
+      }
+      qlens[d][q] = wait_sum / horizon;
+    }
+  }
+
+  std::vector<double> column(draws);
+  const auto reduce = [&](const auto& get) {
+    for (std::size_t d = 0; d < draws; ++d) {
+      column[d] = get(d);
+    }
+    MetricBand band;
+    band.mean = Mean(column);
+    band.lo = Quantile(column, options.band_lo);
+    band.hi = Quantile(column, options.band_hi);
+    return band;
+  };
+  result.mean_response = reduce([&](std::size_t d) { return means[d]; });
+  result.tail_response = reduce([&](std::size_t d) { return tails[d]; });
+  result.utilization.resize(num_queues);
+  result.queue_length.resize(num_queues);
+  for (std::size_t q = 1; q < num_queues; ++q) {
+    result.utilization[q] = reduce([&](std::size_t d) { return utils[d][q]; });
+    result.queue_length[q] = reduce([&](std::size_t d) { return qlens[d][q]; });
+  }
+
+  result.bottleneck_ranking.resize(num_queues - 1);
+  std::iota(result.bottleneck_ranking.begin(), result.bottleneck_ranking.end(), 1);
+  std::sort(result.bottleneck_ranking.begin(), result.bottleneck_ranking.end(),
+            [&](int a, int b) {
+              const double ua = result.utilization[static_cast<std::size_t>(a)].mean;
+              const double ub = result.utilization[static_cast<std::size_t>(b)].mean;
+              return ua != ub ? ua > ub : a < b;
+            });
+  result.bottleneck_queue = result.bottleneck_ranking.front();
+
+  if (options.analytic) {
+    const CellRealization mean_cell = grid.Realize(base, cell, posterior.MeanRates());
+    const AnalyticPrediction analytic =
+        AnalyzeCellAnalytic(mean_cell.net, mean_cell.servers, mean_cell.rates);
+    result.analytic_valid = true;
+    result.analytic_stable = analytic.stable;
+    result.analytic_mean_response = analytic.mean_response;
+  }
+  return result;
+}
+
+TEST(ScenarioEngine, OverlayFastPathMatchesCloneReferenceBitwise) {
+  ThreeTierConfig config;
+  config.tier_sizes = {2, 1};
+  const QueueingNetwork base = MakeThreeTierNetwork(config);
+  StemResult stem;
+  stem.rate_trace = {{10.0, 5.0, 5.0, 12.0}, {9.5, 5.2, 4.9, 11.5}, {10.2, 4.8, 5.1, 12.4}};
+  const ParameterPosterior posterior = ParameterPosterior::FromStem(stem, 0);
+  // Two routing axes on the same state: the second must compound on the first's
+  // renormalized row, exactly like sequential SetWeightedEmission calls on a clone.
+  ScenarioAxis shift1;
+  shift1.kind = AxisKind::kRoutingScale;
+  shift1.name = "shift1";
+  shift1.queue = 1;
+  shift1.state = 0;
+  shift1.values = {2.0};
+  ScenarioAxis shift2;
+  shift2.kind = AxisKind::kRoutingScale;
+  shift2.name = "shift2";
+  shift2.queue = 2;
+  shift2.state = 0;
+  shift2.values = {0.5, 4.0};
+  ScenarioAxis servers;
+  servers.kind = AxisKind::kServerCount;
+  servers.name = "servers";
+  servers.queue = 3;
+  servers.values = {1.0, 3.0};
+  const ScenarioGrid grid({shift1, shift2, servers});
+
+  ScenarioEngineOptions options;
+  options.max_draws = 2;
+  options.tasks_per_draw = 96;
+  ScenarioEngine engine(options);
+  const ScenarioReport report =
+      engine.Evaluate(base, posterior, grid, /*seed=*/99);
+  ASSERT_EQ(report.cells.size(), grid.NumCells());
+  for (std::size_t i = 0; i < grid.NumCells(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(report.cells[i], ReferenceEvaluateCell(base, posterior, grid, i,
+                                                     /*seed=*/99, report.draws, options));
+  }
+}
+
+TEST(ScenarioEngine, WarmWorkspacesReproduceColdEvaluation) {
+  // Second Evaluate on the same engine runs entirely on warm per-worker arenas; the
+  // report must not care.
+  const QueueingNetwork base = MakeTandemNetwork(1.5, {6.0, 4.0});
+  StemResult stem;
+  stem.rate_trace = {{1.5, 6.0, 4.0}, {1.4, 6.3, 4.2}, {1.6, 5.8, 3.9}};
+  const ParameterPosterior posterior = ParameterPosterior::FromStem(stem, 0);
+  const ScenarioGrid grid({LoadAxis({1.0, 1.5, 2.0}), ServiceAxis(2, {1.0, 2.0})});
+  ScenarioEngineOptions options;
+  options.max_draws = 3;
+  options.tasks_per_draw = 200;
+  options.threads = 2;
+  ScenarioEngine engine(options);
+  const ScenarioReport cold = engine.Evaluate(base, posterior, grid, 42);
+  const ScenarioReport warm = engine.Evaluate(base, posterior, grid, 42);
+  EXPECT_EQ(cold, warm);
+  // Different seed on warm workspaces still works (no stale state leaks through).
+  const ScenarioReport other = engine.Evaluate(base, posterior, grid, 43);
+  EXPECT_NE(other, warm);
 }
 
 TEST(ScenarioEngine, GuardsOptionAndShapeMisuse) {

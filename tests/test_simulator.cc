@@ -1,5 +1,6 @@
 // Simulator validation: FIFO/event-graph invariants, agreement with classical M/M/1
-// steady-state theory, Little's law, network composition, and fault injection.
+// steady-state theory, Little's law, network composition, fault injection, and
+// bit-equality of the SimScratch arena path against the legacy per-run-allocating path.
 
 #include "qnet/sim/simulator.h"
 
@@ -10,6 +11,7 @@
 
 #include "qnet/infer/mm1.h"
 #include "qnet/model/builders.h"
+#include "qnet/sim/sim_scratch.h"
 #include "qnet/support/math.h"
 #include "qnet/support/rng.h"
 
@@ -167,6 +169,111 @@ TEST(Simulator, SimulateWithRoutesHonorsGivenRoutes) {
   const auto counts = log.PerQueueCount();
   EXPECT_EQ(counts[1], 0u);
   EXPECT_EQ(counts[2], 2u);
+}
+
+void ExpectLogsBitIdentical(const EventLog& a, const EventLog& b) {
+  ASSERT_EQ(a.NumQueues(), b.NumQueues());
+  ASSERT_EQ(a.NumTasks(), b.NumTasks());
+  ASSERT_EQ(a.NumEvents(), b.NumEvents());
+  for (EventId e = 0; static_cast<std::size_t>(e) < a.NumEvents(); ++e) {
+    ASSERT_EQ(a.At(e).task, b.At(e).task);
+    ASSERT_EQ(a.At(e).state, b.At(e).state);
+    ASSERT_EQ(a.At(e).queue, b.At(e).queue);
+    // EXPECT_EQ (not DOUBLE_EQ): the arena path promises bitwise identity, not closeness.
+    ASSERT_EQ(a.Arrival(e), b.Arrival(e));
+    ASSERT_EQ(a.Departure(e), b.Departure(e));
+  }
+  for (int q = 1; q < a.NumQueues(); ++q) {
+    ASSERT_EQ(a.QueueOrder(q), b.QueueOrder(q));
+  }
+}
+
+// Fixtures covering the route shapes the DES meets in practice: fixed-length chains, a
+// feedback loop with geometric route lengths, and a fork across replicated servers.
+std::vector<QueueingNetwork> ScratchFixtures() {
+  std::vector<QueueingNetwork> nets;
+  nets.push_back(MakeSingleQueueNetwork(3.0, 5.0));
+  nets.push_back(MakeTandemNetwork(2.0, {4.0, 5.0}));
+  nets.push_back(MakeFeedbackNetwork(1.0, 4.0, 0.5));
+  ThreeTierConfig config;
+  config.tier_sizes = {2, 2};
+  nets.push_back(MakeThreeTierNetwork(config));
+  return nets;
+}
+
+TEST(SimScratchPath, MatchesLegacySimulateWithRoutesBitwise) {
+  for (const QueueingNetwork& net : ScratchFixtures()) {
+    SCOPED_TRACE(net.NumQueues());
+    const PoissonArrivals workload(1.0, 300);
+    // Legacy path: materialize entries and per-task route vectors, then the historical
+    // allocating simulator. Draw order (arrivals, routes task-by-task, services in pop
+    // order) matches the arena path, so a same-seeded Rng must yield identical logs.
+    Rng rng_legacy(91);
+    const std::vector<double> entries = workload.Generate(rng_legacy);
+    std::vector<std::vector<RouteStep>> routes;
+    routes.reserve(entries.size());
+    for (std::size_t k = 0; k < entries.size(); ++k) {
+      routes.push_back(net.GetFsm().SampleRoute(rng_legacy));
+    }
+    const EventLog legacy = SimulateWithRoutes(net, entries, routes, rng_legacy);
+
+    Rng rng_scratch(91);
+    SimScratch scratch;
+    SimulateWorkloadIntoScratch(net, workload, scratch, rng_scratch);
+    EventLog from_scratch(net.NumQueues());
+    ScratchToEventLog(scratch, net.NumQueues(), from_scratch);
+    ExpectLogsBitIdentical(legacy, from_scratch);
+
+    // The public convenience wrapper now routes through the arena — same contract.
+    Rng rng_public(91);
+    const EventLog from_public = SimulateWorkload(net, workload, rng_public);
+    ExpectLogsBitIdentical(legacy, from_public);
+  }
+}
+
+TEST(SimScratchPath, ReusedScratchMatchesFreshScratch) {
+  // One arena dragged across differently-shaped networks (dirty offsets, oversized
+  // buffers, stale heap capacity) must behave exactly like a fresh arena per run.
+  SimScratch reused;
+  for (const QueueingNetwork& net : ScratchFixtures()) {
+    SCOPED_TRACE(net.NumQueues());
+    const PoissonArrivals workload(1.0, 250);
+    Rng rng_reused(7);
+    Rng rng_fresh(7);
+    SimulateWorkloadIntoScratch(net, workload, reused, rng_reused);
+    SimScratch fresh;
+    SimulateWorkloadIntoScratch(net, workload, fresh, rng_fresh);
+    ASSERT_EQ(reused.NumTasks(), fresh.NumTasks());
+    EXPECT_EQ(reused.entry_times, fresh.entry_times);
+    EXPECT_EQ(reused.route_offsets, fresh.route_offsets);
+    EXPECT_EQ(reused.step_begin, fresh.step_begin);
+    EXPECT_EQ(reused.step_departure, fresh.step_departure);
+    EXPECT_EQ(reused.queue_wait_sum, fresh.queue_wait_sum);
+    EXPECT_EQ(reused.queue_busy_sum, fresh.queue_busy_sum);
+  }
+}
+
+TEST(SimScratchPath, ReusedEventLogMatchesFresh) {
+  const QueueingNetwork feedback = MakeFeedbackNetwork(1.0, 4.0, 0.5);
+  const QueueingNetwork tandem = MakeTandemNetwork(2.0, {4.0, 5.0});
+  SimScratch scratch;
+  EventLog reused(feedback.NumQueues());
+  // Fill the reused log with a bigger, differently-shaped run first so Reset has real
+  // stale state (more tasks, more queues, longer routes) to neutralize.
+  {
+    Rng rng(11);
+    SimulateWorkloadIntoScratch(feedback, PoissonArrivals(1.0, 400), scratch, rng);
+    ScratchToEventLog(scratch, feedback.NumQueues(), reused);
+  }
+  Rng rng_a(13);
+  Rng rng_b(13);
+  SimulateWorkloadIntoScratch(tandem, PoissonArrivals(2.0, 100), scratch, rng_a);
+  ScratchToEventLog(scratch, tandem.NumQueues(), reused);
+  SimScratch scratch_b;
+  SimulateWorkloadIntoScratch(tandem, PoissonArrivals(2.0, 100), scratch_b, rng_b);
+  EventLog fresh(tandem.NumQueues());
+  ScratchToEventLog(scratch_b, tandem.NumQueues(), fresh);
+  ExpectLogsBitIdentical(fresh, reused);
 }
 
 TEST(Mm1, AnalyticFormulas) {

@@ -81,6 +81,41 @@ TEST(TraceArrivals, ReplaysExactly) {
   EXPECT_THROW(TraceArrivals({0.0}), Error);
 }
 
+// GenerateInto is the buffer-reusing primitive Generate now delegates to; it must
+// consume the Rng draw-for-draw identically so warm-arena callers and historical callers
+// see the same streams.
+TEST(ArrivalProcess, GenerateIntoMatchesGenerateBitwise) {
+  const PoissonArrivals poisson(4.0, 257);
+  const LinearRampArrivals ramp(1.0, 5.4, 300.0);
+  const PiecewiseConstantArrivals piecewise({0.0, 10.0, 20.0, 30.0}, {1.0, 20.0, 1.0});
+  const TraceArrivals trace(std::vector<double>{0.5, 1.0, 1.0, 2.5});
+  const ArrivalProcess* processes[] = {&poisson, &ramp, &piecewise, &trace};
+  std::vector<double> reused;
+  for (const ArrivalProcess* process : processes) {
+    SCOPED_TRACE(process->Describe());
+    Rng rng_a(1234);
+    Rng rng_b(1234);
+    const std::vector<double> fresh = process->Generate(rng_a);
+    // The reused buffer starts dirty and oversized on the second iteration; GenerateInto
+    // must clear it and leave both the times and the Rng state bitwise identical.
+    process->GenerateInto(reused, rng_b);
+    EXPECT_EQ(reused, fresh);
+    EXPECT_EQ(rng_a.NextU64(), rng_b.NextU64());
+  }
+}
+
+TEST(ArrivalProcess, GenerateIntoReusesCapacity) {
+  const PoissonArrivals workload(4.0, 500);
+  Rng rng(3);
+  std::vector<double> out;
+  workload.GenerateInto(out, rng);
+  const double* data = out.data();
+  const std::size_t cap = out.capacity();
+  workload.GenerateInto(out, rng);
+  EXPECT_EQ(out.data(), data);
+  EXPECT_EQ(out.capacity(), cap);
+}
+
 TEST(ArrivalProcess, CloneAndDescribe) {
   const PoissonArrivals workload(2.0, 10);
   const auto clone = workload.Clone();
