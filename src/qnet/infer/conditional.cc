@@ -8,151 +8,19 @@
 #include "qnet/support/logspace.h"
 
 namespace qnet {
-namespace {
-
-constexpr double kDegenerateWindow = 1e-12;
-
-// Empty span = unit rates. Only the Gather*Geometry wrappers pass an empty span (so no
-// ones vector is ever materialized); the public rate-taking entry points validate exact
-// size before delegating here.
-inline double RateAt(std::span<const double> rates, int queue) {
-  return rates.empty() ? 1.0 : rates[static_cast<std::size_t>(queue)];
-}
-
-ArrivalMove GatherArrivalMoveImpl(const EventLog& log, EventId e,
-                                  std::span<const double> rates) {
-  // Inner-loop contract: every access below is *Unchecked (bounds DCHECK-only); this is
-  // called once per latent coordinate per sweep.
-  const Event& ev = log.AtUnchecked(e);
-  QNET_CHECK(!ev.initial, "cannot resample the arrival of an initial event");
-
-  ArrivalMove move;
-  move.event = e;
-  move.d_e = ev.departure;
-  move.mu_e = RateAt(rates, ev.queue);
-
-  const Event& pi = log.AtUnchecked(ev.pi);
-  move.mu_pi = RateAt(rates, pi.queue);
-  move.c_pi = log.BeginServiceUnchecked(ev.pi);
-
-  move.rho_is_pi = (ev.rho == ev.pi);
-  if (ev.rho != kNoEvent && !move.rho_is_pi) {
-    move.has_t1 = true;
-    move.t1 = log.DepartureUnchecked(ev.rho);
-  }
-
-  // nu(pi): the next arrival at pi's queue. When it is e itself (consecutive same-queue
-  // visits) its service time is s_e, already accounted for by the first term.
-  if (pi.nu != kNoEvent && pi.nu != e) {
-    move.has_nu_pi = true;
-    move.t2 = log.ArrivalUnchecked(pi.nu);
-    move.d_nu_pi = log.DepartureUnchecked(pi.nu);
-  }
-
-  // Bounds: L = max{c_pi, a_rho(e)}; U = min{d_e, a_nu(e), d_nu(pi)}.
-  double lower = move.c_pi;
-  if (ev.rho != kNoEvent) {
-    lower = std::max(lower, log.ArrivalUnchecked(ev.rho));
-  }
-  double upper = move.d_e;
-  if (ev.nu != kNoEvent) {
-    upper = std::min(upper, log.ArrivalUnchecked(ev.nu));
-  }
-  if (move.has_nu_pi) {
-    upper = std::min(upper, move.d_nu_pi);
-  }
-  move.lower = lower;
-  move.upper = upper;
-  return move;
-}
-
-FinalDepartureMove GatherFinalDepartureMoveImpl(const EventLog& log, EventId e,
-                                                std::span<const double> rates) {
-  const Event& ev = log.AtUnchecked(e);
-  QNET_CHECK(ev.tau == kNoEvent,
-             "event has a within-task successor; use the arrival move on tau instead");
-  FinalDepartureMove move;
-  move.event = e;
-  move.mu_e = RateAt(rates, ev.queue);
-  move.c_e = log.BeginServiceUnchecked(e);
-  if (ev.nu != kNoEvent) {
-    move.has_nu = true;
-    move.t_nu = log.ArrivalUnchecked(ev.nu);
-    move.d_nu = log.DepartureUnchecked(ev.nu);
-    move.upper = move.d_nu;
-  } else {
-    move.upper = kPosInf;
-  }
-  move.lower = move.c_e;
-  return move;
-}
-
-}  // namespace
-
-double ArrivalMove::LogG(double a) const {
-  // Service of e: d_e - max(a, t1); with rho missing or rho == pi the max resolves to a.
-  double log_g;
-  if (has_t1) {
-    log_g = -mu_e * (d_e - std::max(a, t1));
-  } else {
-    log_g = -mu_e * (d_e - a);
-  }
-  // Service of pi.
-  log_g += -mu_pi * (a - c_pi);
-  // Service of nu(pi), when it exists and is not e itself.
-  if (has_nu_pi) {
-    log_g += -mu_pi * (d_nu_pi - std::max(a, t2));
-  }
-  return log_g;
-}
 
 ArrivalMove GatherArrivalMove(const EventLog& log, EventId e, std::span<const double> rates) {
   QNET_CHECK(static_cast<std::size_t>(log.NumQueues()) == rates.size(), "rate vector size");
-  return GatherArrivalMoveImpl(log, e, rates);
+  return GatherArrivalMoveUnchecked(log, e, rates);
 }
 
 ArrivalMove GatherArrivalGeometry(const EventLog& log, EventId e) {
-  return GatherArrivalMoveImpl(log, e, {});
+  return GatherArrivalMoveUnchecked(log, e, {});
 }
 
 PiecewiseExpDensity BuildArrivalDensity(const ArrivalMove& move) {
-  QNET_CHECK(move.lower < move.upper, "empty conditional window: L=", move.lower,
-             " U=", move.upper);
-  // Breakpoints inside (L, U) where a max() changes branch: at most lower, t1, t2, upper.
-  std::array<double, 4> cuts;
-  std::size_t num_cuts = 0;
-  cuts[num_cuts++] = move.lower;
-  if (move.has_t1 && move.t1 > move.lower && move.t1 < move.upper) {
-    cuts[num_cuts++] = move.t1;
-  }
-  if (move.has_nu_pi && move.t2 > move.lower && move.t2 < move.upper) {
-    cuts[num_cuts++] = move.t2;
-  }
-  cuts[num_cuts++] = move.upper;
-  std::sort(cuts.begin(), cuts.begin() + num_cuts);
-
   PiecewiseExpDensity density;
-  for (std::size_t i = 0; i + 1 < num_cuts; ++i) {
-    const double lo = cuts[i];
-    const double hi = cuts[i + 1];
-    if (!(lo < hi)) {
-      continue;
-    }
-    const double mid = 0.5 * (lo + hi);
-    // Slope of log g on this segment, from the indicator structure:
-    //   +mu_e   once a > t1 (or always, when the first max resolves to a),
-    //   -mu_pi  from s_pi,
-    //   +mu_pi  once a > t2 (when nu(pi) exists).
-    double beta = -move.mu_pi;
-    if (!move.has_t1 || mid > move.t1) {
-      beta += move.mu_e;
-    }
-    if (move.has_nu_pi && mid > move.t2) {
-      beta += move.mu_pi;
-    }
-    const double alpha = move.LogG(mid) - beta * mid;
-    density.AddSegment(lo, hi, alpha, beta);
-  }
+  BuildArrivalSegmentsInto(move, density);
   density.Finalize();
   return density;
 }
@@ -226,46 +94,19 @@ double SampleArrivalClosedForm(const ArrivalMove& move, Rng& rng) {
   return U + std::log(lo_term + v * (hi_term - lo_term)) / mu_e;
 }
 
-double FinalDepartureMove::LogG(double d) const {
-  double log_g = -mu_e * (d - c_e);
-  if (has_nu) {
-    log_g += -mu_e * (d_nu - std::max(t_nu, d));
-  }
-  return log_g;
-}
-
 FinalDepartureMove GatherFinalDepartureMove(const EventLog& log, EventId e,
                                             std::span<const double> rates) {
   QNET_CHECK(static_cast<std::size_t>(log.NumQueues()) == rates.size(), "rate vector size");
-  return GatherFinalDepartureMoveImpl(log, e, rates);
+  return GatherFinalDepartureMoveUnchecked(log, e, rates);
 }
 
 FinalDepartureMove GatherFinalDepartureGeometry(const EventLog& log, EventId e) {
-  return GatherFinalDepartureMoveImpl(log, e, {});
+  return GatherFinalDepartureMoveUnchecked(log, e, {});
 }
 
 PiecewiseExpDensity BuildFinalDepartureDensity(const FinalDepartureMove& move) {
-  QNET_CHECK(move.lower < move.upper, "empty conditional window");
   PiecewiseExpDensity density;
-  // Below t_nu the second service still starts at t_nu: slope -mu_e. Above, the two terms
-  // cancel: slope 0 (the nu(e) service shrinks exactly as s_e grows).
-  if (move.has_nu && move.t_nu > move.lower && move.t_nu < move.upper) {
-    const double mid1 = 0.5 * (move.lower + move.t_nu);
-    density.AddSegment(move.lower, move.t_nu, move.LogG(mid1) + move.mu_e * mid1, -move.mu_e);
-    const double mid2 = 0.5 * (move.t_nu + move.upper);
-    density.AddSegment(move.t_nu, move.upper, move.LogG(mid2), 0.0);
-  } else {
-    const double probe = std::isfinite(move.upper)
-                             ? 0.5 * (move.lower + move.upper)
-                             : move.lower + 1.0;
-    double beta = -move.mu_e;
-    if (move.has_nu && move.t_nu <= move.lower) {
-      beta = 0.0;  // Entire window is above the breakpoint: flat.
-    }
-    QNET_CHECK(std::isfinite(move.upper) || beta < 0.0,
-               "unbounded final-departure window needs decreasing density");
-    density.AddSegment(move.lower, move.upper, move.LogG(probe) - beta * probe, beta);
-  }
+  BuildFinalDepartureSegmentsInto(move, density);
   density.Finalize();
   return density;
 }

@@ -30,6 +30,9 @@
 #ifndef QNET_INFER_CONDITIONAL_H_
 #define QNET_INFER_CONDITIONAL_H_
 
+#include <algorithm>
+#include <array>
+#include <cmath>
 #include <span>
 
 #include "qnet/infer/piecewise_exp.h"
@@ -37,6 +40,11 @@
 #include "qnet/support/rng.h"
 
 namespace qnet {
+
+// Windows no wider than this are resampled as their midpoint without drawing a density
+// (shared by the scalar samplers below and the batched kernel, which must agree on what
+// "degenerate" means).
+inline constexpr double kDegenerateWindow = 1e-12;
 
 struct ArrivalMove {
   EventId event = kNoEvent;
@@ -59,17 +67,140 @@ struct ArrivalMove {
   double upper = 0.0;  // U
 
   // Exact unnormalized log conditional at a (the sum of the three service-time terms).
-  double LogG(double a) const;
+  // Inline: the builders evaluate it once per segment on the hot path, and keeping it
+  // header-visible folds it into their loops instead of paying a cross-TU call.
+  double LogG(double a) const {
+    // Service of e: d_e - max(a, t1); with rho missing or rho == pi the max resolves to a.
+    double log_g = has_t1 ? -mu_e * (d_e - std::max(a, t1)) : -mu_e * (d_e - a);
+    // Service of pi.
+    log_g += -mu_pi * (a - c_pi);
+    // Service of nu(pi), when it exists and is not e itself.
+    if (has_nu_pi) {
+      log_g += -mu_pi * (d_nu_pi - std::max(a, t2));
+    }
+    return log_g;
+  }
 };
 
 // Gathers the fixed neighborhood values for resampling a_e. `rates` holds mu_q for every
 // queue (index 0 = lambda). CHECK-fails if e is an initial event.
 ArrivalMove GatherArrivalMove(const EventLog& log, EventId e, std::span<const double> rates);
 
+namespace conditional_detail {
+
+// Empty span = unit rates. Only the Gather*Geometry wrappers pass an empty span (so no
+// ones vector is ever materialized); the rate-taking entry points validate size up front.
+inline double RateAt(std::span<const double> rates, int queue) {
+  return rates.empty() ? 1.0 : rates[static_cast<std::size_t>(queue)];
+}
+
+}  // namespace conditional_detail
+
+// Inline gather core (rate-span size is the caller's responsibility — the batched kernel
+// validates once per bucket and then runs a whole tile of these back to back, letting the
+// compiler overlap the pointer chases of neighboring moves). GatherArrivalMove is this
+// plus a per-call size check.
+inline ArrivalMove GatherArrivalMoveUnchecked(const EventLog& log, EventId e,
+                                              std::span<const double> rates) {
+  using conditional_detail::RateAt;
+  // Inner-loop contract: every access below is *Unchecked (bounds DCHECK-only); this is
+  // called once per latent coordinate per sweep.
+  const Event& ev = log.AtUnchecked(e);
+  QNET_CHECK(!ev.initial, "cannot resample the arrival of an initial event");
+
+  ArrivalMove move;
+  move.event = e;
+  move.d_e = ev.departure;
+  move.mu_e = RateAt(rates, ev.queue);
+
+  const Event& pi = log.AtUnchecked(ev.pi);
+  move.mu_pi = RateAt(rates, pi.queue);
+  move.c_pi = log.BeginServiceUnchecked(ev.pi);
+
+  move.rho_is_pi = (ev.rho == ev.pi);
+  if (ev.rho != kNoEvent && !move.rho_is_pi) {
+    move.has_t1 = true;
+    move.t1 = log.DepartureUnchecked(ev.rho);
+  }
+
+  // nu(pi): the next arrival at pi's queue. When it is e itself (consecutive same-queue
+  // visits) its service time is s_e, already accounted for by the first term.
+  if (pi.nu != kNoEvent && pi.nu != e) {
+    move.has_nu_pi = true;
+    move.t2 = log.ArrivalUnchecked(pi.nu);
+    move.d_nu_pi = log.DepartureUnchecked(pi.nu);
+  }
+
+  // Bounds: L = max{c_pi, a_rho(e)}; U = min{d_e, a_nu(e), d_nu(pi)}.
+  double lower = move.c_pi;
+  if (ev.rho != kNoEvent) {
+    lower = std::max(lower, log.ArrivalUnchecked(ev.rho));
+  }
+  double upper = move.d_e;
+  if (ev.nu != kNoEvent) {
+    upper = std::min(upper, log.ArrivalUnchecked(ev.nu));
+  }
+  if (move.has_nu_pi) {
+    upper = std::min(upper, move.d_nu_pi);
+  }
+  move.lower = lower;
+  move.upper = upper;
+  return move;
+}
+
 // Geometry-only variant with all rates set to 1 (LogG is then not meaningful); used by the
 // general-service sampler, which evaluates its own densities on the same geometry.
 // Allocation-free: forwards an empty rate span instead of building a ones vector.
 ArrivalMove GatherArrivalGeometry(const EventLog& log, EventId e);
+
+// Emits the conditional's segments into any density sink with an
+// AddSegment(lo, hi, alpha, beta) surface — PiecewiseExpDensity for the scalar path, an
+// open PiecewiseExpBatch move slot for the batched kernel. One definition of the
+// breakpoint/slope logic keeps the two paths identical by construction.
+template <typename Density>
+void BuildArrivalSegmentsInto(const ArrivalMove& move, Density& density) {
+  QNET_CHECK(move.lower < move.upper, "empty conditional window: L=", move.lower,
+             " U=", move.upper);
+  // Breakpoints inside (L, U) where a max() changes branch: at most lower, t1, t2, upper.
+  std::array<double, 4> cuts;
+  std::size_t num_cuts = 0;
+  cuts[num_cuts++] = move.lower;
+  if (move.has_t1 && move.t1 > move.lower && move.t1 < move.upper) {
+    cuts[num_cuts++] = move.t1;
+  }
+  if (move.has_nu_pi && move.t2 > move.lower && move.t2 < move.upper) {
+    cuts[num_cuts++] = move.t2;
+  }
+  cuts[num_cuts++] = move.upper;
+  // cuts[0] == lower and cuts[num_cuts-1] == upper already bracket the interior cuts
+  // (t1/t2 are only added when strictly inside the window), so ordering needs at most
+  // one swap — when both interior cuts are present and t2 < t1.
+  if (num_cuts == 4 && cuts[2] < cuts[1]) {
+    std::swap(cuts[1], cuts[2]);
+  }
+
+  for (std::size_t i = 0; i + 1 < num_cuts; ++i) {
+    const double lo = cuts[i];
+    const double hi = cuts[i + 1];
+    if (!(lo < hi)) {
+      continue;
+    }
+    const double mid = 0.5 * (lo + hi);
+    // Slope of log g on this segment, from the indicator structure:
+    //   +mu_e   once a > t1 (or always, when the first max resolves to a),
+    //   -mu_pi  from s_pi,
+    //   +mu_pi  once a > t2 (when nu(pi) exists).
+    double beta = -move.mu_pi;
+    if (!move.has_t1 || mid > move.t1) {
+      beta += move.mu_e;
+    }
+    if (move.has_nu_pi && mid > move.t2) {
+      beta += move.mu_pi;
+    }
+    const double alpha = move.LogG(mid) - beta * mid;
+    density.AddSegment(lo, hi, alpha, beta);
+  }
+}
 
 // Builds the normalized piecewise-exponential conditional. Requires lower < upper. The
 // returned density lives entirely on the stack (inline segment storage); the whole
@@ -100,7 +231,13 @@ struct FinalDepartureMove {
   double lower = 0.0;  // c_e
   double upper = 0.0;  // d_nu(e) or +infinity
 
-  double LogG(double d) const;
+  double LogG(double d) const {
+    double log_g = -mu_e * (d - c_e);
+    if (has_nu) {
+      log_g += -mu_e * (d_nu - std::max(t_nu, d));
+    }
+    return log_g;
+  }
 };
 
 // Gathers the neighborhood for resampling the final departure of a task's last event.
@@ -109,8 +246,55 @@ struct FinalDepartureMove {
 FinalDepartureMove GatherFinalDepartureMove(const EventLog& log, EventId e,
                                             std::span<const double> rates);
 
+// Inline gather core for the final-departure move; see GatherArrivalMoveUnchecked.
+inline FinalDepartureMove GatherFinalDepartureMoveUnchecked(const EventLog& log, EventId e,
+                                                            std::span<const double> rates) {
+  const Event& ev = log.AtUnchecked(e);
+  QNET_CHECK(ev.tau == kNoEvent,
+             "event has a within-task successor; use the arrival move on tau instead");
+  FinalDepartureMove move;
+  move.event = e;
+  move.mu_e = conditional_detail::RateAt(rates, ev.queue);
+  move.c_e = log.BeginServiceUnchecked(e);
+  if (ev.nu != kNoEvent) {
+    move.has_nu = true;
+    move.t_nu = log.ArrivalUnchecked(ev.nu);
+    move.d_nu = log.DepartureUnchecked(ev.nu);
+    move.upper = move.d_nu;
+  } else {
+    move.upper = kPosInf;
+  }
+  move.lower = move.c_e;
+  return move;
+}
+
 // Geometry-only variant (rates set to 1), mirroring GatherArrivalGeometry.
 FinalDepartureMove GatherFinalDepartureGeometry(const EventLog& log, EventId e);
+
+// Segment emission for the final-departure conditional; see BuildArrivalSegmentsInto.
+template <typename Density>
+void BuildFinalDepartureSegmentsInto(const FinalDepartureMove& move, Density& density) {
+  QNET_CHECK(move.lower < move.upper, "empty conditional window");
+  // Below t_nu the second service still starts at t_nu: slope -mu_e. Above, the two terms
+  // cancel: slope 0 (the nu(e) service shrinks exactly as s_e grows).
+  if (move.has_nu && move.t_nu > move.lower && move.t_nu < move.upper) {
+    const double mid1 = 0.5 * (move.lower + move.t_nu);
+    density.AddSegment(move.lower, move.t_nu, move.LogG(mid1) + move.mu_e * mid1, -move.mu_e);
+    const double mid2 = 0.5 * (move.t_nu + move.upper);
+    density.AddSegment(move.t_nu, move.upper, move.LogG(mid2), 0.0);
+  } else {
+    const double probe = std::isfinite(move.upper)
+                             ? 0.5 * (move.lower + move.upper)
+                             : move.lower + 1.0;
+    double beta = -move.mu_e;
+    if (move.has_nu && move.t_nu <= move.lower) {
+      beta = 0.0;  // Entire window is above the breakpoint: flat.
+    }
+    QNET_CHECK(std::isfinite(move.upper) || beta < 0.0,
+               "unbounded final-departure window needs decreasing density");
+    density.AddSegment(move.lower, move.upper, move.LogG(probe) - beta * probe, beta);
+  }
+}
 
 PiecewiseExpDensity BuildFinalDepartureDensity(const FinalDepartureMove& move);
 

@@ -10,15 +10,19 @@ namespace {
 
 constexpr double kServiceFloor = 1e-9;
 
-// Imputed service times of every event at `queue` in the current state.
-std::vector<double> GatherServices(const EventLog& state, int queue) {
-  std::vector<double> services;
-  for (EventId e = 0; static_cast<std::size_t>(e) < state.NumEvents(); ++e) {
-    if (state.At(e).queue == queue) {
-      services.push_back(std::max(state.ServiceTime(e), kServiceFloor));
-    }
+// Imputed service times of every event, split per queue, in one pass over the log (the
+// historical per-queue GatherServices re-scanned the full log once per queue per
+// iteration). Event-id order within each queue and the floor are unchanged, so the
+// gathered vectors are element-for-element identical to the per-queue scans'. The outer
+// buffers persist across iterations; clear() keeps their capacity.
+void GatherAllServices(const EventLog& state, std::vector<std::vector<double>>& services) {
+  for (std::vector<double>& queue_services : services) {
+    queue_services.clear();
   }
-  return services;
+  for (EventId e = 0; static_cast<std::size_t>(e) < state.NumEvents(); ++e) {
+    services[static_cast<std::size_t>(state.At(e).queue)].push_back(
+        std::max(state.ServiceTime(e), kServiceFloor));
+  }
 }
 
 }  // namespace
@@ -52,20 +56,22 @@ GeneralStemResult GeneralStemEstimator::Run(const EventLog& truth, const Observa
   // iteration and fitting once at the end (equivalent to Rao-Blackwellized averaging of the
   // sufficient statistics for these families).
   std::vector<std::vector<double>> kept_services(static_cast<std::size_t>(num_queues));
+  std::vector<std::vector<double>> services(static_cast<std::size_t>(num_queues));
   for (std::size_t iter = 0; iter < options_.iterations; ++iter) {
     sampler.Sweep(rng);
+    GatherAllServices(sampler.State(), services);
     for (int q = 1; q < num_queues; ++q) {
-      const std::vector<double> services = GatherServices(sampler.State(), q);
-      if (services.size() >= 2) {
-        sampler.SetService(q, FitMle(family_of(q), services));
+      const std::vector<double>& queue_services = services[static_cast<std::size_t>(q)];
+      if (queue_services.size() >= 2) {
+        sampler.SetService(q, FitMle(family_of(q), queue_services));
       }
       if (iter >= options_.burn_in) {
         auto& bucket = kept_services[static_cast<std::size_t>(q)];
-        bucket.insert(bucket.end(), services.begin(), services.end());
+        bucket.insert(bucket.end(), queue_services.begin(), queue_services.end());
       }
     }
     // Arrival process stays exponential; refit lambda from imputed entry gaps.
-    const std::vector<double> entry_services = GatherServices(sampler.State(), 0);
+    const std::vector<double>& entry_services = services[0];
     double total = 0.0;
     for (double s : entry_services) {
       total += s;

@@ -1,6 +1,8 @@
 #include "qnet/infer/gibbs.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <span>
 
 #include "qnet/support/check.h"
@@ -27,10 +29,56 @@ void GibbsSampler::SetRates(std::vector<double> rates) {
   rates_ = std::move(rates);
 }
 
-void GibbsSampler::Sweep(Rng& rng) {
-  const ExponentialMoveKernel kernel(rates_);
+ShardedSweepScheduler* GibbsSampler::EffectiveScheduler(bool build_batch_schedule) {
+  if (external_scheduler_ != nullptr) {
+    return external_scheduler_;
+  }
   if (scheduler_ != nullptr) {
-    scheduler_->Run(
+    return scheduler_.get();
+  }
+  if (!build_batch_schedule) {
+    return nullptr;
+  }
+  if (batch_scheduler_ == nullptr) {
+    ShardedSweepOptions options;
+    options.shards = 1;
+    options.threads = 1;
+    const std::vector<SweepMove> moves = SweepMoves();
+    batch_scheduler_ = std::make_unique<ShardedSweepScheduler>(state_, moves, options);
+  } else if (batch_schedule_stale_) {
+    // MutableState() may have rerouted events since the last sweep; the move list is
+    // link-independent but the conflict coloring is not, so recolor before batching.
+    const std::vector<SweepMove> moves = SweepMoves();
+    batch_scheduler_->Rebuild(state_, moves);
+  }
+  batch_schedule_stale_ = false;
+  return batch_scheduler_.get();
+}
+
+void GibbsSampler::Sweep(Rng& rng) {
+  const std::span<double> cache(service_cache_);
+  if (options_.batched && !options_.shuffle_scan) {
+    ShardedSweepScheduler* scheduler = EffectiveScheduler(/*build_batch_schedule=*/true);
+    const BatchedExponentialMoveKernel kernel(rates_, options_.batch_width, cache);
+    if (options_.batched_reference) {
+      scheduler->RunBuckets(
+          [&](std::span<const SweepMove> bucket, std::uint64_t bucket_seed) {
+            kernel.RunBucketReference(state_, bucket, bucket_seed);
+          },
+          rng.NextU64());
+    } else {
+      scheduler->RunBuckets(
+          [&](std::span<const SweepMove> bucket, std::uint64_t bucket_seed) {
+            kernel.RunBucket(state_, bucket, bucket_seed);
+          },
+          rng.NextU64());
+    }
+    return;
+  }
+  const ExponentialMoveKernel kernel(rates_, cache);
+  ShardedSweepScheduler* scheduler = EffectiveScheduler(/*build_batch_schedule=*/false);
+  if (scheduler != nullptr) {
+    scheduler->Run(
         [&](const SweepMove& move, Rng& move_rng) { kernel.Apply(state_, move, move_rng); },
         rng.NextU64());
     return;
@@ -62,6 +110,34 @@ void GibbsSampler::EnableShardedSweeps(const ShardedSweepOptions& options) {
              "frozen per trace");
   const std::vector<SweepMove> moves = SweepMoves();
   scheduler_ = std::make_unique<ShardedSweepScheduler>(state_, moves, options);
+}
+
+void GibbsSampler::UseScheduler(ShardedSweepScheduler* scheduler) {
+  if (scheduler != nullptr) {
+    QNET_CHECK(!options_.shuffle_scan,
+               "sharded sweeps are incompatible with shuffle_scan: the colored schedule is "
+               "frozen per trace");
+    const std::vector<SweepMove> moves = SweepMoves();
+    scheduler->Rebuild(state_, moves);
+  }
+  external_scheduler_ = scheduler;
+}
+
+void GibbsSampler::EnableSuffStatsTracking() {
+  service_cache_.resize(state_.NumEvents());
+  for (EventId e = 0; static_cast<std::size_t>(e) < state_.NumEvents(); ++e) {
+    service_cache_[static_cast<std::size_t>(e)] = state_.ServiceTime(e);
+  }
+}
+
+void GibbsSampler::PerQueueServiceSumsInto(std::span<double> sums) const {
+  QNET_CHECK(SuffStatsTrackingEnabled(), "EnableSuffStatsTracking first");
+  QNET_CHECK(sums.size() == rates_.size(), "sums size mismatch");
+  std::fill(sums.begin(), sums.end(), 0.0);
+  for (EventId e = 0; static_cast<std::size_t>(e) < state_.NumEvents(); ++e) {
+    sums[static_cast<std::size_t>(state_.AtUnchecked(e).queue)] +=
+        service_cache_[static_cast<std::size_t>(e)];
+  }
 }
 
 std::vector<SweepMove> GibbsSampler::SweepMoves() const {

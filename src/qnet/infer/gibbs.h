@@ -23,6 +23,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "qnet/infer/move_kernel.h"
@@ -38,6 +39,21 @@ struct GibbsOptions {
   bool resample_final_departures = true;
   // Visit latent events in random order each sweep instead of id order.
   bool shuffle_scan = false;
+  // Execute sweeps through the batched SoA kernel: moves run in conflict-free buckets
+  // (colored once per trace) processed in `batch_width`-move tiles, with the per-segment
+  // transcendentals evaluated as contiguous vmath sweeps. Bit-identical for any thread
+  // count (the batch composition is a pure function of the schedule), but a different —
+  // equally distributed — stream layout than the scalar scan. Ignored under shuffle_scan,
+  // whose per-sweep random order has no fixed schedule to color.
+  bool batched = true;
+  // Tile width of the batched kernel (1..kMaxBatchWidth). Part of the stream layout.
+  std::size_t batch_width = BatchedExponentialMoveKernel::kDefaultWidth;
+  // Drive the batched schedule through the move-at-a-time reference kernel instead of
+  // the SIMD tiles: same buckets, same lane streams, bit-identical states. This is the
+  // batched kernel's A/B partner — the bit-equality tests and the benchmark gate compare
+  // the two executions of the identical algorithm — and is never faster, so production
+  // samplers leave it off. Only meaningful when `batched` is set.
+  bool batched_reference = false;
 };
 
 class GibbsSampler {
@@ -48,7 +64,15 @@ class GibbsSampler {
                GibbsOptions options = {});
 
   const EventLog& State() const { return state_; }
-  EventLog& MutableState() { return state_; }
+  // Mutating the state through this handle may change the link structure (e.g. route
+  // Metropolis-Hastings reassigning queues), so it marks the internal batched schedule
+  // stale; the next Sweep recolors it against the current links. Caller-supplied
+  // schedulers (EnableShardedSweeps / UseScheduler) keep their documented frozen-per-trace
+  // contract and are NOT rebuilt here.
+  EventLog& MutableState() {
+    batch_schedule_stale_ = true;
+    return state_;
+  }
 
   const std::vector<double>& Rates() const { return rates_; }
   void SetRates(std::vector<double> rates);
@@ -62,9 +86,32 @@ class GibbsSampler {
   // never on options.threads (bit-identical for any thread count); incompatible with
   // shuffle_scan, whose per-sweep random scan order has no fixed schedule to color.
   void EnableShardedSweeps(const ShardedSweepOptions& options = {});
-  bool ShardedSweepsEnabled() const { return scheduler_ != nullptr; }
+  bool ShardedSweepsEnabled() const {
+    return scheduler_ != nullptr || external_scheduler_ != nullptr;
+  }
   // Non-null iff sharded sweeps are enabled (coloring/shard diagnostics).
-  const ShardedSweepScheduler* Scheduler() const { return scheduler_.get(); }
+  const ShardedSweepScheduler* Scheduler() const {
+    return external_scheduler_ != nullptr ? external_scheduler_ : scheduler_.get();
+  }
+
+  // Like EnableShardedSweeps, but drives sweeps through a caller-owned scheduler that is
+  // Rebuilt here against this sampler's trace. Long-lived callers (the streaming window
+  // loop) pass the same scheduler to every sampler they create, so rescheduling reuses
+  // its buffers and thread pool instead of paying a fresh construction per window.
+  // Non-owning: `scheduler` must outlive the sampler; nullptr detaches.
+  void UseScheduler(ShardedSweepScheduler* scheduler);
+
+  // Fused M-step sufficient statistics. When enabled, every sweep keeps a per-event
+  // service-time cache coherent at move scatter, and PerQueueServiceSumsInto re-derives
+  // the per-queue sums from the cache in event-id order — bitwise the same totals as
+  // EventLog::PerQueueServiceSum's full scan (same terms, same addition order), without
+  // walking the event structs and their rho links per StEM iteration. Calling
+  // EnableSuffStatsTracking (again) resynchronizes the cache from the current state —
+  // required after mutating times through MutableState().
+  void EnableSuffStatsTracking();
+  bool SuffStatsTrackingEnabled() const { return !service_cache_.empty(); }
+  // sums.size() must equal the queue count. CHECK-fails unless tracking is enabled.
+  void PerQueueServiceSumsInto(std::span<double> sums) const;
 
   // The sweep's moves in sequential scan order: arrival moves, then final-departure moves
   // when enabled. The sharded schedule is a reordering of exactly this list.
@@ -78,6 +125,11 @@ class GibbsSampler {
   double LogJointExponential() const;
 
  private:
+  // The scheduler Sweep should route through: the caller-owned cache, then the owned one;
+  // for batched sweeps with neither, the lazily-built internal single-shard schedule
+  // (batching needs a coloring even when nothing runs in parallel).
+  ShardedSweepScheduler* EffectiveScheduler(bool build_batch_schedule);
+
   EventLog state_;
   std::vector<double> rates_;
   GibbsOptions options_;
@@ -85,6 +137,14 @@ class GibbsSampler {
   std::vector<SweepMove> final_moves_;
   std::vector<SweepMove> scan_buffer_;
   std::unique_ptr<ShardedSweepScheduler> scheduler_;
+  ShardedSweepScheduler* external_scheduler_ = nullptr;
+  // Internal shards=1/threads=1 schedule for the default batched path; built on first
+  // use so non-batched samplers never pay for it, recolored when MutableState() may have
+  // changed the link structure out from under the coloring.
+  std::unique_ptr<ShardedSweepScheduler> batch_scheduler_;
+  bool batch_schedule_stale_ = false;
+  // Per-event service times, kept coherent by move scatter when tracking is enabled.
+  std::vector<double> service_cache_;
 };
 
 }  // namespace qnet

@@ -21,14 +21,18 @@
 #ifndef QNET_INFER_MOVE_KERNEL_H_
 #define QNET_INFER_MOVE_KERNEL_H_
 
+#include <array>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "qnet/infer/conditional.h"
+#include "qnet/infer/piecewise_exp.h"
 #include "qnet/infer/slice.h"
 #include "qnet/model/event.h"
 #include "qnet/model/network.h"
 #include "qnet/obs/observation.h"
+#include "qnet/support/batch_rng.h"
 #include "qnet/support/rng.h"
 
 namespace qnet {
@@ -46,27 +50,114 @@ std::vector<SweepMove> ConcatSweepMoves(std::span<const SweepMove> arrival_moves
                                         std::span<const SweepMove> final_moves,
                                         bool include_finals);
 
+// Refreshes one event's entry in a fused sufficient-statistics cache: the derived service
+// time d_e - BeginService(e), stored per event id so the M-step can re-derive per-queue
+// sums without walking the event structs. The expression is the same as
+// EventLog::ServiceTime, so cache entries are bitwise equal to a fresh scan's terms.
+inline void RefreshServiceCacheEntry(const EventLog& state, EventId e,
+                                     std::span<double> cache) {
+  cache[static_cast<std::size_t>(e)] =
+      state.DepartureUnchecked(e) - state.BeginServiceUnchecked(e);
+}
+
+// Writes a sampled move result back into the log and keeps the optional service cache
+// coherent. An arrival move changes a_e and d_pi, so the affected service times are
+// {e, pi, nu(pi)}; a final-departure move changes d_e, affecting {e, nu(e)}. All of these
+// lie inside the move's footprint, so concurrent scatter of conflict-free moves never
+// races on cache entries. Shared by the scalar and batched kernels — the scatter is the
+// one place move results touch the log.
+inline void ScatterMoveResult(EventLog& state, const SweepMove& move, double sampled,
+                              std::span<double> service_cache) {
+  if (move.kind == MoveKind::kArrival) {
+    state.SetArrivalUnchecked(move.event, sampled);
+    const EventId pi = state.AtUnchecked(move.event).pi;
+    state.SetDepartureUnchecked(pi, sampled);
+    if (!service_cache.empty()) {
+      RefreshServiceCacheEntry(state, move.event, service_cache);
+      RefreshServiceCacheEntry(state, pi, service_cache);
+      const EventId nu_pi = state.AtUnchecked(pi).nu;
+      if (nu_pi != kNoEvent && nu_pi != move.event) {
+        RefreshServiceCacheEntry(state, nu_pi, service_cache);
+      }
+    }
+  } else {
+    state.SetDepartureUnchecked(move.event, sampled);
+    if (!service_cache.empty()) {
+      RefreshServiceCacheEntry(state, move.event, service_cache);
+      const EventId nu = state.AtUnchecked(move.event).nu;
+      if (nu != kNoEvent) {
+        RefreshServiceCacheEntry(state, nu, service_cache);
+      }
+    }
+  }
+}
+
 // Exponential-service kernel: exact three-piece conditional, inverse-CDF sampling. Fully
 // inline — the sequential sweep compiles to the same code as the pre-kernel loop.
 class ExponentialMoveKernel {
  public:
   // `rates` holds mu_q for every queue (index 0 = lambda) and must outlive the kernel.
-  explicit ExponentialMoveKernel(std::span<const double> rates) : rates_(rates) {}
+  // A non-empty `service_cache` (one slot per event) is kept coherent on every apply —
+  // the fused M-step statistics; see GibbsSampler::EnableSuffStatsTracking.
+  explicit ExponentialMoveKernel(std::span<const double> rates,
+                                 std::span<double> service_cache = {})
+      : rates_(rates), service_cache_(service_cache) {}
 
   void Apply(EventLog& state, const SweepMove& move, Rng& rng) const {
     if (move.kind == MoveKind::kArrival) {
       const ArrivalMove m = GatherArrivalMove(state, move.event, rates_);
-      const double a = SampleArrival(m, rng);
-      state.SetArrivalUnchecked(move.event, a);
-      state.SetDepartureUnchecked(state.AtUnchecked(move.event).pi, a);
+      ScatterMoveResult(state, move, SampleArrival(m, rng), service_cache_);
     } else {
       const FinalDepartureMove m = GatherFinalDepartureMove(state, move.event, rates_);
-      state.SetDepartureUnchecked(move.event, SampleFinalDeparture(m, rng));
+      ScatterMoveResult(state, move, SampleFinalDeparture(m, rng), service_cache_);
     }
   }
 
  private:
   std::span<const double> rates_;
+  std::span<double> service_cache_;
+};
+
+// Batched SoA kernel over one conflict-free bucket: the moves of a (color, shard) bucket
+// have pairwise disjoint footprints, so no gather depends on another move's scatter and
+// the bucket can be processed gather-all / finalize-all / sample-all / scatter-all in
+// fixed-width tiles. Per tile the transcendental work (one exp and one expm1 per segment)
+// runs as two contiguous vmath sweeps (PiecewiseExpBatch::FinalizeAll) instead of being
+// interleaved with gather/scatter control flow.
+//
+// Stream protocol (a pure function of the schedule): the bucket owns `width` lanes, lane
+// l seeded Rng(MixSeed(bucket_seed, l)); the move at bucket rank r draws from lane
+// r % width, and every move — including degenerate-window moves, which discard them —
+// consumes exactly two uniforms (segment pick, then inverse-CDF quantile). RunBucket and
+// RunBucketReference therefore produce bit-identical states: the reference path walks the
+// same lanes move-at-a-time through the scalar PiecewiseExpDensity (whose Finalize /
+// SampleWith run the same vmath arithmetic), which is the correctness oracle pinned by
+// tests/test_move_batch.cc.
+class BatchedExponentialMoveKernel {
+ public:
+  static constexpr std::size_t kDefaultWidth = 32;
+
+  // `width` is the tile width in moves (1 <= width <= kMaxBatchWidth); it is part of the
+  // stream layout, so changing it changes the sampled values (not the distribution).
+  explicit BatchedExponentialMoveKernel(std::span<const double> rates,
+                                        std::size_t width = kDefaultWidth,
+                                        std::span<double> service_cache = {});
+
+  // Processes one conflict-free bucket in SIMD-width tiles.
+  void RunBucket(EventLog& state, std::span<const SweepMove> moves,
+                 std::uint64_t bucket_seed) const;
+
+  // Move-at-a-time reference consuming the identical lane streams; kept as the readable
+  // specification of RunBucket and pinned bit-identical to it by tests.
+  void RunBucketReference(EventLog& state, std::span<const SweepMove> moves,
+                          std::uint64_t bucket_seed) const;
+
+  std::size_t Width() const { return width_; }
+
+ private:
+  std::span<const double> rates_;
+  std::span<double> service_cache_;
+  std::size_t width_;
 };
 
 // General-service kernel: the same move geometry, conditional evaluated through the

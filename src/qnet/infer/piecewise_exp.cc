@@ -2,15 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "qnet/support/check.h"
 #include "qnet/support/logspace.h"
+#include "qnet/support/vmath.h"
 
 namespace qnet {
 namespace {
 
-// Below this |beta| * width the segment is numerically uniform.
-constexpr double kFlatThreshold = 1e-12;
+// Below this |beta| * width the segment's mass is computed as if uniform. The threshold
+// balances the flat approximation's relative error (~|u|/2) against the cancellation in
+// the two-exp mass formula (~1e-16/|u|); both are ~1e-8 at the crossover. Sampling keeps
+// its own tighter 1e-12 branch point in SampleExpLinear — mass and inverse-CDF thresholds
+// are independent (mass only weights the segment pick).
+constexpr double kFlatThreshold = 1.5e-8;
 
 }  // namespace
 
@@ -51,29 +57,29 @@ void PiecewiseExpDensity::Finalize() {
   QNET_CHECK(peak > kNegInf && peak < kPosInf, "density peak is not finite");
   peak_log_value_ = peak;
 
-  // Segment masses relative to the peak:  mass_i = exp(peak_i - peak) * R_i, where R_i is
-  // the integral of exp(beta (x - argpeak_i)) over the segment — computed with one expm1,
-  // never overflowing because the integrand is anchored at its maximum.
+  // Segment masses relative to the peak:  mass_i = (exp(gap) - exp(gap - |u|)) / |beta|
+  // with gap = peak_i - peak <= 0 and u = beta * width — the integral of the shifted
+  // exponential, anchored at the segment's peak end so neither exp can overflow. Two exps
+  // instead of the exp * expm1 product: cheaper, and the unbounded tail folds in for free
+  // because |u| == inf makes the second exp exactly zero. The subtraction cancels for
+  // near-flat segments, costing relative mass accuracy ~1e-16/|u|, capped at ~1e-8 where
+  // the flat arm takes over (see kFlatThreshold). The transcendentals run on vmath so
+  // this scalar path and PiecewiseExpBatch::FinalizeAll compute bit-identical masses.
   double total = 0.0;
   for (std::size_t i = 0; i < num_segments_; ++i) {
     const ExpSegment& seg = segments_[i];
     const double gap = peak_value[i] - peak;
-    const double scale = gap == 0.0 ? 1.0 : std::exp(gap);  // in (0, 1]
-    double reduced;
-    if (seg.hi == kPosInf) {
-      reduced = 1.0 / (-seg.beta);
+    const double scale = vmath::Exp(gap);  // in (0, 1]
+    const double width = seg.hi - seg.lo;  // +inf on the unbounded tail
+    const double u = seg.beta * width;     // -inf there (beta < 0)
+    double mass;
+    if (std::abs(u) < kFlatThreshold) {
+      mass = scale * width;
     } else {
-      const double width = seg.hi - seg.lo;
-      const double u = seg.beta * width;
-      if (std::abs(u) < kFlatThreshold) {
-        reduced = width;
-      } else {
-        // (1 - exp(-|u|)) / |beta|, the integral anchored at the segment's peak end.
-        reduced = -std::expm1(-std::abs(u)) / std::abs(seg.beta);
-      }
+      mass = (scale - vmath::Exp(gap - std::abs(u))) / std::abs(seg.beta);
     }
-    mass_[i] = scale * reduced;
-    total += mass_[i];
+    mass_[i] = mass;
+    total += mass;
   }
   total_mass_ = total;
   QNET_CHECK(total > 0.0, "density has zero total mass");
@@ -89,10 +95,18 @@ double PiecewiseExpDensity::LogNormalizer() const {
 }
 
 double PiecewiseExpDensity::Sample(Rng& rng) const {
+  // Explicit draw order (pick first, inverse-CDF second) — the two-uniform protocol every
+  // sampling path shares, batched or not.
+  const double u_pick = rng.Uniform();
+  const double u_inv = rng.Uniform();
+  return SampleWith(u_pick, u_inv);
+}
+
+double PiecewiseExpDensity::SampleWith(double u_pick, double u_inv) const {
   QNET_CHECK(finalized_, "Finalize first");
   // Pick a segment proportionally to its mass (plain arithmetic on the linear masses),
   // then inverse-CDF within the segment.
-  double u = rng.Uniform() * total_mass_;
+  double u = u_pick * total_mass_;
   std::size_t pick = num_segments_ - 1;
   for (std::size_t i = 0; i + 1 < num_segments_; ++i) {
     u -= mass_[i];
@@ -102,7 +116,7 @@ double PiecewiseExpDensity::Sample(Rng& rng) const {
     }
   }
   const ExpSegment& seg = segments_[pick];
-  return SampleExpLinear(seg.beta, seg.lo, seg.hi, rng.Uniform());
+  return SampleExpLinear(seg.beta, seg.lo, seg.hi, u_inv);
 }
 
 double PiecewiseExpDensity::LogPdf(double x) const {
@@ -181,6 +195,176 @@ double PiecewiseExpDensity::SupportLo() const {
 double PiecewiseExpDensity::SupportHi() const {
   QNET_CHECK(num_segments_ > 0, "density has no support");
   return segments_[num_segments_ - 1].hi;
+}
+
+void PiecewiseExpBatch::FinalizeAll() {
+  QNET_CHECK(!finalized_, "FinalizeAll called twice");
+  const std::size_t nm = num_moves_;
+
+  // AddSegment already derived everything per segment (value, width, u, |beta|), so this
+  // starts at the per-move peak fold. Every rectangular pass stops at the batch's
+  // highest live rank rather than kStride: a rank that is dead in every move would only
+  // contribute exact zeros (masses) and -inf (peak candidates), so skipping it cannot
+  // change a bit — and most conditionals have one or two segments, making rank 2 usually
+  // all-dead. Rank 0 is processed even in an all-empty batch (ks >= 1): BeginMove
+  // dropped its values to -inf, so it computes defined zeros rather than reading stale
+  // slots downstream.
+  const std::size_t ks = std::max<std::size_t>(max_count_, 1);
+
+  // Per-move peak as an elementwise max fold across live ranks (max is exact, so any
+  // association matches the scalar loop bit for bit; a dead rank's -inf — pre-dropped by
+  // BeginMove — never wins). Empty moves anchor at 0 so their gaps stay -inf (mass 0)
+  // instead of producing -inf - -inf = NaN. Validity accumulates as an OR-reduction (a
+  // bool && chain would serialize the loop).
+  std::array<double, kMaxMoves> anchor;
+  for (std::size_t m = 0; m < nm; ++m) {
+    anchor[m] = value_[m];
+  }
+  for (std::size_t k = 1; k < ks; ++k) {
+    const std::size_t base = k * kMaxMoves;
+    for (std::size_t m = 0; m < nm; ++m) {
+      anchor[m] = std::max(anchor[m], value_[base + m]);
+    }
+  }
+  std::uint32_t bad_peaks = 0;
+  for (std::size_t m = 0; m < nm; ++m) {
+    const double peak = anchor[m];
+    const bool empty = counts_[m] == 0;
+    const bool finite = bool(peak > kNegInf) & bool(peak < kPosInf);
+    bad_peaks |= (!empty & !finite) ? 1u : 0u;
+    anchor[m] = empty ? 0.0 : peak;
+  }
+  QNET_CHECK(bad_peaks == 0, "a density peak in the batch is not finite");
+
+  // Fused mass pass over the live (move, segment-rank) slots: peak gap, both exps of the
+  // two-exp mass formula — evaluated inline (vmath::Exp is an inline polynomial kernel,
+  // so the whole loop still vectorizes; no gap/exp arrays are materialized) — and the
+  // mass select. Every case of the scalar Finalize collapses into one select:
+  //  * flat (|u| < threshold):  mass = exp(gap) * width — the explicit arm (the dead
+  //    slope arm divides by |beta| == 0 there; the NaN is computed and discarded);
+  //  * bounded non-flat:        mass = (exp(gap) - exp(gap - |u|)) / |beta|;
+  //  * unbounded tail (u == -inf, not flat because |u| == inf): exp(gap - inf) == 0
+  //    exactly, so mass = exp(gap) / |beta| — the same bits as the scalar arm;
+  //  * dead rank below a live one: value -inf makes gap -inf and both exps exactly 0, so
+  //    the mass is 0 whichever arm the stale width/u/|beta| select (they are mutually
+  //    consistent: |u| tiny only with finite width and, when |beta| == 0, the flat arm).
+  for (std::size_t k = 0; k < ks; ++k) {
+    const std::size_t base = k * kMaxMoves;
+    for (std::size_t m = 0; m < nm; ++m) {
+      const double gap = value_[base + m] - anchor[m];
+      const double au = std::abs(u_[base + m]);
+      const double e1 = vmath::Exp(gap);
+      const double e2 = vmath::Exp(gap - au);
+      const double flat_mass = e1 * width_[base + m];
+      const double slope_mass = (e1 - e2) / abs_beta_[base + m];
+      mass_[base + m] = au < kFlatThreshold ? flat_mass : slope_mass;
+    }
+  }
+
+  // The left-fold total matches the scalar Finalize's running sum (trailing exact zeros
+  // from dead ranks cannot change a nonnegative double, so stopping at ks is exact too).
+  for (std::size_t m = 0; m < nm; ++m) {
+    total_mass_[m] = mass_[m];
+  }
+  for (std::size_t k = 1; k < ks; ++k) {
+    const std::size_t base = k * kMaxMoves;
+    for (std::size_t m = 0; m < nm; ++m) {
+      total_mass_[m] += mass_[base + m];
+    }
+  }
+  std::uint32_t bad_totals = 0;
+  for (std::size_t m = 0; m < nm; ++m) {
+    const double total = total_mass_[m];
+    const bool ok = bool(counts_[m] == 0) | (bool(total > 0.0) & bool(total < kPosInf));
+    bad_totals |= ok ? 0u : 1u;
+  }
+  QNET_CHECK(bad_totals == 0, "a density in the batch has zero or non-finite total mass");
+  finalized_ = true;
+}
+
+void PiecewiseExpBatch::SampleAll(std::span<const double> u_pick,
+                                  std::span<const double> u_inv,
+                                  std::span<double> out) const {
+  QNET_DCHECK(finalized_, "FinalizeAll first");
+  QNET_DCHECK(u_pick.size() >= num_moves_ && u_inv.size() >= num_moves_ &&
+                  out.size() >= num_moves_,
+              "uniform/output rows shorter than the batch");
+  // Pass 1 (branchless): the segment pick as the same *sequential* subtractions
+  // SampleWith performs — t1 = u - mass0, t2 = t1 - mass1, pick = first negative — so
+  // borderline rounding agrees bit for bit, clamped to the move's last live rank (the
+  // scalar loop's count - 1 default; quantile u < total can survive all subtractions).
+  // The picked segment's parameters are then rank-selects across the three contiguous
+  // rows (no gathers), and the lanes SampleExpLinear would route through a rare branch —
+  // numerically flat pick, large positive exponent — or that are empty are flagged for
+  // the scalar patch-up loop; their staged values flow through the common formula as
+  // garbage (possibly inf/NaN, never a trap) and are discarded by the merge.
+  static_assert(kStride == 3, "the rank selects below assume stride 3");
+  const std::size_t nm = num_moves_;
+  std::array<double, kMaxMoves> su;      // exponent u of the picked segment
+  std::array<double, kMaxMoves> slo;     // picked segment's lo
+  std::array<double, kMaxMoves> shi;     // picked segment's hi
+  std::array<double, kMaxMoves> sbeta;   // picked segment's beta
+  std::array<double, kMaxMoves> swidth;  // picked segment's width
+  std::array<std::uint32_t, kMaxMoves> rare;
+  std::uint32_t any_rare = 0;
+  for (std::size_t m = 0; m < nm; ++m) {
+    const std::uint32_t count = counts_[m];
+    const double t1 = u_pick[m] * total_mass_[m] - mass_[m];
+    const double t2 = t1 - mass_[kMaxMoves + m];
+    const std::size_t ordinal = t1 < 0.0 ? 0u : (t2 < 0.0 ? 1u : 2u);
+    const std::size_t last = count == 0 ? 0u : count - 1;
+    const std::size_t pick = ordinal < last ? ordinal : last;
+    const double uu = pick == 0 ? u_[m] : pick == 1 ? u_[kMaxMoves + m] : u_[2 * kMaxMoves + m];
+    su[m] = uu;
+    slo[m] = pick == 0 ? lo_[m] : pick == 1 ? lo_[kMaxMoves + m] : lo_[2 * kMaxMoves + m];
+    shi[m] = pick == 0 ? hi_[m] : pick == 1 ? hi_[kMaxMoves + m] : hi_[2 * kMaxMoves + m];
+    sbeta[m] =
+        pick == 0 ? beta_[m] : pick == 1 ? beta_[kMaxMoves + m] : beta_[2 * kMaxMoves + m];
+    swidth[m] = pick == 0 ? width_[m]
+                : pick == 1 ? width_[kMaxMoves + m]
+                            : width_[2 * kMaxMoves + m];
+    const std::uint32_t r =
+        (bool(std::abs(uu) < 1e-12) | bool(uu >= 30.0) | bool(count == 0)) ? 1u : 0u;
+    rare[m] = r;
+    any_rare |= r;
+  }
+  // Pass 2: the tile's inverse-CDF transcendentals as one fused vectorized loop
+  // (vmath::Exp / vmath::Log are the same inline kernels SampleExpLinear runs, so lane
+  // values match it bit for bit): x = lo + log((1-v) + v*exp(u)) / beta. The
+  // semi-infinite tail needs no arm of its own because exp(-inf) == 0 bitwise. The store
+  // is unconditional into a staging row: blending into out[m] in the same loop (a load
+  // of out under a bool) defeats gcc's if-conversion of the Log kernel's selects,
+  // dropping the whole loop to scalar.
+  std::array<double, kMaxMoves> sres;
+  for (std::size_t m = 0; m < nm; ++m) {
+    const double v = u_inv[m];
+    const double e = vmath::Exp(su[m]);
+    const double arg = (1.0 - v) + v * e;
+    sres[m] = slo[m] + vmath::Log(arg) / sbeta[m];
+  }
+  for (std::size_t m = 0; m < nm; ++m) {
+    if (!rare[m]) {
+      out[m] = sres[m];
+    }
+  }
+  if (any_rare == 0) {
+    return;  // Whole tile took the common branch — typical.
+  }
+  // Scalar patch-up for the flagged lanes, on the staged parameters and the same vmath
+  // kernels as SampleExpLinear's corresponding arms. Empty slots stay untouched: the
+  // kernel writes the degenerate midpoint itself.
+  for (std::size_t m = 0; m < nm; ++m) {
+    if (!rare[m] || counts_[m] == 0) {
+      continue;
+    }
+    const double uu = su[m];
+    const double v = u_inv[m];
+    if (std::abs(uu) < 1e-12) {
+      out[m] = slo[m] + v * swidth[m];
+    } else {
+      out[m] = shi[m] + vmath::Log(v + (1.0 - v) * vmath::Exp(-uu)) / sbeta[m];
+    }
+  }
 }
 
 }  // namespace qnet

@@ -2,14 +2,11 @@
 
 #include <algorithm>
 
-#include "qnet/model/conflict.h"
 #include "qnet/support/check.h"
 
 namespace qnet {
 
-ShardedSweepScheduler::ShardedSweepScheduler(const EventLog& log,
-                                             std::span<const SweepMove> moves,
-                                             const ShardedSweepOptions& options)
+ShardedSweepScheduler::ShardedSweepScheduler(const ShardedSweepOptions& options)
     : shards_(std::max<std::size_t>(1, options.shards)) {
   std::size_t threads = options.threads;
   if (threads == 0) {
@@ -18,29 +15,7 @@ ShardedSweepScheduler::ShardedSweepScheduler(const EventLog& log,
   }
   threads_ = std::max<std::size_t>(1, std::min(threads, shards_));
 
-  const MoveColoring coloring = ColorSweepMoves(log, moves);
-  num_colors_ = static_cast<std::size_t>(coloring.num_colors);
-
-  // Counting sort of the moves into (color, shard) buckets; within a bucket moves keep
-  // their class-rank order, so the schedule is a pure function of (moves, shards).
-  const std::size_t buckets = num_colors_ * shards_;
-  bucket_offsets_.assign(buckets + 1, 0);
-  std::vector<std::size_t> rank_in_class(num_colors_, 0);
-  std::vector<std::size_t> bucket_of(moves.size());
-  for (std::size_t i = 0; i < moves.size(); ++i) {
-    const auto c = static_cast<std::size_t>(coloring.color[i]);
-    const std::size_t s = rank_in_class[c]++ % shards_;
-    bucket_of[i] = c * shards_ + s;
-    ++bucket_offsets_[bucket_of[i] + 1];
-  }
-  for (std::size_t b = 0; b < buckets; ++b) {
-    bucket_offsets_[b + 1] += bucket_offsets_[b];
-  }
-  schedule_.resize(moves.size());
-  std::vector<std::size_t> cursor(bucket_offsets_.begin(), bucket_offsets_.end() - 1);
-  for (std::size_t i = 0; i < moves.size(); ++i) {
-    schedule_[cursor[bucket_of[i]]++] = moves[i];
-  }
+  bucket_offsets_.assign(1, 0);
 
   if (threads_ > 1) {
     class_barrier_.emplace(static_cast<std::ptrdiff_t>(threads_));
@@ -49,6 +24,39 @@ ShardedSweepScheduler::ShardedSweepScheduler(const EventLog& log,
     for (std::size_t t = 1; t < threads_; ++t) {
       workers_.emplace_back([this, t] { WorkerLoop(t); });
     }
+  }
+}
+
+ShardedSweepScheduler::ShardedSweepScheduler(const EventLog& log,
+                                             std::span<const SweepMove> moves,
+                                             const ShardedSweepOptions& options)
+    : ShardedSweepScheduler(options) {
+  Rebuild(log, moves);
+}
+
+void ShardedSweepScheduler::Rebuild(const EventLog& log, std::span<const SweepMove> moves) {
+  ColorSweepMovesInto(log, moves, coloring_scratch_, coloring_);
+  num_colors_ = static_cast<std::size_t>(coloring_.num_colors);
+
+  // Counting sort of the moves into (color, shard) buckets; within a bucket moves keep
+  // their class-rank order, so the schedule is a pure function of (moves, shards).
+  const std::size_t buckets = num_colors_ * shards_;
+  bucket_offsets_.assign(buckets + 1, 0);
+  rank_in_class_.assign(num_colors_, 0);
+  bucket_of_.resize(moves.size());
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    const auto c = static_cast<std::size_t>(coloring_.color[i]);
+    const std::size_t s = rank_in_class_[c]++ % shards_;
+    bucket_of_[i] = c * shards_ + s;
+    ++bucket_offsets_[bucket_of_[i] + 1];
+  }
+  for (std::size_t b = 0; b < buckets; ++b) {
+    bucket_offsets_[b + 1] += bucket_offsets_[b];
+  }
+  schedule_.resize(moves.size());
+  cursor_.assign(bucket_offsets_.begin(), bucket_offsets_.end() - 1);
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    schedule_[cursor_[bucket_of_[i]]++] = moves[i];
   }
 }
 
@@ -75,27 +83,48 @@ std::span<const SweepMove> ShardedSweepScheduler::Bucket(std::size_t color,
 
 void ShardedSweepScheduler::Run(FunctionRef<void(const SweepMove&, Rng&)> apply,
                                 std::uint64_t sweep_seed) {
+  // Per-move execution is the bucket-granular loop with the bucket's stream threaded
+  // through its moves in order — the historical semantics, bit for bit.
+  const auto per_move = [&apply](std::span<const SweepMove> bucket, std::uint64_t seed) {
+    Rng rng(seed);
+    for (const SweepMove& move : bucket) {
+      apply(move, rng);
+    }
+  };
+  RunBuckets(FunctionRef<void(std::span<const SweepMove>, std::uint64_t)>(per_move),
+             sweep_seed);
+}
+
+void ShardedSweepScheduler::RunBuckets(
+    FunctionRef<void(std::span<const SweepMove>, std::uint64_t)> run_bucket,
+    std::uint64_t sweep_seed) {
   if (threads_ <= 1) {
     // Sequential, allocation-free loop — no pool, no barrier.
     for (std::size_t c = 0; c < num_colors_; ++c) {
       for (std::size_t s = 0; s < shards_; ++s) {
-        RunBucket(c, s, apply, sweep_seed);
+        RunBucket(c, s, run_bucket, sweep_seed);
       }
     }
     return;
   }
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    apply_ = &apply;
+    run_bucket_ = &run_bucket;
     sweep_seed_ = sweep_seed;
     std::fill(errors_.begin(), errors_.end(), std::exception_ptr());
+    inflight_workers_ = threads_ - 1;
     ++generation_;
   }
   cv_.notify_all();
   RunParticipant(0);
-  // Passing the last class barrier means every participant finished every bucket (the
-  // barrier synchronizes-with their writes), so errors_ is stable to read here.
-  apply_ = nullptr;
+  {
+    // Wait for every worker's check-in, not just the last class barrier: with zero color
+    // classes there is no barrier at all, and a worker that wakes after this sweep ends
+    // must never observe a retired run_bucket_ or a Rebuilt class count.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return inflight_workers_ == 0; });
+    run_bucket_ = nullptr;
+  }
   for (const std::exception_ptr& error : errors_) {
     if (error) {
       std::rethrow_exception(error);
@@ -108,7 +137,7 @@ void ShardedSweepScheduler::RunParticipant(std::size_t t) {
     if (!errors_[t]) {
       try {
         for (std::size_t s = t; s < shards_; s += threads_) {
-          RunBucket(c, s, *apply_, sweep_seed_);
+          RunBucket(c, s, *run_bucket_, sweep_seed_);
         }
       } catch (...) {
         errors_[t] = std::current_exception();
@@ -130,22 +159,26 @@ void ShardedSweepScheduler::WorkerLoop(std::size_t t) {
       seen = generation_;
     }
     RunParticipant(t);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (--inflight_workers_ == 0) {
+        done_cv_.notify_one();
+      }
+    }
   }
 }
 
-void ShardedSweepScheduler::RunBucket(std::size_t color, std::size_t shard,
-                                      FunctionRef<void(const SweepMove&, Rng&)> apply,
-                                      std::uint64_t sweep_seed) const {
+void ShardedSweepScheduler::RunBucket(
+    std::size_t color, std::size_t shard,
+    FunctionRef<void(std::span<const SweepMove>, std::uint64_t)> run_bucket,
+    std::uint64_t sweep_seed) const {
   const std::size_t b = color * shards_ + shard;
   const std::size_t begin = bucket_offsets_[b];
   const std::size_t end = bucket_offsets_[b + 1];
   if (begin == end) {
     return;
   }
-  Rng rng(MixSeed(MixSeed(sweep_seed, color), shard));
-  for (std::size_t i = begin; i < end; ++i) {
-    apply(schedule_[i], rng);
-  }
+  run_bucket({schedule_.data() + begin, end - begin}, MixSeed(MixSeed(sweep_seed, color), shard));
 }
 
 }  // namespace qnet

@@ -15,14 +15,21 @@
 // Determinism contract (mirrors the PR-1 multi-chain contract):
 //  * bucket (color c, shard s) of a sweep with seed w consumes its own xoshiro stream
 //    seeded MixSeed(MixSeed(w, c), s) — a pure function of (w, c, s), never of timing;
-//  * the move -> (color, shard) assignment is frozen at construction (round-robin by rank
+//  * the move -> (color, shard) assignment is frozen at Rebuild (round-robin by rank
 //    within the color class), so which stream samples which move never changes;
 //  * threads only decide which CPU runs a bucket; results are bit-identical for every
 //    thread count, including 1. After the pool is warm, Run performs zero heap
 //    allocations for any thread count (the per-move hot-path contract of
-//    tests/test_alloc_free.cc).
+//    tests/test_alloc_free.cc), and a same-shaped Rebuild reuses every buffer's capacity
+//    (the streaming estimators re-schedule every window).
 // Changing `shards` (or the move order) legitimately changes the stream layout and hence
 // the sampled values; it does not change the stationary distribution.
+//
+// Execution granularity: Run applies one move at a time from the bucket's stream;
+// RunBuckets hands each non-empty bucket (its move slice plus its stream seed) to the
+// caller in one piece, which is what the batched SoA kernel needs to process a bucket in
+// SIMD-width tiles. Both walk the identical schedule, so the choice of entry point never
+// changes which moves share a bucket.
 
 #ifndef QNET_INFER_SHARDED_SWEEP_H_
 #define QNET_INFER_SHARDED_SWEEP_H_
@@ -38,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "qnet/model/conflict.h"
 #include "qnet/model/event.h"
 #include "qnet/support/function_ref.h"
 #include "qnet/support/rng.h"
@@ -55,10 +63,11 @@ struct ShardedSweepOptions {
 
 class ShardedSweepScheduler {
  public:
-  // Colors `moves` against `log`'s link structure and freezes the (color, shard)
-  // partition. The coloring reads links only — never times — so the schedule stays valid
-  // while a sampler mutates times in place. All buffers are sized and all worker threads
-  // launched here; Run allocates nothing.
+  // Resolves shard/thread counts and launches the worker pool; the schedule is empty
+  // until Rebuild. Constructing once and Rebuilding per trace is how long-lived callers
+  // (streaming windows) amortize both the thread launch and the schedule buffers.
+  explicit ShardedSweepScheduler(const ShardedSweepOptions& options = {});
+  // Convenience: construct and build the schedule in one step.
   ShardedSweepScheduler(const EventLog& log, std::span<const SweepMove> moves,
                         const ShardedSweepOptions& options = {});
   ~ShardedSweepScheduler();
@@ -66,11 +75,24 @@ class ShardedSweepScheduler {
   ShardedSweepScheduler(const ShardedSweepScheduler&) = delete;
   ShardedSweepScheduler& operator=(const ShardedSweepScheduler&) = delete;
 
-  // Executes one sweep. `apply` must be safe to call concurrently on moves with disjoint
-  // footprints (MoveKernel::Apply is). `sweep_seed` must change every sweep — the sweep
-  // drivers draw it from their chain stream (rng.NextU64()) so sweep seeds form a
-  // deterministic sequence per chain.
+  // Colors `moves` against `log`'s link structure and freezes the (color, shard)
+  // partition. The coloring reads links only — never times — so the schedule stays valid
+  // while a sampler mutates times in place. Must not be called while a sweep is running.
+  // Reuses all internal buffers; a same-shaped rebuild allocates nothing once warm.
+  void Rebuild(const EventLog& log, std::span<const SweepMove> moves);
+
+  // Executes one sweep, one move at a time. `apply` must be safe to call concurrently on
+  // moves with disjoint footprints (MoveKernel::Apply is). `sweep_seed` must change every
+  // sweep — the sweep drivers draw it from their chain stream (rng.NextU64()) so sweep
+  // seeds form a deterministic sequence per chain.
   void Run(FunctionRef<void(const SweepMove&, Rng&)> apply, std::uint64_t sweep_seed);
+
+  // Executes one sweep at bucket granularity: `run_bucket` receives each non-empty
+  // bucket's move slice and its stream seed MixSeed(MixSeed(sweep_seed, color), shard),
+  // and must consume that stream deterministically (the batched kernel's lane protocol).
+  // Same schedule, same concurrency rules, and the same barrier structure as Run.
+  void RunBuckets(FunctionRef<void(std::span<const SweepMove>, std::uint64_t)> run_bucket,
+                  std::uint64_t sweep_seed);
 
   std::size_t NumMoves() const { return schedule_.size(); }
   std::size_t NumColors() const { return num_colors_; }
@@ -82,7 +104,7 @@ class ShardedSweepScheduler {
 
  private:
   void RunBucket(std::size_t color, std::size_t shard,
-                 FunctionRef<void(const SweepMove&, Rng&)> apply,
+                 FunctionRef<void(std::span<const SweepMove>, std::uint64_t)> run_bucket,
                  std::uint64_t sweep_seed) const;
   // One sweep's worth of work for participant t: its shards of every color class, with
   // the class barrier after each. Exceptions are parked in errors_[t] and the thread
@@ -96,15 +118,28 @@ class ShardedSweepScheduler {
   std::vector<SweepMove> schedule_;          // moves grouped by (color, shard)
   std::vector<std::size_t> bucket_offsets_;  // num_colors_ * shards_ + 1 entries
 
-  // Persistent pool (threads_ > 1 only). Run publishes {apply_, sweep_seed_} and bumps
-  // generation_ under mu_; parked workers wake, run RunParticipant, and park again. The
-  // caller runs RunParticipant(0) itself, and the final class barrier doubles as the
-  // completion barrier: when the caller passes it, every bucket of the sweep is done.
+  // Rebuild scratch, kept as members so per-trace rescheduling reuses capacity.
+  ColoringScratch coloring_scratch_;
+  MoveColoring coloring_;
+  std::vector<std::size_t> rank_in_class_;
+  std::vector<std::size_t> bucket_of_;
+  std::vector<std::size_t> cursor_;
+
+  // Persistent pool (threads_ > 1 only). RunBuckets publishes {run_bucket_, sweep_seed_}
+  // and bumps generation_ under mu_; parked workers wake, run RunParticipant, and park
+  // again. The caller runs RunParticipant(0) itself, then blocks on done_cv_ until every
+  // worker has checked back in. The explicit check-in (rather than the final class
+  // barrier) is load-bearing: a schedule can have zero color classes, and Rebuild may
+  // change the class count between sweeps, so the caller must not return — and the next
+  // Rebuild/RunBuckets must not start — while a late-waking worker could still read this
+  // generation's {run_bucket_, num_colors_}.
   std::mutex mu_;
   std::condition_variable cv_;
+  std::condition_variable done_cv_;
   std::uint64_t generation_ = 0;
+  std::size_t inflight_workers_ = 0;
   bool stop_ = false;
-  const FunctionRef<void(const SweepMove&, Rng&)>* apply_ = nullptr;
+  const FunctionRef<void(std::span<const SweepMove>, std::uint64_t)>* run_bucket_ = nullptr;
   std::uint64_t sweep_seed_ = 0;
   std::optional<std::barrier<>> class_barrier_;
   std::vector<std::exception_ptr> errors_;

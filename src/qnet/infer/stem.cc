@@ -13,6 +13,16 @@ std::vector<double> StemEstimator::MStep(const EventLog& log, double service_sum
   const std::vector<double> sums = log.PerQueueServiceSum();
   const std::vector<std::size_t> counts = log.PerQueueCount();
   std::vector<double> rates(sums.size(), 0.0);
+  MStepFromSums(sums, counts, rates, service_sum_floor, arrival_time_origin);
+  return rates;
+}
+
+void StemEstimator::MStepFromSums(std::span<const double> sums,
+                                  std::span<const std::size_t> counts,
+                                  std::span<double> rates, double service_sum_floor,
+                                  double arrival_time_origin) {
+  QNET_CHECK(sums.size() == counts.size() && sums.size() == rates.size(),
+             "per-queue statistic sizes disagree");
   for (std::size_t q = 0; q < sums.size(); ++q) {
     QNET_CHECK(counts[q] > 0, "queue ", q, " has no events; cannot estimate its rate");
     // Queue 0's sum telescopes to the imputed last entry time; re-anchoring it to the
@@ -27,7 +37,6 @@ std::vector<double> StemEstimator::MStep(const EventLog& log, double service_sum
     }
     rates[q] = static_cast<double>(counts[q]) / std::max(sum, service_sum_floor);
   }
-  return rates;
 }
 
 StemResult StemEstimator::Run(const EventLog& truth, const Observation& obs,
@@ -43,11 +52,20 @@ StemResult StemEstimator::Run(const EventLog& truth, const Observation& obs,
 
   EventLog state = InitializeFeasible(truth, obs, init_rates, rng, options_.init);
   GibbsSampler gibbs(std::move(state), obs, init_rates, options_.gibbs);
-  if (options_.sharded_sweeps) {
+  if (options_.scheduler_cache != nullptr) {
+    gibbs.UseScheduler(options_.scheduler_cache);
+  } else if (options_.sharded_sweeps) {
     gibbs.EnableShardedSweeps(options_.sharded);
   }
+  // Fused sufficient statistics: sweeps keep the per-event service cache coherent, so the
+  // per-iteration M-step reads per-queue sums off the cache (bit-equal to the historical
+  // PerQueueServiceSum scan) and the counts — constant under the fixed link structure —
+  // are gathered exactly once.
+  gibbs.EnableSuffStatsTracking();
+  const std::vector<std::size_t> counts = gibbs.State().PerQueueCount();
 
   const std::size_t num_queues = init_rates.size();
+  std::vector<double> sums(num_queues, 0.0);
   std::vector<double> rates = std::move(init_rates);
   std::vector<double> rate_accum(num_queues, 0.0);
   std::size_t accum_count = 0;
@@ -66,9 +84,11 @@ StemResult StemEstimator::Run(const EventLog& truth, const Observation& obs,
     for (std::size_t s = 0; s < options_.sweeps_per_iteration; ++s) {
       gibbs.Sweep(rng);
     }
-    // M-step: complete-data MLE on the imputed log.
-    std::vector<double> new_rates =
-        MStep(gibbs.State(), options_.service_sum_floor, options_.arrival_time_origin);
+    // M-step: complete-data MLE on the fused statistics of the imputed log.
+    gibbs.PerQueueServiceSumsInto(sums);
+    std::vector<double> new_rates(num_queues, 0.0);
+    MStepFromSums(sums, counts, new_rates, options_.service_sum_floor,
+                  options_.arrival_time_origin);
     if (!options_.estimate_arrival_rate) {
       new_rates[0] = rates[0];
     }

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "qnet/infer/gibbs.h"
@@ -64,6 +65,12 @@ struct StemOptions {
   // online/windowed estimation inherits this through OnlineStemOptions::stem.
   bool sharded_sweeps = false;
   ShardedSweepOptions sharded;
+  // Caller-owned scheduler this run's sampler is rebuilt onto (see
+  // GibbsSampler::UseScheduler), overriding sharded_sweeps/sharded. The streaming
+  // estimators keep one per lane so every window reuses its buffers and worker pool
+  // instead of constructing a scheduler per fit. Non-owning; runs sharing a cache must
+  // not execute concurrently.
+  ShardedSweepScheduler* scheduler_cache = nullptr;
 };
 
 struct StemResult {
@@ -100,6 +107,16 @@ class StemEstimator {
   // rate (queue 0) measures its service sum from `arrival_time_origin` (see StemOptions).
   static std::vector<double> MStep(const EventLog& log, double service_sum_floor = 1e-9,
                                    double arrival_time_origin = 0.0);
+
+  // The same MLE arithmetic from externally-gathered sufficient statistics, written into
+  // `rates` (all spans one slot per queue). Feeding it the fused-tracking sums of
+  // GibbsSampler::PerQueueServiceSumsInto plus the (link-constant) PerQueueCount
+  // reproduces MStep(log) bit for bit without re-scanning the event structs — the Run
+  // loop's per-iteration path.
+  static void MStepFromSums(std::span<const double> sums,
+                            std::span<const std::size_t> counts, std::span<double> rates,
+                            double service_sum_floor = 1e-9,
+                            double arrival_time_origin = 0.0);
 
  private:
   StemOptions options_;

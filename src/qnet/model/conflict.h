@@ -16,6 +16,7 @@
 #ifndef QNET_MODEL_CONFLICT_H_
 #define QNET_MODEL_CONFLICT_H_
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -29,11 +30,31 @@ struct MoveColoring {
   int num_colors = 0;
 };
 
+// Reusable buffers for ColorSweepMovesInto. Holding one of these across recolorings (the
+// sharded sweep scheduler keeps one per instance) makes a same-shaped recoloring
+// allocation-free: every vector is assign()ed, so capacity persists.
+struct ColoringScratch {
+  std::vector<MoveFootprint> footprints;
+  // CSR incidence event -> move indices: the moves touching event e are
+  // touch_moves[touch_offsets[e] .. touch_offsets[e + 1]).
+  std::vector<std::int32_t> touch_offsets;
+  std::vector<std::int32_t> touch_cursor;
+  std::vector<std::int32_t> touch_moves;
+  std::vector<std::size_t> blocked;
+};
+
 // Greedy first-fit coloring of the footprint-conflict graph. Deterministic; O(moves ×
 // footprint × incidence) with all bounds constant, so effectively linear in the move
 // count. The chromatic count is small in practice (the conflict graph has bounded degree:
 // an event appears in only a handful of footprints).
 MoveColoring ColorSweepMoves(const EventLog& log, std::span<const SweepMove> moves);
+
+// In-place variant: identical colors (the CSR incidence preserves the per-event move
+// order of the list-of-lists build, so the first-fit pass sees the same neighbor
+// sequence), with all working memory drawn from `scratch` and the result written into
+// `out` — no allocations once the buffers are warm.
+void ColorSweepMovesInto(const EventLog& log, std::span<const SweepMove> moves,
+                         ColoringScratch& scratch, MoveColoring& out);
 
 }  // namespace qnet
 

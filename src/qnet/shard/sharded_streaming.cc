@@ -33,7 +33,24 @@ class LaneWorker {
         queue_(options.lane_queue_capacity),
         chain_(std::move(init_rates), seed, options.stream.window_local_arrival_rate,
                /*salted=*/options.lanes > 1, /*lane=*/lane),
-        mean_field_(options.stream.mean_field) {}
+        mean_field_(options.stream.mean_field) {
+    // One scheduler per lane, rebuilt per window fit: windows on a lane are strictly
+    // sequential, so the cache is exclusively owned and every fit reuses the lane's
+    // coloring/bucket buffers (and worker pool, under sharded sweeps) instead of
+    // constructing a scheduler per window. Mirrors StreamingEstimator::Run — only wired
+    // when a fit would build a scheduler anyway, so a plain sequential configuration
+    // keeps its historical stream layout untouched.
+    if (options_.stream.stem.gibbs.batched || options_.stream.stem.sharded_sweeps) {
+      ShardedSweepOptions cache_options;
+      if (options_.stream.stem.sharded_sweeps) {
+        cache_options = options_.stream.stem.sharded;
+      } else {
+        cache_options.shards = 1;
+        cache_options.threads = 1;
+      }
+      scheduler_cache_ = std::make_unique<ShardedSweepScheduler>(cache_options);
+    }
+  }
 
   LaneQueue& Queue() { return queue_; }
   // Event-time progress of the worker, sampled by the router for lag stats.
@@ -147,6 +164,7 @@ class LaneWorker {
         } else {
           StemOptions stem = options_.stream.stem;
           stem.arrival_time_origin = plan.arrival_time_origin;
+          stem.scheduler_cache = scheduler_cache_.get();
           const StemEstimator estimator(stem);
           Rng rng(plan.seed);
           Stopwatch fitting;
@@ -182,6 +200,7 @@ class LaneWorker {
   LaneMerger* merger_;
   LaneQueue queue_;
   WindowFitChain chain_;
+  std::unique_ptr<ShardedSweepScheduler> scheduler_cache_;
   MeanFieldEstimator mean_field_;
   MeanFieldFit mf_fit_;
   std::vector<TaskRecord> buffer_;

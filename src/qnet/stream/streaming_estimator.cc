@@ -45,6 +45,22 @@ std::vector<WindowEstimate> StreamingEstimator::Run(TraceStream& stream) {
   MeanFieldEstimator mean_field(options_.mean_field);
   MeanFieldFit mf_fit;
 
+  // One scheduler for the whole run, rebuilt per window (warm starts serialize the fits,
+  // so the in-flight window owns it exclusively): rescheduling reuses the coloring/bucket
+  // buffers and — under sharded sweeps — the worker pool, instead of constructing a
+  // scheduler per window. Only wired up when a fit would build one anyway; a plain
+  // sequential (non-batched, non-sharded) configuration keeps its historical stream
+  // layout untouched.
+  const bool cache_scheduler = options_.stem.gibbs.batched || options_.stem.sharded_sweeps;
+  ShardedSweepOptions cache_options;
+  if (options_.stem.sharded_sweeps) {
+    cache_options = options_.stem.sharded;
+  } else {
+    cache_options.shards = 1;
+    cache_options.threads = 1;
+  }
+  ShardedSweepScheduler scheduler_cache(cache_options);
+
   // Folds a finished estimate into the sequence, advances the warm-start chain, and
   // fires the forecasting hook — shared by the StEM completion path and the degraded
   // (mean-field-only) path, which never enters the pipeline.
@@ -126,9 +142,11 @@ std::vector<WindowEstimate> StreamingEstimator::Run(TraceStream& stream) {
     inflight_meta = std::move(meta);
     inflight_active = true;
     auto work = [stem = options_.stem, &result = inflight_result, log = std::move(window.log),
-                 obs = std::move(window.obs), plan = std::move(plan)]() mutable {
+                 obs = std::move(window.obs), plan = std::move(plan),
+                 scheduler = cache_scheduler ? &scheduler_cache : nullptr]() mutable {
       StemOptions window_stem = stem;
       window_stem.arrival_time_origin = plan.arrival_time_origin;
+      window_stem.scheduler_cache = scheduler;
       const StemEstimator estimator(window_stem);
       Rng rng(plan.seed);
       result = estimator.Run(log, obs, std::move(plan.warm_start), rng);

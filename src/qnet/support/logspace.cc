@@ -79,32 +79,4 @@ double LogIntegralExpLinear(double alpha, double beta, double lo, double hi) {
   return alpha + beta * lo + Log1mExp(-u) - std::log(-beta);
 }
 
-double SampleExpLinear(double beta, double lo, double hi, double v) {
-  QNET_DCHECK(v >= 0.0 && v <= 1.0, "v out of [0,1]: ", v);
-  QNET_DCHECK(lo < hi, "empty segment: lo=", lo, " hi=", hi);
-  if (hi == kPosInf) {
-    QNET_CHECK(beta < 0.0, "semi-infinite segment requires beta < 0");
-    // CDF(x) = 1 - exp(beta*(x - lo)); inverse at v.
-    return lo + std::log1p(-v) / beta;
-  }
-  const double width = hi - lo;
-  const double u = beta * width;
-  if (std::abs(u) < 1e-12) {
-    return lo + v * width;
-  }
-  // CDF(x) = (exp(beta*(x-lo)) - 1) / (exp(beta*width) - 1); invert with expm1/log1p.
-  // x = lo + log1p(v * expm1(u)) / beta. For large positive u, expm1 overflows; anchor at
-  // hi instead: x = hi + log(v + (1-v)*exp(-u)) / beta, computed via log-space.
-  if (u > 0.0) {
-    if (u < 30.0) {
-      return lo + std::log1p(v * std::expm1(u)) / beta;
-    }
-    // v + (1 - v) * exp(-u) evaluated stably: exp(-u) negligible unless v ~ 0.
-    const double tail = (1.0 - v) * std::exp(-u);
-    return hi + std::log(v + tail) / beta;
-  }
-  // u < 0: expm1(u) in (-1, 0); log1p argument in (-1, 0]; stable directly.
-  return lo + std::log1p(v * std::expm1(u)) / beta;
-}
-
 }  // namespace qnet

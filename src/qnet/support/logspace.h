@@ -7,8 +7,12 @@
 #ifndef QNET_SUPPORT_LOGSPACE_H_
 #define QNET_SUPPORT_LOGSPACE_H_
 
+#include <cmath>
 #include <limits>
 #include <span>
+
+#include "qnet/support/check.h"
+#include "qnet/support/vmath.h"
 
 namespace qnet {
 
@@ -35,7 +39,34 @@ double LogIntegralExpLinear(double alpha, double beta, double lo, double hi);
 
 // Inverse CDF of the density proportional to exp(beta * x) on [lo, hi], evaluated at
 // v in [0, 1]. hi may be +infinity when beta < 0. beta == 0 gives the uniform inverse CDF.
-double SampleExpLinear(double beta, double lo, double hi, double v);
+//
+// This is the final transcendental of every Gibbs move, so it is inline and runs on
+// vmath (support/vmath.h) rather than libm: the batched kernel and the scalar reference
+// path call this exact function, which is what makes their sampled times bit-identical.
+// The cold integration helpers above stay out-of-line on libm.
+inline double SampleExpLinear(double beta, double lo, double hi, double v) {
+  QNET_DCHECK(v >= 0.0 && v <= 1.0, "v out of [0,1]: ", v);
+  QNET_DCHECK(lo < hi, "empty segment: lo=", lo, " hi=", hi);
+  QNET_DCHECK(hi != kPosInf || beta < 0.0, "semi-infinite segment requires beta < 0");
+  const double width = hi - lo;  // +inf on the unbounded tail
+  const double u = beta * width;  // -inf there (beta < 0)
+  if (std::abs(u) < 1e-12) {
+    return lo + v * width;
+  }
+  // CDF(x) = (exp(beta*(x-lo)) - 1) / (exp(u) - 1); inverted as
+  //   x = lo + log((1-v) + v*exp(u)) / beta.
+  // One exp + one log; the unbounded tail needs no arm of its own since exp(-inf) == 0
+  // collapses the argument to (1-v), which is exact for v >= 1/2 (Sterbenz) and within an
+  // ulp otherwise — an absolute time error of order 1e-16/|beta|, far below the flat
+  // threshold's own discretization. Near-flat segments (1e-12 <= |u| << 1) lose relative
+  // precision in the log argument's distance from 1, but again only at absolute offset
+  // error ~1e-16/|beta|. For large positive u, exp(u) overflows; anchor at hi instead:
+  //   x = hi + log(v + (1-v)*exp(-u)) / beta.
+  if (u >= 30.0) {
+    return hi + vmath::Log(v + (1.0 - v) * vmath::Exp(-u)) / beta;
+  }
+  return lo + vmath::Log((1.0 - v) + v * vmath::Exp(u)) / beta;
+}
 
 }  // namespace qnet
 

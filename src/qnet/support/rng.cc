@@ -8,29 +8,17 @@
 #include "qnet/support/logspace.h"
 
 namespace qnet {
-namespace {
-
-std::uint64_t SplitMix64(std::uint64_t& x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = x;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-
-}  // namespace
 
 std::uint64_t MixSeed(std::uint64_t seed, std::uint64_t salt) {
   // SplitMix64 is a bijection, so for a fixed seed distinct salts map to distinct outputs.
   std::uint64_t x = seed + (salt + 1) * 0x9e3779b97f4a7c15ULL;
-  return SplitMix64(x);
+  return SplitMix64Step(x);
 }
 
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& word : state_) {
-    word = SplitMix64(sm);
+    word = SplitMix64Step(sm);
   }
   // Guard against the (measure-zero but fatal) all-zero state.
   if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {

@@ -136,6 +136,17 @@ inline std::size_t Rng::Categorical(std::span<const double> weights) {
 // that sharded sweeps are a pure function of (seed, color, shard), never of scheduling.
 std::uint64_t MixSeed(std::uint64_t seed, std::uint64_t salt);
 
+// One SplitMix64 step: advances `x` and returns the mixed output. This is the seeding
+// expansion of Rng's constructor, exposed so BatchRng can seed its SoA lane states
+// bit-identically to constructing Rng(MixSeed(seed, lane)) per lane.
+inline std::uint64_t SplitMix64Step(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace qnet
 
 #endif  // QNET_SUPPORT_RNG_H_

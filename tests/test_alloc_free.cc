@@ -152,6 +152,60 @@ TEST(AllocFree, ShardedSweepWithWorkersDoesNotAllocate) {
   EXPECT_EQ(AllocationCount(), before);
 }
 
+TEST(AllocFree, BatchedSweepAtFullWidthDoesNotAllocate) {
+  // The batched SoA kernel's whole per-tile machinery — BatchRng lane states, the
+  // PiecewiseExpBatch arrays, the pick/inv/sampled rows — lives on the stack, and the
+  // internal single-shard schedule is built on the first sweep; warmed up, a batched
+  // sweep at the widest tile performs zero allocations.
+  const Fixture fixture = MakeFixture();
+  GibbsOptions options;
+  options.batch_width = kMaxBatchWidth;
+  GibbsSampler sampler(fixture.init, fixture.obs, fixture.rates, options);
+  ASSERT_GT(sampler.NumLatentArrivals(), 0u);
+  Rng rng(9);
+  sampler.Sweep(rng);  // warm-up (builds the internal batch schedule)
+  const std::size_t before = AllocationCount();
+  for (int sweep = 0; sweep < 20; ++sweep) {
+    sampler.Sweep(rng);
+  }
+  EXPECT_EQ(AllocationCount(), before);
+}
+
+TEST(AllocFree, BatchedShardedSweepWithWorkersDoesNotAllocate) {
+  // Batched execution over the 4-shard schedule with parked worker threads: the
+  // zero-allocation contract must survive the batched kernel running inside the
+  // persistent-pool bucket callbacks.
+  const Fixture fixture = MakeFixture();
+  GibbsSampler sampler(fixture.init, fixture.obs, fixture.rates);
+  ShardedSweepOptions options;
+  options.shards = 4;
+  options.threads = 2;
+  sampler.EnableShardedSweeps(options);
+  Rng rng(9);
+  sampler.Sweep(rng);  // warm-up
+  const std::size_t before = AllocationCount();
+  for (int sweep = 0; sweep < 20; ++sweep) {
+    sampler.Sweep(rng);
+  }
+  EXPECT_EQ(AllocationCount(), before);
+}
+
+TEST(AllocFree, ReferenceKernelSweepDoesNotAllocate) {
+  // The A/B partner must obey the same contract, or bit-equality tests and benchmark
+  // gates would compare against a path with different allocation behavior.
+  const Fixture fixture = MakeFixture();
+  GibbsOptions options;
+  options.batched_reference = true;
+  GibbsSampler sampler(fixture.init, fixture.obs, fixture.rates, options);
+  Rng rng(9);
+  sampler.Sweep(rng);  // warm-up
+  const std::size_t before = AllocationCount();
+  for (int sweep = 0; sweep < 20; ++sweep) {
+    sampler.Sweep(rng);
+  }
+  EXPECT_EQ(AllocationCount(), before);
+}
+
 TEST(AllocFree, WarmSimulationScratchDoesNotAllocate) {
   // The DES arena contract: once a SimScratch has seen one run of a given shape, further
   // runs (workload generation, route sampling, the staged event loop) touch the heap
