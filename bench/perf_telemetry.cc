@@ -1,0 +1,140 @@
+// Telemetry overhead microbenchmarks (google-benchmark).
+//
+// Workflow (tracked in CI as BENCH_telemetry.json):
+//   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+//   ./build/perf_telemetry --benchmark_format=json > BENCH_telemetry.json
+//
+// The observability contract this file gates: instrumentation must be free where it is
+// off and near-free where it is on.
+//   BM_InstrumentedSweep/L items_per_second — the SAME Gibbs sweep fixture as
+//       perf_gibbs's headline BM_GibbsSweep/500, run at Timeline level L. L=0 is
+//       telemetry-off (every span gate answers with one relaxed load); L=1 is the
+//       default production level (no sweep-interior stages armed); L=2 adds per-color/
+//       per-bucket spans; L=3 adds per-tile spans — the worst case. CI gates L=1
+//       against L=0 in the SAME run (>= 0.95x, the <= 5% overhead acceptance bound);
+//       the L=2/L=3 rows ride along for visibility and are deliberately ungated.
+//   BM_InstrumentedSweepAllocations allocs_per_sweep — operator-new calls per sweep
+//       with EVERY stage armed (level 3). Must stay exactly 0: metric updates are
+//       relaxed atomics into pre-registered storage and spans land in fixed rings, so
+//       instrumentation that allocates is a regression, not a cost model change
+//       (tests/test_alloc_free.cc holds the hard assertion; this row keeps the number
+//       visible in the perf trajectory).
+//   BM_CounterIncrement / BM_HistogramRecord / BM_ScopedSpan/L — the primitive costs
+//       (ns/op) behind every wired-in call site.
+
+#include <benchmark/benchmark.h>
+
+// Counting allocator (defines global operator new/delete; one TU per binary).
+#include "../tests/support/counting_allocator.h"
+
+#include "qnet/infer/gibbs.h"
+#include "qnet/infer/initializer.h"
+#include "qnet/model/builders.h"
+#include "qnet/obs/observation.h"
+#include "qnet/sim/simulator.h"
+#include "qnet/support/rng.h"
+#include "qnet/telemetry/metrics.h"
+#include "qnet/telemetry/timeline.h"
+
+namespace {
+
+using qnet_testing::AllocationCount;
+
+struct Fixture {
+  qnet::EventLog truth;
+  qnet::Observation obs;
+  std::vector<double> rates;
+  qnet::EventLog init;
+};
+
+// Mirrors perf_gibbs's fixture so the L=0 row is comparable to BM_GibbsSweep/500.
+Fixture MakeFixture(std::size_t tasks, double fraction) {
+  qnet::ThreeTierConfig config;
+  config.tier_sizes = {1, 2, 4};
+  const qnet::QueueingNetwork net = qnet::MakeThreeTierNetwork(config);
+  qnet::Rng rng(12345);
+  qnet::EventLog truth =
+      qnet::SimulateWorkload(net, qnet::PoissonArrivals(10.0, tasks), rng);
+  qnet::TaskSamplingScheme scheme;
+  scheme.fraction = fraction;
+  qnet::Observation obs = scheme.Apply(truth, rng);
+  std::vector<double> rates = net.ExponentialRates();
+  qnet::EventLog init = qnet::InitializeFeasible(truth, obs, rates, rng);
+  return Fixture{std::move(truth), std::move(obs), std::move(rates), std::move(init)};
+}
+
+void BM_InstrumentedSweep(benchmark::State& state) {
+  const Fixture fixture = MakeFixture(500, 0.1);
+  qnet::GibbsSampler sampler(fixture.init, fixture.obs, fixture.rates);
+  qnet::Rng rng(7);
+  qnet::Timeline::SetLevel(static_cast<int>(state.range(0)));
+  sampler.Sweep(rng);  // warm-up: batch schedule, thread ring, stage histograms
+  for (auto _ : state) {
+    sampler.Sweep(rng);
+    benchmark::DoNotOptimize(sampler.State().Arrival(1));
+  }
+  qnet::Timeline::SetLevel(1);
+  qnet::Timeline::ClearSpans();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sampler.NumLatentArrivals()));
+  state.counters["trace_level"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_InstrumentedSweep)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_InstrumentedSweepAllocations(benchmark::State& state) {
+  const Fixture fixture = MakeFixture(500, 0.1);
+  qnet::GibbsSampler sampler(fixture.init, fixture.obs, fixture.rates);
+  qnet::Rng rng(7);
+  qnet::Timeline::SetLevel(3);  // every stage armed — the worst case must still be 0
+  sampler.Sweep(rng);  // warm-up
+  std::size_t allocs = 0;
+  for (auto _ : state) {
+    const std::size_t before = AllocationCount();
+    sampler.Sweep(rng);
+    allocs += AllocationCount() - before;
+  }
+  qnet::Timeline::SetLevel(1);
+  qnet::Timeline::ClearSpans();
+  state.counters["allocs_per_sweep"] =
+      benchmark::Counter(static_cast<double>(allocs) /
+                         static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_InstrumentedSweepAllocations)->Unit(benchmark::kMillisecond);
+
+void BM_CounterIncrement(benchmark::State& state) {
+  qnet::Counter* counter =
+      qnet::MetricRegistry::Global().AddCounter("qnet_bench_counter_total");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterIncrement);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  qnet::Histogram* histogram =
+      qnet::MetricRegistry::Global().AddHistogram("qnet_bench_latency_ns");
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    histogram->Record(v);
+    v = v * 2862933555777941757ull + 3037000493ull;  // cheap LCG: vary the bucket
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramRecord);
+
+// Arg 0: the stage's gate is closed (one relaxed load, no clock read) — the cost every
+// disabled call site pays. Arg 1: armed — two clock reads plus a ring write.
+void BM_ScopedSpan(benchmark::State& state) {
+  qnet::Timeline::SetLevel(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    qnet::ScopedSpan span(qnet::SpanStage::kEmit);
+    benchmark::DoNotOptimize(&span);
+  }
+  qnet::Timeline::SetLevel(1);
+  qnet::Timeline::ClearSpans();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScopedSpan)->Arg(0)->Arg(1);
+
+}  // namespace

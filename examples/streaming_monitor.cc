@@ -39,10 +39,21 @@
 // mean response, collapsing the single-lane cross-check deviation that used to
 // concentrate in highly utilized windows.
 //
+// Telemetry surfaces (the unified registry/timeline layer, src/qnet/telemetry/):
+//   --metrics-out FILE   write the end-of-run metrics snapshot — Prometheus text
+//                        exposition, or stable-ordered JSON when FILE ends in .json
+//   --trace-out FILE     write a Chrome trace-event JSON of every captured span;
+//                        loads directly in Perfetto / chrome://tracing
+//   --trace-level N      span detail (1 pipeline stages, 2 + lane queue & sweep
+//                        internals, 3 + per-tile; default 1)
+// and the end-of-run stage-latency table (p50/p95/max per pipeline stage) is read
+// straight from the registry's stage histograms.
+//
 // Usage: streaming_monitor [--tasks 3000] [--rate 4] [--window 30] [--fraction 0.4]
 //                          [--seed 1] [--lanes 2] [--report windows.csv]
 //                          [--fast-path off|warm|degrade|only] [--degrade-budget N]
-//                          [--bias-correction 1]
+//                          [--bias-correction 1] [--metrics-out m.prom|m.json]
+//                          [--trace-out trace.json] [--trace-level 1]
 
 #include <cmath>
 #include <cstdio>
@@ -57,6 +68,9 @@
 #include "qnet/sim/fault.h"
 #include "qnet/stream/live_stream.h"
 #include "qnet/support/flags.h"
+#include "qnet/telemetry/export.h"
+#include "qnet/telemetry/metrics.h"
+#include "qnet/telemetry/timeline.h"
 #include "qnet/trace/table.h"
 #include "qnet/trace/window_csv.h"
 
@@ -69,6 +83,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
   const auto lanes = static_cast<std::size_t>(flags.GetInt("lanes", 2));
   const std::string fast_path = flags.GetString("fast-path", "off");
+  qnet::Timeline::SetLevel(flags.GetInt("trace-level", 1));
   // Default budget: the expected per-window task count, so Poisson fluctuation pushes
   // roughly the busier half of the windows over it under --fast-path degrade.
   const auto degrade_budget = static_cast<std::size_t>(
@@ -143,23 +158,12 @@ int main(int argc, char** argv) {
   std::cout << "Fault injected at t = " << qnet::FormatDouble(fault_at)
             << " s: stage-2 service slows 3x (true mean 0.05 -> 0.15 s)\n\n";
 
-  qnet::TablePrinter lane_table({"lane", "tasks", "tasks/s", "windows", "empty",
-                                 "degraded", "stem iters", "peak buf", "peak queue",
-                                 "fit ms", "wm lag s"});
-  for (std::size_t lane = 0; lane < stats.lane.size(); ++lane) {
-    const qnet::LaneStats& ls = stats.lane[lane];
-    lane_table.AddRow({std::to_string(lane), std::to_string(ls.tasks_routed),
-                       qnet::FormatDouble(ls.tasks_per_second),
-                       std::to_string(ls.windows_closed), std::to_string(ls.empty_windows),
-                       std::to_string(ls.degraded_fits),
-                       std::to_string(ls.fit_iterations_total),
-                       std::to_string(ls.peak_buffered_tasks),
-                       std::to_string(ls.peak_queue_depth),
-                       qnet::FormatDouble(ls.fit_seconds * 1e3),
-                       qnet::FormatDouble(ls.max_watermark_lag)});
-  }
-  lane_table.Print(std::cout);
-  std::cout << '\n';
+  // Where the time went, per pipeline stage, straight from the telemetry registry's
+  // stage histograms (the ad-hoc per-lane counters block this replaces lives on in the
+  // registry snapshot — see --metrics-out).
+  std::cout << "Stage latencies (from the telemetry histogram registry):\n"
+            << qnet::StageSummaryTable(qnet::MetricRegistry::Global().Snapshot())
+            << '\n';
 
   qnet::TablePrinter table({"window", "tasks", "fit", "iters", "est svc q1", "est svc q2",
                             "est wait q2", "fcast latency 1x", "fcast latency 2x"});
@@ -246,6 +250,26 @@ int main(int argc, char** argv) {
     const std::string path = flags.GetString("report", "windows.csv");
     qnet::WriteWindowEstimatesFile(path, estimates, net.NumQueues());
     std::cout << "\nWrote per-window estimates to " << path << "\n";
+  }
+
+  if (flags.Has("metrics-out")) {
+    const std::string path = flags.GetString("metrics-out", "metrics.prom");
+    const qnet::MetricsSnapshot snapshot = qnet::MetricRegistry::Global().Snapshot();
+    const bool json = path.size() >= 5 && path.substr(path.size() - 5) == ".json";
+    if (qnet::WriteFileOrWarn(path,
+                              json ? qnet::ToJson(snapshot)
+                                   : qnet::ToPrometheusText(snapshot))) {
+      std::cout << "\nWrote " << (json ? "JSON" : "Prometheus") << " metrics snapshot to "
+                << path << "\n";
+    }
+  }
+  if (flags.Has("trace-out")) {
+    const std::string path = flags.GetString("trace-out", "trace.json");
+    if (qnet::WriteFileOrWarn(path,
+                              qnet::ToChromeTrace(qnet::Timeline::CollectSpans()))) {
+      std::cout << "Wrote Chrome trace (open in Perfetto / chrome://tracing) to " << path
+                << "\n";
+    }
   }
   return 0;
 }

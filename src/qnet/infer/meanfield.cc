@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <limits>
 
+#include "qnet/telemetry/metrics.h"
+#include "qnet/telemetry/timeline.h"
+
 namespace qnet {
 
 void MeanFieldEstimator::Fit(const EventLog& truth, const Observation& obs,
                              double arrival_time_origin, MeanFieldFit& out) {
+  ScopedSpan fit_span(SpanStage::kMeanFieldFit);
+  FitCounters::Get().meanfield_fits->Increment();
   const std::size_t num_queues = static_cast<std::size_t>(truth.NumQueues());
   count_.assign(num_queues, 0);
   resp_sum_.assign(num_queues, 0.0);

@@ -5,6 +5,7 @@
 
 #include "qnet/support/check.h"
 #include "qnet/support/logspace.h"
+#include "qnet/telemetry/timeline.h"
 
 namespace qnet {
 namespace {
@@ -83,6 +84,9 @@ void BatchedExponentialMoveKernel::RunBucket(EventLog& state,
   std::array<double, kMaxBatchWidth> invs;
   std::array<double, kMaxBatchWidth> sampled;
   for (std::size_t tile_start = 0; tile_start < moves.size(); tile_start += width_) {
+    // Level-3 detail: one span per SoA tile. Off by default (Timeline level 1), where
+    // the cost is a single relaxed load per tile.
+    ScopedSpan tile_span(SpanStage::kSweepTile);
     const std::size_t tile = std::min(width_, moves.size() - tile_start);
     batch.Clear();
     // Gather: footprint geometry and segment parameters, SoA. Conflict-freedom means no

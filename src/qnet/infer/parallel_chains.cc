@@ -1,19 +1,15 @@
 #include "qnet/infer/parallel_chains.h"
 
 #include <algorithm>
-#include <chrono>
 #include <thread>
 
 #include "qnet/infer/diagnostics.h"
 #include "qnet/infer/thread_pool.h"
 #include "qnet/support/check.h"
+#include "qnet/support/stopwatch.h"
 
 namespace qnet {
 namespace {
-
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-}
 
 std::size_t ResolveThreads(std::size_t requested, std::size_t chains) {
   if (requested == 0) {
@@ -47,7 +43,7 @@ ParallelChainsResult RunParallelChains(const EventLog& truth, const Observation&
   QNET_CHECK(options.chains < 2 || options.sweeps - options.burn_in >= 2,
              "R-hat needs >= 2 post-burn-in sweeps per chain; sweeps=", options.sweeps,
              " burn_in=", options.burn_in);
-  const auto start = std::chrono::steady_clock::now();
+  const Stopwatch total;
   const int num_queues = truth.NumQueues();
   const std::size_t threads = ResolveThreads(options.threads, options.chains);
   const std::vector<std::uint64_t> chain_seeds = DeriveChainSeeds(seed, options.chains);
@@ -57,7 +53,7 @@ ParallelChainsResult RunParallelChains(const EventLog& truth, const Observation&
   result.chain_stats.assign(options.chains, ChainStats{});
 
   RunOnThreadPool(options.chains, threads, [&](std::size_t c) {
-    const auto chain_start = std::chrono::steady_clock::now();
+    const Stopwatch chain_total;
     Rng chain_rng(chain_seeds[c]);
     // Independent random initializations diversify the chain starts (required for R-hat to
     // be an honest convergence check).
@@ -76,7 +72,7 @@ ParallelChainsResult RunParallelChains(const EventLog& truth, const Observation&
     ChainStats& stats = result.chain_stats[c];
     stats.seed = chain_seeds[c];
     stats.draws = summary.NumSamples();
-    stats.seconds = SecondsSince(chain_start);
+    stats.seconds = chain_total.ElapsedSeconds();
   });
 
   // Pool in chain-index order on the calling thread: bit-identical for any thread count.
@@ -101,7 +97,7 @@ ParallelChainsResult RunParallelChains(const EventLog& truth, const Observation&
       result.max_r_hat = std::max(result.max_r_hat, r_hat);
     }
   }
-  result.wall_seconds = SecondsSince(start);
+  result.wall_seconds = total.ElapsedSeconds();
   return result;
 }
 
@@ -115,7 +111,7 @@ ParallelStemResult RunParallelStem(const EventLog& truth, const Observation& obs
   QNET_CHECK(chains < 2 || stem_options.iterations - stem_options.burn_in >= 2,
              "R-hat needs >= 2 post-burn-in StEM iterations per chain; iterations=",
              stem_options.iterations, " burn_in=", stem_options.burn_in);
-  const auto start = std::chrono::steady_clock::now();
+  const Stopwatch total;
   const std::size_t num_queues = static_cast<std::size_t>(truth.NumQueues());
   const std::vector<std::uint64_t> chain_seeds = DeriveChainSeeds(seed, chains);
 
@@ -159,7 +155,7 @@ ParallelStemResult RunParallelStem(const EventLog& truth, const Observation& obs
       result.max_r_hat = std::max(result.max_r_hat, r_hat);
     }
   }
-  result.wall_seconds = SecondsSince(start);
+  result.wall_seconds = total.ElapsedSeconds();
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "qnet/support/check.h"
+#include "qnet/telemetry/metrics.h"
+#include "qnet/telemetry/timeline.h"
 
 namespace qnet {
 
@@ -98,9 +100,12 @@ void ShardedSweepScheduler::Run(FunctionRef<void(const SweepMove&, Rng&)> apply,
 void ShardedSweepScheduler::RunBuckets(
     FunctionRef<void(std::span<const SweepMove>, std::uint64_t)> run_bucket,
     std::uint64_t sweep_seed) {
+  SweepCounters::Get().sweeps->Increment();
+  SweepCounters::Get().moves->Add(schedule_.size());
   if (threads_ <= 1) {
     // Sequential, allocation-free loop — no pool, no barrier.
     for (std::size_t c = 0; c < num_colors_; ++c) {
+      ScopedSpan color_span(SpanStage::kSweepColor);
       for (std::size_t s = 0; s < shards_; ++s) {
         RunBucket(c, s, run_bucket, sweep_seed);
       }
@@ -136,6 +141,9 @@ void ShardedSweepScheduler::RunParticipant(std::size_t t) {
   for (std::size_t c = 0; c < num_colors_; ++c) {
     if (!errors_[t]) {
       try {
+        // Per-participant share of the color class; the span ends before the class
+        // barrier, so barrier wait shows up as the gap between color spans in a trace.
+        ScopedSpan color_span(SpanStage::kSweepColor);
         for (std::size_t s = t; s < shards_; s += threads_) {
           RunBucket(c, s, *run_bucket_, sweep_seed_);
         }
@@ -178,6 +186,7 @@ void ShardedSweepScheduler::RunBucket(
   if (begin == end) {
     return;
   }
+  ScopedSpan bucket_span(SpanStage::kSweepBucket);
   run_bucket({schedule_.data() + begin, end - begin}, MixSeed(MixSeed(sweep_seed, color), shard));
 }
 

@@ -5,6 +5,8 @@
 
 #include "qnet/infer/estimators.h"
 #include "qnet/support/check.h"
+#include "qnet/telemetry/metrics.h"
+#include "qnet/telemetry/timeline.h"
 
 namespace qnet {
 
@@ -41,6 +43,8 @@ void StemEstimator::MStepFromSums(std::span<const double> sums,
 
 StemResult StemEstimator::Run(const EventLog& truth, const Observation& obs,
                               std::vector<double> init_rates, Rng& rng) const {
+  ScopedSpan span(SpanStage::kStemFit);
+  FitCounters::Get().stem_fits->Increment();
   if (init_rates.empty()) {
     init_rates = WarmStartRates(truth, obs);
   }
@@ -120,6 +124,7 @@ StemResult StemEstimator::Run(const EventLog& truth, const Observation& obs,
     }
   }
   result.iterations_run = result.rate_trace.size();
+  FitCounters::Get().stem_iterations->Add(result.iterations_run);
 
   result.rates.resize(num_queues);
   for (std::size_t q = 0; q < num_queues; ++q) {

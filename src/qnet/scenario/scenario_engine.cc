@@ -18,6 +18,8 @@
 #include "qnet/support/math.h"
 #include "qnet/support/rng.h"
 #include "qnet/support/stopwatch.h"
+#include "qnet/telemetry/metrics.h"
+#include "qnet/telemetry/timeline.h"
 
 namespace qnet {
 
@@ -123,6 +125,9 @@ void EvaluateCellInto(const QueueingNetwork& base, const ParameterPosterior& pos
                       const ScenarioEngineOptions& options,
                       const AnalyticContext* analytic_ctx, ScenarioCellWorkspace& ws,
                       CellResult& result) {
+  ScopedSpan span(SpanStage::kScenarioCell);
+  ScenarioCounters::Get().cells->Increment();
+  ScenarioCounters::Get().draws->Add(draws);
   grid.Cell(cell_index, ws.cell);
   const Fsm& fsm = base.GetFsm();
   const auto num_queues = static_cast<std::size_t>(base.NumQueues());

@@ -5,6 +5,7 @@
 
 #include "qnet/infer/meanfield.h"
 #include "qnet/support/check.h"
+#include "qnet/telemetry/timeline.h"
 
 namespace qnet {
 
@@ -71,7 +72,10 @@ bool LaneMerger::Pop(PooledWindow& out, bool block) {
   board_.pop_front();
   complete_windows_.fetch_sub(1, std::memory_order_release);
   lock.unlock();
-  out.estimate = Pool(window);
+  {
+    ScopedSpan span(SpanStage::kLaneMerge);
+    out.estimate = Pool(window);
+  }
   out.window_index = window.decision.window_index;
   out.replaces_previous = window.decision.merged_tail_tasks > 0;
   return true;

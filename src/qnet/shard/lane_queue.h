@@ -32,6 +32,8 @@
 #include "qnet/stream/window_assembler.h"
 #include "qnet/support/check.h"
 #include "qnet/support/stopwatch.h"
+#include "qnet/telemetry/metrics.h"
+#include "qnet/telemetry/timeline.h"
 
 namespace qnet {
 
@@ -56,11 +58,14 @@ class LaneQueue {
   // has been closed the remaining items are silently dropped — the fleet is unwinding
   // and will surface the lane's error.
   double PushMany(const LaneItem* items, std::size_t count) {
+    ScopedSpan push_span(SpanStage::kLanePush);
+    ShardCounters::Get().queue_push_batches->Increment();
     double blocked = 0.0;
     std::unique_lock<std::mutex> lock(mu_);
     std::size_t at = 0;
     while (at < count) {
       if (size_ == ring_.size() && !consumer_closed_) {
+        ScopedSpan blocked_span(SpanStage::kLaneBlocked);
         Stopwatch waited;
         not_full_.wait(lock, [&] { return size_ < ring_.size() || consumer_closed_; });
         blocked += waited.ElapsedSeconds();
@@ -87,6 +92,8 @@ class LaneQueue {
   // never wait forever on an orderly shutdown.
   std::size_t PopMany(std::vector<LaneItem>& out, std::size_t max) {
     QNET_CHECK(max > 0, "PopMany needs a positive batch size");
+    ScopedSpan pop_span(SpanStage::kLanePop);
+    ShardCounters::Get().queue_pop_batches->Increment();
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [&] { return size_ > 0; });
     const std::size_t count = std::min(max, size_);

@@ -14,6 +14,8 @@
 #include "qnet/stream/window_assembler.h"
 #include "qnet/support/check.h"
 #include "qnet/support/stopwatch.h"
+#include "qnet/telemetry/metrics.h"
+#include "qnet/telemetry/timeline.h"
 
 namespace qnet {
 namespace {
@@ -71,14 +73,19 @@ class LaneWorker {
           }
           if (item.kind == LaneItem::Kind::kRecord) {
             ++stats_.tasks_routed;
+            ShardCounters::Get().records_routed->Increment();
             // max: a late-merged record can sit behind the close-token advance below.
             watermark_.store(
                 std::max(watermark_.load(std::memory_order_relaxed),
                          item.record.entry_time),
                 std::memory_order_relaxed);
             buffer_.push_back(item.record);
-            stats_.peak_buffered_tasks = std::max(
-                stats_.peak_buffered_tasks, buffer_.size() + last_window_.size());
+            const std::size_t buffered = buffer_.size() + last_window_.size();
+            if (buffered > stats_.peak_buffered_tasks) {
+              stats_.peak_buffered_tasks = buffered;
+              StreamCounters::Get().peak_buffered_tasks->SetMax(
+                  static_cast<double>(buffered));
+            }
             continue;
           }
           ProcessClose(item.close);
@@ -97,6 +104,7 @@ class LaneWorker {
 
  private:
   void ProcessClose(const WindowSpanTracker::SpanDecision& decision) {
+    ScopedSpan span(SpanStage::kWindowAssemble);
     ++stats_.windows_closed;
     // The lane-local application of the global membership rule — the SAME helper the
     // assembler materializes with, applied to this lane's sub-sequence.
@@ -272,16 +280,22 @@ std::vector<WindowEstimate> ShardedStreamingEstimator::Run(TraceStream& stream) 
   };
 
   const auto emit = [&](PooledWindow&& pooled) {
+    ScopedSpan span(SpanStage::kEmit);
+    const StreamCounters& counters = StreamCounters::Get();
     if (pooled.estimate.degraded) {
       ++stats_.degraded_windows;
+      counters.degraded_windows->Increment();
     }
     stats_.fit_iterations_total += pooled.estimate.fit_iterations;
+    counters.fit_iterations->Add(
+        static_cast<std::uint64_t>(pooled.estimate.fit_iterations));
     if (pooled.replaces_previous) {
       QNET_CHECK(!estimates.empty(), "merged-tail window with no previous estimate");
       estimates.back() = std::move(pooled.estimate);
     } else {
       estimates.push_back(std::move(pooled.estimate));
       ++stats_.windows_estimated;
+      counters.windows_estimated->Increment();
     }
     if (options_.stream.on_window) {
       options_.stream.on_window(estimates.back());
@@ -318,10 +332,10 @@ std::vector<WindowEstimate> ShardedStreamingEstimator::Run(TraceStream& stream) 
   TaskRecord record;
   try {
     while (stream.Next(record)) {
-      ++stats_.tasks_ingested;
+      // The tracker counts ingestion and late drops (and mirrors them to the registry);
+      // the fleet stats read them back from the tracker after the run.
       const WindowSpanTracker::PushVerdict verdict = tracker.Push(record.entry_time);
       if (verdict == WindowSpanTracker::PushVerdict::kLateDropped) {
-        ++stats_.late_dropped;
         continue;
       }
       const std::size_t lane = router.Route(record);
@@ -363,6 +377,8 @@ std::vector<WindowEstimate> ShardedStreamingEstimator::Run(TraceStream& stream) 
   }
 
   stats_.lanes = lanes;
+  stats_.tasks_ingested = tracker.TasksPushed();
+  stats_.late_dropped = tracker.LateDropped();
   stats_.total_wall_seconds = total.ElapsedSeconds();
   stats_.tasks_per_second =
       stats_.total_wall_seconds > 0.0
@@ -373,6 +389,8 @@ std::vector<WindowEstimate> ShardedStreamingEstimator::Run(TraceStream& stream) 
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     stats_.lane[lane] = workers[lane]->Stats();
     stats_.lane[lane].peak_queue_depth = workers[lane]->Queue().PeakDepth();
+    StreamCounters::Get().peak_queue_depth->SetMax(
+        static_cast<double>(stats_.lane[lane].peak_queue_depth));
     stats_.lane[lane].max_watermark_lag = std::max(0.0, max_watermark_lag[lane]);
     stats_.lane[lane].tasks_per_second =
         stats_.total_wall_seconds > 0.0

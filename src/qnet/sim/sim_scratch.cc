@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <functional>
 
+#include "qnet/telemetry/metrics.h"
+#include "qnet/telemetry/timeline.h"
+
 namespace qnet {
 namespace {
 
@@ -13,7 +16,10 @@ namespace {
 template <typename ServiceSampler>
 void RunDesCore(int num_queues, SimScratch& scratch, const ServiceSampler& sample_service,
                 const FaultSchedule* faults) {
+  ScopedSpan span(SpanStage::kDesRun);
   const std::size_t num_tasks = scratch.entry_times.size();
+  SimCounters::Get().runs->Increment();
+  SimCounters::Get().tasks->Add(num_tasks);
   QNET_CHECK(scratch.route_offsets.size() == num_tasks + 1 && scratch.route_offsets[0] == 0,
              "scratch route offsets not staged for ", num_tasks, " tasks");
   QNET_CHECK(scratch.route_offsets.back() == scratch.route_steps.size(),

@@ -6,6 +6,8 @@
 #include "qnet/infer/thread_pool.h"
 #include "qnet/support/check.h"
 #include "qnet/support/stopwatch.h"
+#include "qnet/telemetry/metrics.h"
+#include "qnet/telemetry/timeline.h"
 
 namespace qnet {
 
@@ -65,10 +67,14 @@ std::vector<WindowEstimate> StreamingEstimator::Run(TraceStream& stream) {
   // fires the forecasting hook — shared by the StEM completion path and the degraded
   // (mean-field-only) path, which never enters the pipeline.
   const auto emit = [&](WindowEstimate&& estimate) {
+    ScopedSpan span(SpanStage::kEmit);
+    const StreamCounters& counters = StreamCounters::Get();
     chain.Complete(estimate.rates);
     stats_.fit_iterations_total += estimate.fit_iterations;
+    counters.fit_iterations->Add(static_cast<std::uint64_t>(estimate.fit_iterations));
     if (estimate.degraded) {
       ++stats_.degraded_windows;
+      counters.degraded_windows->Increment();
     }
     if (estimate.merged_tail_tasks > 0) {
       // The merged-tail re-fit replaces the last estimate — same window, not a new one.
@@ -77,6 +83,7 @@ std::vector<WindowEstimate> StreamingEstimator::Run(TraceStream& stream) {
     } else {
       estimates.push_back(std::move(estimate));
       ++stats_.windows_estimated;
+      counters.windows_estimated->Increment();
     }
     if (options_.on_window) {
       options_.on_window(estimates.back());
@@ -101,10 +108,13 @@ std::vector<WindowEstimate> StreamingEstimator::Run(TraceStream& stream) {
   const auto process = [&](ClosedWindow&& window) {
     // Warm starts serialize StEM runs: the previous window must finish first. The time
     // spent blocked here is the sweep lag — how far estimation trails ingestion.
-    Stopwatch waited;
-    complete_inflight();
-    stats_.max_sweep_lag_seconds =
-        std::max(stats_.max_sweep_lag_seconds, waited.ElapsedSeconds());
+    {
+      ScopedSpan span(SpanStage::kQueueWait);
+      Stopwatch waited;
+      complete_inflight();
+      stats_.max_sweep_lag_seconds =
+          std::max(stats_.max_sweep_lag_seconds, waited.ElapsedSeconds());
+    }
 
     WindowFitChain::Plan plan =
         chain.PlanFit(window.window_index, window.merged_tail_tasks > 0, window.t0);
@@ -171,7 +181,7 @@ std::vector<WindowEstimate> StreamingEstimator::Run(TraceStream& stream) {
   }
   complete_inflight();
 
-  const WindowAssemblerStats& astats = assembler.Stats();
+  const WindowAssemblerStats astats = assembler.Stats();
   stats_.tasks_ingested = astats.tasks_ingested;
   stats_.late_dropped = astats.late_dropped;
   stats_.tail_dropped = astats.tail_dropped;

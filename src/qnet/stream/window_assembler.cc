@@ -4,6 +4,8 @@
 #include <iterator>
 
 #include "qnet/support/check.h"
+#include "qnet/telemetry/metrics.h"
+#include "qnet/telemetry/timeline.h"
 
 namespace qnet {
 
@@ -56,10 +58,14 @@ WindowSpanTracker::WindowSpanTracker(const WindowAssemblerOptions& options)
 
 WindowSpanTracker::PushVerdict WindowSpanTracker::Push(double entry_time) {
   QNET_CHECK(!finished_, "Push after Finish");
+  ++tasks_pushed_;
+  StreamCounters::Get().tasks_ingested->Increment();
   PushVerdict verdict = PushVerdict::kBuffered;
   if (entry_time < window_start_) {
     // Late: this record's window has already closed and been handed off.
     if (options_.late_policy == LateRecordPolicy::kDrop) {
+      ++late_dropped_;
+      StreamCounters::Get().late_dropped->Increment();
       return PushVerdict::kLateDropped;
     }
     // kMergeIntoCurrent: joins the currently open window (entry < t1 holds trivially).
@@ -127,6 +133,7 @@ void WindowSpanTracker::Finish() {
     QueueDecision(window_start_, t1, pending_.size(), 0, /*take_all=*/true);
   } else {
     tail_dropped_ += pending_.size();
+    StreamCounters::Get().tail_dropped->Add(pending_.size());
   }
   pending_.clear();
 }
@@ -145,6 +152,8 @@ void WindowSpanTracker::QueueDecision(double t0, double t1, std::size_t count,
     decision.window_index = next_window_index_ - 1;
   } else {
     decision.window_index = next_window_index_++;
+    ++windows_closed_;
+    StreamCounters::Get().windows_closed->Increment();
     // Every normally closed window becomes the trailing-merge target — including ones
     // whose close was deferred until Finish released the lateness hold-back.
     if (options_.merge_trailing_window) {
@@ -169,15 +178,16 @@ WindowAssembler::WindowAssembler(int num_queues, const WindowAssemblerOptions& o
     : options_(options), tracker_(options), builder_(num_queues) {}
 
 void WindowAssembler::Push(const TaskRecord& record) {
-  ++stats_.tasks_ingested;
   const WindowSpanTracker::PushVerdict verdict = tracker_.Push(record.entry_time);
   if (verdict == WindowSpanTracker::PushVerdict::kLateDropped) {
-    ++stats_.late_dropped;
     return;
   }
   pending_.push_back(record);
-  stats_.peak_buffered_tasks = std::max(
-      stats_.peak_buffered_tasks, pending_.size() + last_window_records_.size());
+  const std::size_t buffered = pending_.size() + last_window_records_.size();
+  if (buffered > peak_buffered_tasks_) {
+    peak_buffered_tasks_ = buffered;
+    StreamCounters::Get().peak_buffered_tasks->SetMax(static_cast<double>(buffered));
+  }
   while (tracker_.HasClosed()) {
     MaterializeDecision(tracker_.PopClosed());
   }
@@ -189,10 +199,19 @@ void WindowAssembler::FinishStream() {
     MaterializeDecision(tracker_.PopClosed());
   }
   // Whatever the decisions did not consume is the dropped tail (0 or 1 records with no
-  // window to merge into).
+  // window to merge into); the tracker already counted it.
   QNET_DCHECK(pending_.size() == tracker_.TailDropped(), "tracker/assembler tail mismatch");
-  stats_.tail_dropped += pending_.size();
   pending_.clear();
+}
+
+WindowAssemblerStats WindowAssembler::Stats() const {
+  WindowAssemblerStats stats;
+  stats.tasks_ingested = tracker_.TasksPushed();
+  stats.late_dropped = tracker_.LateDropped();
+  stats.tail_dropped = tracker_.TailDropped();
+  stats.windows_closed = tracker_.WindowsClosed();
+  stats.peak_buffered_tasks = peak_buffered_tasks_;
+  return stats;
 }
 
 std::vector<TaskRecord> TakeDecisionRecords(const WindowSpanTracker::SpanDecision& decision,
@@ -225,6 +244,7 @@ std::vector<TaskRecord> TakeDecisionRecords(const WindowSpanTracker::SpanDecisio
 }
 
 void WindowAssembler::MaterializeDecision(const WindowSpanTracker::SpanDecision& decision) {
+  ScopedSpan span(SpanStage::kWindowAssemble);
   std::vector<TaskRecord> records =
       TakeDecisionRecords(decision, pending_, last_window_records_);
   QNET_DCHECK(records.size() == decision.count, "decision count ", decision.count,
@@ -242,12 +262,10 @@ void WindowAssembler::MaterializeDecision(const WindowSpanTracker::SpanDecision&
   window.log = std::move(log);
   window.obs = std::move(obs);
   closed_.push_back(std::move(window));
-  if (decision.merged_tail_tasks == 0) {
-    // The merged re-close replaces the previous window; it is not a new closed window.
-    ++stats_.windows_closed;
-    if (options_.merge_trailing_window) {
-      last_window_records_ = std::move(records);
-    }
+  // A merged re-close replaces the previous window; only a normal close becomes the
+  // next trailing-merge target (the tracker already did the windows_closed counting).
+  if (decision.merged_tail_tasks == 0 && options_.merge_trailing_window) {
+    last_window_records_ = std::move(records);
   }
 }
 

@@ -130,6 +130,16 @@ class WindowSpanTracker {
   // Raw max-entry-time watermark (no lateness subtracted).
   double Watermark() const { return watermark_; }
   std::size_t PendingCount() const { return pending_.size(); }
+
+  // Decision counters. The tracker is the ONE increment site for the ingest-side
+  // counts that WindowAssemblerStats, StreamingStats, and FleetStats share — each
+  // increment also bumps the matching StreamCounters metric in the global registry,
+  // so the stats structs and the exported metrics cannot drift (they are literally
+  // the same count). Accessors are plain local reads: a tracker reports its OWN
+  // stream even when several trackers run in one process.
+  std::size_t TasksPushed() const { return tasks_pushed_; }
+  std::size_t LateDropped() const { return late_dropped_; }
+  std::size_t WindowsClosed() const { return windows_closed_; }
   // Records dropped at Finish (0/1-record remainder with nothing to merge into).
   std::size_t TailDropped() const { return tail_dropped_; }
 
@@ -152,6 +162,10 @@ class WindowSpanTracker {
   bool have_last_window_ = false;
   double last_window_t0_ = 0.0;
   std::size_t last_window_count_ = 0;
+
+  std::size_t tasks_pushed_ = 0;
+  std::size_t late_dropped_ = 0;
+  std::size_t windows_closed_ = 0;
   std::size_t tail_dropped_ = 0;
 };
 
@@ -182,6 +196,9 @@ struct ClosedWindow {
   ClosedWindow() : log(2) {}
 };
 
+// Derived on demand from the assembler's own WindowSpanTracker counters (plus the
+// assembler-local buffering high-water mark) — see the tracker's counter accessors for
+// why these fields cannot drift from the registry metrics.
 struct WindowAssemblerStats {
   std::size_t tasks_ingested = 0;
   std::size_t late_dropped = 0;
@@ -208,7 +225,7 @@ class WindowAssembler {
   ClosedWindow PopClosed();
 
   std::size_t BufferedTasks() const { return pending_.size(); }
-  const WindowAssemblerStats& Stats() const { return stats_; }
+  WindowAssemblerStats Stats() const;
 
  private:
   // Materializes one tracker decision: selects the buffered records the decision's
@@ -226,7 +243,8 @@ class WindowAssembler {
   // Last closed window's records, retained for the trailing merge.
   std::vector<TaskRecord> last_window_records_;
 
-  WindowAssemblerStats stats_;
+  // See WindowAssemblerStats::peak_buffered_tasks.
+  std::size_t peak_buffered_tasks_ = 0;
 };
 
 }  // namespace qnet

@@ -1,27 +1,48 @@
-// Monotonic wall-clock stopwatch for bench harnesses.
+// Monotonic wall-clock primitives shared by the bench harnesses and the telemetry
+// layer (src/qnet/telemetry/). TimelineClock is THE clock: every wall-clock read in the
+// codebase that feeds timing surfaces — stopwatches, telemetry spans, stage histograms,
+// bench mains — goes through it, so traces, stats, and benchmarks are mutually
+// comparable and the determinism firewall has a single choke point to audit (clock reads
+// feed telemetry and stats only, never sampling or estimates).
 
 #ifndef QNET_SUPPORT_STOPWATCH_H_
 #define QNET_SUPPORT_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace qnet {
 
+// Monotonic nanosecond clock. Nanoseconds since an arbitrary (per-process) epoch;
+// differences are meaningful, absolute values are not.
+struct TimelineClock {
+  static std::uint64_t NowNanos() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+  static double ToSeconds(std::uint64_t nanos) {
+    return static_cast<double>(nanos) * 1e-9;
+  }
+};
+
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(TimelineClock::NowNanos()) {}
 
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ = TimelineClock::NowNanos(); }
+
+  std::uint64_t ElapsedNanos() const { return TimelineClock::NowNanos() - start_; }
 
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return TimelineClock::ToSeconds(ElapsedNanos());
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  std::uint64_t start_;
 };
 
 }  // namespace qnet

@@ -1,0 +1,156 @@
+#include "qnet/telemetry/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace qnet {
+
+namespace {
+
+// Doubles are formatted with %.17g (shortest round-trippable is overkill here;
+// 17 significant digits round-trips and is byte-stable for a given value).
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string FormatFixed(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const auto& c : snapshot.counters) {
+    os << "# TYPE " << c.name << " counter\n";
+    os << c.name << " " << c.value << "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    os << "# TYPE " << g.name << " gauge\n";
+    os << g.name << " " << FormatDouble(g.value) << "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    // Prometheus wants the base name without a unit-suffix collision; our histogram
+    // names already end in _ns, which doubles as the unit documentation.
+    os << "# TYPE " << h.name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& b : h.buckets) {
+      cumulative += b.count;
+      os << h.name << "_bucket{le=\"" << (b.lower + b.width - 1) << "\"} "
+         << cumulative << "\n";
+    }
+    os << h.name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << h.name << "_sum " << h.sum << "\n";
+    os << h.name << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ") << "\"" << snapshot.counters[i].name
+       << "\": " << snapshot.counters[i].value;
+  }
+  os << (snapshot.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ") << "\"" << snapshot.gauges[i].name
+       << "\": " << FormatDouble(snapshot.gauges[i].value);
+  }
+  os << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    os << (i ? ",\n    " : "\n    ") << "\"" << h.name << "\": {\"count\": " << h.count
+       << ", \"sum\": " << h.sum << ", \"max\": " << h.max
+       << ", \"p50\": " << FormatFixed(h.Quantile(0.50))
+       << ", \"p95\": " << FormatFixed(h.Quantile(0.95))
+       << ", \"p99\": " << FormatFixed(h.Quantile(0.99)) << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      os << (b ? ", " : "") << "[" << h.buckets[b].lower << ", " << h.buckets[b].width
+         << ", " << h.buckets[b].count << "]";
+    }
+    os << "]}";
+  }
+  os << (snapshot.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+std::string ToChromeTrace(const std::vector<Timeline::ThreadSpans>& spans) {
+  // ts is relative to the earliest span so traces open centered on the run instead of
+  // at steady_clock's process-epoch offset.
+  std::uint64_t origin = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& ts : spans) {
+    for (const auto& s : ts.spans) {
+      origin = std::min(origin, s.start_nanos);
+    }
+  }
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& ts : spans) {
+    for (const auto& s : ts.spans) {
+      if (!first) {
+        os << ",";
+      }
+      first = false;
+      // Microsecond floats keep sub-µs spans visible in Perfetto.
+      const double us = static_cast<double>(s.start_nanos - origin) / 1000.0;
+      const double dur = static_cast<double>(s.end_nanos - s.start_nanos) / 1000.0;
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "\n{\"name\":\"%s\",\"cat\":\"qnet\",\"ph\":\"X\",\"ts\":%.3f,"
+                    "\"dur\":%.3f,\"pid\":1,\"tid\":%d}",
+                    SpanStageName(s.stage), us, dur, ts.tid);
+      os << buf;
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+std::string StageSummaryTable(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-18s %10s %12s %12s %12s\n", "stage", "count",
+                "p50_us", "p95_us", "max_us");
+  os << buf;
+  for (std::size_t i = 0; i < kNumSpanStages; ++i) {
+    const auto stage = static_cast<SpanStage>(i);
+    const std::string name = std::string("qnet_stage_") + SpanStageName(stage) + "_ns";
+    const HistogramSample* h = snapshot.FindHistogram(name);
+    if (h == nullptr || h->count == 0) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "%-18s %10" PRIu64 " %12.1f %12.1f %12.1f\n",
+                  SpanStageName(stage), h->count, h->Quantile(0.50) / 1000.0,
+                  h->Quantile(0.95) / 1000.0, static_cast<double>(h->max) / 1000.0);
+    os << buf;
+  }
+  return os.str();
+}
+
+bool WriteFileOrWarn(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "qnet telemetry: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "qnet telemetry: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace qnet

@@ -1,0 +1,44 @@
+// Snapshot exporters: Prometheus text exposition, stable-ordered JSON, Chrome
+// trace-event JSON (chrome://tracing / Perfetto), and a plain-text per-stage latency
+// summary. All exporters consume immutable snapshots (MetricsSnapshot, collected span
+// rings) — they run off the hot path, after the producing threads have quiesced, and
+// are the only place telemetry is serialized.
+
+#ifndef QNET_TELEMETRY_EXPORT_H_
+#define QNET_TELEMETRY_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "qnet/telemetry/metrics.h"
+#include "qnet/telemetry/timeline.h"
+
+namespace qnet {
+
+// Prometheus text exposition format (version 0.0.4). Counters as "<name>" with
+// # TYPE counter, gauges as gauge, histograms as the cumulative _bucket{le=}/_sum/
+// _count triple with le in nanoseconds. Output order follows the snapshot (name-sorted).
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+// Stable-ordered JSON object: {"counters": {...}, "gauges": {...}, "histograms":
+// {name: {count, sum, max, p50, p95, p99, buckets: [[lower, width, count], ...]}}}.
+// Keys appear in snapshot (name-sorted) order; byte-identical across runs with equal
+// counter values and histogram contents.
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+// Chrome trace-event JSON: one complete event (ph "X") per span, ts/dur in
+// microseconds relative to the earliest span, pid 1, tid = telemetry thread index.
+// Loads directly in Perfetto / chrome://tracing.
+std::string ToChromeTrace(const std::vector<Timeline::ThreadSpans>& spans);
+
+// One row per pipeline stage with recorded spans: count, p50, p95, max (the
+// streaming_monitor end-of-run table). Reads "qnet_stage_*_ns" histograms.
+std::string StageSummaryTable(const MetricsSnapshot& snapshot);
+
+// Writes `contents` to `path` (truncating). Returns false (and leaves a best-effort
+// partial file) on I/O failure — exporters never throw at shutdown.
+bool WriteFileOrWarn(const std::string& path, const std::string& contents);
+
+}  // namespace qnet
+
+#endif  // QNET_TELEMETRY_EXPORT_H_

@@ -18,6 +18,8 @@
 #include "qnet/sim/sim_scratch.h"
 #include "qnet/sim/simulator.h"
 #include "qnet/support/rng.h"
+#include "qnet/telemetry/metrics.h"
+#include "qnet/telemetry/timeline.h"
 
 namespace qnet {
 namespace {
@@ -238,6 +240,51 @@ TEST(AllocFree, WarmScratchToEventLogDoesNotAllocate) {
     ScratchToEventLog(scratch, net.NumQueues(), log);
   }
   EXPECT_EQ(AllocationCount(), before);
+}
+
+TEST(AllocFree, TelemetryUpdatesDoNotAllocate) {
+  // The metric hot paths are relaxed atomics into pre-registered storage; the span ring
+  // is a fixed per-thread array. The one-time setup cost (bundle registration, the
+  // stage-histogram table, this thread's ring) is paid in the warm-up — after that,
+  // counter adds, gauge high-water marks, histogram records, and span captures must
+  // never touch the heap.
+  Timeline::SetLevel(3);
+  const StreamCounters& counters = StreamCounters::Get();  // warm-up: registration
+  Histogram* h = MetricRegistry::Global().AddHistogram("qnet_test_allocfree_ns");
+  h->Record(1);
+  { ScopedSpan span(SpanStage::kSweepTile); }  // warm-up: ring + stage table
+  const std::size_t before = AllocationCount();
+  for (int i = 0; i < 1000; ++i) {
+    counters.tasks_ingested->Increment();
+    counters.fit_iterations->Add(3);
+    counters.peak_queue_depth->SetMax(static_cast<double>(i));
+    h->Record(static_cast<std::uint64_t>(i));
+    ScopedSpan span(SpanStage::kSweepTile);
+  }
+  EXPECT_EQ(AllocationCount(), before);
+  Timeline::SetLevel(1);
+}
+
+TEST(AllocFree, InstrumentedShardedSweepDoesNotAllocate) {
+  // The observability acceptance gate: a warmed-up colored sweep stays allocation-free
+  // with EVERY span level armed (color, bucket, and tile spans recording into the
+  // thread ring plus their stage histograms). Telemetry that allocated per sweep would
+  // fail here before it ever showed up as benchmark noise.
+  const Fixture fixture = MakeFixture();
+  GibbsSampler sampler(fixture.init, fixture.obs, fixture.rates);
+  ShardedSweepOptions options;
+  options.shards = 4;
+  options.threads = 1;
+  sampler.EnableShardedSweeps(options);
+  Timeline::SetLevel(3);
+  Rng rng(9);
+  sampler.Sweep(rng);  // warm-up (ring registration, stage-histogram table)
+  const std::size_t before = AllocationCount();
+  for (int sweep = 0; sweep < 20; ++sweep) {
+    sampler.Sweep(rng);
+  }
+  EXPECT_EQ(AllocationCount(), before);
+  Timeline::SetLevel(1);
 }
 
 TEST(AllocFree, GeneralGibbsSweepDoesNotAllocate) {
