@@ -1,0 +1,107 @@
+// Change-detection benchmarks (google-benchmark).
+//
+// Workflow (tracked in CI as BENCH_detect.json):
+//   ./build/perf_detect --benchmark_format=json > BENCH_detect.json
+// Headline metrics and gates:
+//   BM_ChangeMonitorObserve items_per_second — windows/s through the full detector bank
+//                                              (arrival CUSUM + BOCPD, per-queue service
+//                                              and wait CUSUMs, bottleneck tracker,
+//                                              degraded edge). allocs_per_window MUST be
+//                                              exactly 0 (CI gates it): the tap adds no
+//                                              heap traffic to the streaming loop.
+//   BM_Campaign/<i> (labelled by name)       — each catalog campaign end to end
+//                                              (LiveSimStream -> estimator -> monitor ->
+//                                              scoring). CI gates, fail closed, per
+//                                              campaign: false_alarms == 0 (detectors
+//                                              stay silent on every stationary prefix),
+//                                              detected == 1 (every ground-truth event
+//                                              raises its labelled alert kind), and
+//                                              max_latency_windows <= 6 (the detection-
+//                                              latency budget, in windows).
+//
+// The campaigns are seeded, so these numbers are deterministic: a gate failure is a
+// detector or estimator regression, never benchmark noise.
+
+#include <benchmark/benchmark.h>
+
+// Counting allocator (defines global operator new/delete; one TU per binary).
+#include "../tests/support/counting_allocator.h"
+
+#include <string>
+#include <vector>
+
+#include "qnet/detect/change_monitor.h"
+#include "qnet/scenario/campaign.h"
+#include "qnet/stream/streaming_estimator.h"
+
+namespace {
+
+using qnet_testing::AllocationCount;
+
+// The detector-bank hot path on a synthetic stationary estimate sequence: one reused
+// WindowEstimate mutated in place, so the loop measures Observe() and nothing else.
+void BM_ChangeMonitorObserve(benchmark::State& state) {
+  qnet::ChangeMonitorOptions options;
+  // The per-window mask log is append-only; reserve past any plausible iteration count
+  // so the gate measures the detectors' steady state, not amortized log doubling.
+  options.reserve_windows = std::size_t{1} << 21;
+  qnet::ChangeMonitor monitor(3, options);
+  qnet::WindowEstimate e;
+  e.tasks = 120;
+  e.window_local_arrival_rate = true;
+  e.rates = {4.0, 10.0, 8.0};
+  e.mean_wait = {0.0, 0.1, 0.25};
+  std::size_t w = 0;
+  for (; w < 16; ++w) {  // warm-up: arms every detector (8-window warm-ups)
+    e.t0 = 30.0 * static_cast<double>(w);
+    e.t1 = e.t0 + 30.0;
+    monitor.Observe(e);
+  }
+
+  std::size_t windows = 0;
+  const std::size_t before = AllocationCount();
+  for (auto _ : state) {
+    e.t0 = 30.0 * static_cast<double>(w);
+    e.t1 = e.t0 + 30.0;
+    const double tick = (w % 2 == 0) ? 1.01 : 0.99;
+    e.rates[0] = 4.0 * tick;
+    e.rates[1] = 10.0 / tick;
+    e.mean_wait[2] = 0.25 * tick;
+    monitor.Observe(e);
+    benchmark::DoNotOptimize(monitor.WindowsObserved());
+    ++w;
+    ++windows;
+  }
+  const std::size_t allocations = AllocationCount() - before;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["allocs_per_window"] =
+      static_cast<double>(allocations) / static_cast<double>(windows);
+  state.counters["alerts_raised"] = static_cast<double>(monitor.Alerts().size());
+}
+BENCHMARK(BM_ChangeMonitorObserve)->Unit(benchmark::kMicrosecond);
+
+// One catalog campaign end to end per iteration. The counters are the CI gates.
+void BM_Campaign(benchmark::State& state) {
+  const std::vector<std::string> names = qnet::CampaignNames();
+  const std::string& name = names[static_cast<std::size_t>(state.range(0))];
+  const qnet::Campaign campaign = qnet::MakeCampaign(name);
+  state.SetLabel(name);
+
+  qnet::CampaignResult result;
+  for (auto _ : state) {
+    result = qnet::RunCampaign(campaign, qnet::CampaignRunOptions());
+    benchmark::DoNotOptimize(result.alerts.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(result.estimates.size()));
+  state.counters["windows"] = static_cast<double>(result.estimates.size());
+  state.counters["events"] = static_cast<double>(result.outcomes.size());
+  state.counters["alerts"] = static_cast<double>(result.alerts.size());
+  state.counters["false_alarms"] = static_cast<double>(result.false_alarms);
+  state.counters["detected"] = result.AllDetected() ? 1.0 : 0.0;
+  state.counters["max_latency_windows"] =
+      static_cast<double>(result.MaxLatencyWindows());
+}
+BENCHMARK(BM_Campaign)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -39,6 +39,18 @@
 // mean response, collapsing the single-lane cross-check deviation that used to
 // concentrate in highly utilized windows.
 //
+// A ChangeMonitor (src/qnet/detect/) taps the same pooled on_window hook: per window it
+// runs the full detector bank (arrival CUSUM + BOCPD, per-queue service and wait CUSUMs,
+// the bottleneck-migration tracker, the degraded-run edge) and the run ends with a live
+// alert feed table. --alerts-out FILE archives the alert log as CSV.
+//
+// --campaign NAME swaps the ad-hoc fault script for a named scenario campaign
+// (src/qnet/scenario/campaign.h: stationary, flash-crowd, diurnal-ramp, partial-failure,
+// slow-start-recovery, bottleneck-migration). Campaigns carry ground-truth change
+// labels, so the run ends with a scorecard: detection latency per labelled event and
+// the false-alarm count on the quiet prefix — the same numbers bench/perf_detect.cc
+// gates in CI.
+//
 // Telemetry surfaces (the unified registry/timeline layer, src/qnet/telemetry/):
 //   --metrics-out FILE   write the end-of-run metrics snapshot — Prometheus text
 //                        exposition, or stable-ordered JSON when FILE ends in .json
@@ -54,13 +66,16 @@
 //                          [--fast-path off|warm|degrade|only] [--degrade-budget N]
 //                          [--bias-correction 1] [--metrics-out m.prom|m.json]
 //                          [--trace-out trace.json] [--trace-level 1]
+//                          [--campaign flash-crowd] [--alerts-out alerts.csv]
 
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 
+#include "qnet/detect/change_monitor.h"
 #include "qnet/model/builders.h"
+#include "qnet/scenario/campaign.h"
 #include "qnet/scenario/forecast.h"
 #include "qnet/scenario/scenario_engine.h"
 #include "qnet/scenario/scenario_spec.h"
@@ -77,13 +92,21 @@
 int main(int argc, char** argv) {
   const qnet::Flags flags(argc, argv);
   const auto tasks = static_cast<std::size_t>(flags.GetInt("tasks", 3000));
-  const double rate = flags.GetDouble("rate", 4.0);
   const double window = flags.GetDouble("window", 30.0);
   const double fraction = flags.GetDouble("fraction", 0.4);
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
   const auto lanes = static_cast<std::size_t>(flags.GetInt("lanes", 2));
   const std::string fast_path = flags.GetString("fast-path", "off");
   qnet::Timeline::SetLevel(flags.GetInt("trace-level", 1));
+
+  // --campaign swaps the ad-hoc fault script below for a named ground-truth scenario
+  // (the campaign owns the topology, horizon, and FaultSchedule).
+  const bool campaign_mode = flags.Has("campaign");
+  const qnet::Campaign campaign =
+      campaign_mode ? qnet::MakeCampaign(flags.GetString("campaign", "flash-crowd"))
+                    : qnet::Campaign{};
+  const double rate =
+      campaign_mode ? campaign.arrival_rate : flags.GetDouble("rate", 4.0);
   // Default budget: the expected per-window task count, so Poisson fluctuation pushes
   // roughly the busier half of the windows over it under --fast-path degrade.
   const auto degrade_budget = static_cast<std::size_t>(
@@ -91,15 +114,20 @@ int main(int argc, char** argv) {
 
   // Tandem line; stage 2 degrades 3x starting halfway through the stream (20/s -> 6.7/s,
   // still above the arrival rate so the queue stays stable and the estimate stays crisp).
-  const qnet::QueueingNetwork net = qnet::MakeTandemNetwork(rate, {10.0, 20.0});
+  const qnet::QueueingNetwork net =
+      campaign_mode ? campaign.MakeNetwork() : qnet::MakeTandemNetwork(rate, {10.0, 20.0});
   const double fault_at = static_cast<double>(tasks) / rate / 2.0;
   qnet::FaultSchedule faults;
   faults.AddSlowdown(2, fault_at, 1.0e12, 3.0);
 
   qnet::LiveSimOptions sim_options;
-  sim_options.max_tasks = tasks;
-  sim_options.arrival_rate = rate;
-  sim_options.faults = &faults;
+  if (campaign_mode) {
+    sim_options = campaign.SimOptions();
+  } else {
+    sim_options.max_tasks = tasks;
+    sim_options.arrival_rate = rate;
+    sim_options.faults = &faults;
+  }
   sim_options.observed_fraction = fraction;
 
   qnet::ShardedStreamingOptions options;
@@ -139,13 +167,24 @@ int main(int argc, char** argv) {
   forecast_options.max_draws = 1;
   forecast_options.tasks_per_draw = 400;
   qnet::WindowForecaster forecaster(net, qnet::ScenarioGrid({load}), forecast_options, seed);
-  options.stream.on_window = forecaster.Hook();
+
+  // The change monitor taps the same pooled window hook as the forecaster: both are
+  // pure consumers of the estimate sequence, chained on the merge thread in order.
+  qnet::ChangeMonitor monitor(net.NumQueues());
+  const auto forecast_hook = forecaster.Hook();
+  const auto monitor_hook = monitor.Hook();
+  options.stream.on_window = [&monitor_hook,
+                              &forecast_hook](const qnet::WindowEstimate& e) {
+    monitor_hook(e);
+    forecast_hook(e);
+  };
 
   std::vector<double> init(static_cast<std::size_t>(net.NumQueues()), 1.0);
   init[0] = rate;
   qnet::LiveSimStream stream(net, sim_options, seed);
   qnet::ShardedStreamingEstimator fleet(init, seed, options);
-  const auto estimates = fleet.Run(stream);
+  auto estimates = fleet.Run(stream);
+  monitor.ApplyAlertFlags(estimates);
   const qnet::FleetStats& stats = fleet.Stats();
 
   std::cout << "Streamed " << stats.tasks_ingested << " tasks across " << stats.lanes
@@ -155,8 +194,14 @@ int main(int argc, char** argv) {
             << qnet::FormatDouble(stats.max_merge_lag_seconds * 1e3)
             << " ms, router blocked "
             << qnet::FormatDouble(stats.router_blocked_seconds * 1e3) << " ms)\n";
-  std::cout << "Fault injected at t = " << qnet::FormatDouble(fault_at)
-            << " s: stage-2 service slows 3x (true mean 0.05 -> 0.15 s)\n\n";
+  if (campaign_mode) {
+    std::cout << "Campaign '" << campaign.name << "': " << campaign.description
+              << " (quiet prefix ends t = " << qnet::FormatDouble(campaign.quiet_until)
+              << " s, horizon " << qnet::FormatDouble(campaign.horizon) << " s)\n\n";
+  } else {
+    std::cout << "Fault injected at t = " << qnet::FormatDouble(fault_at)
+              << " s: stage-2 service slows 3x (true mean 0.05 -> 0.15 s)\n\n";
+  }
 
   // Where the time went, per pipeline stage, straight from the telemetry registry's
   // stage histograms (the ad-hoc per-lane counters block this replaces lives on in the
@@ -185,8 +230,50 @@ int main(int argc, char** argv) {
                   qnet::FormatDouble(cells[1].mean_response.mean)});
   }
   table.Print(std::cout);
-  std::cout << "\nThe stage-2 service estimate should jump ~3x in the windows after the "
-               "fault, and the 2x-load latency forecast should blow up with it.\n";
+  if (!campaign_mode) {
+    std::cout << "\nThe stage-2 service estimate should jump ~3x in the windows after "
+                 "the fault, and the 2x-load latency forecast should blow up with it.\n";
+  }
+
+  // Live alert feed: everything the detector bank raised, in raise order, with full
+  // provenance back to the triggering window.
+  const std::vector<qnet::Alert>& alerts = monitor.Alerts();
+  std::cout << "\nAlert feed (" << alerts.size() << " alert(s)):\n";
+  if (alerts.empty()) {
+    std::cout << "  (none -- the detectors stayed quiet)\n";
+  } else {
+    qnet::TablePrinter alert_table(
+        {"window", "kind", "detector", "queue", "closes t", "magnitude", "statistic"});
+    for (const qnet::Alert& a : alerts) {
+      alert_table.AddRow({std::to_string(a.window), qnet::AlertKindName(a.kind),
+                          qnet::DetectorKindName(a.detector), std::to_string(a.queue),
+                          qnet::FormatDouble(a.t1),
+                          qnet::FormatDouble(a.magnitude * 100.0) + "%",
+                          qnet::FormatDouble(a.statistic)});
+    }
+    alert_table.Print(std::cout);
+  }
+
+  if (campaign_mode) {
+    // Score the alert log against the campaign's ground-truth labels — the same
+    // numbers bench/perf_detect.cc gates in CI.
+    const qnet::CampaignResult scored =
+        qnet::ScoreCampaign(campaign, estimates, alerts);
+    std::cout << "\nCampaign scorecard:\n";
+    for (const qnet::CampaignEventOutcome& outcome : scored.outcomes) {
+      std::cout << "  [" << qnet::AlertKindName(outcome.event.kind) << "] "
+                << outcome.event.label << " at t = "
+                << qnet::FormatDouble(outcome.event.time) << " s (window "
+                << outcome.event_window << "): ";
+      if (outcome.detected) {
+        std::cout << "detected at window " << outcome.detection_window << " (latency "
+                  << outcome.latency_windows << " window(s))\n";
+      } else {
+        std::cout << "MISSED\n";
+      }
+    }
+    std::cout << "  false alarms on the quiet prefix: " << scored.false_alarms << "\n";
+  }
 
   if (fast_path != "off") {
     // Per-window fit_iterations sums lane fits, so the budget is lanes x iterations per
@@ -250,6 +337,12 @@ int main(int argc, char** argv) {
     const std::string path = flags.GetString("report", "windows.csv");
     qnet::WriteWindowEstimatesFile(path, estimates, net.NumQueues());
     std::cout << "\nWrote per-window estimates to " << path << "\n";
+  }
+
+  if (flags.Has("alerts-out")) {
+    const std::string path = flags.GetString("alerts-out", "alerts.csv");
+    qnet::WriteAlertsCsvFile(path, alerts);
+    std::cout << "Wrote alert log to " << path << "\n";
   }
 
   if (flags.Has("metrics-out")) {

@@ -1,0 +1,103 @@
+#include "qnet/detect/alerts.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "qnet/support/check.h"
+#include "qnet/telemetry/metrics.h"
+
+namespace qnet {
+
+const char* AlertKindName(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kRateShift:
+      return "rate_shift";
+    case AlertKind::kServiceDrift:
+      return "service_drift";
+    case AlertKind::kBottleneckMigration:
+      return "bottleneck_migration";
+    case AlertKind::kDegradedRun:
+      return "degraded_run";
+    case AlertKind::kNumAlertKinds:
+      break;
+  }
+  QNET_CHECK(false, "bad AlertKind");
+  return "";
+}
+
+const char* DetectorKindName(DetectorKind kind) {
+  switch (kind) {
+    case DetectorKind::kCusum:
+      return "cusum";
+    case DetectorKind::kBocpd:
+      return "bocpd";
+    case DetectorKind::kBottleneckTracker:
+      return "bottleneck_tracker";
+    case DetectorKind::kDegradeWatch:
+      return "degrade_watch";
+    case DetectorKind::kNumDetectorKinds:
+      break;
+  }
+  QNET_CHECK(false, "bad DetectorKind");
+  return "";
+}
+
+AlertSink::AlertSink(std::size_t reserve_alerts) { alerts_.reserve(reserve_alerts); }
+
+void AlertSink::Raise(const Alert& alert) {
+  alerts_.push_back(alert);
+  ++kind_counts_[static_cast<std::size_t>(alert.kind)];
+  const DetectCounters& c = DetectCounters::Get();
+  c.alerts_total->Increment();
+  switch (alert.kind) {
+    case AlertKind::kRateShift:
+      c.rate_shift_alerts->Increment();
+      break;
+    case AlertKind::kServiceDrift:
+      c.service_drift_alerts->Increment();
+      break;
+    case AlertKind::kBottleneckMigration:
+      c.bottleneck_migration_alerts->Increment();
+      break;
+    case AlertKind::kDegradedRun:
+      c.degraded_run_alerts->Increment();
+      break;
+    case AlertKind::kNumAlertKinds:
+      QNET_CHECK(false, "bad AlertKind");
+  }
+}
+
+void AlertSink::TruncateTo(std::size_t count) {
+  QNET_CHECK(count <= alerts_.size(), "AlertSink::TruncateTo beyond current size");
+  while (alerts_.size() > count) {
+    --kind_counts_[static_cast<std::size_t>(alerts_.back().kind)];
+    alerts_.pop_back();
+  }
+}
+
+void AlertSink::Clear() {
+  alerts_.clear();
+  for (std::size_t& c : kind_counts_) {
+    c = 0;
+  }
+}
+
+void WriteAlertsCsv(std::ostream& os, const std::vector<Alert>& alerts) {
+  os << "# alerts=" << alerts.size() << '\n';
+  os << "window,kind,detector,queue,t0,t1,magnitude,statistic\n";
+  const std::streamsize caller_precision = os.precision(17);
+  for (const Alert& alert : alerts) {
+    os << alert.window << ',' << AlertKindName(alert.kind) << ','
+       << DetectorKindName(alert.detector) << ',' << alert.queue << ',' << alert.t0
+       << ',' << alert.t1 << ',' << alert.magnitude << ',' << alert.statistic << '\n';
+  }
+  os.precision(caller_precision);
+}
+
+void WriteAlertsCsvFile(const std::string& path, const std::vector<Alert>& alerts) {
+  std::ofstream os(path);
+  QNET_CHECK(os.good(), "cannot open ", path, " for writing");
+  WriteAlertsCsv(os, alerts);
+}
+
+}  // namespace qnet

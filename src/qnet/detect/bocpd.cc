@@ -1,0 +1,187 @@
+#include "qnet/detect/bocpd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qnet/support/check.h"
+
+namespace qnet {
+
+namespace {
+
+// Student-t density with df degrees of freedom, location loc, squared scale scale2.
+double StudentTPdf(double x, double df, double loc, double scale2) {
+  const double z2 = (x - loc) * (x - loc) / scale2;
+  const double log_norm = std::lgamma(0.5 * (df + 1.0)) - std::lgamma(0.5 * df) -
+                          0.5 * std::log(df * M_PI * scale2);
+  const double log_kernel = -0.5 * (df + 1.0) * std::log1p(z2 / df);
+  return std::exp(log_norm + log_kernel);
+}
+
+}  // namespace
+
+BocpdDetector::BocpdDetector(const BocpdOptions& options) : options_(options) {
+  QNET_CHECK(options_.max_run_length >= 4, "BOCPD needs max_run_length >= 4");
+  QNET_CHECK(options_.hazard > 0.0 && options_.hazard < 1.0,
+             "BOCPD hazard must lie in (0, 1)");
+  QNET_CHECK(options_.warmup_windows >= 2, "BOCPD needs >= 2 warm-up windows");
+  QNET_CHECK(options_.alert_run_length + 1 < options_.max_run_length,
+             "BOCPD alert_run_length must be below the truncation length");
+  QNET_CHECK(options_.alert_mass > 0.0 && options_.alert_mass < 1.0,
+             "BOCPD alert_mass must lie in (0, 1)");
+  QNET_CHECK(options_.min_relative_sigma > 0.0,
+             "BOCPD min_relative_sigma must be positive");
+  const std::size_t n = options_.max_run_length;
+  weight_.resize(n);
+  mu_.resize(n);
+  kappa_.resize(n);
+  alpha_.resize(n);
+  beta_.resize(n);
+  next_weight_.resize(n);
+  next_mu_.resize(n);
+  next_kappa_.resize(n);
+  next_alpha_.resize(n);
+  next_beta_.resize(n);
+}
+
+void BocpdDetector::Reset() {
+  warm_count_ = 0;
+  warm_mean_ = 0.0;
+  warm_m2_ = 0.0;
+  armed_ = false;
+  live_ = 0;
+  since_alert_ = 0;
+  collapse_mass_ = 0.0;
+}
+
+void BocpdDetector::Arm() {
+  mu0_ = warm_mean_;
+  const double variance = warm_m2_ / static_cast<double>(warm_count_ - 1);
+  const double sigma_floor = options_.min_relative_sigma * std::abs(mu0_);
+  double sigma2 = std::max(variance, sigma_floor * sigma_floor);
+  if (sigma2 <= 0.0 || !std::isfinite(sigma2)) {
+    sigma2 = 1.0;
+  }
+  kappa0_ = 1.0;
+  alpha0_ = 1.0;
+  beta0_ = sigma2;
+  // Single hypothesis: a fresh run starting now, under the warm-up prior.
+  weight_[0] = 1.0;
+  mu_[0] = mu0_;
+  kappa_[0] = kappa0_;
+  alpha_[0] = alpha0_;
+  beta_[0] = beta0_;
+  live_ = 1;
+  // Freshly armed, ALL mass sits at r = 0 by construction — that is not a change
+  // point. The cooldown plus the live_-depth gate in Observe suppress alerts until the
+  // posterior has had room to grow past the collapse horizon.
+  since_alert_ = 0;
+  armed_ = true;
+}
+
+BocpdDetector::Result BocpdDetector::Observe(double x) {
+  Result result;
+  if (!armed_) {
+    ++warm_count_;
+    const double delta = x - warm_mean_;
+    warm_mean_ += delta / static_cast<double>(warm_count_);
+    warm_m2_ += delta * (x - warm_mean_);
+    if (warm_count_ >= options_.warmup_windows) {
+      Arm();
+    }
+    return result;
+  }
+
+  const double h = options_.hazard;
+  const std::size_t cap = options_.max_run_length;
+  const std::size_t next_live = std::min(live_ + 1, cap);
+  for (std::size_t r = 0; r < next_live; ++r) {
+    next_weight_[r] = 0.0;
+  }
+
+  // Longest-run posterior mean before the update — the most stable baseline for the
+  // alert magnitude.
+  const double baseline = mu_[live_ - 1];
+
+  double change_mass = 0.0;
+  // Descending so that when two runs fold into the truncation slot, the longest run
+  // (most data behind its posterior) writes the slot's parameters.
+  for (std::size_t i = live_; i-- > 0;) {
+    const std::size_t r = i;
+    const double df = 2.0 * alpha_[r];
+    const double scale2 = beta_[r] * (kappa_[r] + 1.0) / (alpha_[r] * kappa_[r]);
+    const double pred = StudentTPdf(x, df, mu_[r], scale2);
+    const double joint = weight_[r] * pred;
+    change_mass += joint * h;
+    // Growth: run r survives and absorbs x. Truncation folds overflow into the oldest
+    // slot, whose posterior parameters (first writer — the longest run, thanks to the
+    // descending sweep) stand in for all folded hypotheses.
+    const std::size_t target = std::min(r + 1, cap - 1);
+    if (next_weight_[target] == 0.0) {
+      const double kappa = kappa_[r];
+      next_mu_[target] = (kappa * mu_[r] + x) / (kappa + 1.0);
+      next_kappa_[target] = kappa + 1.0;
+      next_alpha_[target] = alpha_[r] + 0.5;
+      next_beta_[target] =
+          beta_[r] + kappa * (x - mu_[r]) * (x - mu_[r]) / (2.0 * (kappa + 1.0));
+    }
+    next_weight_[target] += joint * (1.0 - h);
+  }
+  // Change point: a fresh run under the prior.
+  next_weight_[0] = change_mass;
+  next_mu_[0] = mu0_;
+  next_kappa_[0] = kappa0_;
+  next_alpha_[0] = alpha0_;
+  next_beta_[0] = beta0_;
+
+  double total = 0.0;
+  for (std::size_t r = 0; r < next_live; ++r) {
+    total += next_weight_[r];
+  }
+  if (!(total > 0.0) || !std::isfinite(total)) {
+    // Numerically dead posterior (e.g. an observation far outside every predictive's
+    // support): restart from the prior rather than propagate NaNs.
+    weight_[0] = 1.0;
+    mu_[0] = mu0_;
+    kappa_[0] = kappa0_;
+    alpha_[0] = alpha0_;
+    beta_[0] = beta0_;
+    live_ = 1;
+    collapse_mass_ = 1.0;
+  } else {
+    for (std::size_t r = 0; r < next_live; ++r) {
+      weight_[r] = next_weight_[r] / total;
+      mu_[r] = next_mu_[r];
+      kappa_[r] = next_kappa_[r];
+      alpha_[r] = next_alpha_[r];
+      beta_[r] = next_beta_[r];
+    }
+    live_ = next_live;
+    double mass = 0.0;
+    const std::size_t short_runs = std::min(options_.alert_run_length + 1, live_);
+    for (std::size_t r = 0; r < short_runs; ++r) {
+      mass += weight_[r];
+    }
+    collapse_mass_ = mass;
+  }
+
+  if (since_alert_ < options_.cooldown_windows) {
+    ++since_alert_;
+    return result;
+  }
+  // A posterior that cannot yet hold a run longer than the collapse horizon has its
+  // mass on short runs trivially, not because of a change.
+  if (live_ <= options_.alert_run_length + 1) {
+    return result;
+  }
+  if (collapse_mass_ > options_.alert_mass) {
+    result.alert = true;
+    result.statistic = collapse_mass_;
+    const double denom = std::abs(baseline) > 0.0 ? std::abs(baseline) : 1.0;
+    result.magnitude = (x - baseline) / denom;
+    since_alert_ = 0;
+  }
+  return result;
+}
+
+}  // namespace qnet

@@ -1,0 +1,91 @@
+// Bayesian online change-point detection (BOCPD) over a scalar per-window signal.
+//
+// Adams & MacKay-style run-length filtering: the detector maintains a posterior over
+// the current run length r (windows since the last change point) under a constant
+// hazard h. Each run-length hypothesis carries a Normal-Gamma conjugate posterior over
+// the segment's (mean, precision), so the one-step predictive is a Student-t and the
+// update is closed-form. The run-length distribution is truncated at
+// `max_run_length` hypotheses (overflow mass folds into the oldest slot), which makes
+// every per-window update a fixed-size array sweep: no allocation, no data-dependent
+// work, and copying the whole detector (for ChangeMonitor's merged-tail rewind) is a
+// same-size vector copy that never reallocates.
+//
+// The alert rule is run-length collapse: after warm-up fixes the prior, an alert fires
+// when the posterior mass on short runs, P(r <= alert_run_length), exceeds
+// `alert_mass`. A change point drags most of the posterior mass to r ~ 0 within a
+// couple of windows; on a stationary stream the mass on short runs decays toward the
+// hazard. `cooldown_windows` suppresses the residual collapse mass right after an
+// alert so one change point yields one alert. Unlike CUSUM the filter is not reset on
+// alert — BOCPD re-adapts to the post-change level by construction.
+
+#ifndef QNET_DETECT_BOCPD_H_
+#define QNET_DETECT_BOCPD_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace qnet {
+
+struct BocpdOptions {
+  // Truncation length of the run-length posterior (array sizes; fixed at construction).
+  std::size_t max_run_length = 64;
+  // Constant per-window change-point hazard.
+  double hazard = 0.01;
+  // Observations used to fix the Normal-Gamma prior before alerts can fire.
+  std::size_t warmup_windows = 8;
+  // Alert when P(run length <= alert_run_length) exceeds alert_mass...
+  std::size_t alert_run_length = 2;
+  double alert_mass = 0.7;
+  // ...but not within this many windows of the previous alert.
+  std::size_t cooldown_windows = 4;
+  // Floor on the prior segment sigma relative to |prior mean| (degenerate warm-ups).
+  double min_relative_sigma = 0.05;
+};
+
+class BocpdDetector {
+ public:
+  struct Result {
+    bool alert = false;
+    // Signed relative shift of x against the longest-run posterior mean at the alert.
+    double magnitude = 0.0;
+    // P(r <= alert_run_length) at the alert (0 when not alerting).
+    double statistic = 0.0;
+  };
+
+  explicit BocpdDetector(const BocpdOptions& options = BocpdOptions());
+
+  // Feed one per-window observation; returns the alert decision for this window.
+  Result Observe(double x);
+
+  void Reset();
+
+  bool Armed() const { return armed_; }
+  // Posterior mass on run lengths <= alert_run_length after the last Observe.
+  double CollapseMass() const { return collapse_mass_; }
+
+ private:
+  void Arm();
+
+  BocpdOptions options_;
+  // Warm-up accumulator (Welford).
+  std::size_t warm_count_ = 0;
+  double warm_mean_ = 0.0;
+  double warm_m2_ = 0.0;
+  bool armed_ = false;
+  // Prior hyperparameters fixed at arm time.
+  double mu0_ = 0.0;
+  double kappa0_ = 1.0;
+  double alpha0_ = 1.0;
+  double beta0_ = 1.0;
+  // Run-length state, slot r = windows since change. `live_` slots are populated.
+  // next_* are the update scratch; both sides are sized max_run_length up front.
+  std::vector<double> weight_, mu_, kappa_, alpha_, beta_;
+  std::vector<double> next_weight_, next_mu_, next_kappa_, next_alpha_, next_beta_;
+  std::size_t live_ = 0;
+  std::size_t since_alert_ = 0;
+  double collapse_mass_ = 0.0;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_DETECT_BOCPD_H_

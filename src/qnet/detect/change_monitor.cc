@@ -1,0 +1,204 @@
+#include "qnet/detect/change_monitor.h"
+
+#include <cmath>
+
+#include "qnet/support/check.h"
+#include "qnet/telemetry/metrics.h"
+#include "qnet/telemetry/timeline.h"
+
+namespace qnet {
+
+ChangeMonitor::ChangeMonitor(int num_queues, const ChangeMonitorOptions& options)
+    : num_queues_(num_queues),
+      options_(options),
+      state_{CusumDetector(options.rate_cusum), BocpdDetector(options.rate_bocpd),
+             {}, {}},
+      sink_(options.reserve_alerts) {
+  QNET_CHECK(num_queues_ >= 2, "ChangeMonitor needs >= 2 queues (lambda + service)");
+  QNET_CHECK(options_.bottleneck_margin >= 1.0,
+             "bottleneck_margin must be >= 1 (a factor over the incumbent)");
+  QNET_CHECK(options_.bottleneck_hold_windows >= 1,
+             "bottleneck_hold_windows must be >= 1");
+  state_.service_cusum.assign(static_cast<std::size_t>(num_queues_),
+                              CusumDetector(options_.service_cusum));
+  state_.wait_cusum.assign(static_cast<std::size_t>(num_queues_),
+                           CusumDetector(options_.wait_cusum));
+  prev_state_ = state_;
+  masks_.reserve(options_.reserve_windows);
+}
+
+std::function<void(const WindowEstimate&)> ChangeMonitor::Hook() {
+  return [this](const WindowEstimate& estimate) { Observe(estimate); };
+}
+
+double ChangeMonitor::ArrivalSignal(const WindowEstimate& estimate) const {
+  if (estimate.window_local_arrival_rate) {
+    return estimate.rates[0];
+  }
+  // Legacy absolute-anchored lambda decays over the stream; substitute the window's
+  // empirical rate (same policy as WindowForecaster).
+  const double span = estimate.t1 - estimate.t0;
+  return span > 0.0 ? static_cast<double>(estimate.tasks) / span : estimate.rates[0];
+}
+
+void ChangeMonitor::Observe(const WindowEstimate& estimate) {
+  ScopedSpan span(SpanStage::kDetectObserve);
+  QNET_CHECK(estimate.rates.size() == static_cast<std::size_t>(num_queues_),
+             "estimate rate vector does not match ChangeMonitor num_queues");
+  if (estimate.merged_tail_tasks > 0 && !masks_.empty()) {
+    // This estimate REPLACES the previous window: rewind to the pre-observation
+    // snapshot and re-observe, so the alert sequence is a pure function of the final
+    // estimate sequence. Same-shape copies — no allocation.
+    state_ = prev_state_;
+    sink_.TruncateTo(prev_alert_count_);
+    masks_.pop_back();
+  }
+  prev_state_ = state_;
+  prev_alert_count_ = sink_.Count();
+
+  const std::size_t window = masks_.size();
+  masks_.push_back(RunDetectors(estimate, window));
+  DetectCounters::Get().windows_observed->Increment();
+}
+
+std::uint32_t ChangeMonitor::RunDetectors(const WindowEstimate& estimate,
+                                          std::size_t window) {
+  std::uint32_t mask = 0;
+  Alert alert;
+  alert.window = window;
+  alert.t0 = estimate.t0;
+  alert.t1 = estimate.t1;
+
+  // Arrival rate: CUSUM, plus BOCPD when enabled.
+  const double lambda = ArrivalSignal(estimate);
+  {
+    const CusumDetector::Result r = state_.rate_cusum.Observe(lambda);
+    if (r.alert) {
+      alert.kind = AlertKind::kRateShift;
+      alert.detector = DetectorKind::kCusum;
+      alert.queue = 0;
+      alert.magnitude = r.magnitude;
+      alert.statistic = r.statistic;
+      sink_.Raise(alert);
+      mask |= AlertBit(AlertKind::kRateShift);
+    }
+  }
+  if (options_.enable_bocpd) {
+    const BocpdDetector::Result r = state_.rate_bocpd.Observe(lambda);
+    if (r.alert) {
+      alert.kind = AlertKind::kRateShift;
+      alert.detector = DetectorKind::kBocpd;
+      alert.queue = 0;
+      alert.magnitude = r.magnitude;
+      alert.statistic = r.statistic;
+      sink_.Raise(alert);
+      mask |= AlertBit(AlertKind::kRateShift);
+    }
+  }
+
+  // Per-queue service rates and (when present) mean waits.
+  const bool has_waits =
+      options_.monitor_waits &&
+      estimate.mean_wait.size() == static_cast<std::size_t>(num_queues_);
+  for (int q = 1; q < num_queues_; ++q) {
+    const CusumDetector::Result r =
+        state_.service_cusum[static_cast<std::size_t>(q)].Observe(estimate.rates[q]);
+    if (r.alert) {
+      alert.kind = AlertKind::kServiceDrift;
+      alert.detector = DetectorKind::kCusum;
+      alert.queue = q;
+      alert.magnitude = r.magnitude;
+      alert.statistic = r.statistic;
+      sink_.Raise(alert);
+      mask |= AlertBit(AlertKind::kServiceDrift);
+    }
+    if (has_waits) {
+      const CusumDetector::Result w =
+          state_.wait_cusum[static_cast<std::size_t>(q)].Observe(estimate.mean_wait[q]);
+      if (w.alert) {
+        alert.kind = AlertKind::kServiceDrift;
+        alert.detector = DetectorKind::kCusum;
+        alert.queue = q;
+        alert.magnitude = w.magnitude;
+        alert.statistic = w.statistic;
+        sink_.Raise(alert);
+        mask |= AlertBit(AlertKind::kServiceDrift);
+      }
+    }
+  }
+
+  // Bottleneck migration: utilization proxy rho_q = lambda / mu_q (exact for
+  // single-visit tandem routing), argmax with margin + hold hysteresis.
+  int argmax = -1;
+  double rho_max = 0.0;
+  for (int q = 1; q < num_queues_; ++q) {
+    const double mu = estimate.rates[q];
+    if (!(mu > 0.0)) {
+      continue;
+    }
+    const double rho = lambda / mu;
+    if (rho > rho_max) {
+      rho_max = rho;
+      argmax = q;
+    }
+  }
+  if (argmax >= 0) {
+    if (state_.bottleneck < 0) {
+      state_.bottleneck = argmax;  // first usable window fixes the incumbent silently
+    } else if (argmax != state_.bottleneck) {
+      const double mu_inc = estimate.rates[state_.bottleneck];
+      const double rho_inc = mu_inc > 0.0 ? lambda / mu_inc : 0.0;
+      if (rho_max > options_.bottleneck_margin * rho_inc) {
+        if (state_.candidate == argmax) {
+          ++state_.candidate_streak;
+        } else {
+          state_.candidate = argmax;
+          state_.candidate_streak = 1;
+        }
+        if (state_.candidate_streak >= options_.bottleneck_hold_windows) {
+          alert.kind = AlertKind::kBottleneckMigration;
+          alert.detector = DetectorKind::kBottleneckTracker;
+          alert.queue = argmax;
+          alert.magnitude = rho_inc > 0.0 ? rho_max / rho_inc : rho_max;
+          alert.statistic = static_cast<double>(state_.candidate_streak);
+          sink_.Raise(alert);
+          mask |= AlertBit(AlertKind::kBottleneckMigration);
+          state_.bottleneck = argmax;
+          state_.candidate = -1;
+          state_.candidate_streak = 0;
+        }
+      } else {
+        state_.candidate = -1;
+        state_.candidate_streak = 0;
+      }
+    } else {
+      state_.candidate = -1;
+      state_.candidate_streak = 0;
+    }
+  }
+
+  // Degraded-run edge.
+  if (options_.alert_on_degraded && estimate.degraded && !state_.was_degraded) {
+    alert.kind = AlertKind::kDegradedRun;
+    alert.detector = DetectorKind::kDegradeWatch;
+    alert.queue = 0;
+    alert.magnitude = 0.0;
+    alert.statistic = 1.0;
+    sink_.Raise(alert);
+    mask |= AlertBit(AlertKind::kDegradedRun);
+  }
+  state_.was_degraded = estimate.degraded;
+
+  return mask;
+}
+
+void ChangeMonitor::ApplyAlertFlags(std::vector<WindowEstimate>& estimates) const {
+  QNET_CHECK(estimates.size() == masks_.size(),
+             "ApplyAlertFlags: estimate sequence length (", estimates.size(),
+             ") does not match observed windows (", masks_.size(), ")");
+  for (std::size_t i = 0; i < estimates.size(); ++i) {
+    estimates[i].alerts = masks_[i];
+  }
+}
+
+}  // namespace qnet

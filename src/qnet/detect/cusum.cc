@@ -1,0 +1,74 @@
+#include "qnet/detect/cusum.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qnet/support/check.h"
+
+namespace qnet {
+
+CusumDetector::CusumDetector(const CusumOptions& options) : options_(options) {
+  QNET_CHECK(options_.warmup_windows >= 2, "CUSUM needs >= 2 warm-up windows");
+  QNET_CHECK(options_.drift >= 0.0, "CUSUM drift must be non-negative");
+  QNET_CHECK(options_.threshold > 0.0, "CUSUM threshold must be positive");
+  QNET_CHECK(options_.min_relative_sigma > 0.0,
+             "CUSUM min_relative_sigma must be positive");
+  QNET_CHECK(options_.max_z > 0.0, "CUSUM max_z must be positive");
+}
+
+void CusumDetector::Reset() {
+  warm_count_ = 0;
+  warm_mean_ = 0.0;
+  warm_m2_ = 0.0;
+  armed_ = false;
+  mu0_ = 0.0;
+  sigma0_ = 1.0;
+  s_pos_ = 0.0;
+  s_neg_ = 0.0;
+}
+
+void CusumDetector::Arm() {
+  mu0_ = warm_mean_;
+  const double variance = warm_m2_ / static_cast<double>(warm_count_ - 1);
+  const double sigma_floor = options_.min_relative_sigma * std::abs(mu0_);
+  sigma0_ = std::max(std::sqrt(std::max(variance, 0.0)), sigma_floor);
+  if (sigma0_ <= 0.0 || !std::isfinite(sigma0_)) {
+    // Degenerate warm-up (all-zero signal): fall back to an absolute unit scale.
+    sigma0_ = 1.0;
+  }
+  s_pos_ = 0.0;
+  s_neg_ = 0.0;
+  armed_ = true;
+}
+
+CusumDetector::Result CusumDetector::Observe(double x) {
+  Result result;
+  if (!armed_) {
+    ++warm_count_;
+    const double delta = x - warm_mean_;
+    warm_mean_ += delta / static_cast<double>(warm_count_);
+    warm_m2_ += delta * (x - warm_mean_);
+    if (warm_count_ >= options_.warmup_windows) {
+      Arm();
+    }
+    return result;
+  }
+
+  const double z =
+      std::clamp((x - mu0_) / sigma0_, -options_.max_z, options_.max_z);
+  s_pos_ = std::max(0.0, s_pos_ + z - options_.drift);
+  s_neg_ = std::max(0.0, s_neg_ - z - options_.drift);
+
+  if (s_pos_ > options_.threshold || s_neg_ > options_.threshold) {
+    result.alert = true;
+    result.statistic = s_pos_ >= s_neg_ ? s_pos_ : -s_neg_;
+    const double denom = std::abs(mu0_) > 0.0 ? std::abs(mu0_) : 1.0;
+    result.magnitude = (x - mu0_) / denom;
+    // Re-baseline onto the post-change level: forget the old baseline and restart
+    // warm-up so the detector stays sensitive to the next shift.
+    Reset();
+  }
+  return result;
+}
+
+}  // namespace qnet

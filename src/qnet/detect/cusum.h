@@ -1,0 +1,83 @@
+// Two-sided CUSUM level-shift detector over a scalar per-window signal.
+//
+// The detector self-calibrates: the first `warmup_windows` observations feed a Welford
+// accumulator that fixes the baseline mean mu0 and noise scale sigma0 (floored at
+// `min_relative_sigma * |mu0|` so near-noiseless warm-ups — e.g. mean-field estimates
+// on a stationary stream — don't make every later wiggle look like a shift). After
+// arming, each observation is standardized, z = (x - mu0) / sigma0, clamped to
+// ±`max_z`, and folded into the classic one-sided sums
+//
+//   S+ = max(0, S+ + z - drift)      S- = max(0, S- - z - drift)
+//
+// with an alert when either exceeds `threshold`. The drift parameter absorbs shifts
+// smaller than ~drift·sigma0; threshold sets the run length to false alarm. After an
+// alert the detector re-enters warm-up, so it re-baselines onto the post-change level
+// and can detect the next shift (or the recovery).
+//
+// Everything is scalar state — copying a CusumDetector is trivial and allocation-free,
+// which is what ChangeMonitor's merged-tail rewind relies on.
+
+#ifndef QNET_DETECT_CUSUM_H_
+#define QNET_DETECT_CUSUM_H_
+
+#include <cstddef>
+
+namespace qnet {
+
+struct CusumOptions {
+  // Observations used to fix the baseline before the detector arms. Alerts can never
+  // fire during warm-up, which is what makes a quiet prefix provably alert-free.
+  std::size_t warmup_windows = 8;
+  // Standardized slack per window; shifts below ~drift sigma are absorbed.
+  double drift = 0.5;
+  // Alert when S+ or S- exceeds this (in sigma units).
+  double threshold = 5.0;
+  // Floor on sigma0 relative to |mu0|, guarding against a degenerate warm-up.
+  double min_relative_sigma = 0.05;
+  // Standardized observations are clamped to [-max_z, max_z] so a single wild window
+  // cannot both arm and fire the sums past any bound in one step unbounded.
+  double max_z = 16.0;
+};
+
+class CusumDetector {
+ public:
+  struct Result {
+    bool alert = false;
+    // Signed relative shift (x - mu0) / |mu0| at the alert (0 when not alerting).
+    double magnitude = 0.0;
+    // The winning CUSUM sum, signed: +S+ for an upward shift, -S- for downward.
+    double statistic = 0.0;
+  };
+
+  explicit CusumDetector(const CusumOptions& options = CusumOptions());
+
+  // Feed one per-window observation; returns the alert decision for this window.
+  Result Observe(double x);
+
+  // Back to cold warm-up (baseline forgotten).
+  void Reset();
+
+  // True once warm-up completed and the sums are live.
+  bool Armed() const { return armed_; }
+  double BaselineMean() const { return mu0_; }
+  double BaselineSigma() const { return sigma0_; }
+
+ private:
+  void Arm();
+
+  CusumOptions options_;
+  // Welford warm-up accumulator.
+  std::size_t warm_count_ = 0;
+  double warm_mean_ = 0.0;
+  double warm_m2_ = 0.0;
+  // Armed baseline and sums.
+  bool armed_ = false;
+  double mu0_ = 0.0;
+  double sigma0_ = 1.0;
+  double s_pos_ = 0.0;
+  double s_neg_ = 0.0;
+};
+
+}  // namespace qnet
+
+#endif  // QNET_DETECT_CUSUM_H_

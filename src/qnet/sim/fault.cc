@@ -11,11 +11,27 @@ void FaultSchedule::AddSlowdown(int queue, double t0, double t1, double factor) 
   windows_.push_back(Window{queue, t0, t1, factor});
 }
 
+void FaultSchedule::AddArrivalScale(double t0, double t1, double factor) {
+  QNET_CHECK(t0 < t1, "arrival scale segment is empty");
+  QNET_CHECK(factor > 0.0, "arrival scale factor must be positive");
+  arrival_segments_.push_back(RateSegment{t0, t1, factor});
+}
+
 double FaultSchedule::ServiceFactor(int queue, double time) const {
   double factor = 1.0;
   for (const Window& w : windows_) {
     if (w.queue == queue && time >= w.t0 && time < w.t1) {
       factor *= w.factor;
+    }
+  }
+  return factor;
+}
+
+double FaultSchedule::ArrivalFactor(double time) const {
+  double factor = 1.0;
+  for (const RateSegment& s : arrival_segments_) {
+    if (time >= s.t0 && time < s.t1) {
+      factor *= s.factor;
     }
   }
   return factor;

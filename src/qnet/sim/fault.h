@@ -1,6 +1,11 @@
-// Fault injection: time-windowed service slowdowns. A slowdown multiplies the sampled
-// service time of a queue by `factor` while the service begins inside [t0, t1). This models
-// the paper's motivating scenario of an intermittently failing storage or network resource.
+// Fault injection: time-windowed service slowdowns and arrival-rate modulation. A
+// slowdown multiplies the sampled service time of a queue by `factor` while the service
+// begins inside [t0, t1). This models the paper's motivating scenario of an
+// intermittently failing storage or network resource. Arrival scale segments modulate
+// the workload side the same way: the interarrival process's rate is multiplied by the
+// product of all segments covering the draw point — flash crowds, diurnal load curves,
+// and slow-start recoveries are all piecewise-constant rate scripts (see
+// scenario/campaign.h for the declarative catalog that compiles into these).
 
 #ifndef QNET_SIM_FAULT_H_
 #define QNET_SIM_FAULT_H_
@@ -14,11 +19,24 @@ class FaultSchedule {
   // Service times at `queue` beginning in [t0, t1) are multiplied by `factor` (> 0).
   void AddSlowdown(int queue, double t0, double t1, double factor);
 
+  // The arrival rate for interarrival gaps drawn at a time in [t0, t1) is multiplied by
+  // `factor` (> 0). Semantics (LiveSimStream): the gap after an arrival at time t is
+  // drawn at the rate in effect AT t — a piecewise-constant modulated Poisson process
+  // whose rate lags the script by at most one gap. A factor of exactly 1.0 multiplies
+  // the rate by 1.0, so an all-1.0 schedule reproduces the unmodulated stream bit for
+  // bit (pinned by test).
+  void AddArrivalScale(double t0, double t1, double factor);
+
   // Combined multiplier for a service beginning at `time` on `queue` (product of all
   // overlapping windows; 1.0 when none apply).
   double ServiceFactor(int queue, double time) const;
 
-  bool Empty() const { return windows_.empty(); }
+  // Combined arrival-rate multiplier at `time` (product of all overlapping scale
+  // segments; 1.0 when none apply).
+  double ArrivalFactor(double time) const;
+
+  bool Empty() const { return windows_.empty() && arrival_segments_.empty(); }
+  bool HasArrivalSegments() const { return !arrival_segments_.empty(); }
 
  private:
   struct Window {
@@ -27,7 +45,13 @@ class FaultSchedule {
     double t1;
     double factor;
   };
+  struct RateSegment {
+    double t0;
+    double t1;
+    double factor;
+  };
   std::vector<Window> windows_;
+  std::vector<RateSegment> arrival_segments_;
 };
 
 }  // namespace qnet

@@ -19,10 +19,17 @@ LiveSimStream::LiveSimStream(const QueueingNetwork& net, const LiveSimOptions& o
   QNET_CHECK(options_.arrival_rate > 0.0, "arrival rate must be positive");
   QNET_CHECK(options_.observed_fraction >= 0.0 && options_.observed_fraction <= 1.0,
              "bad observed_fraction ", options_.observed_fraction);
-  next_entry_time_ = rng_.Exponential(options_.arrival_rate);
+  next_entry_time_ = rng_.Exponential(InterarrivalRate(0.0));
   if (options_.horizon > 0.0 && next_entry_time_ > options_.horizon) {
     spawning_done_ = true;
   }
+}
+
+double LiveSimStream::InterarrivalRate(double at) const {
+  if (options_.faults == nullptr || !options_.faults->HasArrivalSegments()) {
+    return options_.arrival_rate;
+  }
+  return options_.arrival_rate * options_.faults->ArrivalFactor(at);
 }
 
 LiveSimStream::InFlightTask& LiveSimStream::TaskSlot(int task) {
@@ -61,7 +68,9 @@ void LiveSimStream::SpawnTask() {
     spawning_done_ = true;
     return;
   }
-  next_entry_time_ += rng_.Exponential(options_.arrival_rate);
+  // The gap is drawn at the rate in effect at the arrival just spawned (see
+  // FaultSchedule::AddArrivalScale for the lag-one-gap semantics).
+  next_entry_time_ += rng_.Exponential(InterarrivalRate(next_entry_time_));
   if (options_.horizon > 0.0 && next_entry_time_ > options_.horizon) {
     spawning_done_ = true;
   }

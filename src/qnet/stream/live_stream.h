@@ -41,7 +41,9 @@ struct LiveSimOptions {
   double horizon = 0.0;
   // Poisson interarrival rate for task entries.
   double arrival_rate = 1.0;
-  // Optional service-time fault schedule (must outlive the stream).
+  // Optional fault schedule (must outlive the stream): service-time slowdowns apply to
+  // service draws, arrival scale segments modulate the interarrival rate (see
+  // FaultSchedule::AddArrivalScale for the exact semantics).
   const FaultSchedule* faults = nullptr;
   // Task-level observation thinning, mirroring TaskSamplingScheme: each task is fully
   // arrival-observed with probability observed_fraction; observed tasks additionally
@@ -75,6 +77,11 @@ class LiveSimStream : public TraceStream {
   // simulation is fully drained.
   bool Step();
   InFlightTask& TaskSlot(int task);
+  // Arrival rate in effect for the interarrival gap drawn at time `at`: the base rate
+  // times the fault schedule's ArrivalFactor(at). Without arrival segments this returns
+  // the base rate untouched, and an all-1.0 schedule multiplies by exactly 1.0 — either
+  // way the Exponential draw is bit-identical to the unmodulated stream.
+  double InterarrivalRate(double at) const;
 
   const QueueingNetwork* net_;
   LiveSimOptions options_;

@@ -73,6 +73,11 @@ struct WindowEstimate {
   // StEM iterations this window's fit actually ran (0 for degraded/mean-field-only
   // estimates); with convergence_tol set, the early-stop savings show up here.
   std::size_t fit_iterations = 0;
+  // Bitmask of AlertKind values (detect/alerts.h) a ChangeMonitor raised at this window.
+  // The estimators always emit 0 — detection is strictly downstream of estimation — and
+  // ChangeMonitor::ApplyAlertFlags annotates a returned sequence after the fact, so the
+  // flags persist through the trace/window_csv round-trip.
+  std::uint32_t alerts = 0;
   std::vector<double> rates;      // index 0 = lambda
   std::vector<double> mean_wait;  // posterior mean per queue (may be empty)
 };

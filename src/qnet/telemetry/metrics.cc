@@ -217,6 +217,23 @@ const SimCounters& SimCounters::Get() {
   return c;
 }
 
+const DetectCounters& DetectCounters::Get() {
+  static const DetectCounters c = [] {
+    MetricRegistry& r = MetricRegistry::Global();
+    DetectCounters b;
+    b.windows_observed = r.AddCounter("qnet_detect_windows_observed_total");
+    b.alerts_total = r.AddCounter("qnet_detect_alerts_total");
+    b.rate_shift_alerts = r.AddCounter("qnet_detect_rate_shift_alerts_total");
+    b.service_drift_alerts = r.AddCounter("qnet_detect_service_drift_alerts_total");
+    b.bottleneck_migration_alerts =
+        r.AddCounter("qnet_detect_bottleneck_migration_alerts_total");
+    b.degraded_run_alerts = r.AddCounter("qnet_detect_degraded_run_alerts_total");
+    b.detection_latency_windows = r.AddHistogram("qnet_detect_latency_windows");
+    return b;
+  }();
+  return c;
+}
+
 const ShardCounters& ShardCounters::Get() {
   static const ShardCounters c = [] {
     MetricRegistry& r = MetricRegistry::Global();

@@ -292,6 +292,21 @@ struct SimCounters {
   static const SimCounters& Get();
 };
 
+// Online change detection (detect/change_monitor.cc, detect/alerts.cc). One counter per
+// alert kind plus the windows-observed denominator; the detection-latency histogram is
+// fed by the campaign harness (bench/perf_detect.cc and the campaign tests), which is
+// the only place ground-truth change times exist — the monitor itself never knows them.
+struct DetectCounters {
+  Counter* windows_observed;          // ChangeMonitor::Observe calls (replacements too)
+  Counter* alerts_total;              // every alert raised, any kind
+  Counter* rate_shift_alerts;         // AlertKind::kRateShift
+  Counter* service_drift_alerts;      // AlertKind::kServiceDrift
+  Counter* bottleneck_migration_alerts;  // AlertKind::kBottleneckMigration
+  Counter* degraded_run_alerts;       // AlertKind::kDegradedRun
+  Histogram* detection_latency_windows;  // windows from scripted change to first alert
+  static const DetectCounters& Get();
+};
+
 // Shard fleet plumbing (lane_queue.h / sharded_streaming.cc).
 struct ShardCounters {
   Counter* records_routed;     // records delivered to lane workers

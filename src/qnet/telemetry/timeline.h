@@ -45,6 +45,7 @@ enum class SpanStage : std::uint8_t {
   kLaneBlocked,         // producer blocked on a full lane queue
   kScenarioCell,        // ScenarioEngine evaluating one grid cell
   kDesRun,              // one DES arena run
+  kDetectObserve,       // ChangeMonitor consuming one WindowEstimate
   kLanePush,            // LaneQueue::PushMany batch
   kLanePop,             // LaneQueue::PopMany batch
   kSweepColor,          // one color class of a sharded sweep

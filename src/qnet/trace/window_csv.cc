@@ -27,7 +27,8 @@ void WriteWindowEstimates(std::ostream& os, const std::vector<WindowEstimate>& e
     os << estimate.t0 << ',' << estimate.t1 << ',' << estimate.tasks << ','
        << estimate.merged_tail_tasks << ','
        << (estimate.window_local_arrival_rate ? 1 : 0) << ','
-       << (estimate.degraded ? 1 : 0) << ',' << estimate.fit_iterations;
+       << (estimate.degraded ? 1 : 0) << ',' << estimate.fit_iterations << ','
+       << estimate.alerts;
     for (const double rate : estimate.rates) {
       os << ',' << rate;
     }
@@ -68,8 +69,15 @@ std::vector<WindowEstimate> ReadWindowEstimates(std::istream& is) {
       continue;
     }
     SplitCsvLine(line, fields);
-    QNET_CHECK(fields.size() == 7 + queues || fields.size() == 7 + 2 * queues,
+    // Rows carry 7 (legacy, pre-alerts) or 8 leading metadata fields, then Q rates and
+    // optionally Q waits. For Q >= 2 the four counts are pairwise distinct, so the
+    // column count identifies both the format generation and the wait presence.
+    const bool has_alerts =
+        fields.size() == 8 + queues || fields.size() == 8 + 2 * queues;
+    QNET_CHECK(has_alerts || fields.size() == 7 + queues ||
+                   fields.size() == 7 + 2 * queues,
                "bad window-estimate row (", fields.size(), " fields): ", line);
+    const std::size_t meta_fields = has_alerts ? 8 : 7;
     WindowEstimate estimate;
     estimate.t0 = ParseCsvDouble(fields[0], line);
     estimate.t1 = ParseCsvDouble(fields[1], line);
@@ -80,14 +88,19 @@ std::vector<WindowEstimate> ReadWindowEstimates(std::istream& is) {
     const long fit_iterations = ParseCsvLong(fields[6], line);
     QNET_CHECK(fit_iterations >= 0, "negative fit_iterations: ", line);
     estimate.fit_iterations = static_cast<std::size_t>(fit_iterations);
+    if (has_alerts) {
+      const long alerts = ParseCsvLong(fields[7], line);
+      QNET_CHECK(alerts >= 0 && alerts <= 0xffffffffL, "bad alerts mask: ", line);
+      estimate.alerts = static_cast<std::uint32_t>(alerts);
+    }
     estimate.rates.resize(queues);
     for (std::size_t q = 0; q < queues; ++q) {
-      estimate.rates[q] = ParseCsvDouble(fields[7 + q], line);
+      estimate.rates[q] = ParseCsvDouble(fields[meta_fields + q], line);
     }
-    if (fields.size() == 7 + 2 * queues) {
+    if (fields.size() == meta_fields + 2 * queues) {
       estimate.mean_wait.resize(queues);
       for (std::size_t q = 0; q < queues; ++q) {
-        estimate.mean_wait[q] = ParseCsvDouble(fields[7 + queues + q], line);
+        estimate.mean_wait[q] = ParseCsvDouble(fields[meta_fields + queues + q], line);
       }
     }
     estimates.push_back(std::move(estimate));

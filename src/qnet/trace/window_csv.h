@@ -6,10 +6,14 @@
 // Format:
 //   # queues=Q
 //   # windows=N
-//   t0,t1,tasks,merged_tail_tasks,window_local_lambda,degraded,fit_iterations,
+//   t0,t1,tasks,merged_tail_tasks,window_local_lambda,degraded,fit_iterations,alerts,
 //       rate_q0..rate_q{Q-1}[,wait_q0..]
 // The mean-wait columns are present only for estimates that carry them (wait_sweeps > 0
-// or a mean-field fit); presence is per row, signaled by the column count.
+// or a mean-field fit); presence is per row, signaled by the column count. `alerts` is
+// the change monitor's AlertKind bitmask (WindowEstimate::alerts; 0 when no monitor
+// annotated the sequence). Rows written before the alerts column existed (7 + Q or
+// 7 + 2Q fields instead of 8 + Q / 8 + 2Q) still parse, with alerts = 0 — the counts
+// are unambiguous for the Q >= 2 the format requires.
 
 #ifndef QNET_TRACE_WINDOW_CSV_H_
 #define QNET_TRACE_WINDOW_CSV_H_

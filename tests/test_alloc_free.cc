@@ -9,6 +9,7 @@
 
 #include "support/counting_allocator.h"
 
+#include "qnet/detect/change_monitor.h"
 #include "qnet/infer/conditional.h"
 #include "qnet/infer/general_gibbs.h"
 #include "qnet/infer/gibbs.h"
@@ -285,6 +286,42 @@ TEST(AllocFree, InstrumentedShardedSweepDoesNotAllocate) {
   }
   EXPECT_EQ(AllocationCount(), before);
   Timeline::SetLevel(1);
+}
+
+TEST(AllocFree, ChangeMonitorObserveDoesNotAllocate) {
+  // The detection tap must never add per-window heap traffic to the streaming loop:
+  // CUSUM state is scalar, the BOCPD run-length posterior lives in fixed vectors, and
+  // the merged-tail snapshot/rewind copies same-shape vectors (no reallocation). The
+  // warm-up covers arming every detector plus the monitor's log reservations.
+  ChangeMonitor monitor(3);
+  WindowEstimate e;
+  e.tasks = 120;
+  e.window_local_arrival_rate = true;
+  e.rates = {4.0, 10.0, 8.0};
+  e.mean_wait = {0.0, 0.1, 0.25};
+  std::size_t w = 0;
+  for (; w < 16; ++w) {  // warm-up: past every detector's 8-window arming point
+    e.t0 = 30.0 * static_cast<double>(w);
+    e.t1 = e.t0 + 30.0;
+    monitor.Observe(e);
+  }
+  const std::size_t before = AllocationCount();
+  for (int i = 0; i < 1000; ++i, ++w) {
+    e.t0 = 30.0 * static_cast<double>(w);
+    e.t1 = e.t0 + 30.0;
+    // Deterministic wobble inside the detectors' sigma floors (no Rng: keep the loop
+    // body pure mutation of the reused estimate).
+    const double tick = (i % 2 == 0) ? 1.01 : 0.99;
+    e.rates[0] = 4.0 * tick;
+    e.rates[1] = 10.0 / tick;
+    e.mean_wait[2] = 0.25 * tick;
+    monitor.Observe(e);
+  }
+  // The merged-tail rewind path (snapshot restore + alert-log truncation) must be
+  // clean too: replace the last window in place.
+  e.merged_tail_tasks = 40;
+  monitor.Observe(e);
+  EXPECT_EQ(AllocationCount(), before);
 }
 
 TEST(AllocFree, GeneralGibbsSweepDoesNotAllocate) {

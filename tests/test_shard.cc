@@ -744,5 +744,52 @@ TEST(WindowCsv, RejectsCorruptInput) {
   EXPECT_THROW(ReadWindowEstimates(bad_degraded), Error);
 }
 
+TEST(WindowCsv, AlertMasksRoundTripAndLegacyRowsReadAsZero) {
+  // Current rows carry the alerts bitmask as an eighth metadata column; pre-alerts
+  // rows (7 metadata fields) still parse, reading alerts = 0. The column count alone
+  // identifies the format generation (counts are pairwise distinct for Q >= 2).
+  const Fixture f;
+  ShardedStreamingOptions options;
+  options.lanes = 2;
+  options.stream = ShortStemOptions();
+  auto pooled = RunFleet(f, options, 3);
+  ASSERT_GE(pooled.size(), 2u);
+  pooled[0].alerts = 0x5;  // rate shift + bottleneck migration
+  pooled[1].alerts = 0x2;  // service drift
+
+  std::stringstream ss;
+  WriteWindowEstimates(ss, pooled, 3);
+  const auto parsed = ReadWindowEstimates(ss);
+  ExpectEstimatesIdentical(pooled, parsed);
+  EXPECT_EQ(parsed[0].alerts, 0x5u);
+  EXPECT_EQ(parsed[1].alerts, 0x2u);
+
+  std::stringstream legacy(
+      "# queues=2\n# windows=2\n"
+      "0,10,5,0,1,0,4,1.5,2.5\n"             // 7 meta + Q rates
+      "10,20,6,0,1,0,4,1.5,2.5,0.1,0.2\n");  // 7 meta + Q rates + Q waits
+  const auto legacy_parsed = ReadWindowEstimates(legacy);
+  ASSERT_EQ(legacy_parsed.size(), 2u);
+  EXPECT_EQ(legacy_parsed[0].alerts, 0u);
+  EXPECT_EQ(legacy_parsed[1].alerts, 0u);
+  EXPECT_EQ(legacy_parsed[0].rates[1], 2.5);
+  ASSERT_EQ(legacy_parsed[1].mean_wait.size(), 2u);
+  EXPECT_EQ(legacy_parsed[1].mean_wait[1], 0.2);
+}
+
+TEST(WindowCsv, RejectsCorruptAlertsMask) {
+  std::stringstream negative(
+      "# queues=2\n# windows=1\n0,10,5,0,1,0,4,-1,1.5,2.5\n");
+  EXPECT_THROW(ReadWindowEstimates(negative), Error);
+
+  std::stringstream overflow(
+      "# queues=2\n# windows=1\n0,10,5,0,1,0,4,4294967296,1.5,2.5\n");
+  EXPECT_THROW(ReadWindowEstimates(overflow), Error);
+
+  std::stringstream garbage(
+      "# queues=2\n# windows=1\n0,10,5,0,1,0,4,x,1.5,2.5\n");
+  EXPECT_THROW(ReadWindowEstimates(garbage), Error);
+}
+
 }  // namespace
 }  // namespace qnet

@@ -1002,5 +1002,71 @@ TEST(LiveSimStream, FaultScheduleShowsUpInWindowEstimates) {
   EXPECT_GT(late_service, 2.0 * early_service);
 }
 
+TEST(LiveSimStream, AllOnesArrivalScaleIsBitIdenticalToNoSchedule) {
+  // The modulation contract: the gap after an arrival at t is drawn at rate
+  // arrival_rate * ArrivalFactor(t). A factor of exactly 1.0 multiplies the rate by
+  // 1.0, so every Exponential draw — and therefore every record — is the same bits as
+  // the unmodulated stream. This is what makes arrival scaling safe to leave wired in.
+  const QueueingNetwork net = MakeSingleQueueNetwork(4.0, 8.0);
+  LiveSimOptions base;
+  base.max_tasks = 300;
+  base.arrival_rate = 4.0;
+  LiveSimStream plain(net, base, 17);
+
+  FaultSchedule faults;
+  faults.AddArrivalScale(0.0, 1.0e9, 1.0);
+  faults.AddArrivalScale(10.0, 20.0, 1.0);  // overlapping all-1.0 segments too
+  LiveSimOptions modulated = base;
+  modulated.faults = &faults;
+  LiveSimStream scaled(net, modulated, 17);
+
+  TaskRecord a;
+  TaskRecord b;
+  std::size_t count = 0;
+  while (true) {
+    const bool more_a = plain.Next(a);
+    const bool more_b = scaled.Next(b);
+    ASSERT_EQ(more_a, more_b);
+    if (!more_a) {
+      break;
+    }
+    ASSERT_EQ(a, b) << "record " << count;
+    ++count;
+  }
+  EXPECT_EQ(count, base.max_tasks);
+}
+
+TEST(LiveSimStream, ArrivalScaleSegmentsModulateTheLoad) {
+  // A 3x segment over the middle third of the horizon should land ~3x the tasks of a
+  // plain third (piecewise-constant modulated Poisson, rate lagging one gap).
+  const QueueingNetwork net = MakeSingleQueueNetwork(4.0, 40.0);
+  FaultSchedule faults;
+  faults.AddArrivalScale(100.0, 200.0, 3.0);
+  LiveSimOptions options;
+  options.horizon = 300.0;
+  options.arrival_rate = 4.0;
+  options.faults = &faults;
+  LiveSimStream stream(net, options, 23);
+
+  std::size_t early = 0;
+  std::size_t middle = 0;
+  std::size_t late = 0;
+  TaskRecord record;
+  while (stream.Next(record)) {
+    if (record.entry_time < 100.0) {
+      ++early;
+    } else if (record.entry_time < 200.0) {
+      ++middle;
+    } else {
+      ++late;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(early), 400.0, 100.0);
+  EXPECT_NEAR(static_cast<double>(late), 400.0, 100.0);
+  EXPECT_NEAR(static_cast<double>(middle), 1200.0, 200.0);
+  EXPECT_GT(middle, 2 * early);
+  EXPECT_GT(middle, 2 * late);
+}
+
 }  // namespace
 }  // namespace qnet
